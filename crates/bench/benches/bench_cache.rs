@@ -1,0 +1,53 @@
+//! Criterion microbenchmarks for the historical embedding cache (§4.2):
+//! ring-buffer admission and O(1) lookup throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use freshgnn::cache::RingCache;
+use fgnn_tensor::Rng;
+use std::hint::black_box;
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring_cache");
+    let num_nodes = 1_000_000;
+    for dim in [64usize, 256] {
+        let row = vec![0.5f32; dim];
+        group.bench_with_input(BenchmarkId::new("admit", dim), &dim, |b, _| {
+            let mut cache = RingCache::new(num_nodes, 64 * 1024, dim);
+            let mut node = 0u32;
+            b.iter(|| {
+                cache.admit(black_box(node % num_nodes as u32), &row, 1_000, 1_000_000);
+                node = node.wrapping_add(1);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("lookup_hit", dim), &dim, |b, _| {
+            let mut cache = RingCache::new(num_nodes, 64 * 1024, dim);
+            let mut rng = Rng::new(3);
+            let nodes: Vec<u32> = (0..32 * 1024).map(|_| rng.below(num_nodes) as u32).collect();
+            for &n in &nodes {
+                cache.admit(n, &row, 0, u32::MAX);
+            }
+            let mut i = 0usize;
+            b.iter(|| {
+                let n = nodes[i % nodes.len()];
+                black_box(cache.lookup(n, 1, u32::MAX));
+                i += 1;
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("lookup_miss", dim), &dim, |b, _| {
+            let mut cache = RingCache::new(num_nodes, 1024, dim);
+            let mut n = 500_000u32;
+            b.iter(|| {
+                black_box(cache.lookup(n % num_nodes as u32, 1, 100));
+                n = n.wrapping_add(1);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_cache
+}
+criterion_main!(benches);

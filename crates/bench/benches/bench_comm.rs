@@ -1,0 +1,33 @@
+//! Criterion microbenchmarks for the all-to-all schedulers (Fig 15):
+//! scheduling computation cost (the simulated plans themselves are cheap;
+//! this guards against regressions in the planner).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fgnn_memsim::alltoall::{multi_round_alltoall, naive_alltoall};
+use fgnn_memsim::presets::GB;
+use fgnn_memsim::Topology;
+use std::hint::black_box;
+
+fn bench_comm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alltoall_planning");
+    for gpus in [4usize, 8, 16] {
+        let topo = Topology::pcie_tree(gpus, 2, 16.0 * GB);
+        let demand: Vec<Vec<u64>> = (0..gpus)
+            .map(|i| (0..gpus).map(|j| if i == j { 0 } else { 1 << 26 }).collect())
+            .collect();
+        group.bench_with_input(BenchmarkId::new("naive", gpus), &gpus, |b, _| {
+            b.iter(|| black_box(naive_alltoall(&topo, &demand)));
+        });
+        group.bench_with_input(BenchmarkId::new("multi_round", gpus), &gpus, |b, _| {
+            b.iter(|| black_box(multi_round_alltoall(&topo, &demand)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_comm
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion microbenchmarks for Table 1 / Fig 14(b): per-node prune cost
+//! of CSR vs COO vs CSR2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fgnn_graph::generate::{generate, GraphConfig};
+use fgnn_graph::{Coo, Csr2};
+use fgnn_tensor::Rng;
+use std::hint::black_box;
+
+fn graph(n: usize) -> fgnn_graph::Csr {
+    let mut rng = Rng::new(7);
+    generate(
+        &GraphConfig {
+            num_nodes: n,
+            avg_degree: 16.0,
+            ..Default::default()
+        },
+        &mut rng,
+    )
+    .graph
+}
+
+fn bench_prune(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prune_one_node");
+    for n in [4_000usize, 16_000, 64_000] {
+        let g = graph(n);
+        let mut rng = Rng::new(11);
+        let victims: Vec<u32> = (0..64).map(|_| rng.below(n) as u32).collect();
+
+        group.bench_with_input(BenchmarkId::new("csr", n), &n, |b, _| {
+            b.iter_batched(
+                || g.clone(),
+                |mut csr| {
+                    for &v in &victims[..4] {
+                        black_box(csr.prune_neighbors(v));
+                    }
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+        let coo = Coo::from_csr(&g);
+        group.bench_with_input(BenchmarkId::new("coo", n), &n, |b, _| {
+            b.iter_batched(
+                || coo.clone(),
+                |mut c| {
+                    for &v in &victims {
+                        black_box(c.prune_neighbors(v));
+                    }
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+        let csr2 = Csr2::from_csr(&g);
+        group.bench_with_input(BenchmarkId::new("csr2", n), &n, |b, _| {
+            b.iter_batched(
+                || csr2.clone(),
+                |mut c| {
+                    for &v in &victims {
+                        black_box(c.prune(v as usize));
+                    }
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_prune
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion microbenchmarks for neighbor sampling (§5): per-batch
+//! sampling cost at the paper's fanouts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fgnn_graph::generate::{generate, GraphConfig};
+use fgnn_graph::sample::NeighborSampler;
+use fgnn_tensor::Rng;
+use std::hint::black_box;
+
+fn bench_sampler(c: &mut Criterion) {
+    let mut rng = Rng::new(5);
+    let g = generate(
+        &GraphConfig {
+            num_nodes: 50_000,
+            avg_degree: 20.0,
+            ..Default::default()
+        },
+        &mut rng,
+    )
+    .graph;
+
+    let mut group = c.benchmark_group("neighbor_sampling");
+    for (label, fanouts) in [("f10x2", vec![10usize, 10]), ("f20_15_10", vec![20, 15, 10])] {
+        group.bench_with_input(BenchmarkId::new(label, 256), &fanouts, |b, f| {
+            let mut sampler = NeighborSampler::new(g.num_nodes());
+            let mut rng = Rng::new(9);
+            let seeds: Vec<u32> = (0..256).map(|_| rng.below(g.num_nodes()) as u32).collect();
+            b.iter(|| {
+                let mb = sampler.sample(&g, &seeds, f, &mut rng);
+                black_box(mb.total_edges());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sampler
+}
+criterion_main!(benches);

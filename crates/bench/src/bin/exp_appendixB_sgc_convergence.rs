@@ -1,0 +1,104 @@
+//! Appendix B / Proposition 4.1: convergence of SGC with a random-
+//! selector, bounded-staleness historical model.
+//!
+//! Runs gradient descent on the SGC least-squares problem with (i) exact
+//! gradients, (ii) the historical model at several staleness bounds, and
+//! reports the exact-loss gradient norm — which the proposition guarantees
+//! converges to zero for any bounded staleness.
+
+use fgnn_bench::{banner, row, Args};
+use fgnn_graph::generate::{generate, GraphConfig};
+use freshgnn::sgc::{run_historical_sgc, SgcConfig};
+use fgnn_tensor::{ops, Rng};
+
+fn main() {
+    let args = Args::parse();
+    let seed: u64 = args.get("seed", 42);
+    let n: usize = args.get("nodes", 2000);
+    let iters: usize = args.get("iters", 400);
+
+    banner("Appendix B", "SGC convergence with bounded-staleness history");
+    let mut rng = Rng::new(seed);
+    let cfg = GraphConfig {
+        num_nodes: n,
+        avg_degree: 10.0,
+        num_communities: 8,
+        homophily: 0.8,
+        ..Default::default()
+    };
+    let g = generate(&cfg, &mut rng).graph;
+    let x = rng.normal_matrix(n, 16, 1.0);
+    let w_true = rng.normal_matrix(16, 4, 1.0);
+    let x_hat = freshgnn::sgc::propagate_features(&g, &x, 2);
+    let mut y = ops::matmul(&x_hat, &w_true).unwrap();
+    for v in y.as_mut_slice() {
+        *v += rng.normal() * 0.01;
+    }
+    println!("graph: {} nodes, {} edges; SGC k=2, least squares\n", n, g.num_edges());
+
+    let configs: Vec<(String, SgcConfig)> = vec![
+        (
+            "exact (s=0)".into(),
+            SgcConfig {
+                k: 2,
+                max_staleness: 0,
+                p_fresh: 1.0,
+                step_size: 0.4,
+                iterations: iters,
+            },
+        ),
+        (
+            "history s=5, p0=0.5".into(),
+            SgcConfig {
+                k: 2,
+                max_staleness: 5,
+                p_fresh: 0.5,
+                step_size: 0.4,
+                iterations: iters,
+            },
+        ),
+        (
+            "history s=20, p0=0.5".into(),
+            SgcConfig {
+                k: 2,
+                max_staleness: 20,
+                p_fresh: 0.5,
+                step_size: 0.4,
+                iterations: iters,
+            },
+        ),
+        (
+            "history s=20, p0=0.2".into(),
+            SgcConfig {
+                k: 2,
+                max_staleness: 20,
+                p_fresh: 0.2,
+                step_size: 0.4,
+                iterations: iters,
+            },
+        ),
+    ];
+
+    let checkpoints = [0usize, 50, 100, 200, iters - 1];
+    let w = [22, 12, 12, 12, 12, 12];
+    row(
+        &[&"config", &"‖∇ℓ‖@0", &"@50", &"@100", &"@200", &"@end"],
+        &w,
+    );
+    for (name, cfg) in configs {
+        let mut run_rng = Rng::new(seed ^ 0xB);
+        let run = run_historical_sgc(&g, &x, &y, &cfg, &mut run_rng);
+        let cells: Vec<String> = std::iter::once(name.clone())
+            .chain(
+                checkpoints
+                    .iter()
+                    .map(|&i| format!("{:.2e}", run.grad_norms[i.min(run.grad_norms.len() - 1)])),
+            )
+            .collect();
+        let refs: Vec<&dyn std::fmt::Display> =
+            cells.iter().map(|c| c as &dyn std::fmt::Display).collect();
+        row(&refs, &w);
+    }
+    println!("\nProposition 4.1: every bounded-staleness run drives ‖∇ℓ(W)‖ -> 0,");
+    println!("with rate degrading gracefully as p0 shrinks (the 1/p0 factor).");
+}

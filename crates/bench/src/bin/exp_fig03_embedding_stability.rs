@@ -1,0 +1,78 @@
+//! Fig 3: temporal stability of node embeddings during mini-batch
+//! training.
+//!
+//! Trains GraphSAGE on products-s; every iteration recomputes the level-1
+//! embeddings of a fixed probe batch and reports the distribution of
+//! cosine similarity against the snapshot `s = 20` iterations earlier.
+//! The paper's claim: after warm-up, the bulk of nodes sit above 0.95.
+
+use fgnn_bench::{banner, row, Args};
+use fgnn_graph::datasets::products_spec;
+use fgnn_graph::sample::{split_batches, NeighborSampler};
+use fgnn_graph::Dataset;
+use fgnn_memsim::presets::Machine;
+use fgnn_nn::model::Arch;
+use fgnn_nn::Adam;
+use freshgnn::probes::EmbeddingStabilityProbe;
+use freshgnn::{FreshGnnConfig, Trainer};
+use fgnn_tensor::{stats, Rng};
+
+fn main() {
+    let args = Args::parse();
+    let seed: u64 = args.get("seed", 42);
+    let scale: f64 = args.get("scale", 0.002);
+    let iters: usize = args.get("iters", 300);
+    let lag: usize = args.get("lag", 20);
+
+    banner("Fig 3", "Cosine similarity of embeddings at lag s=20 (GraphSAGE, products-s)");
+    let ds = Dataset::materialize(products_spec(scale).with_dim(32), seed);
+
+    let cfg = FreshGnnConfig::neighbor_sampling(vec![5, 5], 128);
+    let mut trainer = Trainer::new(&ds, Arch::Sage, 64, Machine::single_a100(), cfg, seed);
+    let mut opt = Adam::new(0.003);
+
+    // Fixed probe mini-batch: a stable node set + fixed blocks.
+    let mut probe_rng = Rng::new(seed ^ 0xF3);
+    let probe_seeds: Vec<u32> = ds.train_nodes[..64.min(ds.train_nodes.len())].to_vec();
+    let mut sampler = NeighborSampler::new(ds.num_nodes());
+    let probe_mb = sampler.sample(&ds.graph, &probe_seeds, &[5, 5], &mut probe_rng);
+    let ids: Vec<usize> = probe_mb.input_nodes().iter().map(|&g| g as usize).collect();
+    let probe_h0 = ds.features.gather_rows(&ids);
+    let mut probe = EmbeddingStabilityProbe::new(probe_mb.blocks[0].dst_global.clone(), lag);
+
+    let w = [12, 10, 10, 10, 14];
+    row(&[&"iteration", &"p10", &"p50", &"p90", &"frac>0.95"], &w);
+
+    let mut rng = Rng::new(seed ^ 0xF33);
+    let mut done = 0usize;
+    'outer: loop {
+        let batches = split_batches(&ds.train_nodes, 128, Some(&mut rng));
+        for seeds in &batches {
+            trainer.train_on_batches(&ds, std::slice::from_ref(seeds), &mut opt);
+            done += 1;
+            // Level-1 embeddings of the fixed probe batch under the
+            // current weights.
+            let trace = trainer.model.forward(&probe_mb, probe_h0.clone());
+            let snapshot = trace.h[1].clone();
+            if let Some(sims) = probe.record(snapshot) {
+                if done.is_multiple_of(lag) {
+                    row(
+                        &[
+                            &done,
+                            &format!("{:.3}", stats::quantile(&sims, 0.1)),
+                            &format!("{:.3}", stats::quantile(&sims, 0.5)),
+                            &format!("{:.3}", stats::quantile(&sims, 0.9)),
+                            &format!("{:.3}", stats::fraction_above(&sims, 0.95)),
+                        ],
+                        &w,
+                    );
+                }
+            }
+            if done >= iters {
+                break 'outer;
+            }
+        }
+    }
+    println!("\npaper (Fig 3): >78% of nodes above 0.95 cosine similarity after");
+    println!("iteration 140 (model converged ~iteration 500).");
+}

@@ -1,0 +1,100 @@
+//! Fig 15: multi-GPU all-to-all communication optimizations.
+//!
+//! Effective bandwidth of (i) NCCL-style two-sided all-to-all, (ii)
+//! one-sided UVA reads, (iii) the multi-round schedule, on a 4-GPU PCIe
+//! tree and a 4-GPU NVLink clique — Fig 15's two bar groups.
+
+use fgnn_bench::{banner, row, Args};
+use fgnn_memsim::alltoall::{
+    effective_bandwidth, multi_round_alltoall, naive_alltoall, one_sided_alltoall,
+};
+use fgnn_memsim::presets::GB;
+use fgnn_memsim::Topology;
+
+fn main() {
+    let args = Args::parse();
+    let mb_per_pair: u64 = args.get("mb-per-pair", 64);
+    let bytes = mb_per_pair << 20;
+
+    banner("Fig 15", "All-to-all effective bandwidth by schedule (4 GPUs)");
+
+    for (label, topo) in [
+        ("PCIe tree (2 switches x 2 GPUs)", Topology::pcie_tree(4, 2, 16.0 * GB)),
+        ("NVLink clique (50 GB/s links)", Topology::nvlink_clique(4, 50.0 * GB, 16.0 * GB)),
+    ] {
+        println!("\n--- {label}, {mb_per_pair} MiB per GPU pair ---");
+        let n = topo.num_gpus;
+        let demand: Vec<Vec<u64>> = (0..n)
+            .map(|i| (0..n).map(|j| if i == j { 0 } else { bytes }).collect())
+            .collect();
+
+        let t_naive = naive_alltoall(&topo, &demand);
+        let t_one = one_sided_alltoall(&topo, &demand);
+        let (t_multi, rounds) = multi_round_alltoall(&topo, &demand);
+
+        let bw_naive = effective_bandwidth(&demand, t_naive);
+        let bw_one = effective_bandwidth(&demand, t_one);
+        let bw_multi = effective_bandwidth(&demand, t_multi);
+
+        let w = [26, 14, 12];
+        row(&[&"schedule", &"bandwidth", &"vs NCCL"], &w);
+        row(
+            &[
+                &"NCCL-style two-sided",
+                &format!("{:.1} GB/s", bw_naive / 1e9),
+                &"1.00x",
+            ],
+            &w,
+        );
+        row(
+            &[
+                &"one-sided (UVA)",
+                &format!("{:.1} GB/s", bw_one / 1e9),
+                &format!("{:.2}x", bw_one / bw_naive),
+            ],
+            &w,
+        );
+        row(
+            &[
+                &format!("multi-round ({rounds} rounds)"),
+                &format!("{:.1} GB/s", bw_multi / 1e9),
+                &format!("{:.2}x", bw_multi / bw_naive),
+            ],
+            &w,
+        );
+    }
+    // (c) Same comparison with a demand matrix from REAL sampled
+    // mini-batches over a feature-partitioned dataset (Fig 9b/c pipeline).
+    println!("\n--- real-batch demand (papers100M-s, round-robin partition, 4 GPUs) ---");
+    {
+        use fgnn_graph::datasets::papers100m_spec;
+        use fgnn_graph::Dataset;
+        use freshgnn::multi_gpu::partitioned_feature_exchange;
+        let ds = Dataset::materialize(papers100m_spec(0.0002).with_dim(128), 42);
+        let topo = Topology::pcie_tree(4, 2, 16.0 * GB);
+        let seeds: Vec<Vec<u32>> = (0..4)
+            .map(|g| {
+                ds.train_nodes
+                    .iter()
+                    .skip(g)
+                    .step_by(4)
+                    .copied()
+                    .take(64)
+                    .collect()
+            })
+            .collect();
+        let ex = partitioned_feature_exchange(&ds, &[6, 6, 6], &seeds, &topo, 42);
+        println!(
+            "remote {:.1} MB / local {:.1} MB; naive {:.2} ms vs multi-round {:.2} ms ({} rounds, {:.2}x)",
+            ex.remote_bytes as f64 / 1e6,
+            ex.local_bytes as f64 / 1e6,
+            ex.naive_seconds * 1e3,
+            ex.multi_round_seconds * 1e3,
+            ex.rounds,
+            ex.naive_seconds / ex.multi_round_seconds
+        );
+    }
+
+    println!("\npaper (Fig 15): one-sided +23% on average; multi-round +145% (PCIe)");
+    println!("and +85% (NVLink) over the NCCL all-to-all baseline.");
+}

@@ -1,0 +1,82 @@
+//! Fig 17 (Appendix A): FreshGNN vs neighbor sampling with identical
+//! initial weights and identical mini-batch schedules.
+//!
+//! Both trainers are constructed from the same seed (same Glorot init) and
+//! fed the same batch sequence; their per-epoch test-accuracy curves
+//! should align closely, showing the historical cache barely perturbs the
+//! parameter trajectory.
+
+use fgnn_bench::{banner, row, Args};
+use fgnn_graph::datasets::papers100m_spec;
+use fgnn_graph::sample::split_batches;
+use fgnn_graph::Dataset;
+use fgnn_memsim::presets::Machine;
+use fgnn_nn::model::Arch;
+use fgnn_nn::Adam;
+use freshgnn::{FreshGnnConfig, Trainer};
+use fgnn_tensor::Rng;
+
+fn main() {
+    let args = Args::parse();
+    let seed: u64 = args.get("seed", 42);
+    let scale: f64 = args.get("scale", 0.0004);
+    let epochs: usize = args.get("epochs", 40);
+    let t_stale: u32 = args.get("t-stale", 4);
+
+    banner(
+        "Fig 17",
+        "Same-init, same-batch training curves: FreshGNN vs NS target",
+    );
+    let ds = Dataset::materialize(papers100m_spec(scale).with_dim(48), seed);
+    println!(
+        "dataset: {} nodes, {} train; t_stale = {t_stale}\n",
+        ds.num_nodes(),
+        ds.train_nodes.len()
+    );
+
+    for arch in [Arch::Sage, Arch::Gcn] {
+        println!("--- {arch} ---");
+        let ns_cfg = FreshGnnConfig::neighbor_sampling(vec![5, 5], 128);
+        let fg_cfg = FreshGnnConfig {
+            p_grad: 0.9,
+            t_stale,
+            fanouts: vec![5, 5],
+            batch_size: 128,
+            ..Default::default()
+        };
+        // Same seed => identical initial weights.
+        let mut ns = Trainer::new(&ds, arch, 48, Machine::single_a100(), ns_cfg, seed);
+        let mut fg = Trainer::new(&ds, arch, 48, Machine::single_a100(), fg_cfg, seed);
+        let mut opt_ns = Adam::new(0.003);
+        let mut opt_fg = Adam::new(0.003);
+
+        let mut batch_rng = Rng::new(seed ^ 0x17);
+        let eval = &ds.test_nodes[..ds.test_nodes.len().min(1500)];
+        let w = [8, 12, 14, 10];
+        row(&[&"epoch", &"NS acc", &"FreshGNN acc", &"|Δ|"], &w);
+        let mut max_gap = 0.0f64;
+        for e in 1..=epochs {
+            // Identical batch schedule for both trainers.
+            let batches = split_batches(&ds.train_nodes, 128, Some(&mut batch_rng));
+            ns.train_on_batches(&ds, &batches, &mut opt_ns);
+            fg.train_on_batches(&ds, &batches, &mut opt_fg);
+            if e % (epochs / 8).max(1) == 0 {
+                let a_ns = ns.evaluate(&ds, eval, 512);
+                let a_fg = fg.evaluate(&ds, eval, 512);
+                max_gap = max_gap.max((a_ns - a_fg).abs());
+                row(
+                    &[
+                        &e,
+                        &format!("{a_ns:.4}"),
+                        &format!("{a_fg:.4}"),
+                        &format!("{:.4}", (a_ns - a_fg).abs()),
+                    ],
+                    &w,
+                );
+            }
+        }
+        println!("max |gap| observed: {max_gap:.4}\n");
+    }
+    println!("paper (Fig 17): curves align closely for both GraphSAGE and GCN —");
+    println!("the cache has little effect on the parameter updates.");
+}

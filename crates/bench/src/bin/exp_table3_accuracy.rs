@@ -1,0 +1,133 @@
+//! Table 3: test accuracy of each training algorithm minus the neighbor-
+//! sampling target, for GraphSAGE/GAT/GCN across the four labeled
+//! datasets.
+//!
+//! OOM entries are reproduced by *accounting*: a method is marked OOM when
+//! its paper-scale memory requirement (GAS/GraphFM's `O(Lnd)` history, or
+//! holding MAG240M features in GPU-addressable memory) exceeds the
+//! evaluation machine, exactly the paper's reported failure reasons. The
+//! scaled run still executes so the accuracy column is available for
+//! inspection (printed in parentheses).
+
+use fgnn_bench::runners::{best, run_method, Method, RunSpec, TABLE3_METHODS};
+use fgnn_bench::{banner, fmt_bytes, row, Args};
+use fgnn_graph::datasets::{arxiv_spec, mag240m_spec, papers100m_spec, products_spec, DatasetSpec};
+use fgnn_graph::Dataset;
+use fgnn_nn::model::Arch;
+
+/// Paper-scale node counts for the OOM accounting.
+const PAPER_NODES: [(&str, usize); 4] = [
+    ("arxiv-s", 2_900_000),
+    ("products-s", 2_400_000),
+    ("papers100M-s", 111_000_000),
+    ("mag240M-s", 244_200_000),
+];
+
+/// CPU RAM of the paper's single-GPU server (for `O(Lnd)` histories).
+const HOST_RAM: u64 = 512 << 30;
+
+fn paper_nodes(name: &str) -> usize {
+    PAPER_NODES
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|&(_, n)| n)
+        .unwrap_or(0)
+}
+
+/// Would this method OOM at *paper* scale on this dataset? The accounting
+/// uses the paper's model (3 layers, 256 hidden — §7.1), because that is
+/// the configuration whose `O(Lnd)` history overflows the machine, not our
+/// scaled-down stand-in.
+fn oom_at_paper_scale(method: Method, spec: &DatasetSpec) -> bool {
+    const PAPER_HIDDEN: u64 = 256;
+    const PAPER_LAYERS: u64 = 3;
+    let n = paper_nodes(spec.name) as u64;
+    match method {
+        Method::Gas | Method::GraphFm => {
+            // O(Lnd) float32 history: two hidden levels + the output level.
+            let per_node = PAPER_HIDDEN * (PAPER_LAYERS - 1) + 172;
+            n * per_node * 4 > HOST_RAM
+        }
+        Method::ClusterGcn => {
+            // ClusterGCN is lean; the paper reports OOM only on MAG240M,
+            // whose 350GB feature set plus partition state exceeds the
+            // machine.
+            n * spec.feature_row_bytes() as u64 > 350 << 30
+        }
+        _ => false,
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let seed: u64 = args.get("seed", 42);
+    let steps: usize = args.get("steps", 500);
+    let scale_small: f64 = args.get("scale-small", 0.002);
+    let scale_large: f64 = args.get("scale-large", 0.0003);
+
+    banner(
+        "Table 3",
+        "Accuracy minus NS target (positive = better than target)",
+    );
+
+    let datasets: Vec<DatasetSpec> = vec![
+        arxiv_spec(scale_small).with_dim(32),
+        products_spec(scale_small).with_dim(32),
+        papers100m_spec(scale_large).with_dim(32),
+        mag240m_spec(scale_large).with_dim(48),
+    ];
+
+    // Materialize once per dataset, reuse across architectures.
+    let materialized: Vec<Dataset> = datasets
+        .iter()
+        .map(|s| Dataset::materialize(s.clone(), seed))
+        .collect();
+    for ds in &materialized {
+        println!(
+            "{}: {} nodes / {} edges / {} classes / {} train",
+            ds.spec.name,
+            ds.num_nodes(),
+            ds.graph.num_edges(),
+            ds.spec.num_classes,
+            ds.train_nodes.len()
+        );
+    }
+
+    for arch in [Arch::Sage, Arch::Gat, Arch::Gcn] {
+        println!("\n=== {arch} ===");
+        let w = [14, 14, 14, 16, 14];
+        row(
+            &[&"method", &"arxiv-s", &"products-s", &"papers100M-s", &"mag240M-s"],
+            &w,
+        );
+        let spec = RunSpec::new(arch, steps);
+        let mut targets = vec![0.0f64; materialized.len()];
+        for method in TABLE3_METHODS {
+            let mut cells: Vec<String> = vec![method.to_string()];
+            for (di, ds) in materialized.iter().enumerate() {
+                let oom = oom_at_paper_scale(method, &ds.spec);
+                let acc = best(&run_method(ds, method, &spec, seed));
+                if method == Method::NeighborSampling {
+                    targets[di] = acc;
+                    cells.push(format!("{:.4}", acc));
+                } else if oom {
+                    cells.push(format!("OOM ({:+.3})", acc - targets[di]));
+                } else {
+                    cells.push(format!("{:+.4}", acc - targets[di]));
+                }
+            }
+            let refs: Vec<&dyn std::fmt::Display> =
+                cells.iter().map(|c| c as &dyn std::fmt::Display).collect();
+            row(&refs, &w);
+        }
+    }
+
+    println!(
+        "\nOOM accounting (paper model: 3 layers x 256 hidden): MAG240M GAS \
+         history needs {} > {} host RAM",
+        fmt_bytes(244_200_000u64 * (2 * 256 + 172) * 4),
+        fmt_bytes(HOST_RAM)
+    );
+    println!("paper (Table 3): baselines lose 7–18% on papers100M and OOM on");
+    println!("MAG240M; FreshGNN stays within 1% of the target everywhere.");
+}

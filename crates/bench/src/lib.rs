@@ -1,0 +1,109 @@
+#![warn(missing_docs)]
+//! # fgnn-bench
+//!
+//! Experiment harness for the FreshGNN reproduction: one binary per table
+//! or figure of the paper (see DESIGN.md §4 for the index), plus criterion
+//! microbenchmarks (`benches/`).
+//!
+//! Every binary accepts:
+//! * `--seed <u64>` (default 42) — master RNG seed;
+//! * `--scale <f64>` (default per-experiment) — dataset scale factor
+//!   relative to the paper's node counts;
+//! * `--epochs <usize>` where applicable.
+//!
+//! Output is plain aligned text: the same rows/series the paper's figure
+//! or table reports, so EXPERIMENTS.md can quote them directly.
+
+use std::fmt::Display;
+
+/// Minimal command-line option parser (`--key value` pairs).
+pub struct Args {
+    raw: Vec<String>,
+}
+
+impl Args {
+    /// Parse the process arguments.
+    pub fn parse() -> Self {
+        Args {
+            raw: std::env::args().skip(1).collect(),
+        }
+    }
+
+    /// Fetch `--name v` as `T`, or `default`.
+    pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        let key = format!("--{name}");
+        self.raw
+            .iter()
+            .position(|a| a == &key)
+            .and_then(|i| self.raw.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Whether a bare flag `--name` is present.
+    pub fn flag(&self, name: &str) -> bool {
+        let key = format!("--{name}");
+        self.raw.iter().any(|a| a == &key)
+    }
+}
+
+/// Print a header banner for an experiment.
+pub fn banner(id: &str, title: &str) {
+    println!("==================================================================");
+    println!("{id}: {title}");
+    println!("==================================================================");
+}
+
+/// Print one aligned table row.
+pub fn row(cells: &[&dyn Display], widths: &[usize]) {
+    let mut line = String::new();
+    for (c, w) in cells.iter().zip(widths) {
+        line.push_str(&format!("{:<width$}", c.to_string(), width = w));
+    }
+    println!("{}", line.trim_end());
+}
+
+/// Format seconds compactly.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.0}s")
+    } else if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.2}us", s * 1e6)
+    }
+}
+
+/// Format bytes compactly.
+pub fn fmt_bytes(b: u64) -> String {
+    let bf = b as f64;
+    if bf >= 1e9 {
+        format!("{:.2}GB", bf / 1e9)
+    } else if bf >= 1e6 {
+        format!("{:.1}MB", bf / 1e6)
+    } else if bf >= 1e3 {
+        format!("{:.1}KB", bf / 1e3)
+    } else {
+        format!("{b}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_helpers() {
+        assert_eq!(fmt_secs(120.0), "120s");
+        assert_eq!(fmt_secs(1.5), "1.50s");
+        assert_eq!(fmt_secs(0.0025), "2.50ms");
+        assert_eq!(fmt_secs(3e-6), "3.00us");
+        assert_eq!(fmt_bytes(500), "500B");
+        assert_eq!(fmt_bytes(2_500_000), "2.5MB");
+        assert_eq!(fmt_bytes(3_000_000_000), "3.00GB");
+    }
+}
+
+pub mod runners;

@@ -1,0 +1,60 @@
+//! The paper's baseline training algorithms (§7.2–7.3, Table 3).
+//!
+//! * **Neighbor sampling** (DGL/PyG/PyTorch-Direct): the target baseline.
+//!   Not a separate type — construct [`crate::Trainer`] with
+//!   [`crate::FreshGnnConfig::neighbor_sampling`]; the paper notes that
+//!   `p_grad = 0` or `t_stale = 0` degenerates FreshGNN to exactly this.
+//!   The DGL/PyG/PT-Direct *system* differences (two-sided vs one-sided
+//!   loading, sampler speed) are `LoadMode` plus bench-side constants.
+//! * [`gas`] — GNNAutoScale: cluster batches with **full-graph history**
+//!   for out-of-cluster neighbors (`O(Lnd)` storage), i.e. the
+//!   `p_grad = 1, t_stale = ∞` corner of the FreshGNN design space.
+//!   With `momentum`, the same machinery gives the **GraphFM**-style
+//!   feature-momentum variant.
+//! * [`cluster_gcn`] — ClusterGCN: trains on merged partition-induced
+//!   subgraphs, dropping all cross-partition edges.
+//! * [`sampling`] — the §2.3 "broader sampling methods": layer-wise
+//!   (FastGCN-family) and graph-wise (GraphSAINT-family) training.
+
+pub mod cluster_gcn;
+pub mod gas;
+pub mod sampling;
+
+pub use cluster_gcn::ClusterGcnTrainer;
+pub use gas::{GasConfig, GasTrainer};
+pub use sampling::{SamplingBaselineTrainer, SamplingKind};
+
+use fgnn_graph::sample::NeighborSampler;
+use fgnn_graph::{Dataset, NodeId};
+use fgnn_nn::metrics::accuracy;
+use fgnn_nn::model::Model;
+use fgnn_tensor::Rng;
+
+/// Evaluate `model` on `nodes` with plain neighbor sampling — the shared
+/// accuracy protocol for every method in Table 3.
+pub fn evaluate_model(
+    model: &Model,
+    ds: &Dataset,
+    nodes: &[NodeId],
+    fanouts: &[usize],
+    batch_size: usize,
+    rng: &mut Rng,
+) -> f64 {
+    let mut sampler = NeighborSampler::new(ds.num_nodes());
+    let mut correct_weighted = 0.0f64;
+    let mut total = 0usize;
+    for chunk in nodes.chunks(batch_size.max(1)) {
+        let mb = sampler.sample(&ds.graph, chunk, fanouts, rng);
+        let ids: Vec<usize> = mb.input_nodes().iter().map(|&g| g as usize).collect();
+        let h0 = ds.features.gather_rows(&ids);
+        let trace = model.forward(&mb, h0);
+        let labels: Vec<u16> = chunk.iter().map(|&s| ds.labels[s as usize]).collect();
+        correct_weighted += accuracy(trace.h.last().unwrap(), &labels) * chunk.len() as f64;
+        total += chunk.len();
+    }
+    if total == 0 {
+        0.0
+    } else {
+        correct_weighted / total as f64
+    }
+}

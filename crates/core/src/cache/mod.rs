@@ -1,0 +1,308 @@
+//! The historical embedding cache (§4): per-layer ring buffers plus the
+//! gradient/staleness policy.
+
+pub mod feature_cache;
+pub mod policy;
+pub mod ring;
+
+pub use feature_cache::StaticFeatureCache;
+pub use policy::{apply_policy, gradient_policy, PolicyInput, PolicyKind, Verdict};
+pub use ring::RingCache;
+
+use fgnn_graph::NodeId;
+use fgnn_tensor::Matrix;
+
+/// Aggregated cache statistics across layers.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CacheStats {
+    /// Lookups that returned a usable embedding.
+    pub hits: u64,
+    /// Lookups that missed (absent, recycled, or stale).
+    pub misses: u64,
+    /// Fresh embeddings admitted.
+    pub admits: u64,
+    /// Cached embeddings kept after the gradient test.
+    pub keeps: u64,
+    /// Evictions by the gradient criterion.
+    pub grad_evictions: u64,
+    /// Evictions by the staleness criterion.
+    pub stale_evictions: u64,
+    /// Ring-header overwrites.
+    pub overwrites: u64,
+}
+
+impl CacheStats {
+    /// Hit rate over all lookups (0 when none).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Multi-layer historical embedding cache.
+///
+/// Level `l ∈ 1..=L` refers to the output of GNN layer `l` (`h^{(l)}` in
+/// the paper); interior reuse reads levels `1..L`. A disabled cache (the
+/// neighbor-sampling degeneration of §4.1) answers every lookup with a
+/// miss and ignores admissions.
+pub struct HistoricalCache {
+    /// `levels[l-1]` caches `h^{(l)}`; `None` = level not cached.
+    levels: Vec<Option<RingCache>>,
+    t_stale: u32,
+    hits: u64,
+    misses: u64,
+    admits: u64,
+    keeps: u64,
+}
+
+impl HistoricalCache {
+    /// Build a cache for an `L`-layer model.
+    ///
+    /// `dims[l-1]` is the embedding dimension of level `l` (the model's
+    /// hidden/output dims). `initial_capacity = 0` auto-sizes: tables start
+    /// at 1024 rows and grow on demand (§4.2's "initialize the cache table
+    /// with a fixed size and reallocate it on-demand").
+    pub fn new(
+        num_nodes: usize,
+        dims: &[usize],
+        t_stale: u32,
+        initial_capacity: usize,
+        cache_top_layer: bool,
+        enabled: bool,
+    ) -> Self {
+        let num_levels = dims.len();
+        let cap = if initial_capacity == 0 { 1024 } else { initial_capacity };
+        let levels = dims
+            .iter()
+            .enumerate()
+            .map(|(i, &dim)| {
+                let is_top = i + 1 == num_levels;
+                if enabled && (!is_top || cache_top_layer) {
+                    Some(RingCache::new(num_nodes, cap, dim))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        HistoricalCache {
+            levels,
+            t_stale,
+            hits: 0,
+            misses: 0,
+            admits: 0,
+            keeps: 0,
+        }
+    }
+
+    /// Whether level `l` (1-based) has a cache.
+    pub fn level_enabled(&self, level: usize) -> bool {
+        level >= 1 && level <= self.levels.len() && self.levels[level - 1].is_some()
+    }
+
+    /// Staleness bound in effect.
+    pub fn t_stale(&self) -> u32 {
+        self.t_stale
+    }
+
+    /// Look up `node` at `level` for iteration `now`.
+    pub fn lookup(&mut self, level: usize, node: NodeId, now: u32) -> Option<u32> {
+        let t_stale = self.t_stale;
+        let res = self.levels[level - 1]
+            .as_mut()
+            .and_then(|c| c.lookup(node, now, t_stale));
+        if self.levels[level - 1].is_some() {
+            if res.is_some() {
+                self.hits += 1;
+            } else {
+                self.misses += 1;
+            }
+        }
+        res
+    }
+
+    /// Copy a cached embedding into `dst`.
+    pub fn fetch_into(&self, level: usize, slot: u32, dst: &mut [f32]) {
+        let cache = self.levels[level - 1].as_ref().expect("level not cached");
+        dst.copy_from_slice(cache.fetch(slot));
+    }
+
+    /// Apply the gradient policy's verdicts for one level: admit fresh rows
+    /// out of `h` (the level's representation matrix), evict unstable
+    /// cached entries, refresh stamps of kept entries.
+    pub fn apply_verdicts(
+        &mut self,
+        level: usize,
+        verdicts: &[(PolicyInput, Verdict)],
+        h: &Matrix,
+        now: u32,
+    ) {
+        let t_stale = self.t_stale;
+        let Some(cache) = self.levels[level - 1].as_mut() else {
+            return;
+        };
+        for &(input, verdict) in verdicts {
+            match verdict {
+                Verdict::Admit => {
+                    cache.admit(input.node, h.row(input.local as usize), now, t_stale);
+                    self.admits += 1;
+                }
+                Verdict::Keep => {
+                    self.keeps += 1;
+                }
+                Verdict::Evict => cache.evict(input.node),
+                Verdict::Skip => {}
+            }
+        }
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> CacheStats {
+        let mut s = CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            admits: self.admits,
+            keeps: self.keeps,
+            ..Default::default()
+        };
+        for c in self.levels.iter().flatten() {
+            s.grad_evictions += c.grad_evictions;
+            s.stale_evictions += c.stale_evictions;
+            s.overwrites += c.overwrites;
+        }
+        s
+    }
+
+    /// Resident bytes across levels (tables + mapping arrays).
+    pub fn bytes(&self) -> usize {
+        self.levels.iter().flatten().map(RingCache::bytes).sum()
+    }
+
+    /// Total live entries across levels (O(capacity); metrics only).
+    pub fn len(&self) -> usize {
+        self.levels.iter().flatten().map(RingCache::len).sum()
+    }
+
+    /// Whether no level holds any entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache() -> HistoricalCache {
+        HistoricalCache::new(100, &[4, 4, 3], 50, 8, false, true)
+    }
+
+    #[test]
+    fn top_level_not_cached_by_default() {
+        let c = cache();
+        assert!(c.level_enabled(1));
+        assert!(c.level_enabled(2));
+        assert!(!c.level_enabled(3));
+    }
+
+    #[test]
+    fn disabled_cache_always_misses_silently() {
+        let mut c = HistoricalCache::new(100, &[4, 4], 50, 8, false, false);
+        assert!(!c.level_enabled(1));
+        assert!(c.lookup(1, 5, 0).is_none());
+        // Disabled levels do not count lookups.
+        assert_eq!(c.stats().misses, 0);
+    }
+
+    #[test]
+    fn admit_via_verdicts_then_hit() {
+        let mut c = cache();
+        let h = Matrix::from_fn(3, 4, |r, _| r as f32);
+        let inputs = vec![(
+            PolicyInput {
+                node: 7,
+                local: 2,
+                grad_norm: 0.0,
+                was_cached: false,
+            },
+            Verdict::Admit,
+        )];
+        c.apply_verdicts(1, &inputs, &h, 1);
+        let slot = c.lookup(1, 7, 2).expect("hit after admit");
+        let mut row = [0.0f32; 4];
+        c.fetch_into(1, slot, &mut row);
+        assert_eq!(row, [2.0, 2.0, 2.0, 2.0]);
+        let s = c.stats();
+        assert_eq!(s.admits, 1);
+        assert_eq!(s.hits, 1);
+    }
+
+    #[test]
+    fn evict_verdict_removes_entry() {
+        let mut c = cache();
+        let h = Matrix::zeros(1, 4);
+        let admit = vec![(
+            PolicyInput {
+                node: 3,
+                local: 0,
+                grad_norm: 0.0,
+                was_cached: false,
+            },
+            Verdict::Admit,
+        )];
+        c.apply_verdicts(2, &admit, &h, 0);
+        assert!(c.lookup(2, 3, 1).is_some());
+        let evict = vec![(
+            PolicyInput {
+                node: 3,
+                local: 0,
+                grad_norm: 9.0,
+                was_cached: true,
+            },
+            Verdict::Evict,
+        )];
+        c.apply_verdicts(2, &evict, &h, 1);
+        assert!(c.lookup(2, 3, 1).is_none());
+        assert_eq!(c.stats().grad_evictions, 1);
+    }
+
+    #[test]
+    fn levels_are_independent() {
+        let mut c = cache();
+        let h = Matrix::full(1, 4, 5.0);
+        let admit = vec![(
+            PolicyInput {
+                node: 9,
+                local: 0,
+                grad_norm: 0.0,
+                was_cached: false,
+            },
+            Verdict::Admit,
+        )];
+        c.apply_verdicts(1, &admit, &h, 0);
+        assert!(c.lookup(1, 9, 0).is_some());
+        assert!(c.lookup(2, 9, 0).is_none());
+    }
+
+    #[test]
+    fn hit_rate_reflects_lookups() {
+        let mut c = cache();
+        let h = Matrix::zeros(1, 4);
+        let admit = vec![(
+            PolicyInput {
+                node: 1,
+                local: 0,
+                grad_norm: 0.0,
+                was_cached: false,
+            },
+            Verdict::Admit,
+        )];
+        c.apply_verdicts(1, &admit, &h, 0);
+        c.lookup(1, 1, 1); // hit
+        c.lookup(1, 2, 1); // miss
+        assert!((c.stats().hit_rate() - 0.5).abs() < 1e-9);
+    }
+}

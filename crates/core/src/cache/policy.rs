@@ -1,0 +1,234 @@
+//! The gradient-based admission/eviction criterion (§4.1, Fig 6).
+//!
+//! After backward propagation, every node present at layer `l` of the
+//! mini-batch has an embedding-gradient norm `‖∇_{h_v^{(l)}} L‖`. The
+//! bottom `p_grad` fraction (smallest norms — most stable) are *admitted*
+//! (computed nodes) or *kept* (cache-read nodes); the top `1 − p_grad`
+//! fraction are *not admitted* / *evicted*.
+
+use fgnn_graph::NodeId;
+use fgnn_tensor::Rng;
+
+/// Which stability criterion drives admission/eviction (the gradient
+/// criterion is FreshGNN's; the others exist for the ablation study).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// The paper's criterion: smallest gradient norms are stable.
+    Gradient,
+    /// Ablation: admit a uniformly random `p` fraction.
+    Random,
+    /// Adversarial ablation: admit the *largest* gradient norms (the
+    /// least stable embeddings) — isolates how much the criterion's
+    /// direction matters.
+    InverseGradient,
+}
+
+/// One node's policy input for a layer.
+#[derive(Clone, Copy, Debug)]
+pub struct PolicyInput {
+    /// Global node ID.
+    pub node: NodeId,
+    /// Row index of this node in the layer's representation matrix.
+    pub local: u32,
+    /// `‖∇_{h_v} L‖` harvested from backward.
+    pub grad_norm: f32,
+    /// Whether this iteration *read* the node from the cache (true) or
+    /// computed it fresh (false).
+    pub was_cached: bool,
+}
+
+/// The policy's verdict for one node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Fresh embedding, stable: check in.
+    Admit,
+    /// Cached embedding, still stable: leave it cached.
+    Keep,
+    /// Cached embedding, now unstable: check out.
+    Evict,
+    /// Fresh embedding, unstable: do not admit.
+    Skip,
+}
+
+/// Apply the `p_grad` criterion to one layer's nodes.
+///
+/// Returns `(node, local, verdict)` triples. Deterministic: ties on the
+/// norm are broken by node ID.
+pub fn gradient_policy(inputs: &[PolicyInput], p_grad: f32) -> Vec<(PolicyInput, Verdict)> {
+    if inputs.is_empty() {
+        return Vec::new();
+    }
+    let mut order: Vec<usize> = (0..inputs.len()).collect();
+    order.sort_unstable_by(|&a, &b| {
+        inputs[a]
+            .grad_norm
+            .partial_cmp(&inputs[b].grad_norm)
+            .expect("NaN gradient norm")
+            .then(inputs[a].node.cmp(&inputs[b].node))
+    });
+    // Bottom p_grad fraction is stable.
+    let n_stable = ((inputs.len() as f64) * p_grad as f64).round() as usize;
+    let mut out = Vec::with_capacity(inputs.len());
+    for (rank, &i) in order.iter().enumerate() {
+        let x = inputs[i];
+        let stable = rank < n_stable;
+        let verdict = match (stable, x.was_cached) {
+            (true, false) => Verdict::Admit,
+            (true, true) => Verdict::Keep,
+            (false, true) => Verdict::Evict,
+            (false, false) => Verdict::Skip,
+        };
+        out.push((x, verdict));
+    }
+    out
+}
+
+/// Apply the chosen criterion. `rng` is only consumed by
+/// [`PolicyKind::Random`].
+pub fn apply_policy(
+    kind: PolicyKind,
+    inputs: &[PolicyInput],
+    p: f32,
+    rng: &mut Rng,
+) -> Vec<(PolicyInput, Verdict)> {
+    match kind {
+        PolicyKind::Gradient => gradient_policy(inputs, p),
+        // For the ablation variants the returned `grad_norm` is the
+        // surrogate stability score (negated / randomized); verdict
+        // application only consumes `node`/`local`/`was_cached`, which the
+        // quantile machinery carries through unchanged.
+        PolicyKind::InverseGradient => {
+            let flipped: Vec<PolicyInput> = inputs
+                .iter()
+                .map(|x| PolicyInput {
+                    grad_norm: -x.grad_norm,
+                    ..*x
+                })
+                .collect();
+            gradient_policy(&flipped, p)
+        }
+        PolicyKind::Random => {
+            let randomized: Vec<PolicyInput> = inputs
+                .iter()
+                .map(|x| PolicyInput {
+                    grad_norm: rng.uniform(),
+                    ..*x
+                })
+                .collect();
+            gradient_policy(&randomized, p)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn input(node: NodeId, norm: f32, cached: bool) -> PolicyInput {
+        PolicyInput {
+            node,
+            local: node,
+            grad_norm: norm,
+            was_cached: cached,
+        }
+    }
+
+    fn verdict_of(out: &[(PolicyInput, Verdict)], node: NodeId) -> Verdict {
+        out.iter().find(|(x, _)| x.node == node).unwrap().1
+    }
+
+    #[test]
+    fn small_gradients_admitted_large_skipped() {
+        let inputs = vec![
+            input(0, 0.1, false),
+            input(1, 0.2, false),
+            input(2, 5.0, false),
+            input(3, 9.0, false),
+        ];
+        let out = gradient_policy(&inputs, 0.5);
+        assert_eq!(verdict_of(&out, 0), Verdict::Admit);
+        assert_eq!(verdict_of(&out, 1), Verdict::Admit);
+        assert_eq!(verdict_of(&out, 2), Verdict::Skip);
+        assert_eq!(verdict_of(&out, 3), Verdict::Skip);
+    }
+
+    #[test]
+    fn cached_nodes_kept_or_evicted() {
+        // Mirrors Fig 6: cached node 3 has the larger gradient and is
+        // evicted while computed node 2 is admitted.
+        let inputs = vec![input(2, 0.1, false), input(3, 4.0, true)];
+        let out = gradient_policy(&inputs, 0.5);
+        assert_eq!(verdict_of(&out, 2), Verdict::Admit);
+        assert_eq!(verdict_of(&out, 3), Verdict::Evict);
+    }
+
+    #[test]
+    fn cached_node_with_small_gradient_is_kept() {
+        let inputs = vec![input(0, 0.1, true), input(1, 5.0, false)];
+        let out = gradient_policy(&inputs, 0.5);
+        assert_eq!(verdict_of(&out, 0), Verdict::Keep);
+        assert_eq!(verdict_of(&out, 1), Verdict::Skip);
+    }
+
+    #[test]
+    fn p_grad_one_admits_everything() {
+        let inputs = vec![input(0, 0.1, false), input(1, 99.0, true)];
+        let out = gradient_policy(&inputs, 1.0);
+        assert_eq!(verdict_of(&out, 0), Verdict::Admit);
+        assert_eq!(verdict_of(&out, 1), Verdict::Keep);
+    }
+
+    #[test]
+    fn p_grad_zero_admits_nothing() {
+        let inputs = vec![input(0, 0.1, false), input(1, 0.2, true)];
+        let out = gradient_policy(&inputs, 0.0);
+        assert_eq!(verdict_of(&out, 0), Verdict::Skip);
+        assert_eq!(verdict_of(&out, 1), Verdict::Evict);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        assert!(gradient_policy(&[], 0.9).is_empty());
+    }
+
+    #[test]
+    fn deterministic_tie_break_by_node_id() {
+        let inputs = vec![input(5, 1.0, false), input(2, 1.0, false)];
+        let out = gradient_policy(&inputs, 0.5);
+        // Exactly one admitted; the smaller node ID wins the tie.
+        assert_eq!(verdict_of(&out, 2), Verdict::Admit);
+        assert_eq!(verdict_of(&out, 5), Verdict::Skip);
+    }
+
+    #[test]
+    fn random_policy_admits_requested_fraction() {
+        let inputs: Vec<PolicyInput> = (0..100)
+            .map(|i| input(i, i as f32, false))
+            .collect();
+        let mut rng = fgnn_tensor::Rng::new(5);
+        let out = apply_policy(PolicyKind::Random, &inputs, 0.7, &mut rng);
+        let admitted = out.iter().filter(|(_, v)| *v == Verdict::Admit).count();
+        assert_eq!(admitted, 70);
+    }
+
+    #[test]
+    fn inverse_policy_admits_largest_norms() {
+        let inputs = vec![input(0, 0.1, false), input(1, 9.0, false)];
+        let mut rng = fgnn_tensor::Rng::new(5);
+        let out = apply_policy(PolicyKind::InverseGradient, &inputs, 0.5, &mut rng);
+        assert_eq!(verdict_of(&out, 1), Verdict::Admit);
+        assert_eq!(verdict_of(&out, 0), Verdict::Skip);
+    }
+
+    #[test]
+    fn gradient_kind_matches_direct_call() {
+        let inputs = vec![input(0, 0.1, true), input(1, 5.0, false)];
+        let mut rng = fgnn_tensor::Rng::new(5);
+        let via_kind = apply_policy(PolicyKind::Gradient, &inputs, 0.5, &mut rng);
+        let direct = gradient_policy(&inputs, 0.5);
+        for ((a, va), (b, vb)) in via_kind.iter().zip(&direct) {
+            assert_eq!(a.node, b.node);
+            assert_eq!(va, vb);
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Ring-buffer embedding table with an O(|V|) node→slot mapping array
+//! (§4.2, Fig 7).
+//!
+//! * **Lookup** is O(1): `slot_of[node]` indexes the table; a hit requires
+//!   the reverse map to agree (the slot wasn't overwritten) and the entry
+//!   to be within the staleness bound.
+//! * **Admission** writes at the ring header and advances it; whatever
+//!   occupied that row is implicitly evicted — the paper's "newly added
+//!   embeddings overwrite the out-dated ones". (The paper resets the
+//!   header every `t_stale` iterations; a modulo ring plus the lookup-time
+//!   staleness check is behaviorally identical and simpler to size.)
+//! * **Gradient eviction** just invalidates the mapping entry; the slot is
+//!   recycled by the ring, "no physical deletion".
+//! * If the header would overwrite an entry *younger* than `t_stale` (the
+//!   paper's corner case), the table grows — "initialize the cache table
+//!   with a fixed size and reallocate on-demand".
+
+use fgnn_graph::NodeId;
+use fgnn_tensor::Matrix;
+
+const INVALID: u32 = u32::MAX;
+
+/// Per-layer ring-buffer cache of node embeddings.
+pub struct RingCache {
+    /// Embedding table, `capacity x dim`.
+    table: Matrix,
+    /// node → slot (INVALID when absent).
+    slot_of: Vec<u32>,
+    /// slot → node (INVALID when free).
+    node_of: Vec<u32>,
+    /// slot → iteration of admission.
+    stamp: Vec<u32>,
+    head: usize,
+    dim: usize,
+    /// Eviction counters for the experiment reports.
+    pub stale_evictions: u64,
+    /// Entries explicitly evicted by the gradient criterion.
+    pub grad_evictions: u64,
+    /// Entries overwritten by the advancing ring header.
+    pub overwrites: u64,
+}
+
+impl RingCache {
+    /// A cache over node IDs `0..num_nodes` with `capacity` rows of
+    /// dimension `dim`.
+    pub fn new(num_nodes: usize, capacity: usize, dim: usize) -> Self {
+        let capacity = capacity.max(1);
+        RingCache {
+            table: Matrix::zeros(capacity, dim),
+            slot_of: vec![INVALID; num_nodes],
+            node_of: vec![INVALID; capacity],
+            stamp: vec![0; capacity],
+            head: 0,
+            dim,
+            stale_evictions: 0,
+            grad_evictions: 0,
+            overwrites: 0,
+        }
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Current table rows.
+    pub fn capacity(&self) -> usize {
+        self.node_of.len()
+    }
+
+    /// Number of live entries (O(capacity); used by tests/metrics only).
+    pub fn len(&self) -> usize {
+        self.node_of
+            .iter()
+            .enumerate()
+            .filter(|&(s, &n)| n != INVALID && self.slot_of[n as usize] == s as u32)
+            .count()
+    }
+
+    /// Whether the cache holds no live entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Look up `node` at iteration `now` under staleness bound `t_stale`.
+    /// A stale entry is evicted on the spot and counts as a miss.
+    pub fn lookup(&mut self, node: NodeId, now: u32, t_stale: u32) -> Option<u32> {
+        let slot = self.slot_of[node as usize];
+        if slot == INVALID {
+            return None;
+        }
+        let s = slot as usize;
+        if self.node_of[s] != node {
+            // Slot was recycled for another node; mapping is dangling.
+            self.slot_of[node as usize] = INVALID;
+            return None;
+        }
+        if now.saturating_sub(self.stamp[s]) > t_stale {
+            self.slot_of[node as usize] = INVALID;
+            self.node_of[s] = INVALID;
+            self.stale_evictions += 1;
+            return None;
+        }
+        Some(slot)
+    }
+
+    /// Read the embedding row of a slot returned by [`RingCache::lookup`].
+    pub fn fetch(&self, slot: u32) -> &[f32] {
+        self.table.row(slot as usize)
+    }
+
+    /// Admit (or refresh) `node` with `row` at iteration `now`.
+    ///
+    /// Grows the table when the ring header catches up with entries still
+    /// inside the staleness window.
+    pub fn admit(&mut self, node: NodeId, row: &[f32], now: u32, t_stale: u32) {
+        debug_assert_eq!(row.len(), self.dim);
+        // Refresh in place if already cached.
+        let existing = self.slot_of[node as usize];
+        if existing != INVALID && self.node_of[existing as usize] == node {
+            self.table.set_row(existing as usize, row);
+            self.stamp[existing as usize] = now;
+            return;
+        }
+
+        // Grow if the header points at a still-fresh entry (corner case in
+        // §4.2; "reallocate on-demand").
+        let occupant = self.node_of[self.head];
+        if occupant != INVALID
+            && self.slot_of[occupant as usize] == self.head as u32
+            && now.saturating_sub(self.stamp[self.head]) <= t_stale
+        {
+            self.grow();
+        }
+
+        let h = self.head;
+        let occupant = self.node_of[h];
+        if occupant != INVALID {
+            if self.slot_of[occupant as usize] == h as u32 {
+                self.slot_of[occupant as usize] = INVALID;
+            }
+            self.overwrites += 1;
+        }
+        self.table.set_row(h, row);
+        self.node_of[h] = node;
+        self.stamp[h] = now;
+        self.slot_of[node as usize] = h as u32;
+        self.head = (h + 1) % self.capacity();
+    }
+
+    /// Evict `node` by the gradient criterion: invalidate the mapping
+    /// entry only (the ring recycles the slot).
+    pub fn evict(&mut self, node: NodeId) {
+        let slot = self.slot_of[node as usize];
+        if slot != INVALID {
+            if self.node_of[slot as usize] == node {
+                self.node_of[slot as usize] = INVALID;
+            }
+            self.slot_of[node as usize] = INVALID;
+            self.grad_evictions += 1;
+        }
+    }
+
+    /// Double the table (preserving slots `0..old_capacity` in place; the
+    /// header continues into the fresh region).
+    fn grow(&mut self) {
+        let old_cap = self.capacity();
+        let new_cap = old_cap * 2;
+        let mut table = Matrix::zeros(new_cap, self.dim);
+        table.as_mut_slice()[..old_cap * self.dim].copy_from_slice(self.table.as_slice());
+        self.table = table;
+        self.node_of.resize(new_cap, INVALID);
+        self.stamp.resize(new_cap, 0);
+        // Continue writing into the newly added free region.
+        self.head = old_cap;
+    }
+
+    /// Resident bytes of the table plus the mapping array.
+    pub fn bytes(&self) -> usize {
+        self.table.as_slice().len() * 4 + self.slot_of.len() * 4 + self.node_of.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(v: f32, dim: usize) -> Vec<f32> {
+        vec![v; dim]
+    }
+
+    #[test]
+    fn admit_then_lookup_round_trips() {
+        let mut c = RingCache::new(10, 4, 3);
+        c.admit(7, &row(1.5, 3), 1, 100);
+        let slot = c.lookup(7, 2, 100).expect("hit");
+        assert_eq!(c.fetch(slot), &[1.5, 1.5, 1.5]);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn missing_node_is_a_miss() {
+        let mut c = RingCache::new(10, 4, 3);
+        assert!(c.lookup(3, 0, 100).is_none());
+    }
+
+    #[test]
+    fn stale_entry_evicted_on_lookup() {
+        let mut c = RingCache::new(10, 4, 2);
+        c.admit(1, &row(1.0, 2), 0, 5);
+        assert!(c.lookup(1, 5, 5).is_some(), "within bound");
+        assert!(c.lookup(1, 6, 5).is_none(), "beyond bound");
+        assert_eq!(c.stale_evictions, 1);
+        assert!(c.lookup(1, 5, 5).is_none(), "gone after eviction");
+    }
+
+    #[test]
+    fn gradient_eviction_invalidates_mapping_only() {
+        let mut c = RingCache::new(10, 4, 2);
+        c.admit(1, &row(1.0, 2), 0, 100);
+        c.evict(1);
+        assert!(c.lookup(1, 0, 100).is_none());
+        assert_eq!(c.grad_evictions, 1);
+        // Slot is recycled naturally by later admissions.
+        for n in 2..6 {
+            c.admit(n, &row(n as f32, 2), 1, 100);
+        }
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn refresh_updates_in_place_without_consuming_a_slot() {
+        let mut c = RingCache::new(10, 2, 2);
+        c.admit(1, &row(1.0, 2), 0, 100);
+        c.admit(1, &row(9.0, 2), 3, 100);
+        let slot = c.lookup(1, 3, 100).unwrap();
+        assert_eq!(c.fetch(slot), &[9.0, 9.0]);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.capacity(), 2, "no growth for refresh");
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_when_entries_are_stale() {
+        let mut c = RingCache::new(10, 2, 1);
+        c.admit(1, &row(1.0, 1), 0, 3);
+        c.admit(2, &row(2.0, 1), 0, 3);
+        // Entries from iter 0 are beyond staleness at iter 10 → overwrite,
+        // no growth.
+        c.admit(3, &row(3.0, 1), 10, 3);
+        c.admit(4, &row(4.0, 1), 10, 3);
+        assert_eq!(c.capacity(), 2);
+        assert!(c.lookup(1, 10, 3).is_none());
+        assert!(c.lookup(3, 10, 3).is_some());
+        assert_eq!(c.overwrites, 2);
+    }
+
+    #[test]
+    fn grows_rather_than_overwriting_fresh_entries() {
+        let mut c = RingCache::new(10, 2, 1);
+        c.admit(1, &row(1.0, 1), 0, 100);
+        c.admit(2, &row(2.0, 1), 0, 100);
+        c.admit(3, &row(3.0, 1), 1, 100); // would overwrite node 1 (fresh)
+        assert_eq!(c.capacity(), 4);
+        assert!(c.lookup(1, 1, 100).is_some());
+        assert!(c.lookup(2, 1, 100).is_some());
+        assert!(c.lookup(3, 1, 100).is_some());
+    }
+
+    #[test]
+    fn dangling_mapping_after_recycle_is_cleaned() {
+        let mut c = RingCache::new(10, 2, 1);
+        c.admit(1, &row(1.0, 1), 0, 0); // t_stale 0: immediately stale next iter
+        c.admit(2, &row(2.0, 1), 1, 0);
+        c.admit(3, &row(3.0, 1), 2, 0); // recycles node 1's slot
+        assert!(c.lookup(1, 2, 0).is_none());
+        assert!(c.lookup(3, 2, 0).is_some());
+    }
+
+    #[test]
+    fn bytes_accounting_grows_with_capacity() {
+        let c = RingCache::new(100, 8, 4);
+        let small = c.bytes();
+        let c2 = RingCache::new(100, 16, 4);
+        assert!(c2.bytes() > small);
+    }
+}

@@ -1,0 +1,525 @@
+// Index-based loops below intentionally walk several parallel arrays in
+// lockstep; iterator zips would obscure the math. Clippy disagrees.
+#![allow(clippy::needless_range_loop)]
+
+//! Heterogeneous-graph extension (§7.6): R-GraphSAGE with the historical
+//! embedding cache on the target node type.
+//!
+//! The cache machinery carries over unchanged: the labeled (paper) type's
+//! per-level embeddings are cached under the same `p_grad`/`t_stale`
+//! policy; a cached paper destination has every incoming relation pruned
+//! and its typed subtree dies, skipping the corresponding author/
+//! institution expansions and feature loads. (Caching the unlabeled types
+//! too would be a straightforward extension; the paper's experiment only
+//! needs the target type, where gradient feedback exists every iteration.)
+
+use crate::cache::{gradient_policy, HistoricalCache, PolicyInput};
+use crate::config::FreshGnnConfig;
+use fgnn_graph::hetero::{HeteroDataset, HeteroMiniBatch, HeteroSampler};
+use fgnn_graph::sample::split_batches;
+use fgnn_graph::NodeId;
+use fgnn_memsim::presets::Machine;
+use fgnn_memsim::topology::Node;
+use fgnn_memsim::{TrafficCounters, TransferEngine};
+use fgnn_nn::loss::softmax_cross_entropy;
+use fgnn_nn::metrics::accuracy;
+use fgnn_nn::rsage::RSageModel;
+use fgnn_nn::Optimizer;
+use fgnn_tensor::{Matrix, Rng};
+
+/// R-GraphSAGE trainer over a [`HeteroDataset`].
+pub struct HeteroTrainer {
+    /// The relational model under training.
+    pub model: RSageModel,
+    /// Historical cache on the target type's levels.
+    pub cache: HistoricalCache,
+    /// Hyper-parameters (fanouts/batch size/p_grad/t_stale reused).
+    pub cfg: FreshGnnConfig,
+    /// Traffic ledger.
+    pub counters: TrafficCounters,
+    machine: Machine,
+    sampler: HeteroSampler,
+    /// `(src_type, dst_type)` per relation, in the graph's relation order.
+    rel_types: Vec<(usize, usize)>,
+    dims: Vec<usize>,
+    iter: u32,
+    rng: Rng,
+}
+
+impl HeteroTrainer {
+    /// Build a trainer for `ds` with `hidden` units per hidden layer.
+    pub fn new(
+        ds: &HeteroDataset,
+        hidden: usize,
+        machine: Machine,
+        cfg: FreshGnnConfig,
+        seed: u64,
+    ) -> Self {
+        cfg.validate().expect("invalid config");
+        let mut rng = Rng::new(seed);
+        let num_layers = cfg.num_layers();
+        let in_dim = ds.features[ds.target_type].cols();
+        let mut dims = Vec::with_capacity(num_layers + 1);
+        dims.push(in_dim);
+        for _ in 1..num_layers {
+            dims.push(hidden);
+        }
+        dims.push(ds.num_classes);
+        let model = RSageModel::new(&ds.graph, ds.target_type, &dims, &mut rng);
+        let cache = HistoricalCache::new(
+            ds.graph.node_counts[ds.target_type],
+            &dims[1..],
+            cfg.t_stale,
+            cfg.cache_capacity,
+            cfg.cache_top_layer,
+            cfg.cache_enabled(),
+        );
+        HeteroTrainer {
+            model,
+            cache,
+            counters: TrafficCounters::new(),
+            machine,
+            sampler: HeteroSampler::new(&ds.graph),
+            rel_types: ds
+                .graph
+                .relations
+                .iter()
+                .map(|r| (r.src_type, r.dst_type))
+                .collect(),
+            dims,
+            cfg,
+            iter: 0,
+            rng,
+        }
+    }
+
+    /// Train one epoch over the target-type training nodes.
+    pub fn train_epoch(&mut self, ds: &HeteroDataset, opt: &mut dyn Optimizer) -> f64 {
+        let mut shuffle_rng = self.rng.fork();
+        let batches = split_batches(&ds.train_nodes, self.cfg.batch_size, Some(&mut shuffle_rng));
+        let topo = self.machine.topology.clone();
+        let mut engine = TransferEngine::new(&topo);
+        let mut total = 0.0;
+        for seeds in &batches {
+            total += self.train_batch(ds, seeds, &mut engine, opt) as f64;
+        }
+        total / batches.len().max(1) as f64
+    }
+
+    fn train_batch(
+        &mut self,
+        ds: &HeteroDataset,
+        seeds: &[NodeId],
+        engine: &mut TransferEngine<'_>,
+        opt: &mut dyn Optimizer,
+    ) -> f32 {
+        let target = ds.target_type;
+        let mut sample_rng = self.rng.fork();
+        let t0 = std::time::Instant::now();
+        let mut mb =
+            self.sampler
+                .sample(&ds.graph, target, seeds, &self.cfg.fanouts, &mut sample_rng);
+        self.counters.sample_seconds += t0.elapsed().as_secs_f64();
+
+        // Cache-aware typed pruning (top-down reachability).
+        let t1 = std::time::Instant::now();
+        let outcome = prune_hetero(&mut mb, &self.rel_types, &mut self.cache, target, self.iter);
+        self.counters.prune_seconds += t1.elapsed().as_secs_f64();
+
+        // Load per-type input features for surviving src nodes.
+        let n_types = ds.graph.node_counts.len();
+        let mut h0 = Vec::with_capacity(n_types);
+        let mut wire_bytes = 0u64;
+        let mut saved_bytes = 0u64;
+        for t in 0..n_types {
+            let row_bytes = (ds.features[t].cols() * 4) as u64;
+            let srcs = &mb.blocks[0].src[t];
+            let mut m = Matrix::zeros(srcs.len(), ds.features[t].cols());
+            for (i, &g) in srcs.iter().enumerate() {
+                if outcome.needed_input[t][i] {
+                    m.row_mut(i).copy_from_slice(ds.features[t].row(g as usize));
+                    wire_bytes += row_bytes;
+                } else {
+                    saved_bytes += row_bytes;
+                }
+            }
+            h0.push(m);
+        }
+        if wire_bytes > 0 {
+            engine.one_sided_read(Node::Host, Node::Gpu(0), wire_bytes, &mut self.counters);
+        }
+        self.counters.cache_hit_bytes += saved_bytes;
+
+        // Forward with cache overrides on the target type.
+        let cache = &self.cache;
+        let cached = &outcome.cached;
+        let trace = self.model.forward_with(&mb, h0, |level, h| {
+            let b = level - 1;
+            if b < cached.len() {
+                for &(local, slot) in &cached[b] {
+                    cache.fetch_into(level, slot, h[target].row_mut(local as usize));
+                }
+            }
+        });
+
+        let logits = self.model.logits(&trace);
+        let labels: Vec<u16> = seeds.iter().map(|&s| ds.labels[s as usize]).collect();
+        let (loss, d_logits) = softmax_cross_entropy(logits, &labels);
+
+        self.model.zero_grad();
+        let num_levels = self.dims.len() - 1;
+        let mut policy_inputs: Vec<Vec<PolicyInput>> = vec![Vec::new(); num_levels + 1];
+        {
+            let cache_enabled = self.cfg.cache_enabled();
+            let inputs = &mut policy_inputs;
+            self.model.backward_with(&mb, &trace, d_logits, |level, d| {
+                if !cache_enabled || level == num_levels {
+                    return; // top level = seeds, never cached
+                }
+                let b = level - 1;
+                let block = &mb.blocks[b];
+                let mut is_cached = vec![false; block.dst[target].len()];
+                for &(local, _) in &outcome.cached[b] {
+                    is_cached[local as usize] = true;
+                }
+                for v in 0..block.dst[target].len() {
+                    if !(outcome.computed[b][v] || is_cached[v]) {
+                        continue;
+                    }
+                    let row = d[target].row(v);
+                    let norm = row.iter().map(|&x| x * x).sum::<f32>().sqrt();
+                    inputs[level].push(PolicyInput {
+                        node: block.dst[target][v],
+                        local: v as u32,
+                        grad_norm: norm,
+                        was_cached: is_cached[v],
+                    });
+                }
+                for &(local, _) in &outcome.cached[b] {
+                    d[target]
+                        .row_mut(local as usize)
+                        .iter_mut()
+                        .for_each(|x| *x = 0.0);
+                }
+            });
+        }
+        for level in 1..num_levels {
+            if policy_inputs[level].is_empty() {
+                continue;
+            }
+            let verdicts = gradient_policy(&policy_inputs[level], self.cfg.p_grad);
+            self.cache
+                .apply_verdicts(level, &verdicts, &trace.h[level][target], self.iter);
+        }
+
+        let mut params = self.model.params_mut();
+        opt.step(&mut params);
+
+        // Simulated compute from live relation edges.
+        let mut flops = 0.0;
+        for (b, block) in mb.blocks.iter().enumerate() {
+            let edges: usize = block.num_edges();
+            flops += fgnn_memsim::presets::aggregation_flops(edges, self.dims[b]);
+            let n_dst: usize = block.dst.iter().map(Vec::len).sum();
+            flops += fgnn_memsim::presets::dense_flops(n_dst, self.dims[b], self.dims[b + 1]);
+        }
+        self.counters.compute_seconds += self.machine.gpu.compute_seconds(3.0 * flops);
+
+        self.iter += 1;
+        loss
+    }
+
+    /// Evaluate accuracy on target-type `nodes` with plain (uncached)
+    /// sampling.
+    pub fn evaluate(&mut self, ds: &HeteroDataset, nodes: &[NodeId], batch_size: usize) -> f64 {
+        let mut rng = self.rng.fork();
+        let mut weighted = 0.0f64;
+        let mut total = 0usize;
+        for chunk in nodes.chunks(batch_size.max(1)) {
+            let mb = self.sampler.sample(
+                &ds.graph,
+                ds.target_type,
+                chunk,
+                &self.cfg.fanouts,
+                &mut rng,
+            );
+            let h0: Vec<Matrix> = (0..ds.graph.node_counts.len())
+                .map(|t| {
+                    let ids: Vec<usize> =
+                        mb.blocks[0].src[t].iter().map(|&g| g as usize).collect();
+                    ds.features[t].gather_rows(&ids)
+                })
+                .collect();
+            let trace = self.model.forward(&mb, h0);
+            let labels: Vec<u16> = chunk.iter().map(|&s| ds.labels[s as usize]).collect();
+            weighted += accuracy(self.model.logits(&trace), &labels) * chunk.len() as f64;
+            total += chunk.len();
+        }
+        if total == 0 {
+            0.0
+        } else {
+            weighted / total as f64
+        }
+    }
+}
+
+/// Typed pruning outcome.
+pub struct HeteroPruneOutcome {
+    /// Per block: `(local target-type dst index, slot)` cache reads.
+    pub cached: Vec<Vec<(u32, u32)>>,
+    /// Per block: whether each target-type dst is computed.
+    pub computed: Vec<Vec<bool>>,
+    /// Per type: which input src nodes need feature loads.
+    pub needed_input: Vec<Vec<bool>>,
+}
+
+/// Top-down typed reachability pruning — the heterogeneous analogue of
+/// [`crate::prune::prune_with_cache`]. `rel_types[r]` gives relation `r`'s
+/// `(src_type, dst_type)`.
+pub fn prune_hetero(
+    mb: &mut HeteroMiniBatch,
+    rel_types: &[(usize, usize)],
+    cache: &mut HistoricalCache,
+    target: usize,
+    now: u32,
+) -> HeteroPruneOutcome {
+    let num_blocks = mb.blocks.len();
+    let n_types = mb.blocks[0].dst.len();
+    let mut cached: Vec<Vec<(u32, u32)>> = vec![Vec::new(); num_blocks];
+    let mut computed: Vec<Vec<bool>> = mb
+        .blocks
+        .iter()
+        .map(|b| vec![false; b.dst[target].len()])
+        .collect();
+
+    // Top block: only target-type seeds are needed.
+    let mut needed: Vec<Vec<bool>> = (0..n_types)
+        .map(|t| vec![t == target; mb.blocks[num_blocks - 1].dst[t].len()])
+        .collect();
+
+    for b in (0..num_blocks).rev() {
+        let level = b + 1;
+        let is_top = b + 1 == num_blocks;
+        let mut needed_below: Vec<Vec<bool>> = (0..n_types)
+            .map(|t| vec![false; mb.blocks[b].src[t].len()])
+            .collect();
+
+        // Target-type cache check.
+        let n_target_dst = mb.blocks[b].dst[target].len();
+        let mut is_cached = vec![false; n_target_dst];
+        for v in 0..n_target_dst {
+            if !needed[target][v] {
+                continue;
+            }
+            let node = mb.blocks[b].dst[target][v];
+            if !is_top {
+                if let Some(slot) = cache.lookup(level, node, now) {
+                    cached[b].push((v as u32, slot));
+                    is_cached[v] = true;
+                    continue;
+                }
+            }
+            computed[b][v] = true;
+        }
+
+        // Per relation: prune dead/cached rows, expand live ones.
+        for (r, &(src_t, dst_t)) in rel_types.iter().enumerate() {
+            for v in 0..mb.blocks[b].rel_adj[r].num_nodes() {
+                let live = needed[dst_t].get(v).copied().unwrap_or(false)
+                    && !(dst_t == target && is_cached[v]);
+                if !live {
+                    mb.blocks[b].rel_adj[r].prune(v);
+                    continue;
+                }
+                for &u in mb.blocks[b].rel_adj[r].neighbors(v) {
+                    needed_below[src_t][u as usize] = true;
+                }
+            }
+        }
+
+        // Self terms: every live destination needs its own lower row.
+        for t in 0..n_types {
+            for v in 0..mb.blocks[b].dst[t].len() {
+                let live = needed[t][v] && !(t == target && is_cached[v]);
+                if live {
+                    needed_below[t][v] = true;
+                }
+            }
+        }
+
+        if b == 0 {
+            return HeteroPruneOutcome {
+                cached,
+                computed,
+                needed_input: needed_below,
+            };
+        }
+        needed = needed_below;
+    }
+    unreachable!("loop returns at b == 0")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgnn_graph::hetero::mag_hetero;
+    use fgnn_nn::Adam;
+
+    fn tiny() -> HeteroDataset {
+        mag_hetero(400, 4, 8, 3)
+    }
+
+    fn config(p_grad: f32, t_stale: u32) -> FreshGnnConfig {
+        FreshGnnConfig {
+            p_grad,
+            t_stale,
+            fanouts: vec![3, 3],
+            batch_size: 32,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn hetero_training_reduces_loss() {
+        let ds = tiny();
+        let mut t = HeteroTrainer::new(&ds, 16, Machine::single_a100(), config(0.9, 50), 1);
+        let mut opt = Adam::new(0.01);
+        let first = t.train_epoch(&ds, &mut opt);
+        let mut last = first;
+        for _ in 0..6 {
+            last = t.train_epoch(&ds, &mut opt);
+        }
+        assert!(last < first, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn hetero_cache_serves_hits_and_saves_traffic() {
+        let ds = tiny();
+        let machine = Machine::single_a100();
+        let mut cached = HeteroTrainer::new(&ds, 16, machine.clone(), config(0.95, 100), 2);
+        let mut plain = HeteroTrainer::new(&ds, 16, machine, config(0.0, 0), 2);
+        let mut o1 = Adam::new(0.01);
+        let mut o2 = Adam::new(0.01);
+        for _ in 0..4 {
+            cached.train_epoch(&ds, &mut o1);
+            plain.train_epoch(&ds, &mut o2);
+        }
+        assert!(cached.cache.stats().hits > 0);
+        assert!(
+            cached.counters.host_to_gpu_bytes < plain.counters.host_to_gpu_bytes,
+            "cached {} vs plain {}",
+            cached.counters.host_to_gpu_bytes,
+            plain.counters.host_to_gpu_bytes
+        );
+    }
+
+    #[test]
+    fn hetero_accuracy_above_random() {
+        let ds = tiny();
+        let mut t = HeteroTrainer::new(&ds, 16, Machine::single_a100(), config(0.9, 50), 4);
+        let mut opt = Adam::new(0.01);
+        for _ in 0..10 {
+            t.train_epoch(&ds, &mut opt);
+        }
+        let acc = t.evaluate(&ds, &ds.test_nodes, 128);
+        assert!(acc > 0.3, "4-class accuracy {acc}");
+    }
+
+    #[test]
+    fn prune_hetero_with_empty_cache_keeps_everything_reachable() {
+        let ds = tiny();
+        let mut sampler = HeteroSampler::new(&ds.graph);
+        let mut rng = Rng::new(5);
+        let seeds: Vec<NodeId> = ds.train_nodes[..8].to_vec();
+        let mut mb = sampler.sample(&ds.graph, 0, &seeds, &[3, 3], &mut rng);
+        let edges_before = mb.blocks.iter().map(|b| b.num_edges()).sum::<usize>();
+        let rel_types: Vec<(usize, usize)> = ds
+            .graph
+            .relations
+            .iter()
+            .map(|r| (r.src_type, r.dst_type))
+            .collect();
+        let mut cache = HistoricalCache::new(400, &[16, 4], 50, 8, false, true);
+        let out = prune_hetero(&mut mb, &rel_types, &mut cache, 0, 0);
+        assert!(out.cached.iter().all(Vec::is_empty));
+        // All target dst computed.
+        assert!(out.computed.last().unwrap().iter().all(|&c| c));
+        let edges_after = mb.blocks.iter().map(|b| b.num_edges()).sum::<usize>();
+        assert_eq!(edges_before, edges_after, "nothing pruned without hits");
+        // All target inputs needed.
+        assert!(out.needed_input[0].iter().all(|&n| n));
+    }
+
+    #[test]
+    fn hetero_prune_with_hit_saves_typed_inputs() {
+        use crate::cache::{PolicyInput, Verdict};
+        let ds = tiny();
+        let mut sampler = HeteroSampler::new(&ds.graph);
+        let mut rng = Rng::new(7);
+        let seeds: Vec<NodeId> = ds.train_nodes[..8].to_vec();
+        let rel_types: Vec<(usize, usize)> = ds
+            .graph
+            .relations
+            .iter()
+            .map(|r| (r.src_type, r.dst_type))
+            .collect();
+
+        // Baseline pruning with an empty cache.
+        let mut mb_plain = sampler.sample(&ds.graph, 0, &seeds, &[3, 3], &mut rng);
+        let mut empty = HistoricalCache::new(
+            ds.graph.node_counts[0],
+            &[16, ds.num_classes],
+            50,
+            8,
+            false,
+            true,
+        );
+        let base = prune_hetero(&mut mb_plain, &rel_types, &mut empty, 0, 0);
+        let base_needed: usize = base
+            .needed_input
+            .iter()
+            .map(|t| t.iter().filter(|&&b| b).count())
+            .sum();
+
+        // Cache every level-1 paper destination, same batch stream.
+        let mut sampler2 = HeteroSampler::new(&ds.graph);
+        let mut rng2 = Rng::new(7);
+        let mut mb = sampler2.sample(&ds.graph, 0, &seeds, &[3, 3], &mut rng2);
+        let mut cache = HistoricalCache::new(
+            ds.graph.node_counts[0],
+            &[16, ds.num_classes],
+            50,
+            64,
+            false,
+            true,
+        );
+        let h = Matrix::zeros(1, 16);
+        for &node in &mb.blocks[0].dst[0] {
+            cache.apply_verdicts(
+                1,
+                &[(
+                    PolicyInput {
+                        node,
+                        local: 0,
+                        grad_norm: 0.0,
+                        was_cached: false,
+                    },
+                    Verdict::Admit,
+                )],
+                &h,
+                0,
+            );
+        }
+        let out = prune_hetero(&mut mb, &rel_types, &mut cache, 0, 1);
+        assert!(!out.cached[0].is_empty(), "level-1 hits expected");
+        let needed: usize = out
+            .needed_input
+            .iter()
+            .map(|t| t.iter().filter(|&&b| b).count())
+            .sum();
+        assert!(
+            needed < base_needed,
+            "typed subtree pruning must cut inputs: {needed} vs {base_needed}"
+        );
+    }
+}

@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+//! # freshgnn
+//!
+//! Reproduction of **FreshGNN / ReFresh** (VLDB 2024): mini-batch GNN
+//! training that reduces memory access by selectively caching and reusing
+//! *stable* historical node embeddings.
+//!
+//! The system follows the paper's architecture (Fig 5):
+//!
+//! * [`cache`] — the historical embedding cache (§4): a GPU-resident ring
+//!   buffer per layer with an O(|V|) node→slot mapping array, a
+//!   gradient-based admission/eviction criterion (`p_grad`) and a staleness
+//!   bound (`t_stale`), backfilled with a raw-feature cache of high-degree
+//!   nodes;
+//! * [`sampler`] — asynchronous multi-threaded CPU graph sampling with a
+//!   bounded task queue (§5);
+//! * [`prune`] — cache-aware subgraph pruning over CSR2 blocks: a cached
+//!   destination's aggregation is removed in O(1) and its multi-hop
+//!   subtree never gets computed or loaded (§5);
+//! * [`loader`] — feature loading charged against the `fgnn-memsim`
+//!   interconnect model: one-sided (UVA) or two-sided reads, a static
+//!   feature cache, and multi-GPU feature partitions (§6);
+//! * [`trainer`] — Algorithm 1: the mini-batch loop tying it together;
+//! * [`baselines`] — neighbor sampling (DGL/PyG/PyTorch-Direct traffic
+//!   configurations), GAS, ClusterGCN, GraphFM;
+//! * [`multi_gpu`] — data-parallel training over simulated GPU topologies
+//!   (Fig 11);
+//! * [`hetero_trainer`] — the §7.6 R-GraphSAGE extension;
+//! * [`sgc`] — the Appendix B SGC model with a random-selector bounded-
+//!   staleness history (Proposition 4.1);
+//! * [`probes`] — estimation-error and embedding-stability measurements
+//!   (Figs 1 and 3).
+
+pub mod baselines;
+pub mod cache;
+pub mod config;
+pub mod hetero_trainer;
+pub mod loader;
+pub mod multi_gpu;
+pub mod probes;
+pub mod prune;
+pub mod sampler;
+pub mod sgc;
+pub mod trainer;
+
+pub use cache::HistoricalCache;
+pub use config::FreshGnnConfig;
+pub use trainer::{EpochStats, Trainer};

@@ -1,0 +1,414 @@
+//! Multi-GPU data-parallel training simulation (Fig 11).
+//!
+//! Training scales across `k` virtual GPUs: each iteration every GPU
+//! processes its own mini-batch (own cache, shared model semantics
+//! approximated by averaging gradients — we run the batches serially for
+//! model updates but account their *time* in parallel), then gradients are
+//! all-reduced.
+//!
+//! The per-system differences that produce Fig 11's shapes:
+//!
+//! * **DGL** — two-sided loads whose host-side gather is a shared CPU
+//!   resource: gather throughput is capped machine-wide, so adding GPUs
+//!   barely helps ("almost no speedup");
+//! * **PyTorch-Direct** — one-sided UVA reads: GPUs pull concurrently
+//!   until the host links saturate;
+//! * **GNNLab** — factored design: ~1 in 4 GPUs becomes a dedicated
+//!   sampler, the rest train with a static degree-ordered feature cache;
+//! * **FreshGNN** — all GPUs train; the historical cache cuts wire bytes
+//!   and the multithreaded CPU sampler feeds them — until sampling itself
+//!   becomes the bottleneck at high GPU counts (the 4→8 GPU saturation the
+//!   paper reports and defers to future work).
+
+use crate::config::{FreshGnnConfig, LoadMode};
+use crate::trainer::Trainer;
+use fgnn_graph::Dataset;
+use fgnn_memsim::presets::{Machine, GB};
+use fgnn_nn::model::Arch;
+use fgnn_nn::Adam;
+
+/// Which system's traffic profile to simulate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SystemKind {
+    /// DGL: two-sided loads, shared host gather.
+    Dgl,
+    /// PyTorch-Direct: one-sided UVA, no cache.
+    PyTorchDirect,
+    /// GNNLab: static feature cache + dedicated sampler GPUs.
+    GnnLab,
+    /// FreshGNN: historical embedding cache + one-sided loads.
+    FreshGnn,
+}
+
+impl std::fmt::Display for SystemKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SystemKind::Dgl => write!(f, "DGL"),
+            SystemKind::PyTorchDirect => write!(f, "PyTorch-Direct"),
+            SystemKind::GnnLab => write!(f, "GNNLab"),
+            SystemKind::FreshGnn => write!(f, "FreshGNN"),
+        }
+    }
+}
+
+/// Aggregate host (CPU DRAM) read bandwidth available to GPU pulls.
+const HOST_DRAM_BW: f64 = 80.0 * GB;
+/// Machine-wide two-sided gather throughput (CPU-bound compaction) that
+/// serializes DGL's loads.
+const HOST_GATHER_BW: f64 = 8.0 * GB;
+/// CPU sampling threads available to the FreshGNN async sampler.
+const SAMPLER_THREADS: f64 = 32.0;
+
+/// Measured per-iteration profile of one system configuration.
+#[derive(Clone, Debug)]
+pub struct IterationProfile {
+    /// Average wire bytes per iteration (feature loads).
+    pub bytes_per_iter: f64,
+    /// Average simulated GPU compute seconds per iteration.
+    pub compute_s: f64,
+    /// Average measured single-thread sampling seconds per iteration.
+    pub sample_s: f64,
+    /// Model parameter bytes (for the gradient all-reduce).
+    pub param_bytes: f64,
+}
+
+/// Measure a system's per-iteration profile by running `epochs` real
+/// epochs of the corresponding single-GPU configuration.
+pub fn profile_system(
+    ds: &Dataset,
+    arch: Arch,
+    hidden: usize,
+    base: &FreshGnnConfig,
+    system: SystemKind,
+    epochs: usize,
+    seed: u64,
+) -> IterationProfile {
+    let mut cfg = base.clone();
+    match system {
+        SystemKind::Dgl => {
+            cfg.p_grad = 0.0;
+            cfg.t_stale = 0;
+            cfg.load_mode = LoadMode::TwoSided;
+            cfg.feature_cache_rows = 0;
+        }
+        SystemKind::PyTorchDirect => {
+            cfg.p_grad = 0.0;
+            cfg.t_stale = 0;
+            cfg.load_mode = LoadMode::OneSided;
+            cfg.feature_cache_rows = 0;
+        }
+        SystemKind::GnnLab => {
+            cfg.p_grad = 0.0;
+            cfg.t_stale = 0;
+            cfg.load_mode = LoadMode::OneSided;
+            // Static cache sized like GNNLab: ~10% of nodes (hot set).
+            cfg.feature_cache_rows = ds.num_nodes() / 10;
+        }
+        SystemKind::FreshGnn => {
+            cfg.load_mode = LoadMode::OneSided;
+        }
+    }
+    let mut trainer = Trainer::new(ds, arch, hidden, Machine::single_a100(), cfg, seed);
+    let mut opt = Adam::new(0.003);
+    let mut iters = 0usize;
+    let mut bytes = 0u64;
+    let mut compute = 0.0;
+    let mut sample = 0.0;
+    for _ in 0..epochs.max(1) {
+        let s = trainer.train_epoch(ds, &mut opt);
+        iters += s.batches;
+        bytes += s.counters.wire_bytes();
+        compute += s.counters.compute_seconds;
+        sample += s.counters.sample_seconds;
+    }
+    let param_bytes = trainer.model.num_parameters() as f64 * 4.0;
+    let n = iters.max(1) as f64;
+    IterationProfile {
+        bytes_per_iter: bytes as f64 / n,
+        compute_s: compute / n,
+        sample_s: sample / n,
+        param_bytes,
+    }
+}
+
+/// One point of the Fig 11 scaling curve.
+#[derive(Clone, Debug)]
+pub struct ScalingPoint {
+    /// GPU count.
+    pub gpus: usize,
+    /// Simulated training throughput.
+    pub iters_per_sec: f64,
+}
+
+/// Project a measured profile onto `k` GPUs of `machine_of(k)` under the
+/// documented contention model. Returns iterations/second.
+pub fn project_throughput(profile: &IterationProfile, system: SystemKind, k: usize) -> f64 {
+    assert!(k >= 1);
+    let (trainer_gpus, sampler_gpus) = match system {
+        // GNNLab dedicates ~1 in 4 GPUs to sampling (needs ≥2 GPUs).
+        SystemKind::GnnLab => {
+            let samplers = (k / 4).max(1);
+            (k.saturating_sub(samplers).max(1), samplers)
+        }
+        _ => (k, 0),
+    };
+    let _ = sampler_gpus;
+
+    // Per-GPU feature-pull bandwidth. The p3.16xlarge-style box exposes
+    // only TWO PCIe root links to host memory (4 GPUs share each switch),
+    // so aggregate host pull bandwidth is capped at 2 x 16 GB/s — the
+    // reason the paper's loading-bound systems stop scaling.
+    let pcie = 16.0 * GB;
+    let host_links = trainer_gpus.min(2) as f64;
+    let per_gpu_bw = pcie
+        .min(host_links * pcie / trainer_gpus as f64)
+        .min(HOST_DRAM_BW / trainer_gpus as f64);
+
+    let transfer_s = match system {
+        SystemKind::Dgl => {
+            // Shared host gather serializes: aggregate cap.
+            let aggregate = (trainer_gpus as f64 * profile.bytes_per_iter) / HOST_GATHER_BW;
+            aggregate.max(profile.bytes_per_iter / per_gpu_bw)
+        }
+        _ => profile.bytes_per_iter / per_gpu_bw,
+    };
+
+    // Ring all-reduce of gradients over PCIe.
+    let allreduce_s = if trainer_gpus > 1 {
+        2.0 * (trainer_gpus as f64 - 1.0) / trainer_gpus as f64 * profile.param_bytes / pcie
+    } else {
+        0.0
+    };
+
+    let iter_s = transfer_s + profile.compute_s + allreduce_s;
+    let gpu_rate = trainer_gpus as f64 / iter_s;
+
+    // CPU sampling feed rate caps throughput (FreshGNN/GNNLab saturate
+    // here at high GPU counts; GNNLab samples on its dedicated GPUs and
+    // is modeled with the same cap for comparability).
+    let sampler_rate = if profile.sample_s > 0.0 {
+        SAMPLER_THREADS / profile.sample_s
+    } else {
+        f64::INFINITY
+    };
+    gpu_rate.min(sampler_rate)
+}
+
+/// Run the full Fig 11 experiment: profile each system once, project onto
+/// each GPU count.
+pub fn scaling_curve(
+    ds: &Dataset,
+    arch: Arch,
+    hidden: usize,
+    base: &FreshGnnConfig,
+    system: SystemKind,
+    gpu_counts: &[usize],
+    seed: u64,
+) -> Vec<ScalingPoint> {
+    let profile = profile_system(ds, arch, hidden, base, system, 2, seed);
+    gpu_counts
+        .iter()
+        .map(|&k| ScalingPoint {
+            gpus: k,
+            iters_per_sec: project_throughput(&profile, system, k),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgnn_graph::datasets::papers100m_spec;
+
+    fn tiny() -> Dataset {
+        Dataset::materialize(papers100m_spec(0.0).with_dim(32), 11)
+    }
+
+    fn base() -> FreshGnnConfig {
+        FreshGnnConfig {
+            fanouts: vec![5, 5],
+            batch_size: 16,
+            t_stale: 50,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn freshgnn_profile_moves_fewer_bytes_than_pt_direct() {
+        let ds = tiny();
+        let fresh = profile_system(&ds, Arch::Sage, 16, &base(), SystemKind::FreshGnn, 3, 1);
+        let ptd = profile_system(&ds, Arch::Sage, 16, &base(), SystemKind::PyTorchDirect, 3, 1);
+        assert!(
+            fresh.bytes_per_iter < ptd.bytes_per_iter,
+            "fresh {} vs ptd {}",
+            fresh.bytes_per_iter,
+            ptd.bytes_per_iter
+        );
+    }
+
+    #[test]
+    fn dgl_scaling_is_flat() {
+        let p = IterationProfile {
+            bytes_per_iter: 400e6,
+            compute_s: 0.005,
+            sample_s: 0.02,
+            param_bytes: 4e6,
+        };
+        let t1 = project_throughput(&p, SystemKind::Dgl, 1);
+        let t8 = project_throughput(&p, SystemKind::Dgl, 8);
+        assert!(t8 < t1 * 2.0, "DGL must not scale: {t1} -> {t8}");
+    }
+
+    #[test]
+    fn freshgnn_scales_then_saturates_on_sampler() {
+        let p = IterationProfile {
+            bytes_per_iter: 40e6, // cache-reduced traffic
+            compute_s: 0.004,
+            sample_s: 0.08, // sampler-bound at high GPU counts
+            param_bytes: 4e6,
+        };
+        let t1 = project_throughput(&p, SystemKind::FreshGnn, 1);
+        let t4 = project_throughput(&p, SystemKind::FreshGnn, 4);
+        let t8 = project_throughput(&p, SystemKind::FreshGnn, 8);
+        assert!(t4 > t1 * 2.5, "near-linear to 4 GPUs: {t1} -> {t4}");
+        assert!(t8 < t4 * 1.5, "saturates 4 -> 8: {t4} -> {t8}");
+    }
+
+    #[test]
+    fn gnnlab_loses_a_gpu_to_sampling() {
+        let p = IterationProfile {
+            bytes_per_iter: 200e6,
+            compute_s: 0.004,
+            sample_s: 0.0,
+            param_bytes: 4e6,
+        };
+        let lab = project_throughput(&p, SystemKind::GnnLab, 4);
+        let fresh = project_throughput(&p, SystemKind::FreshGnn, 4);
+        assert!(lab < fresh, "GNNLab {lab} vs FreshGNN {fresh}");
+    }
+
+    #[test]
+    fn scaling_curve_has_requested_points() {
+        let ds = tiny();
+        let curve = scaling_curve(
+            &ds,
+            Arch::Sage,
+            16,
+            &base(),
+            SystemKind::FreshGnn,
+            &[1, 2, 4],
+            3,
+        );
+        assert_eq!(curve.len(), 3);
+        assert!(curve.iter().all(|p| p.iters_per_sec > 0.0));
+        assert!(curve[2].iters_per_sec >= curve[0].iters_per_sec);
+    }
+}
+
+/// One simulated data-parallel feature exchange with **partitioned
+/// features** (Fig 9(b)/(c)): every GPU's features live round-robin across
+/// all GPUs, each GPU samples its own mini-batch, and the resulting
+/// all-to-all demand matrix is scheduled naively vs with the paper's
+/// multi-round plan.
+#[derive(Clone, Debug)]
+pub struct PartitionedExchange {
+    /// Bytes each GPU serves from its own partition (no wire).
+    pub local_bytes: u64,
+    /// Bytes crossing GPU↔GPU links.
+    pub remote_bytes: u64,
+    /// Simulated seconds under the naive concurrent schedule.
+    pub naive_seconds: f64,
+    /// Simulated seconds under the multi-round schedule.
+    pub multi_round_seconds: f64,
+    /// Rounds the multi-round schedule used.
+    pub rounds: usize,
+}
+
+/// Sample one mini-batch per GPU over `ds`, derive the feature all-to-all
+/// demand under round-robin placement, and schedule it on `topo`.
+pub fn partitioned_feature_exchange(
+    ds: &Dataset,
+    fanouts: &[usize],
+    per_gpu_seeds: &[Vec<fgnn_graph::NodeId>],
+    topo: &fgnn_memsim::Topology,
+    seed: u64,
+) -> PartitionedExchange {
+    use crate::cache::StaticFeatureCache;
+    use crate::loader::FeatureLoader;
+    use fgnn_graph::sample::NeighborSampler;
+    use fgnn_memsim::alltoall::{multi_round_alltoall, naive_alltoall};
+
+    let k = per_gpu_seeds.len();
+    assert!(k >= 1 && k == topo.num_gpus, "one seed set per GPU");
+    let loader = FeatureLoader::new(
+        &ds.features,
+        ds.spec.feature_row_bytes(),
+        StaticFeatureCache::disabled(ds.num_nodes()),
+        LoadMode::OneSided,
+    );
+    let mut sampler = NeighborSampler::new(ds.num_nodes());
+    let mut demand = vec![vec![0u64; k]; k];
+    let mut local_bytes = 0u64;
+    for (g, seeds) in per_gpu_seeds.iter().enumerate() {
+        let mut rng = fgnn_tensor::Rng::new(seed ^ (g as u64) << 8);
+        let mb = sampler.sample(&ds.graph, seeds, fanouts, &mut rng);
+        let (row, local) = loader.partition_demand(g, k, mb.input_nodes(), None);
+        local_bytes += local;
+        demand[g].copy_from_slice(&row);
+        demand[g][g] = 0;
+    }
+    let remote_bytes = demand.iter().flatten().sum();
+    let naive_seconds = naive_alltoall(topo, &demand);
+    let (multi_round_seconds, rounds) = multi_round_alltoall(topo, &demand);
+    PartitionedExchange {
+        local_bytes,
+        remote_bytes,
+        naive_seconds,
+        multi_round_seconds,
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod partitioned_tests {
+    use super::*;
+    use fgnn_graph::datasets::papers100m_spec;
+
+    fn tiny() -> Dataset {
+        Dataset::materialize(papers100m_spec(0.0).with_dim(32), 11)
+    }
+
+    #[test]
+    fn partitioned_exchange_routes_remote_bytes() {
+        let ds = tiny();
+        let topo = fgnn_memsim::Topology::pcie_tree(4, 2, 16e9);
+        let seeds: Vec<Vec<u32>> = (0..4)
+            .map(|g| {
+                ds.train_nodes
+                    .iter()
+                    .skip(g)
+                    .step_by(4)
+                    .copied()
+                    .take(16)
+                    .collect()
+            })
+            .collect();
+        let ex = partitioned_feature_exchange(&ds, &[4, 4], &seeds, &topo, 7);
+        // Round-robin placement: ~3/4 of feature rows are remote.
+        assert!(ex.remote_bytes > ex.local_bytes, "{ex:?}");
+        assert!(ex.multi_round_seconds < ex.naive_seconds, "{ex:?}");
+        assert!(ex.rounds >= 5, "{ex:?}");
+    }
+
+    #[test]
+    fn partitioned_exchange_single_gpu_is_all_local() {
+        // With one GPU everything is local: zero remote demand, zero time.
+        let ds = tiny();
+        let topo = fgnn_memsim::Topology::pcie_tree(1, 1, 16e9);
+        let seeds = vec![ds.train_nodes[..8.min(ds.train_nodes.len())].to_vec()];
+        let ex = partitioned_feature_exchange(&ds, &[4], &seeds, &topo, 3);
+        assert_eq!(ex.remote_bytes, 0);
+        assert!(ex.local_bytes > 0);
+        assert_eq!(ex.naive_seconds, 0.0);
+    }
+}

@@ -1,0 +1,246 @@
+//! Asynchronous CPU graph sampling (§5).
+//!
+//! The paper decouples *sampling* (cache-independent, runs ahead on CPU
+//! threads) from *pruning* (cache-dependent, on GPU). This module is the
+//! sampling half: a pool of worker threads produces un-pruned mini-batches
+//! into a **bounded task queue** ("to control the production of subgraphs
+//! and avoid overflowing the limited GPU memory"), using multithreading
+//! rather than DGL/PyG-style multiprocessing.
+//!
+//! Determinism: each mini-batch is sampled with an RNG seeded by
+//! `(seed, batch_index)`, and the consumer reorders completions by batch
+//! index, so the produced stream is identical regardless of thread count
+//! or scheduling.
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use fgnn_graph::block::MiniBatch;
+use fgnn_graph::sample::NeighborSampler;
+use fgnn_graph::{Csr, NodeId};
+use fgnn_tensor::Rng;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+struct Indexed(usize, MiniBatch);
+
+impl PartialEq for Indexed {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+impl Eq for Indexed {}
+impl PartialOrd for Indexed {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Indexed {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap by batch index.
+        other.0.cmp(&self.0)
+    }
+}
+
+/// Handle to a running asynchronous sampling job. Iterate to drain the
+/// mini-batches in order.
+pub struct AsyncSampler {
+    /// `Some` while running; taken in `Drop` so blocked producers see a
+    /// disconnected channel and exit instead of deadlocking the join.
+    rx: Option<Receiver<Indexed>>,
+    reorder: BinaryHeap<Indexed>,
+    next: usize,
+    total: usize,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl AsyncSampler {
+    /// Spawn `num_threads` workers sampling `batches` over `graph`.
+    ///
+    /// `queue_capacity` bounds the number of finished mini-batches waiting
+    /// to be consumed (the paper's GPU-memory guard).
+    pub fn spawn(
+        graph: Arc<Csr>,
+        batches: Vec<Vec<NodeId>>,
+        fanouts: Vec<usize>,
+        num_threads: usize,
+        queue_capacity: usize,
+        seed: u64,
+    ) -> AsyncSampler {
+        let num_threads = num_threads.max(1);
+        let total = batches.len();
+        let (tx, rx): (Sender<Indexed>, Receiver<Indexed>) =
+            bounded(queue_capacity.max(1));
+        let work = Arc::new(AtomicUsize::new(0));
+        let batches = Arc::new(batches);
+        let fanouts = Arc::new(fanouts);
+
+        let handles = (0..num_threads)
+            .map(|_| {
+                let tx = tx.clone();
+                let work = Arc::clone(&work);
+                let batches = Arc::clone(&batches);
+                let fanouts = Arc::clone(&fanouts);
+                let graph = Arc::clone(&graph);
+                std::thread::spawn(move || {
+                    let mut sampler = NeighborSampler::new(graph.num_nodes());
+                    loop {
+                        let i = work.fetch_add(1, Ordering::Relaxed);
+                        if i >= batches.len() {
+                            break;
+                        }
+                        // Per-batch RNG => schedule-independent output.
+                        let mut rng = Rng::new(seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
+                        let mb = sampler.sample(&graph, &batches[i], &fanouts, &mut rng);
+                        if tx.send(Indexed(i, mb)).is_err() {
+                            break; // consumer dropped
+                        }
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        AsyncSampler {
+            rx: Some(rx),
+            reorder: BinaryHeap::new(),
+            next: 0,
+            total,
+            handles,
+        }
+    }
+
+    /// Number of batches this job will produce in total.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+}
+
+impl Iterator for AsyncSampler {
+    type Item = MiniBatch;
+
+    fn next(&mut self) -> Option<MiniBatch> {
+        if self.next >= self.total {
+            return None;
+        }
+        loop {
+            if let Some(Indexed(i, _)) = self.reorder.peek() {
+                if *i == self.next {
+                    let Indexed(_, mb) = self.reorder.pop().unwrap();
+                    self.next += 1;
+                    return Some(mb);
+                }
+            }
+            match self.rx.as_ref().expect("sampler running").recv() {
+                Ok(ix) => self.reorder.push(ix),
+                Err(_) => return None, // workers died early
+            }
+        }
+    }
+}
+
+impl Drop for AsyncSampler {
+    fn drop(&mut self) {
+        // Disconnect the channel so blocked producers error out of their
+        // `send` and exit, then join them.
+        drop(self.rx.take());
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Synchronous epoch sampling (single thread) — the DGL-style baseline for
+/// Fig 14(a) and the building block of the in-line training loop.
+pub fn sample_epoch_sync(
+    graph: &Csr,
+    batches: &[Vec<NodeId>],
+    fanouts: &[usize],
+    seed: u64,
+) -> Vec<MiniBatch> {
+    let mut sampler = NeighborSampler::new(graph.num_nodes());
+    batches
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            let mut rng = Rng::new(seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
+            sampler.sample(graph, b, fanouts, &mut rng)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgnn_graph::generate::{generate, GraphConfig};
+    use fgnn_graph::sample::split_batches;
+
+    fn test_graph() -> Arc<Csr> {
+        let cfg = GraphConfig {
+            num_nodes: 500,
+            avg_degree: 8.0,
+            ..Default::default()
+        };
+        Arc::new(generate(&cfg, &mut Rng::new(1)).graph)
+    }
+
+    fn batches(n: usize, size: usize) -> Vec<Vec<NodeId>> {
+        let nodes: Vec<NodeId> = (0..n as NodeId).collect();
+        split_batches(&nodes, size, None)
+    }
+
+    #[test]
+    fn async_sampler_yields_all_batches_in_order() {
+        let g = test_graph();
+        let bs = batches(100, 10);
+        let sampler = AsyncSampler::spawn(Arc::clone(&g), bs.clone(), vec![4, 4], 4, 4, 7);
+        let out: Vec<MiniBatch> = sampler.collect();
+        assert_eq!(out.len(), 10);
+        for (mb, b) in out.iter().zip(&bs) {
+            assert_eq!(&mb.seeds, b);
+            mb.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn async_output_matches_sync_regardless_of_threads() {
+        let g = test_graph();
+        let bs = batches(60, 7);
+        let sync = sample_epoch_sync(&g, &bs, &[3, 3], 42);
+        for threads in [1, 2, 8] {
+            let a = AsyncSampler::spawn(Arc::clone(&g), bs.clone(), vec![3, 3], threads, 2, 42);
+            let out: Vec<MiniBatch> = a.collect();
+            assert_eq!(out.len(), sync.len());
+            for (x, y) in out.iter().zip(&sync) {
+                assert_eq!(x.seeds, y.seeds, "threads={threads}");
+                assert_eq!(
+                    x.blocks[0].src_global, y.blocks[0].src_global,
+                    "threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_queue_applies_backpressure_without_deadlock() {
+        let g = test_graph();
+        let bs = batches(200, 5); // 40 batches
+        let sampler = AsyncSampler::spawn(g, bs, vec![4], 8, 1, 3);
+        assert_eq!(sampler.total(), 40);
+        // Slow consumer: still drains everything.
+        let mut n = 0;
+        for mb in sampler {
+            n += 1;
+            assert!(!mb.seeds.is_empty());
+        }
+        assert_eq!(n, 40);
+    }
+
+    #[test]
+    fn dropping_sampler_early_does_not_hang() {
+        let g = test_graph();
+        let bs = batches(500, 2); // many batches
+        let mut sampler = AsyncSampler::spawn(g, bs, vec![4, 4], 4, 2, 5);
+        let _first = sampler.next();
+        drop(sampler); // must join cleanly
+    }
+}

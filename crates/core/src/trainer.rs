@@ -1,0 +1,669 @@
+// Index-based loops below intentionally walk several parallel arrays in
+// lockstep; iterator zips would obscure the math. Clippy disagrees.
+#![allow(clippy::needless_range_loop)]
+
+//! Algorithm 1: mini-batch training with the historical embedding cache.
+//!
+//! Per iteration:
+//! 1. **sample** a mini-batch (CPU);
+//! 2. **prune** it against the cache (CSR2, O(1) per cached node) —
+//!    cached destinations lose their aggregation and their subtrees die;
+//! 3. **load** raw features for the surviving input nodes (one-sided UVA
+//!    read charged to the interconnect model);
+//! 4. **forward**, overriding cached destinations' rows with their cached
+//!    embeddings between layers;
+//! 5. **backward**, harvesting per-node embedding-gradient norms at every
+//!    level and detaching (zeroing) cache-read rows so no gradient leaks
+//!    into pruned subtrees;
+//! 6. **update the cache**: bottom-`p_grad` gradient norms are admitted /
+//!    kept, the rest skipped / evicted; stale entries age out via the ring.
+
+use crate::cache::{apply_policy, HistoricalCache, PolicyInput, StaticFeatureCache};
+use crate::config::FreshGnnConfig;
+use crate::loader::FeatureLoader;
+use crate::prune::{prune_with_cache, PruneOutcome};
+use fgnn_graph::block::MiniBatch;
+use fgnn_graph::sample::{split_batches, NeighborSampler};
+use fgnn_graph::{Dataset, NodeId};
+use fgnn_memsim::presets::{aggregation_flops, dense_flops, Machine};
+use fgnn_memsim::topology::Node;
+use fgnn_memsim::{TrafficCounters, TransferEngine};
+use fgnn_nn::loss::softmax_cross_entropy;
+use fgnn_nn::metrics::accuracy;
+use fgnn_nn::model::{Arch, Model, Trace};
+use fgnn_nn::Optimizer;
+use fgnn_tensor::Rng;
+use std::time::Instant;
+
+/// Statistics of one training epoch.
+#[derive(Clone, Debug)]
+pub struct EpochStats {
+    /// Mean mini-batch loss.
+    pub mean_loss: f64,
+    /// Number of mini-batches.
+    pub batches: usize,
+    /// Traffic/time ledger accumulated during this epoch.
+    pub counters: TrafficCounters,
+    /// Destination nodes served from the cache this epoch.
+    pub cache_reads: u64,
+    /// Destination nodes computed fresh this epoch.
+    pub computed_nodes: u64,
+}
+
+/// The FreshGNN trainer (plus, with `p_grad = 0`, the vanilla
+/// neighbor-sampling baseline and, via `LoadMode`, the DGL/PyG/
+/// PyTorch-Direct traffic configurations).
+pub struct Trainer {
+    /// The GNN under training.
+    pub model: Model,
+    /// Hyper-parameters.
+    pub cfg: FreshGnnConfig,
+    /// The historical embedding cache.
+    pub cache: HistoricalCache,
+    /// Cumulative traffic/time ledger.
+    pub counters: TrafficCounters,
+    /// Simulated machine.
+    pub machine: Machine,
+    static_cache: StaticFeatureCache,
+    sampler: NeighborSampler,
+    dims: Vec<usize>,
+    iter: u32,
+    rng: Rng,
+}
+
+impl Trainer {
+    /// Build a trainer for `ds`: an `arch` model with `hidden` units per
+    /// hidden layer (depth = `cfg.fanouts.len()`), on `machine`.
+    pub fn new(
+        ds: &Dataset,
+        arch: Arch,
+        hidden: usize,
+        machine: Machine,
+        cfg: FreshGnnConfig,
+        seed: u64,
+    ) -> Self {
+        cfg.validate().expect("invalid config");
+        let mut rng = Rng::new(seed);
+        let num_layers = cfg.num_layers();
+        let mut dims = Vec::with_capacity(num_layers + 1);
+        dims.push(ds.spec.feature_dim);
+        for _ in 1..num_layers {
+            dims.push(hidden);
+        }
+        dims.push(ds.spec.num_classes);
+        let model = Model::new(arch, &dims, &mut rng);
+
+        let cache = HistoricalCache::new(
+            ds.num_nodes(),
+            &dims[1..],
+            cfg.t_stale,
+            cfg.cache_capacity,
+            cfg.cache_top_layer,
+            cfg.cache_enabled(),
+        );
+        let static_cache = if cfg.feature_cache_rows > 0 {
+            StaticFeatureCache::by_degree(&ds.graph, cfg.feature_cache_rows)
+        } else {
+            StaticFeatureCache::disabled(ds.num_nodes())
+        };
+        Trainer {
+            model,
+            cache,
+            counters: TrafficCounters::new(),
+            machine,
+            static_cache,
+            sampler: NeighborSampler::new(ds.num_nodes()),
+            dims,
+            cfg,
+            iter: 0,
+            rng,
+        }
+    }
+
+    /// Layer dimensions `[in, hidden.., out]`.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Iterations executed so far.
+    pub fn iterations(&self) -> u32 {
+        self.iter
+    }
+
+    /// Train one epoch: shuffle the training nodes, split into batches,
+    /// run Algorithm 1 on each.
+    pub fn train_epoch(&mut self, ds: &Dataset, opt: &mut dyn Optimizer) -> EpochStats {
+        let mut shuffle_rng = self.rng.fork();
+        let batches = split_batches(&ds.train_nodes, self.cfg.batch_size, Some(&mut shuffle_rng));
+        self.train_on_batches(ds, &batches, opt)
+    }
+
+    /// Train on an explicit batch schedule (used by the Fig 17 experiment
+    /// to feed two trainers identical batches).
+    pub fn train_on_batches(
+        &mut self,
+        ds: &Dataset,
+        batches: &[Vec<NodeId>],
+        opt: &mut dyn Optimizer,
+    ) -> EpochStats {
+        let before = self.counters.clone();
+        let loader = FeatureLoader::new(
+            &ds.features,
+            ds.spec.feature_row_bytes(),
+            std::mem::replace(&mut self.static_cache, StaticFeatureCache::disabled(0)),
+            self.cfg.load_mode,
+        );
+        let topo = self.machine.topology.clone();
+        let mut engine = TransferEngine::new(&topo);
+
+        let mut total_loss = 0.0f64;
+        let mut cache_reads = 0u64;
+        let mut computed_nodes = 0u64;
+        for seeds in batches {
+            let (loss, outcome) = self.train_batch(ds, &loader, &mut engine, seeds, opt);
+            total_loss += loss as f64;
+            cache_reads += outcome.cached.iter().map(Vec::len).sum::<usize>() as u64;
+            computed_nodes += outcome
+                .computed
+                .iter()
+                .flatten()
+                .filter(|&&c| c)
+                .count() as u64;
+        }
+        // Restore the static cache moved into the loader.
+        self.static_cache = loader.into_static_cache();
+
+        let mut delta = self.counters.clone();
+        subtract_counters(&mut delta, &before);
+        EpochStats {
+            mean_loss: total_loss / batches.len().max(1) as f64,
+            batches: batches.len(),
+            counters: delta,
+            cache_reads,
+            computed_nodes,
+        }
+    }
+
+    /// One iteration of Algorithm 1. Returns the loss and the pruning
+    /// outcome (for the epoch statistics).
+    fn train_batch(
+        &mut self,
+        ds: &Dataset,
+        loader: &FeatureLoader<'_>,
+        engine: &mut TransferEngine<'_>,
+        seeds: &[NodeId],
+        opt: &mut dyn Optimizer,
+    ) -> (f32, PruneOutcome) {
+        // 1. Sample (measured CPU time).
+        let t0 = Instant::now();
+        let mut sample_rng = self.rng.fork();
+        let mb = self
+            .sampler
+            .sample(&ds.graph, seeds, &self.cfg.fanouts, &mut sample_rng);
+        self.counters.sample_seconds += t0.elapsed().as_secs_f64();
+        self.train_sampled(ds, loader, engine, mb, opt)
+    }
+
+    /// Train one epoch with the **asynchronous pipeline** of §5: worker
+    /// threads sample un-pruned mini-batches ahead of time into a bounded
+    /// queue while this thread prunes/loads/trains. Only the time the
+    /// consumer actually *stalls* waiting on the queue is charged as
+    /// sampling time — with enough workers sampling fully overlaps
+    /// training, which is the paper's design goal.
+    ///
+    /// Deterministic: the sampled stream is identical for any
+    /// `num_threads` (per-batch RNG + in-order delivery).
+    pub fn train_epoch_async(
+        &mut self,
+        ds: &Dataset,
+        opt: &mut dyn Optimizer,
+        num_threads: usize,
+        queue_capacity: usize,
+    ) -> EpochStats {
+        use crate::sampler::AsyncSampler;
+        let before = self.counters.clone();
+        let mut shuffle_rng = self.rng.fork();
+        let batches = split_batches(&ds.train_nodes, self.cfg.batch_size, Some(&mut shuffle_rng));
+        let batch_seed = self.rng.fork().next_u64();
+
+        let graph = std::sync::Arc::new(ds.graph.clone());
+        let mut stream = AsyncSampler::spawn(
+            graph,
+            batches.clone(),
+            self.cfg.fanouts.clone(),
+            num_threads,
+            queue_capacity,
+            batch_seed,
+        );
+
+        let loader = FeatureLoader::new(
+            &ds.features,
+            ds.spec.feature_row_bytes(),
+            std::mem::replace(&mut self.static_cache, StaticFeatureCache::disabled(0)),
+            self.cfg.load_mode,
+        );
+        let topo = self.machine.topology.clone();
+        let mut engine = TransferEngine::new(&topo);
+
+        let mut total_loss = 0.0f64;
+        let mut cache_reads = 0u64;
+        let mut computed_nodes = 0u64;
+        loop {
+            // Only queue stalls count as sampling time (async overlap).
+            let t0 = Instant::now();
+            let Some(mb) = stream.next() else { break };
+            self.counters.sample_seconds += t0.elapsed().as_secs_f64();
+            let (loss, outcome) = self.train_sampled(ds, &loader, &mut engine, mb, opt);
+            total_loss += loss as f64;
+            cache_reads += outcome.cached.iter().map(Vec::len).sum::<usize>() as u64;
+            computed_nodes += outcome.computed.iter().flatten().filter(|&&c| c).count() as u64;
+        }
+        self.static_cache = loader.into_static_cache();
+
+        let mut delta = self.counters.clone();
+        subtract_counters(&mut delta, &before);
+        EpochStats {
+            mean_loss: total_loss / batches.len().max(1) as f64,
+            batches: batches.len(),
+            counters: delta,
+            cache_reads,
+            computed_nodes,
+        }
+    }
+
+    /// Steps 2–6 of Algorithm 1 on an already-sampled mini-batch (shared
+    /// by the synchronous and asynchronous paths).
+    fn train_sampled(
+        &mut self,
+        ds: &Dataset,
+        loader: &FeatureLoader<'_>,
+        engine: &mut TransferEngine<'_>,
+        mut mb: MiniBatch,
+        opt: &mut dyn Optimizer,
+    ) -> (f32, PruneOutcome) {
+        let seeds: Vec<NodeId> = mb.seeds.clone();
+        let seeds = &seeds[..];
+        // 2. Prune against the cache (measured).
+        let t1 = Instant::now();
+        let outcome = prune_with_cache(&mut mb, &mut self.cache, self.iter);
+        self.counters.prune_seconds += t1.elapsed().as_secs_f64();
+
+        // 3. Load surviving raw features (simulated transfer).
+        let h0 = loader.load(
+            mb.input_nodes(),
+            Some(&outcome.needed_input),
+            engine,
+            Node::Host,
+            Node::Gpu(0),
+            &mut self.counters,
+        );
+        // Cache-read embeddings and pruned subtrees save these bytes (for
+        // the Fig 13 I/O-saving metric the baseline is "load everything").
+        let skipped = (mb.input_nodes().len() - outcome.num_inputs_needed()) as u64;
+        self.counters.cache_hit_bytes += skipped * ds.spec.feature_row_bytes() as u64;
+
+        // 4. Forward, overriding cached rows between layers.
+        let cache = &self.cache;
+        let cached = &outcome.cached;
+        let trace = self.model.forward_with(&mb, h0, |level, h| {
+            let b = level - 1;
+            if b < cached.len() {
+                for &(local, slot) in &cached[b] {
+                    cache.fetch_into(level, slot, h.row_mut(local as usize));
+                }
+            }
+        });
+
+        // 5. Loss + backward with gradient harvesting and detach.
+        let logits = trace.h.last().expect("at least one layer");
+        let labels: Vec<u16> = seeds.iter().map(|&s| ds.labels[s as usize]).collect();
+        let (loss, d_top) = softmax_cross_entropy(logits, &labels);
+
+        self.model.zero_grad();
+        let num_levels = self.dims.len() - 1;
+        let mut policy_inputs: Vec<Vec<PolicyInput>> = vec![Vec::new(); num_levels + 1];
+        {
+            let cache_enabled = self.cfg.cache_enabled();
+            let cache_top = self.cfg.cache_top_layer;
+            let inputs = &mut policy_inputs;
+            self.model.backward_with(&mb, &trace, d_top, |level, d| {
+                if !cache_enabled {
+                    return;
+                }
+                if level == num_levels && !cache_top {
+                    return;
+                }
+                let b = level - 1;
+                let block = &mb.blocks[b];
+                let mut is_cached = vec![false; block.num_dst()];
+                for &(local, _) in &outcome.cached[b] {
+                    is_cached[local as usize] = true;
+                }
+                for v in 0..block.num_dst() {
+                    let in_batch = outcome.computed[b][v] || is_cached[v];
+                    if !in_batch {
+                        continue;
+                    }
+                    let row = d.row(v);
+                    let norm = row.iter().map(|&x| x * x).sum::<f32>().sqrt();
+                    inputs[level].push(PolicyInput {
+                        node: block.dst_global[v],
+                        local: v as u32,
+                        grad_norm: norm,
+                        was_cached: is_cached[v],
+                    });
+                }
+                // Detach: no gradient flows into pruned subtrees.
+                for &(local, _) in &outcome.cached[b] {
+                    d.row_mut(local as usize).iter_mut().for_each(|x| *x = 0.0);
+                }
+            });
+        }
+
+        // 6. Cache update (Algorithm 1 line 20).
+        let mut policy_rng = self.rng.fork();
+        for level in 1..=num_levels {
+            if policy_inputs[level].is_empty() {
+                continue;
+            }
+            let verdicts = apply_policy(
+                self.cfg.policy,
+                &policy_inputs[level],
+                self.cfg.p_grad,
+                &mut policy_rng,
+            );
+            self.cache
+                .apply_verdicts(level, &verdicts, &trace.h[level], self.iter);
+        }
+
+        // Optimizer step.
+        let mut params = self.model.params_mut();
+        opt.step(&mut params);
+
+        // Simulated GPU compute time.
+        let flops = batch_flops(&mb, &outcome, &self.dims, self.model.arch);
+        self.counters.compute_seconds += self.machine.gpu.compute_seconds(flops);
+
+        self.iter += 1;
+        (loss, outcome)
+    }
+
+    /// Evaluate accuracy on `nodes` with plain neighbor sampling (no cache
+    /// reads — the paper reports accuracy from an uncached inference pass).
+    pub fn evaluate(&mut self, ds: &Dataset, nodes: &[NodeId], batch_size: usize) -> f64 {
+        let mut rng = self.rng.fork();
+        let mut correct_weighted = 0.0f64;
+        let mut total = 0usize;
+        for chunk in nodes.chunks(batch_size.max(1)) {
+            let mb = self
+                .sampler
+                .sample(&ds.graph, chunk, &self.cfg.fanouts, &mut rng);
+            let ids: Vec<usize> = mb.input_nodes().iter().map(|&g| g as usize).collect();
+            let h0 = ds.features.gather_rows(&ids);
+            let trace: Trace = self.model.forward(&mb, h0);
+            let labels: Vec<u16> = chunk.iter().map(|&s| ds.labels[s as usize]).collect();
+            correct_weighted += accuracy(trace.h.last().unwrap(), &labels) * chunk.len() as f64;
+            total += chunk.len();
+        }
+        if total == 0 {
+            0.0
+        } else {
+            correct_weighted / total as f64
+        }
+    }
+
+    /// Fig 1 probe: sample a fresh mini-batch for `seeds`, determine which
+    /// destinations the cache would serve, and return the mean L2 distance
+    /// between the top-layer output computed *with* those historical
+    /// overrides and the authentic output computed exactly (same batch,
+    /// full aggregation).
+    pub fn probe_estimation_error(&mut self, ds: &Dataset, seeds: &[NodeId]) -> f32 {
+        let mut rng = self.rng.fork();
+        let mb = self
+            .sampler
+            .sample(&ds.graph, seeds, &self.cfg.fanouts, &mut rng);
+        // Prune a clone to learn the cache-served set; keep `mb` un-pruned
+        // so the exact pass aggregates fully.
+        let mut pruned = mb.clone();
+        let outcome = prune_with_cache(&mut pruned, &mut self.cache, self.iter);
+        let ids: Vec<usize> = mb.input_nodes().iter().map(|&g| g as usize).collect();
+        let h0 = ds.features.gather_rows(&ids);
+        crate::probes::estimation_error(&self.model, &mb, &h0, &self.cache, &outcome.cached)
+    }
+}
+
+/// FLOPs of one mini-batch forward+backward (≈3× forward, the usual
+/// estimate): aggregation over live edges plus dense transforms for
+/// computed destinations.
+pub fn batch_flops(mb: &MiniBatch, outcome: &PruneOutcome, dims: &[usize], arch: Arch) -> f64 {
+    let mut fwd = 0.0;
+    for (b, block) in mb.blocks.iter().enumerate() {
+        let in_dim = dims[b];
+        let out_dim = dims[b + 1];
+        let edges = block.num_edges();
+        let n_comp = outcome.computed[b].iter().filter(|&&c| c).count();
+        fwd += aggregation_flops(edges, in_dim);
+        let dense_in = match arch {
+            Arch::Sage => 2 * in_dim,
+            _ => in_dim,
+        };
+        fwd += dense_flops(n_comp, dense_in, out_dim);
+        if arch == Arch::Gat {
+            // Attention scores + weighted sum, ~4 flops per edge per dim.
+            fwd += 4.0 * edges as f64 * out_dim as f64;
+        }
+    }
+    3.0 * fwd
+}
+
+fn subtract_counters(a: &mut TrafficCounters, b: &TrafficCounters) {
+    a.host_to_gpu_bytes -= b.host_to_gpu_bytes;
+    a.gpu_to_gpu_bytes -= b.gpu_to_gpu_bytes;
+    a.cache_hit_bytes -= b.cache_hit_bytes;
+    a.index_bytes -= b.index_bytes;
+    a.num_transfers -= b.num_transfers;
+    a.transfer_seconds -= b.transfer_seconds;
+    a.compute_seconds -= b.compute_seconds;
+    a.sample_seconds -= b.sample_seconds;
+    a.prune_seconds -= b.prune_seconds;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgnn_graph::datasets::arxiv_spec;
+    use fgnn_nn::Adam;
+
+    fn tiny_dataset() -> Dataset {
+        Dataset::materialize(arxiv_spec(0.0).with_dim(16), 42) // 256 nodes
+    }
+
+    fn config(p_grad: f32, t_stale: u32) -> FreshGnnConfig {
+        FreshGnnConfig {
+            p_grad,
+            t_stale,
+            fanouts: vec![4, 4],
+            batch_size: 32,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let ds = tiny_dataset();
+        let mut t = Trainer::new(
+            &ds,
+            Arch::Sage,
+            32,
+            Machine::single_a100(),
+            config(0.9, 50),
+            1,
+        );
+        let mut opt = Adam::new(0.01);
+        let first = t.train_epoch(&ds, &mut opt);
+        let mut last = first.clone();
+        for _ in 0..8 {
+            last = t.train_epoch(&ds, &mut opt);
+        }
+        assert!(
+            last.mean_loss < first.mean_loss * 0.8,
+            "loss {} -> {}",
+            first.mean_loss,
+            last.mean_loss
+        );
+    }
+
+    #[test]
+    fn cache_gets_used_after_warmup() {
+        let ds = tiny_dataset();
+        let mut t = Trainer::new(
+            &ds,
+            Arch::Gcn,
+            16,
+            Machine::single_a100(),
+            config(0.9, 100),
+            2,
+        );
+        let mut opt = Adam::new(0.01);
+        t.train_epoch(&ds, &mut opt);
+        let second = t.train_epoch(&ds, &mut opt);
+        assert!(
+            second.cache_reads > 0,
+            "cache must serve hits on the second epoch"
+        );
+        let stats = t.cache.stats();
+        assert!(stats.admits > 0);
+        assert!(stats.hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn p_grad_zero_never_touches_cache() {
+        let ds = tiny_dataset();
+        let mut t = Trainer::new(
+            &ds,
+            Arch::Sage,
+            16,
+            Machine::single_a100(),
+            config(0.0, 0),
+            3,
+        );
+        let mut opt = Adam::new(0.01);
+        for _ in 0..3 {
+            let s = t.train_epoch(&ds, &mut opt);
+            assert_eq!(s.cache_reads, 0);
+        }
+        assert_eq!(t.cache.stats().admits, 0);
+        assert!(t.cache.is_empty());
+    }
+
+    #[test]
+    fn cache_reduces_wire_traffic() {
+        let ds = tiny_dataset();
+        let mut opt1 = Adam::new(0.01);
+        let mut opt2 = Adam::new(0.01);
+        let mut plain = Trainer::new(
+            &ds,
+            Arch::Sage,
+            16,
+            Machine::single_a100(),
+            config(0.0, 0),
+            4,
+        );
+        let mut cached = Trainer::new(
+            &ds,
+            Arch::Sage,
+            16,
+            Machine::single_a100(),
+            config(0.95, 100),
+            4,
+        );
+        let mut plain_bytes = 0;
+        let mut cached_bytes = 0;
+        for _ in 0..5 {
+            plain_bytes += plain.train_epoch(&ds, &mut opt1).counters.host_to_gpu_bytes;
+            cached_bytes += cached.train_epoch(&ds, &mut opt2).counters.host_to_gpu_bytes;
+        }
+        assert!(
+            cached_bytes < plain_bytes,
+            "cached {cached_bytes} vs plain {plain_bytes}"
+        );
+    }
+
+    #[test]
+    fn evaluate_returns_sane_accuracy() {
+        let ds = tiny_dataset();
+        let mut t = Trainer::new(
+            &ds,
+            Arch::Sage,
+            32,
+            Machine::single_a100(),
+            config(0.9, 50),
+            5,
+        );
+        let mut opt = Adam::new(0.01);
+        for _ in 0..12 {
+            t.train_epoch(&ds, &mut opt);
+        }
+        let acc = t.evaluate(&ds, &ds.test_nodes, 64);
+        // 64-class tiny task trained briefly: must beat random (1/64) by a
+        // wide margin.
+        assert!(acc > 0.10, "accuracy {acc}");
+    }
+
+    #[test]
+    fn accuracy_with_cache_close_to_plain() {
+        let ds = tiny_dataset();
+        let mut opt1 = Adam::new(0.01);
+        let mut opt2 = Adam::new(0.01);
+        let machine = Machine::single_a100();
+        let mut plain = Trainer::new(&ds, Arch::Gcn, 16, machine.clone(), config(0.0, 0), 6);
+        let mut cached = Trainer::new(&ds, Arch::Gcn, 16, machine, config(0.9, 50), 6);
+        for _ in 0..10 {
+            plain.train_epoch(&ds, &mut opt1);
+            cached.train_epoch(&ds, &mut opt2);
+        }
+        let a_plain = plain.evaluate(&ds, &ds.test_nodes, 64);
+        let a_cached = cached.evaluate(&ds, &ds.test_nodes, 64);
+        assert!(
+            (a_plain - a_cached).abs() < 0.10,
+            "plain {a_plain} vs cached {a_cached}"
+        );
+    }
+
+    #[test]
+    fn async_epoch_trains_and_is_thread_count_invariant() {
+        let ds = tiny_dataset();
+        let machine = Machine::single_a100();
+        let run = |threads: usize| {
+            let mut t = Trainer::new(&ds, Arch::Sage, 16, machine.clone(), config(0.9, 30), 21);
+            let mut opt = Adam::new(0.01);
+            let mut losses = Vec::new();
+            for _ in 0..3 {
+                losses.push(t.train_epoch_async(&ds, &mut opt, threads, 4).mean_loss);
+            }
+            (losses, t.counters.host_to_gpu_bytes)
+        };
+        let (l1, b1) = run(1);
+        let (l4, b4) = run(4);
+        assert_eq!(l1, l4, "async stream must be thread-count invariant");
+        assert_eq!(b1, b4);
+        assert!(l1[2] < l1[0], "loss must decrease: {l1:?}");
+    }
+
+    #[test]
+    fn async_epoch_uses_cache_like_sync() {
+        let ds = tiny_dataset();
+        let mut t = Trainer::new(
+            &ds,
+            Arch::Gcn,
+            16,
+            Machine::single_a100(),
+            config(0.9, 50),
+            22,
+        );
+        let mut opt = Adam::new(0.01);
+        t.train_epoch_async(&ds, &mut opt, 2, 4);
+        let s = t.train_epoch_async(&ds, &mut opt, 2, 4);
+        assert!(s.cache_reads > 0, "cache must serve hits on epoch 2");
+    }
+}

@@ -1,0 +1,167 @@
+//! Coordinate-format adjacency (edge list), plus the reference COO pruner
+//! for the Table 1 / Fig 14(b) comparison.
+
+use crate::{Csr, NodeId};
+
+/// Sentinel marking a tombstoned (pruned) edge.
+pub const TOMBSTONE: NodeId = NodeId::MAX;
+
+/// COO adjacency: parallel `src`/`dst` arrays, kept sorted by `dst` so a
+/// node's incoming edges can be located by binary search (the O(log |E|)
+/// term in Table 1).
+#[derive(Clone, Debug)]
+pub struct Coo {
+    src: Vec<NodeId>,
+    dst: Vec<NodeId>,
+    n: usize,
+}
+
+impl Coo {
+    /// Build from directed edges, sorting by destination.
+    pub fn from_directed_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Self {
+        let mut pairs: Vec<(NodeId, NodeId)> = edges.to_vec();
+        pairs.sort_unstable_by_key(|&(s, d)| (d, s));
+        let (src, dst) = pairs.into_iter().unzip();
+        Coo { src, dst, n }
+    }
+
+    /// Convert from CSR (preserves the by-destination grouping).
+    pub fn from_csr(csr: &Csr) -> Self {
+        let mut src = Vec::with_capacity(csr.num_edges());
+        let mut dst = Vec::with_capacity(csr.num_edges());
+        for v in 0..csr.num_nodes() as NodeId {
+            for &u in csr.neighbors(v) {
+                src.push(u);
+                dst.push(v);
+            }
+        }
+        Coo { src, dst, n: csr.num_nodes() }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edge slots, including tombstones.
+    #[inline]
+    pub fn num_edge_slots(&self) -> usize {
+        self.src.len()
+    }
+
+    /// Number of live (non-tombstoned) edges.
+    pub fn num_live_edges(&self) -> usize {
+        self.src.iter().filter(|&&s| s != TOMBSTONE).count()
+    }
+
+    /// Source endpoints (by-destination order; tombstoned entries are
+    /// [`TOMBSTONE`]).
+    #[inline]
+    pub fn src(&self) -> &[NodeId] {
+        &self.src
+    }
+
+    /// Destination endpoints.
+    #[inline]
+    pub fn dst(&self) -> &[NodeId] {
+        &self.dst
+    }
+
+    /// Live in-neighbors of `v` (allocates; COO is not the hot-path format).
+    pub fn neighbors(&self, v: NodeId) -> Vec<NodeId> {
+        let (lo, hi) = self.edge_range(v);
+        self.src[lo..hi]
+            .iter()
+            .copied()
+            .filter(|&s| s != TOMBSTONE)
+            .collect()
+    }
+
+    /// Binary-search the contiguous edge range of destination `v`:
+    /// the `O(log |E|)` locate step of Table 1.
+    fn edge_range(&self, v: NodeId) -> (usize, usize) {
+        let lo = self.dst.partition_point(|&d| d < v);
+        let hi = self.dst.partition_point(|&d| d <= v);
+        (lo, hi)
+    }
+
+    /// Prune all incoming edges of `v`: binary search to locate the range
+    /// (O(log |E|)), then tombstone each edge (O(N_neighbors)).
+    ///
+    /// Faithful to the paper's complexity claim for COO; compare
+    /// [`crate::Csr2::prune`] which is O(1).
+    pub fn prune_neighbors(&mut self, v: NodeId) -> usize {
+        let (lo, hi) = self.edge_range(v);
+        let mut removed = 0;
+        for s in self.src[lo..hi].iter_mut() {
+            if *s != TOMBSTONE {
+                *s = TOMBSTONE;
+                removed += 1;
+            }
+        }
+        removed
+    }
+
+    /// Approximate resident size in bytes (Table 1: `O(2|E|)`).
+    pub fn bytes(&self) -> usize {
+        (self.src.len() + self.dst.len()) * std::mem::size_of::<NodeId>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Coo {
+        Coo::from_directed_edges(4, &[(1, 3), (0, 1), (2, 3), (0, 2), (3, 0)])
+    }
+
+    #[test]
+    fn sorted_by_destination() {
+        let c = sample();
+        assert!(c.dst().windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(c.num_edge_slots(), 5);
+    }
+
+    #[test]
+    fn neighbors_match_edges() {
+        let c = sample();
+        assert_eq!(c.neighbors(3), vec![1, 2]);
+        assert_eq!(c.neighbors(0), vec![3]);
+        assert_eq!(c.neighbors(1), vec![0]);
+    }
+
+    #[test]
+    fn prune_tombstones_only_target() {
+        let mut c = sample();
+        let removed = c.prune_neighbors(3);
+        assert_eq!(removed, 2);
+        assert!(c.neighbors(3).is_empty());
+        assert_eq!(c.neighbors(0), vec![3]);
+        assert_eq!(c.num_live_edges(), 3);
+        // Double prune is a no-op.
+        assert_eq!(c.prune_neighbors(3), 0);
+    }
+
+    #[test]
+    fn from_csr_round_trips_neighbor_sets() {
+        let csr = Csr::from_directed_edges(4, &[(1, 3), (0, 1), (2, 3), (0, 2)]);
+        let coo = Coo::from_csr(&csr);
+        for v in 0..4 {
+            let mut a = coo.neighbors(v);
+            a.sort_unstable();
+            let mut b = csr.neighbors(v).to_vec();
+            b.sort_unstable();
+            assert_eq!(a, b, "node {v}");
+        }
+    }
+
+    #[test]
+    fn prune_node_with_no_edges() {
+        let mut c = sample();
+        assert_eq!(c.prune_neighbors(2), 1); // node 2 has in-edge from 0
+        let mut c2 = Coo::from_directed_edges(3, &[(0, 1)]);
+        assert_eq!(c2.prune_neighbors(2), 0);
+    }
+}

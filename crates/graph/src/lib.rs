@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+//! # fgnn-graph
+//!
+//! Graph substrate for the FreshGNN reproduction:
+//!
+//! * storage formats — [`csr::Csr`], [`coo::Coo`] and the paper's novel
+//!   [`csr2::Csr2`] (§5, Table 1) whose two offset arrays make "remove all
+//!   neighbors of node v" an O(1) operation;
+//! * [`block::Block`] — the bipartite per-layer message-flow graphs a
+//!   sampled mini-batch is made of;
+//! * [`sample`] — fan-out neighbor sampling (the paper's default mini-batch
+//!   regime, fanouts 20/15/10);
+//! * [`generate`] / [`datasets`] — synthetic scaled stand-ins for
+//!   ogbn-arxiv/products/papers100M, MAG240M, Twitter and Friendster with
+//!   matched degree distribution, feature dimension and class count
+//!   (see DESIGN.md §2 for the substitution rationale);
+//! * [`partition`] — streaming graph partitioning for the ClusterGCN
+//!   baseline;
+//! * [`hetero`] — heterogeneous graphs for the §7.6 R-GraphSAGE extension.
+//!
+//! Node IDs are `u32` throughout (ogbn-papers100M's 111M nodes fit
+//! comfortably; halves index memory vs `usize`, per the perf-book guidance).
+
+pub mod block;
+pub mod coo;
+pub mod csr;
+pub mod csr2;
+pub mod datasets;
+pub mod degree;
+pub mod generate;
+pub mod hetero;
+pub mod mapper;
+pub mod partition;
+pub mod sample;
+
+pub use block::Block;
+pub use coo::Coo;
+pub use csr::Csr;
+pub use csr2::Csr2;
+pub use datasets::Dataset;
+
+/// Node identifier. `u32` bounds the reproduction at ~4B nodes, far above
+/// anything the paper evaluates.
+pub type NodeId = u32;

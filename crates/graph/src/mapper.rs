@@ -1,0 +1,136 @@
+//! Generation-stamped global→local node ID mapping.
+//!
+//! Mirrors the paper's `O(|V|)` node-ID mapping array (§4.2): a flat array
+//! indexed by global node ID with O(1) insert/lookup and O(1) *bulk reset*
+//! (bump the generation counter instead of clearing). The sampler uses one
+//! per mini-batch layer; the historical cache uses the same structure to map
+//! node IDs to ring-buffer slots.
+
+use crate::NodeId;
+
+/// Sentinel for "not mapped".
+const UNMAPPED: u32 = u32::MAX;
+
+/// O(1) global→local mapper with generation-based reset.
+#[derive(Clone, Debug)]
+pub struct NodeMapper {
+    local: Vec<u32>,
+    stamp: Vec<u32>,
+    generation: u32,
+    /// Global IDs in insertion (= local) order for the current generation.
+    order: Vec<NodeId>,
+}
+
+impl NodeMapper {
+    /// A mapper covering global IDs `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        NodeMapper {
+            local: vec![UNMAPPED; capacity],
+            stamp: vec![0; capacity],
+            generation: 1,
+            order: Vec::new(),
+        }
+    }
+
+    /// Forget all mappings in O(1).
+    pub fn reset(&mut self) {
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            // Extremely rare wrap: do the full clear to stay correct.
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.generation = 1;
+        }
+        self.order.clear();
+    }
+
+    /// Map `global`, assigning the next local ID if unseen. Returns the
+    /// local ID.
+    #[inline]
+    pub fn get_or_insert(&mut self, global: NodeId) -> u32 {
+        let g = global as usize;
+        if self.stamp[g] == self.generation {
+            self.local[g]
+        } else {
+            let l = self.order.len() as u32;
+            self.stamp[g] = self.generation;
+            self.local[g] = l;
+            self.order.push(global);
+            l
+        }
+    }
+
+    /// Look up `global` without inserting.
+    #[inline]
+    pub fn get(&self, global: NodeId) -> Option<u32> {
+        let g = global as usize;
+        if self.stamp[g] == self.generation {
+            Some(self.local[g])
+        } else {
+            None
+        }
+    }
+
+    /// Number of mapped nodes this generation.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether nothing is mapped.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Global IDs in local-ID order.
+    #[inline]
+    pub fn globals(&self) -> &[NodeId] {
+        &self.order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assigns_sequential_locals() {
+        let mut m = NodeMapper::new(10);
+        assert_eq!(m.get_or_insert(7), 0);
+        assert_eq!(m.get_or_insert(3), 1);
+        assert_eq!(m.get_or_insert(7), 0);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.globals(), &[7, 3]);
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let mut m = NodeMapper::new(4);
+        assert_eq!(m.get(2), None);
+        m.get_or_insert(2);
+        assert_eq!(m.get(2), Some(0));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn reset_is_logical_clear() {
+        let mut m = NodeMapper::new(4);
+        m.get_or_insert(1);
+        m.get_or_insert(2);
+        m.reset();
+        assert!(m.is_empty());
+        assert_eq!(m.get(1), None);
+        assert_eq!(m.get_or_insert(2), 0);
+    }
+
+    #[test]
+    fn many_resets_stay_consistent() {
+        let mut m = NodeMapper::new(3);
+        for round in 0..1000u32 {
+            m.reset();
+            let g = (round % 3) as NodeId;
+            assert_eq!(m.get_or_insert(g), 0);
+            assert_eq!(m.len(), 1);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Byte/time ledger for simulated training runs.
+
+/// Accumulated traffic and simulated-time statistics.
+///
+/// Byte counts are exact (what the trainer actually moved); times come from
+/// the bandwidth model in [`crate::transfer`] and [`crate::alltoall`].
+#[derive(Clone, Debug, Default)]
+pub struct TrafficCounters {
+    /// Bytes read from CPU (host) memory into GPUs — raw feature loads.
+    pub host_to_gpu_bytes: u64,
+    /// Bytes moved directly between GPUs (multi-GPU feature partitions).
+    pub gpu_to_gpu_bytes: u64,
+    /// Bytes served from the local historical-embedding / feature cache
+    /// (never cross a link; tracked to compute I/O savings, Fig 13).
+    pub cache_hit_bytes: u64,
+    /// Index bytes shipped for two-sided transfers.
+    pub index_bytes: u64,
+    /// Number of transfer operations issued.
+    pub num_transfers: u64,
+    /// Simulated seconds spent in transfers.
+    pub transfer_seconds: f64,
+    /// Simulated seconds spent in GPU compute.
+    pub compute_seconds: f64,
+    /// Measured seconds spent sampling subgraphs (CPU, wall clock,
+    /// amortized over async workers).
+    pub sample_seconds: f64,
+    /// Measured seconds spent pruning subgraphs.
+    pub prune_seconds: f64,
+}
+
+impl TrafficCounters {
+    /// New, zeroed ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bytes that actually crossed an interconnect.
+    pub fn wire_bytes(&self) -> u64 {
+        self.host_to_gpu_bytes + self.gpu_to_gpu_bytes + self.index_bytes
+    }
+
+    /// Fraction of demanded feature bytes served without touching a wire —
+    /// the paper's "I/O saving" metric (Fig 13a/c).
+    pub fn io_saving(&self) -> f64 {
+        let demanded = self.host_to_gpu_bytes + self.gpu_to_gpu_bytes + self.cache_hit_bytes;
+        if demanded == 0 {
+            0.0
+        } else {
+            self.cache_hit_bytes as f64 / demanded as f64
+        }
+    }
+
+    /// Total simulated epoch/iteration time under the paper's execution
+    /// model: async sampling overlaps training, so sampling only matters
+    /// when it is the bottleneck (max), while transfer+compute+prune are
+    /// serial on the GPU stream.
+    pub fn sim_seconds(&self) -> f64 {
+        let gpu_stream = self.transfer_seconds + self.compute_seconds + self.prune_seconds;
+        gpu_stream.max(self.sample_seconds)
+    }
+
+    /// Merge another ledger into this one.
+    pub fn merge(&mut self, other: &TrafficCounters) {
+        self.host_to_gpu_bytes += other.host_to_gpu_bytes;
+        self.gpu_to_gpu_bytes += other.gpu_to_gpu_bytes;
+        self.cache_hit_bytes += other.cache_hit_bytes;
+        self.index_bytes += other.index_bytes;
+        self.num_transfers += other.num_transfers;
+        self.transfer_seconds += other.transfer_seconds;
+        self.compute_seconds += other.compute_seconds;
+        self.sample_seconds += other.sample_seconds;
+        self.prune_seconds += other.prune_seconds;
+    }
+}
+
+impl std::fmt::Display for TrafficCounters {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "traffic: h2d {:.1} MB, p2p {:.1} MB, cache-served {:.1} MB (I/O saving {:.1}%)",
+            self.host_to_gpu_bytes as f64 / 1e6,
+            self.gpu_to_gpu_bytes as f64 / 1e6,
+            self.cache_hit_bytes as f64 / 1e6,
+            self.io_saving() * 100.0
+        )?;
+        write!(
+            f,
+            "time: transfer {:.3}s, compute {:.3}s, sample {:.3}s, prune {:.3}s => {:.3}s",
+            self.transfer_seconds,
+            self.compute_seconds,
+            self.sample_seconds,
+            self.prune_seconds,
+            self.sim_seconds()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_saving_fraction() {
+        let mut c = TrafficCounters::new();
+        c.host_to_gpu_bytes = 300;
+        c.cache_hit_bytes = 700;
+        assert!((c.io_saving() - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn io_saving_zero_when_no_demand() {
+        assert_eq!(TrafficCounters::new().io_saving(), 0.0);
+    }
+
+    #[test]
+    fn sim_time_takes_max_of_sampler_and_gpu_stream() {
+        let mut c = TrafficCounters::new();
+        c.transfer_seconds = 1.0;
+        c.compute_seconds = 0.5;
+        c.sample_seconds = 1.2;
+        assert!((c.sim_seconds() - 1.5).abs() < 1e-9);
+        c.sample_seconds = 2.0;
+        assert!((c.sim_seconds() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = TrafficCounters::new();
+        a.host_to_gpu_bytes = 10;
+        a.transfer_seconds = 1.0;
+        let mut b = TrafficCounters::new();
+        b.host_to_gpu_bytes = 5;
+        b.transfer_seconds = 0.5;
+        b.num_transfers = 3;
+        a.merge(&b);
+        assert_eq!(a.host_to_gpu_bytes, 15);
+        assert_eq!(a.num_transfers, 3);
+        assert!((a.transfer_seconds - 1.5).abs() < 1e-12);
+    }
+}

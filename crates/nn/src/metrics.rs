@@ -1,0 +1,87 @@
+//! Evaluation metrics.
+
+use fgnn_tensor::Matrix;
+
+/// Fraction of rows whose argmax equals the label.
+pub fn accuracy(logits: &Matrix, labels: &[u16]) -> f64 {
+    assert_eq!(logits.rows(), labels.len());
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let correct = labels
+        .iter()
+        .enumerate()
+        .filter(|&(r, &y)| argmax(logits.row(r)) == y as usize)
+        .count();
+    correct as f64 / labels.len() as f64
+}
+
+/// Index of the maximum entry (first on ties).
+pub fn argmax(row: &[f32]) -> usize {
+    let mut best = 0;
+    let mut best_v = f32::NEG_INFINITY;
+    for (i, &v) in row.iter().enumerate() {
+        if v > best_v {
+            best_v = v;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Exponential moving average helper for smoothed training curves.
+#[derive(Clone, Debug)]
+pub struct Ema {
+    value: Option<f64>,
+    alpha: f64,
+}
+
+impl Ema {
+    /// `alpha` is the weight of the new observation.
+    pub fn new(alpha: f64) -> Self {
+        Ema { value: None, alpha }
+    }
+
+    /// Fold in an observation and return the smoothed value.
+    pub fn update(&mut self, x: f64) -> f64 {
+        let v = match self.value {
+            None => x,
+            Some(v) => v + self.alpha * (x - v),
+        };
+        self.value = Some(v);
+        v
+    }
+
+    /// Current smoothed value.
+    pub fn get(&self) -> Option<f64> {
+        self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_argmax_matches() {
+        let logits = Matrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 5.0, -1.0]);
+        assert!((accuracy(&logits, &[0, 1, 0]) - 1.0).abs() < 1e-9);
+        assert!((accuracy(&logits, &[1, 1, 0]) - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn argmax_first_on_ties() {
+        assert_eq!(argmax(&[1.0, 1.0, 0.5]), 0);
+        assert_eq!(argmax(&[-3.0, -1.0, -2.0]), 1);
+    }
+
+    #[test]
+    fn ema_converges_toward_constant_input() {
+        let mut e = Ema::new(0.5);
+        assert_eq!(e.update(10.0), 10.0);
+        for _ in 0..20 {
+            e.update(0.0);
+        }
+        assert!(e.get().unwrap() < 0.01);
+    }
+}

@@ -1,0 +1,359 @@
+//! Stacked multi-layer GNN models over sampled mini-batches.
+//!
+//! [`Model::forward_with`] and [`Model::backward_with`] expose per-level
+//! hooks — the integration points the FreshGNN trainer uses to (a) override
+//! intermediate embeddings with cached values between layers and (b) harvest
+//! per-node embedding gradients for the cache policy and *detach* cached
+//! nodes (zero their gradient rows) so no gradient flows into pruned
+//! subtrees, exactly like reading a cached tensor without `requires_grad`
+//! in the paper's PyTorch implementation.
+
+use crate::gat::{GatCtx, GatLayer};
+use crate::gcn::{GcnCtx, GcnLayer};
+use crate::layer::{Activation, Param};
+use crate::sage::{SageCtx, SageLayer};
+use fgnn_graph::block::MiniBatch;
+use fgnn_graph::Block;
+use fgnn_tensor::{Matrix, Rng};
+
+/// GNN architecture selector (the paper's evaluation set).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Arch {
+    /// Graph convolutional network.
+    Gcn,
+    /// GraphSAGE with mean aggregation.
+    Sage,
+    /// Single-head graph attention network.
+    Gat,
+}
+
+impl std::fmt::Display for Arch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Arch::Gcn => write!(f, "GCN"),
+            Arch::Sage => write!(f, "GraphSAGE"),
+            Arch::Gat => write!(f, "GAT"),
+        }
+    }
+}
+
+/// A single layer of any supported architecture.
+pub enum Layer {
+    /// GCN layer.
+    Gcn(GcnLayer),
+    /// GraphSAGE layer.
+    Sage(SageLayer),
+    /// GAT layer.
+    Gat(GatLayer),
+}
+
+/// Forward context of any layer type.
+pub enum Ctx {
+    /// GCN context.
+    Gcn(GcnCtx),
+    /// GraphSAGE context.
+    Sage(SageCtx),
+    /// GAT context.
+    Gat(GatCtx),
+}
+
+impl Layer {
+    /// Forward over a block.
+    pub fn forward(&self, block: &Block, h_src: &Matrix) -> (Matrix, Ctx) {
+        match self {
+            Layer::Gcn(l) => {
+                let (h, c) = l.forward(block, h_src);
+                (h, Ctx::Gcn(c))
+            }
+            Layer::Sage(l) => {
+                let (h, c) = l.forward(block, h_src);
+                (h, Ctx::Sage(c))
+            }
+            Layer::Gat(l) => {
+                let (h, c) = l.forward(block, h_src);
+                (h, Ctx::Gat(c))
+            }
+        }
+    }
+
+    /// Backward over a block; accumulates parameter grads, returns `d_h_src`.
+    pub fn backward(
+        &mut self,
+        block: &Block,
+        ctx: &Ctx,
+        h_src: &Matrix,
+        d_out: &Matrix,
+    ) -> Matrix {
+        match (self, ctx) {
+            (Layer::Gcn(l), Ctx::Gcn(c)) => l.backward(block, c, d_out),
+            (Layer::Sage(l), Ctx::Sage(c)) => l.backward(block, c, d_out),
+            (Layer::Gat(l), Ctx::Gat(c)) => l.backward(block, c, h_src, d_out),
+            _ => panic!("layer/ctx architecture mismatch"),
+        }
+    }
+
+    /// Mutable parameter references (stable order).
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        match self {
+            Layer::Gcn(l) => l.params_mut(),
+            Layer::Sage(l) => l.params_mut(),
+            Layer::Gat(l) => l.params_mut(),
+        }
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        match self {
+            Layer::Gcn(l) => l.out_dim(),
+            Layer::Sage(l) => l.out_dim(),
+            Layer::Gat(l) => l.out_dim(),
+        }
+    }
+}
+
+/// A stacked GNN: `dims.len() - 1` layers, ReLU between layers, identity on
+/// the output (logits).
+pub struct Model {
+    /// Architecture of every layer.
+    pub arch: Arch,
+    /// Layers in input→output order.
+    pub layers: Vec<Layer>,
+}
+
+/// Saved forward state: `h[0]` is the input feature matrix (src of block
+/// 0); `h[l]` for `l >= 1` is the (possibly cache-overridden) output of
+/// layer `l-1`, whose rows index block `l-1`'s dst set.
+pub struct Trace {
+    /// Per-level node representations.
+    pub h: Vec<Matrix>,
+    /// Per-layer forward contexts.
+    pub ctx: Vec<Ctx>,
+}
+
+impl Model {
+    /// Build a model: `dims = [in, hidden, ..., out]` (so the paper's
+    /// 3-layer 256-hidden SAGE on papers100M is `[128, 256, 256, 172]`).
+    pub fn new(arch: Arch, dims: &[usize], rng: &mut Rng) -> Model {
+        assert!(dims.len() >= 2, "need at least one layer");
+        let n_layers = dims.len() - 1;
+        let layers = (0..n_layers)
+            .map(|i| {
+                let act = if i + 1 == n_layers {
+                    Activation::None
+                } else {
+                    Activation::Relu
+                };
+                match arch {
+                    Arch::Gcn => Layer::Gcn(GcnLayer::new(dims[i], dims[i + 1], act, rng)),
+                    Arch::Sage => Layer::Sage(SageLayer::new(dims[i], dims[i + 1], act, rng)),
+                    Arch::Gat => Layer::Gat(GatLayer::new(dims[i], dims[i + 1], act, rng)),
+                }
+            })
+            .collect();
+        Model { arch, layers }
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Plain forward (no cache interaction).
+    pub fn forward(&self, mb: &MiniBatch, h0: Matrix) -> Trace {
+        self.forward_with(mb, h0, |_, _| {})
+    }
+
+    /// Forward with a between-layer hook: after layer `l-1` produces
+    /// `h[l]`, `hook(l, &mut h_l)` runs *before* `h[l]` feeds layer `l`.
+    /// The FreshGNN trainer overrides cached nodes' rows here.
+    pub fn forward_with(
+        &self,
+        mb: &MiniBatch,
+        h0: Matrix,
+        mut hook: impl FnMut(usize, &mut Matrix),
+    ) -> Trace {
+        assert_eq!(
+            mb.num_layers(),
+            self.num_layers(),
+            "mini-batch depth != model depth"
+        );
+        let mut h = Vec::with_capacity(self.num_layers() + 1);
+        let mut ctx = Vec::with_capacity(self.num_layers());
+        h.push(h0);
+        for (l, layer) in self.layers.iter().enumerate() {
+            let (mut out, c) = layer.forward(&mb.blocks[l], &h[l]);
+            hook(l + 1, &mut out);
+            h.push(out);
+            ctx.push(c);
+        }
+        Trace { h, ctx }
+    }
+
+    /// Plain backward; returns the gradient w.r.t. `h[0]` (input features).
+    pub fn backward(&mut self, mb: &MiniBatch, trace: &Trace, d_top: Matrix) -> Matrix {
+        self.backward_with(mb, trace, d_top, |_, _| {})
+    }
+
+    /// Backward with a per-level gradient hook: `hook(l, &mut d)` fires
+    /// with the gradient w.r.t. `h[l]` *before* it propagates through layer
+    /// `l-1`. Rows of `d` align with `h[l]`'s rows (block `l-1`'s dst set
+    /// extended to block `l`'s src set for `l < L`).
+    ///
+    /// The FreshGNN cache policy reads per-node gradient norms here and
+    /// zeroes the rows of cache-read nodes (detach).
+    pub fn backward_with(
+        &mut self,
+        mb: &MiniBatch,
+        trace: &Trace,
+        d_top: Matrix,
+        mut hook: impl FnMut(usize, &mut Matrix),
+    ) -> Matrix {
+        let mut d = d_top;
+        for l in (0..self.layers.len()).rev() {
+            hook(l + 1, &mut d);
+            d = self.layers[l].backward(&mb.blocks[l], &trace.ctx[l], &trace.h[l], &d);
+        }
+        d
+    }
+
+    /// Zero all parameter gradients.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            for p in layer.params_mut() {
+                p.zero_grad();
+            }
+        }
+    }
+
+    /// All parameters in a stable order (for the optimizer).
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
+    }
+
+    /// Total scalar parameter count.
+    pub fn num_parameters(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.len()).sum()
+    }
+
+    /// Flatten all parameters into one vector (checkpointing).
+    pub fn export_parameters(&mut self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.num_parameters());
+        for p in self.params_mut() {
+            out.extend_from_slice(p.value.as_slice());
+        }
+        out
+    }
+
+    /// Restore parameters exported by [`Model::export_parameters`] from a
+    /// model with the same architecture. Panics on length mismatch.
+    pub fn import_parameters(&mut self, flat: &[f32]) {
+        let expected = self.num_parameters();
+        assert_eq!(flat.len(), expected, "checkpoint has wrong parameter count");
+        let mut off = 0;
+        for p in self.params_mut() {
+            let n = p.len();
+            p.value.as_mut_slice().copy_from_slice(&flat[off..off + n]);
+            off += n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgnn_graph::sample::NeighborSampler;
+    use fgnn_graph::Csr;
+
+    fn toy_setup(arch: Arch) -> (MiniBatch, Matrix, Model) {
+        let mut rng = Rng::new(1);
+        let edges: Vec<(u32, u32)> = (0..19).map(|i| (i, i + 1)).collect();
+        let g = Csr::from_undirected_edges(20, &edges);
+        let mut sampler = NeighborSampler::new(20);
+        let mb = sampler.sample(&g, &[5, 10], &[3, 3], &mut rng);
+        let h0 = rng.normal_matrix(mb.input_nodes().len(), 4, 1.0);
+        let model = Model::new(arch, &[4, 6, 3], &mut rng);
+        (mb, h0, model)
+    }
+
+    #[test]
+    fn forward_output_matches_seed_count() {
+        for arch in [Arch::Gcn, Arch::Sage, Arch::Gat] {
+            let (mb, h0, model) = toy_setup(arch);
+            let trace = model.forward(&mb, h0);
+            assert_eq!(trace.h.last().unwrap().shape(), (2, 3), "{arch}");
+            assert_eq!(trace.h.len(), 3);
+        }
+    }
+
+    #[test]
+    fn backward_hook_sees_every_level_topdown() {
+        let (mb, h0, mut model) = toy_setup(Arch::Sage);
+        let trace = model.forward(&mb, h0);
+        let d_top = Matrix::full(2, 3, 1.0);
+        let mut levels = Vec::new();
+        model.backward_with(&mb, &trace, d_top, |l, _| levels.push(l));
+        assert_eq!(levels, vec![2, 1]);
+    }
+
+    #[test]
+    fn forward_hook_can_override_rows() {
+        let (mb, h0, model) = toy_setup(Arch::Gcn);
+        let trace = model.forward_with(&mb, h0, |l, h| {
+            if l == 1 {
+                h.row_mut(0).iter_mut().for_each(|x| *x = 9.0);
+            }
+        });
+        assert!(trace.h[1].row(0).iter().all(|&x| x == 9.0));
+    }
+
+    #[test]
+    fn zero_grad_clears_all_params() {
+        let (mb, h0, mut model) = toy_setup(Arch::Gat);
+        let trace = model.forward(&mb, h0);
+        model.backward(&mb, &trace, Matrix::full(2, 3, 1.0));
+        let has_grad = model
+            .params_mut()
+            .iter()
+            .any(|p| p.grad.frobenius_norm() > 0.0);
+        assert!(has_grad);
+        model.zero_grad();
+        assert!(model
+            .params_mut()
+            .iter()
+            .all(|p| p.grad.frobenius_norm() == 0.0));
+    }
+
+    #[test]
+    fn parameter_counts_differ_by_arch() {
+        let (_, _, mut gcn) = toy_setup(Arch::Gcn);
+        let (_, _, mut sage) = toy_setup(Arch::Sage);
+        // SAGE weights are 2*in x out, so strictly more parameters.
+        assert!(sage.num_parameters() > gcn.num_parameters());
+    }
+
+    #[test]
+    fn export_import_round_trips_parameters() {
+        let (mb, h0, mut model) = toy_setup(Arch::Sage);
+        let snapshot = model.export_parameters();
+        let out_before = model.forward(&mb, h0.clone()).h.last().unwrap().clone();
+        // Perturb, then restore.
+        for p in model.params_mut() {
+            p.value.map_inplace(|x| x + 1.0);
+        }
+        let out_perturbed = model.forward(&mb, h0.clone()).h.last().unwrap().clone();
+        assert_ne!(out_before.as_slice(), out_perturbed.as_slice());
+        model.import_parameters(&snapshot);
+        let out_after = model.forward(&mb, h0).h.last().unwrap().clone();
+        assert_eq!(out_before.as_slice(), out_after.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong parameter count")]
+    fn import_rejects_wrong_length() {
+        let (_, _, mut model) = toy_setup(Arch::Gcn);
+        model.import_parameters(&[0.0; 3]);
+    }
+}

@@ -1,0 +1,198 @@
+//! Optimizers: SGD (with momentum) and Adam.
+//!
+//! State is keyed by parameter *position*, so the caller must pass
+//! parameters in the same stable order every step — `Model::params_mut`
+//! guarantees this.
+
+use crate::layer::Param;
+use fgnn_tensor::{ops, Matrix};
+
+/// A gradient-descent optimizer over a stable parameter list.
+pub trait Optimizer {
+    /// Apply one update step using each parameter's accumulated gradient,
+    /// then the caller typically zeroes gradients.
+    fn step(&mut self, params: &mut [&mut Param]);
+
+    /// Learning rate currently in effect.
+    fn learning_rate(&self) -> f32;
+}
+
+/// Stochastic gradient descent with optional momentum.
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (0 disables).
+    pub momentum: f32,
+    velocity: Vec<Matrix>,
+}
+
+impl Sgd {
+    /// Plain SGD.
+    pub fn new(lr: f32) -> Self {
+        Sgd {
+            lr,
+            momentum: 0.0,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// SGD with momentum.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        if self.momentum == 0.0 {
+            for p in params.iter_mut() {
+                ops::axpy(&mut p.value, -self.lr, &p.grad).expect("sgd step");
+            }
+            return;
+        }
+        if self.velocity.is_empty() {
+            self.velocity = params
+                .iter()
+                .map(|p| Matrix::zeros(p.value.rows(), p.value.cols()))
+                .collect();
+        }
+        assert_eq!(self.velocity.len(), params.len(), "param list changed");
+        for (p, v) in params.iter_mut().zip(&mut self.velocity) {
+            ops::scale(v, self.momentum);
+            ops::add_assign(v, &p.grad).expect("sgd velocity");
+            ops::axpy(&mut p.value, -self.lr, v).expect("sgd step");
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical floor.
+    pub eps: f32,
+    t: u32,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+}
+
+impl Adam {
+    /// Adam with the standard (0.9, 0.999) betas.
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        if self.m.is_empty() {
+            self.m = params
+                .iter()
+                .map(|p| Matrix::zeros(p.value.rows(), p.value.cols()))
+                .collect();
+            self.v = self.m.clone();
+        }
+        assert_eq!(self.m.len(), params.len(), "param list changed");
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for ((p, m), v) in params.iter_mut().zip(&mut self.m).zip(&mut self.v) {
+            for ((pv, &g), (mv, vv)) in p
+                .value
+                .as_mut_slice()
+                .iter_mut()
+                .zip(p.grad.as_slice())
+                .zip(m.as_mut_slice().iter_mut().zip(v.as_mut_slice()))
+            {
+                *mv = self.beta1 * *mv + (1.0 - self.beta1) * g;
+                *vv = self.beta2 * *vv + (1.0 - self.beta2) * g * g;
+                let m_hat = *mv / bc1;
+                let v_hat = *vv / bc2;
+                *pv -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_param(x0: f32) -> Param {
+        Param::new(Matrix::from_vec(1, 1, vec![x0]))
+    }
+
+    /// Minimize f(x) = x² (gradient 2x) and expect convergence to 0.
+    fn run<O: Optimizer>(opt: &mut O, steps: usize) -> f32 {
+        let mut p = quadratic_param(5.0);
+        for _ in 0..steps {
+            let x = p.value.get(0, 0);
+            p.grad.set(0, 0, 2.0 * x);
+            opt.step(&mut [&mut p]);
+            p.zero_grad();
+        }
+        p.value.get(0, 0)
+    }
+
+    #[test]
+    fn sgd_minimizes_quadratic() {
+        let x = run(&mut Sgd::new(0.1), 100);
+        assert!(x.abs() < 1e-4, "x = {x}");
+    }
+
+    #[test]
+    fn sgd_momentum_minimizes_quadratic() {
+        let x = run(&mut Sgd::with_momentum(0.05, 0.9), 200);
+        assert!(x.abs() < 1e-3, "x = {x}");
+    }
+
+    #[test]
+    fn adam_minimizes_quadratic() {
+        let x = run(&mut Adam::new(0.2), 300);
+        assert!(x.abs() < 1e-2, "x = {x}");
+    }
+
+    #[test]
+    fn adam_first_step_size_is_lr() {
+        // With bias correction, |Δx| of the very first step ≈ lr.
+        let mut p = quadratic_param(5.0);
+        p.grad.set(0, 0, 10.0);
+        let mut opt = Adam::new(0.1);
+        opt.step(&mut [&mut p]);
+        assert!((p.value.get(0, 0) - 4.9).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "param list changed")]
+    fn optimizer_rejects_changing_param_count() {
+        let mut opt = Adam::new(0.1);
+        let mut a = quadratic_param(1.0);
+        opt.step(&mut [&mut a]);
+        let mut b = quadratic_param(1.0);
+        opt.step(&mut [&mut a, &mut b]);
+    }
+}

@@ -1,0 +1,463 @@
+//! Relational GraphSAGE (R-SAGE) for heterogeneous graphs (§7.6).
+//!
+//! Per node type `t` at every layer:
+//!
+//! ```text
+//! h'_t[v] = act( h_t[v] · W_self[t]
+//!              + Σ_{rel : dst(rel)=t} mean_{u ∈ N_rel(v)} h_{src(rel)}[u] · W_rel
+//!              + b[t] )
+//! ```
+//!
+//! — the R-GNN template of Schlichtkrull et al. with SAGE-style mean
+//! aggregation per relation, matching the paper's "R-GraphSAGE".
+
+use crate::layer::{Activation, Param};
+use fgnn_graph::hetero::{HeteroBlock, HeteroGraph, HeteroMiniBatch};
+use fgnn_graph::Csr2;
+use fgnn_tensor::{ops, Matrix, Rng};
+
+/// One R-SAGE layer over all node types and relations.
+pub struct RSageLayer {
+    /// Self weight per node type (`in_dim x out_dim`).
+    pub w_self: Vec<Param>,
+    /// Per-relation weight (`in_dim x out_dim`).
+    pub w_rel: Vec<Param>,
+    /// Bias per node type (`1 x out_dim`).
+    pub bias: Vec<Param>,
+    /// Relation metadata: `(src_type, dst_type)` per relation.
+    rel_types: Vec<(usize, usize)>,
+    /// Output activation.
+    pub act: Activation,
+    in_dim: usize,
+}
+
+/// Saved forward state per layer.
+pub struct RSageCtx {
+    /// Per-relation mean aggregation (rows = dst of the relation's dst type).
+    rel_agg: Vec<Matrix>,
+    /// Pre-activation output per node type.
+    out: Vec<Matrix>,
+}
+
+impl RSageLayer {
+    /// Build a layer matching `graph`'s type/relation structure.
+    pub fn new(
+        graph: &HeteroGraph,
+        in_dim: usize,
+        out_dim: usize,
+        act: Activation,
+        rng: &mut Rng,
+    ) -> Self {
+        let n_types = graph.node_counts.len();
+        RSageLayer {
+            w_self: (0..n_types)
+                .map(|_| Param::new(rng.glorot_matrix(in_dim, out_dim)))
+                .collect(),
+            w_rel: graph
+                .relations
+                .iter()
+                .map(|_| Param::new(rng.glorot_matrix(in_dim, out_dim)))
+                .collect(),
+            bias: (0..n_types)
+                .map(|_| Param::new(Matrix::zeros(1, out_dim)))
+                .collect(),
+            rel_types: graph
+                .relations
+                .iter()
+                .map(|r| (r.src_type, r.dst_type))
+                .collect(),
+            act,
+            in_dim,
+        }
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.w_self[0].value.cols()
+    }
+
+    /// Forward over a typed block. `h_src[t]` has one row per src node of
+    /// type `t`. Returns per-type dst representations.
+    pub fn forward(&self, block: &HeteroBlock, h_src: &[Matrix]) -> (Vec<Matrix>, RSageCtx) {
+        let n_types = block.dst.len();
+        let out_dim = self.out_dim();
+
+        // Self term per type.
+        let mut out: Vec<Matrix> = (0..n_types)
+            .map(|t| {
+                let n_dst = block.dst[t].len();
+                if n_dst == 0 {
+                    return Matrix::zeros(0, out_dim);
+                }
+                let self_rows = h_src[t].gather_rows(&(0..n_dst).collect::<Vec<_>>());
+                let mut z = ops::matmul(&self_rows, &self.w_self[t].value).expect("rsage self");
+                ops::add_bias(&mut z, self.bias[t].value.row(0));
+                z
+            })
+            .collect();
+
+        // Relation terms.
+        let mut rel_agg = Vec::with_capacity(self.rel_types.len());
+        for (r, &(src_t, dst_t)) in self.rel_types.iter().enumerate() {
+            let agg = mean_agg_rel(&block.rel_adj[r], &h_src[src_t], self.in_dim);
+            if agg.rows() > 0 {
+                let z = ops::matmul(&agg, &self.w_rel[r].value).expect("rsage rel");
+                ops::add_assign(&mut out[dst_t], &z).expect("rsage rel add");
+            }
+            rel_agg.push(agg);
+        }
+
+        for o in &mut out {
+            self.act.forward_inplace(o);
+        }
+        let ctx = RSageCtx {
+            rel_agg,
+            out: out.clone(),
+        };
+        (out, ctx)
+    }
+
+    /// Backward; accumulates parameter grads, returns per-type `d_h_src`.
+    pub fn backward(
+        &mut self,
+        block: &HeteroBlock,
+        ctx: &RSageCtx,
+        h_src: &[Matrix],
+        d_out: &[Matrix],
+    ) -> Vec<Matrix> {
+        let n_types = block.dst.len();
+        let in_dim = self.in_dim;
+
+        // Activation backward per type.
+        let dz: Vec<Matrix> = (0..n_types)
+            .map(|t| {
+                let mut d = d_out[t].clone();
+                self.act.backward_inplace(&mut d, &ctx.out[t]);
+                d
+            })
+            .collect();
+
+        let mut d_h_src: Vec<Matrix> = (0..n_types)
+            .map(|t| Matrix::zeros(block.src[t].len(), in_dim))
+            .collect();
+
+        // Self path.
+        for t in 0..n_types {
+            let n_dst = block.dst[t].len();
+            if n_dst == 0 {
+                continue;
+            }
+            let self_rows = h_src[t].gather_rows(&(0..n_dst).collect::<Vec<_>>());
+            let dw = ops::matmul_at_b(&self_rows, &dz[t]).expect("rsage dW_self");
+            ops::add_assign(&mut self.w_self[t].grad, &dw).expect("rsage dW_self acc");
+            for (g, d) in self.bias[t]
+                .grad
+                .row_mut(0)
+                .iter_mut()
+                .zip(ops::column_sums(&dz[t]))
+            {
+                *g += d;
+            }
+            let d_self = ops::matmul_a_bt(&dz[t], &self.w_self[t].value).expect("rsage d_self");
+            for v in 0..n_dst {
+                let dst = d_h_src[t].row_mut(v);
+                for (x, &g) in dst.iter_mut().zip(d_self.row(v)) {
+                    *x += g;
+                }
+            }
+        }
+
+        // Relation paths.
+        for (r, &(src_t, dst_t)) in self.rel_types.iter().enumerate() {
+            let agg = &ctx.rel_agg[r];
+            if agg.rows() == 0 {
+                continue;
+            }
+            let dw = ops::matmul_at_b(agg, &dz[dst_t]).expect("rsage dW_rel");
+            ops::add_assign(&mut self.w_rel[r].grad, &dw).expect("rsage dW_rel acc");
+            let d_agg = ops::matmul_a_bt(&dz[dst_t], &self.w_rel[r].value).expect("rsage d_agg");
+            mean_agg_rel_backward(&block.rel_adj[r], &d_agg, &mut d_h_src[src_t]);
+        }
+
+        d_h_src
+    }
+
+    /// Mutable parameter references (stable order).
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.w_self
+            .iter_mut()
+            .chain(self.w_rel.iter_mut())
+            .chain(self.bias.iter_mut())
+            .collect()
+    }
+}
+
+/// Mean aggregation over one relation's adjacency (rows = relation dst).
+fn mean_agg_rel(adj: &Csr2, h_src: &Matrix, dim: usize) -> Matrix {
+    let mut out = Matrix::zeros(adj.num_nodes(), dim);
+    for v in 0..adj.num_nodes() {
+        let nbrs = adj.neighbors(v);
+        if nbrs.is_empty() {
+            continue;
+        }
+        let inv = 1.0 / nbrs.len() as f32;
+        let row = out.row_mut(v);
+        for &u in nbrs {
+            for (x, &s) in row.iter_mut().zip(h_src.row(u as usize)) {
+                *x += s;
+            }
+        }
+        for x in row.iter_mut() {
+            *x *= inv;
+        }
+    }
+    out
+}
+
+/// Backward of [`mean_agg_rel`].
+fn mean_agg_rel_backward(adj: &Csr2, d_agg: &Matrix, d_h_src: &mut Matrix) {
+    for v in 0..adj.num_nodes() {
+        let nbrs = adj.neighbors(v);
+        if nbrs.is_empty() {
+            continue;
+        }
+        let inv = 1.0 / nbrs.len() as f32;
+        let g = d_agg.row(v);
+        for &u in nbrs {
+            let dst = d_h_src.row_mut(u as usize);
+            for (x, &gv) in dst.iter_mut().zip(g) {
+                *x += inv * gv;
+            }
+        }
+    }
+}
+
+/// A stacked R-SAGE model.
+pub struct RSageModel {
+    /// Layers in input→output order.
+    pub layers: Vec<RSageLayer>,
+    /// Target node type for classification.
+    pub target_type: usize,
+}
+
+/// Forward state of an R-SAGE pass.
+pub struct RSageTrace {
+    /// `h[l][t]`: representations of type `t` at level `l` (level 0 = input).
+    pub h: Vec<Vec<Matrix>>,
+    /// Per-layer contexts.
+    pub ctx: Vec<RSageCtx>,
+}
+
+impl RSageModel {
+    /// Build with `dims = [in, hidden, ..., out]`; the final layer outputs
+    /// logits for the target type.
+    pub fn new(
+        graph: &HeteroGraph,
+        target_type: usize,
+        dims: &[usize],
+        rng: &mut Rng,
+    ) -> Self {
+        assert!(dims.len() >= 2);
+        let n_layers = dims.len() - 1;
+        let layers = (0..n_layers)
+            .map(|i| {
+                let act = if i + 1 == n_layers {
+                    Activation::None
+                } else {
+                    Activation::Relu
+                };
+                RSageLayer::new(graph, dims[i], dims[i + 1], act, rng)
+            })
+            .collect();
+        RSageModel {
+            layers,
+            target_type,
+        }
+    }
+
+    /// Forward over a typed mini-batch; `h0[t]` holds input features for
+    /// the input block's src nodes of type `t`.
+    pub fn forward(&self, mb: &HeteroMiniBatch, h0: Vec<Matrix>) -> RSageTrace {
+        self.forward_with(mb, h0, |_, _| {})
+    }
+
+    /// Forward with a between-layer hook: `hook(level, &mut h_level)` runs
+    /// on each level's per-type representations before they feed the next
+    /// layer — the historical-cache override point, as in the homogeneous
+    /// [`crate::model::Model::forward_with`].
+    pub fn forward_with(
+        &self,
+        mb: &HeteroMiniBatch,
+        h0: Vec<Matrix>,
+        mut hook: impl FnMut(usize, &mut Vec<Matrix>),
+    ) -> RSageTrace {
+        assert_eq!(mb.blocks.len(), self.layers.len());
+        let mut h = vec![h0];
+        let mut ctx = Vec::with_capacity(self.layers.len());
+        for (l, layer) in self.layers.iter().enumerate() {
+            let (mut out, c) = layer.forward(&mb.blocks[l], &h[l]);
+            hook(l + 1, &mut out);
+            h.push(out);
+            ctx.push(c);
+        }
+        RSageTrace { h, ctx }
+    }
+
+    /// Logits for the seed nodes.
+    pub fn logits<'a>(&self, trace: &'a RSageTrace) -> &'a Matrix {
+        &trace.h[self.layers.len()][self.target_type]
+    }
+
+    /// Backward from `d_logits` on the target type.
+    pub fn backward(&mut self, mb: &HeteroMiniBatch, trace: &RSageTrace, d_logits: Matrix) {
+        self.backward_with(mb, trace, d_logits, |_, _| {})
+    }
+
+    /// Backward with a per-level gradient hook: `hook(level, &mut d)`
+    /// fires with the per-type gradients w.r.t. level `level` before they
+    /// propagate through layer `level-1` — where the cache policy harvests
+    /// gradient norms and detaches cache-read rows.
+    pub fn backward_with(
+        &mut self,
+        mb: &HeteroMiniBatch,
+        trace: &RSageTrace,
+        d_logits: Matrix,
+        mut hook: impl FnMut(usize, &mut Vec<Matrix>),
+    ) {
+        let n_types = mb.blocks[0].dst.len();
+        let top = self.layers.len();
+        let mut d: Vec<Matrix> = (0..n_types)
+            .map(|t| {
+                if t == self.target_type {
+                    d_logits.clone()
+                } else {
+                    let m = &trace.h[top][t];
+                    Matrix::zeros(m.rows(), m.cols())
+                }
+            })
+            .collect();
+        for l in (0..self.layers.len()).rev() {
+            hook(l + 1, &mut d);
+            d = self.layers[l].backward(&mb.blocks[l], &trace.ctx[l], &trace.h[l], &d);
+        }
+    }
+
+    /// Zero all parameter gradients.
+    pub fn zero_grad(&mut self) {
+        for l in &mut self.layers {
+            for p in l.params_mut() {
+                p.zero_grad();
+            }
+        }
+    }
+
+    /// All parameters in stable order.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::softmax_cross_entropy;
+    use fgnn_graph::hetero::{mag_hetero, HeteroSampler};
+
+    fn setup() -> (
+        fgnn_graph::hetero::HeteroDataset,
+        HeteroMiniBatch,
+        Vec<Matrix>,
+    ) {
+        let ds = mag_hetero(200, 3, 6, 7);
+        let mut sampler = HeteroSampler::new(&ds.graph);
+        let mut rng = Rng::new(8);
+        let seeds: Vec<u32> = ds.train_nodes[..6].to_vec();
+        let mb = sampler.sample(&ds.graph, 0, &seeds, &[3, 3], &mut rng);
+        let h0: Vec<Matrix> = (0..3)
+            .map(|t| {
+                let ids: Vec<usize> =
+                    mb.blocks[0].src[t].iter().map(|&g| g as usize).collect();
+                ds.features[t].gather_rows(&ids)
+            })
+            .collect();
+        (ds, mb, h0)
+    }
+
+    #[test]
+    fn forward_produces_target_logits() {
+        let (ds, mb, h0) = setup();
+        let mut rng = Rng::new(9);
+        let model = RSageModel::new(&ds.graph, 0, &[6, 8, 3], &mut rng);
+        let trace = model.forward(&mb, h0);
+        assert_eq!(model.logits(&trace).shape(), (6, 3));
+    }
+
+    #[test]
+    fn backward_populates_all_parameter_grads_touched() {
+        let (ds, mb, h0) = setup();
+        let mut rng = Rng::new(10);
+        let mut model = RSageModel::new(&ds.graph, 0, &[6, 8, 3], &mut rng);
+        let trace = model.forward(&mb, h0);
+        let labels: Vec<u16> = mb.seeds.iter().map(|&s| ds.labels[s as usize]).collect();
+        let (loss, d_logits) = softmax_cross_entropy(model.logits(&trace), &labels);
+        assert!(loss.is_finite());
+        model.backward(&mb, &trace, d_logits);
+        // Self weight of the paper type must receive gradient.
+        assert!(model.layers[0].w_self[0].grad.frobenius_norm() > 0.0);
+        // The cites relation (paper->paper) must receive gradient.
+        assert!(model.layers[1].w_rel[0].grad.frobenius_norm() > 0.0);
+    }
+
+    #[test]
+    fn parameter_gradients_match_finite_difference_sampled() {
+        let (ds, mb, h0) = setup();
+        let mut rng = Rng::new(11);
+        let mut model = RSageModel::new(&ds.graph, 0, &[6, 4, 3], &mut rng);
+        let labels: Vec<u16> = mb.seeds.iter().map(|&s| ds.labels[s as usize]).collect();
+
+        model.zero_grad();
+        let trace = model.forward(&mb, h0.clone());
+        let (_, d_logits) = softmax_cross_entropy(model.logits(&trace), &labels);
+        model.backward(&mb, &trace, d_logits);
+        let analytic: Vec<Matrix> = model.params_mut().iter().map(|p| p.grad.clone()).collect();
+
+        // Per-tensor cosine comparison (see `gradcheck` module docs for why
+        // per-entry relative error is the wrong metric in f32).
+        let eps = 1e-3f32;
+        let mut min_cos = 1.0f32;
+        let mut max_abs = 0.0f32;
+        for pi in 0..analytic.len() {
+            let n = analytic[pi].rows() * analytic[pi].cols();
+            let mut a_vec = Vec::new();
+            let mut n_vec = Vec::new();
+            for k in (0..n).step_by(5) {
+                let mut eval = |delta: f32| {
+                    {
+                        let mut ps = model.params_mut();
+                        ps[pi].value.as_mut_slice()[k] += delta;
+                    }
+                    let tr = model.forward(&mb, h0.clone());
+                    let (l, _) = softmax_cross_entropy(model.logits(&tr), &labels);
+                    {
+                        let mut ps = model.params_mut();
+                        ps[pi].value.as_mut_slice()[k] -= delta;
+                    }
+                    l
+                };
+                let numeric = (eval(eps) - eval(-eps)) / (2.0 * eps);
+                let a = analytic[pi].as_slice()[k];
+                max_abs = max_abs.max((a - numeric).abs());
+                a_vec.push(a);
+                n_vec.push(numeric);
+            }
+            let scale = a_vec.iter().map(|x| x * x).sum::<f32>().sqrt();
+            if scale > 1e-3 {
+                min_cos = min_cos.min(fgnn_tensor::stats::cosine_similarity(&a_vec, &n_vec));
+            }
+        }
+        assert!(
+            min_cos > 0.99 && max_abs < 0.05,
+            "min cosine {min_cos}, max abs err {max_abs}"
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Cache tuning: explore the `p_grad` / `t_stale` design space (§7.4) on
+//! your own workload before committing to thresholds.
+//!
+//! ```bash
+//! cargo run --release --example cache_tuning
+//! ```
+
+use freshgnn_repro::core::{FreshGnnConfig, Trainer};
+use freshgnn_repro::graph::datasets::products_spec;
+use freshgnn_repro::graph::Dataset;
+use freshgnn_repro::memsim::presets::Machine;
+use freshgnn_repro::nn::model::Arch;
+use freshgnn_repro::nn::Adam;
+
+fn main() {
+    let ds = Dataset::materialize(products_spec(0.002).with_dim(48), 21);
+    println!(
+        "products-s: {} nodes, {} train; sweeping the cache thresholds\n",
+        ds.num_nodes(),
+        ds.train_nodes.len()
+    );
+    println!(
+        "{:<10}{:<10}{:<14}{:<12}{:<12}",
+        "p_grad", "t_stale", "I/O saving", "hit rate", "test acc"
+    );
+
+    for &(p_grad, t_stale) in &[
+        (0.0f32, 0u32), // plain neighbor sampling
+        (0.5, 20),
+        (0.9, 5),
+        (0.9, 20),
+        (0.9, 80),
+        (1.0, 80), // the GAS-like corner: fast but risky
+    ] {
+        let cfg = FreshGnnConfig {
+            p_grad,
+            t_stale,
+            fanouts: vec![8, 8],
+            batch_size: 256,
+            ..Default::default()
+        };
+        let mut t = Trainer::new(&ds, Arch::Sage, 64, Machine::single_a100(), cfg, 21);
+        let mut opt = Adam::new(0.003);
+        for _ in 0..10 {
+            t.train_epoch(&ds, &mut opt);
+        }
+        let acc = t.evaluate(&ds, &ds.test_nodes[..2000.min(ds.test_nodes.len())], 512);
+        println!(
+            "{:<10}{:<10}{:<14}{:<12}{:<12.4}",
+            p_grad,
+            t_stale,
+            format!("{:.1}%", t.counters.io_saving() * 100.0),
+            format!("{:.1}%", t.cache.stats().hit_rate() * 100.0),
+            acc
+        );
+    }
+    println!("\nrule of thumb (paper §7.4): p_grad up to ~0.9 is safe; express");
+    println!("t_stale as a fraction of your iterations-per-epoch.");
+}

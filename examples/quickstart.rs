@@ -1,0 +1,68 @@
+//! Quickstart: train a GraphSAGE model with FreshGNN's historical
+//! embedding cache on a synthetic ogbn-arxiv-like graph.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use freshgnn_repro::core::{FreshGnnConfig, Trainer};
+use freshgnn_repro::graph::datasets::arxiv_spec;
+use freshgnn_repro::graph::Dataset;
+use freshgnn_repro::memsim::presets::Machine;
+use freshgnn_repro::nn::model::Arch;
+use freshgnn_repro::nn::Adam;
+
+fn main() {
+    // 1. A dataset: synthetic stand-in for ogbn-arxiv at 1/1000 scale.
+    //    (Swap in your own graph via `fgnn_graph::Csr` + a feature matrix.)
+    let ds = Dataset::materialize(arxiv_spec(0.001).with_dim(64), 42);
+    println!(
+        "dataset: {} nodes, {} edges, {} classes, {} train nodes",
+        ds.num_nodes(),
+        ds.graph.num_edges(),
+        ds.spec.num_classes,
+        ds.train_nodes.len()
+    );
+
+    // 2. The FreshGNN configuration: the paper's defaults are
+    //    p_grad = 0.9 and t_stale = 200; t_stale counts *iterations*, so
+    //    scale it with your iterations-per-epoch.
+    let cfg = FreshGnnConfig {
+        p_grad: 0.9,
+        t_stale: 50,
+        fanouts: vec![10, 10],
+        batch_size: 256,
+        ..Default::default()
+    };
+
+    // 3. Build the trainer (model + cache + loader + simulated machine)
+    //    and train.
+    let mut trainer = Trainer::new(&ds, Arch::Sage, 128, Machine::single_a100(), cfg, 42);
+    let mut opt = Adam::new(0.003);
+    for epoch in 1..=10 {
+        let stats = trainer.train_epoch(&ds, &mut opt);
+        let acc = trainer.evaluate(&ds, &ds.val_nodes, 512);
+        println!(
+            "epoch {epoch:2}: loss {:.4}, val acc {:.4}, cache reads {}, I/O saved {:.1}%",
+            stats.mean_loss,
+            acc,
+            stats.cache_reads,
+            stats.counters.io_saving() * 100.0
+        );
+    }
+
+    // 4. Final test accuracy and the cache's behaviour summary.
+    let test_acc = trainer.evaluate(&ds, &ds.test_nodes, 512);
+    let cs = trainer.cache.stats();
+    println!("\ntest accuracy: {test_acc:.4}");
+    println!(
+        "cache: {} hits / {} misses ({:.1}% hit rate), {} admits, {} grad-evictions, {} stale-evictions",
+        cs.hits,
+        cs.misses,
+        cs.hit_rate() * 100.0,
+        cs.admits,
+        cs.grad_evictions,
+        cs.stale_evictions
+    );
+    println!("{}", trainer.counters);
+}

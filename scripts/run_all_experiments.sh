@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Run every paper-reproduction experiment and collect logs under results/.
+# Usage: ./scripts/run_all_experiments.sh [--quick]
+set -uo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+
+QUICK=""
+if [[ "${1:-}" == "--quick" ]]; then QUICK=1; fi
+
+run() {
+  local name="$1"; shift
+  echo "=== $name $* ==="
+  cargo run --release -p fgnn-bench --bin "$name" -- "$@" | tee "results/$name.txt"
+  echo
+}
+
+cargo build --release -p fgnn-bench
+
+run exp_table2_datasets
+run exp_table1_prune_complexity
+run exp_fig01_estimation_error ${QUICK:+--iters 120}
+run exp_fig03_embedding_stability ${QUICK:+--iters 150}
+run exp_fig02_accuracy_gap ${QUICK:+--steps 300}
+run exp_table3_accuracy ${QUICK:+--steps 250}
+run exp_fig10_epoch_time
+run exp_fig11_multi_gpu_scaling
+run exp_fig12_time_to_accuracy ${QUICK:+--epochs 30}
+run exp_fig13_cache_sweep ${QUICK:+--epochs 12}
+run exp_fig14_subgraph_generator
+run exp_fig15_comm_bandwidth
+run exp_fig16_hetero ${QUICK:+--papers 6000 --epochs 9}
+run exp_fig17_training_curves ${QUICK:+--epochs 24}
+run exp_appendixB_sgc_convergence
+run exp_ablation_policy ${QUICK:+--epochs 30}
+run exp_ext_sampling_families ${QUICK:+--epochs 30}
+run exp_ext_stability_hypothesis
+
+echo "all experiment logs in results/"

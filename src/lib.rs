@@ -1,0 +1,13 @@
+#![warn(missing_docs)]
+//! # freshgnn-repro
+//!
+//! Workspace facade crate: re-exports the public API of every crate in the
+//! FreshGNN reproduction so examples and integration tests have one import
+//! root. See `README.md` for the architecture overview and `DESIGN.md` for
+//! the paper-to-module mapping.
+
+pub use fgnn_graph as graph;
+pub use fgnn_memsim as memsim;
+pub use fgnn_nn as nn;
+pub use fgnn_tensor as tensor;
+pub use freshgnn as core;

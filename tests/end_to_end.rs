@@ -1,0 +1,160 @@
+//! End-to-end integration tests spanning all crates: dataset generation →
+//! sampling → cache-aware training → evaluation.
+
+use freshgnn_repro::core::config::LoadMode;
+use freshgnn_repro::core::{FreshGnnConfig, Trainer};
+use freshgnn_repro::graph::datasets::{arxiv_spec, products_spec};
+use freshgnn_repro::graph::Dataset;
+use freshgnn_repro::memsim::presets::Machine;
+use freshgnn_repro::nn::model::Arch;
+use freshgnn_repro::nn::Adam;
+
+fn tiny(seed: u64) -> Dataset {
+    Dataset::materialize(arxiv_spec(0.0).with_dim(16), seed)
+}
+
+fn cfg(p_grad: f32, t_stale: u32) -> FreshGnnConfig {
+    FreshGnnConfig {
+        p_grad,
+        t_stale,
+        fanouts: vec![4, 4],
+        batch_size: 64,
+        ..Default::default()
+    }
+}
+
+/// `p_grad = 0` must be *exactly* vanilla neighbor sampling: identical
+/// parameters after identical training (the §4.1 degeneration claim,
+/// verified bitwise).
+#[test]
+fn p_grad_zero_is_bitwise_neighbor_sampling() {
+    let ds = tiny(1);
+    let machine = Machine::single_a100();
+    let mut a = Trainer::new(&ds, Arch::Sage, 16, machine.clone(), cfg(0.0, 0), 9);
+    let mut b = Trainer::new(
+        &ds,
+        Arch::Sage,
+        16,
+        machine,
+        FreshGnnConfig::neighbor_sampling(vec![4, 4], 64),
+        9,
+    );
+    let mut oa = Adam::new(0.01);
+    let mut ob = Adam::new(0.01);
+    for _ in 0..3 {
+        a.train_epoch(&ds, &mut oa);
+        b.train_epoch(&ds, &mut ob);
+    }
+    for (pa, pb) in a.model.params_mut().iter().zip(b.model.params_mut().iter()) {
+        assert_eq!(pa.value.as_slice(), pb.value.as_slice());
+    }
+}
+
+/// The cache must strictly reduce wire traffic while keeping accuracy in
+/// the same band — on every architecture.
+#[test]
+fn cache_saves_traffic_for_every_architecture() {
+    let ds = Dataset::materialize(products_spec(0.0005).with_dim(16), 2);
+    for arch in [Arch::Gcn, Arch::Sage, Arch::Gat] {
+        let machine = Machine::single_a100();
+        let mut plain = Trainer::new(&ds, arch, 16, machine.clone(), cfg(0.0, 0), 5);
+        let mut fresh = Trainer::new(&ds, arch, 16, machine, cfg(0.9, 20), 5);
+        let mut op = Adam::new(0.005);
+        let mut of = Adam::new(0.005);
+        for _ in 0..4 {
+            plain.train_epoch(&ds, &mut op);
+            fresh.train_epoch(&ds, &mut of);
+        }
+        assert!(
+            fresh.counters.host_to_gpu_bytes < plain.counters.host_to_gpu_bytes,
+            "{arch:?}: cache failed to reduce traffic"
+        );
+        let ap = plain.evaluate(&ds, &ds.test_nodes, 128);
+        let af = fresh.evaluate(&ds, &ds.test_nodes, 128);
+        assert!(
+            (ap - af).abs() < 0.15,
+            "{arch:?}: accuracy drifted too far: plain {ap} vs cached {af}"
+        );
+    }
+}
+
+/// Two-sided loading moves extra index bytes and takes longer in simulated
+/// time — the §6 comparison, end to end.
+#[test]
+fn two_sided_loading_costs_more_than_one_sided() {
+    let ds = tiny(3);
+    let machine = Machine::single_a100();
+    let mk = |mode| {
+        let mut c = cfg(0.0, 0);
+        c.load_mode = mode;
+        c
+    };
+    let mut one = Trainer::new(&ds, Arch::Sage, 16, machine.clone(), mk(LoadMode::OneSided), 4);
+    let mut two = Trainer::new(&ds, Arch::Sage, 16, machine, mk(LoadMode::TwoSided), 4);
+    let mut o1 = Adam::new(0.01);
+    let mut o2 = Adam::new(0.01);
+    one.train_epoch(&ds, &mut o1);
+    two.train_epoch(&ds, &mut o2);
+    assert_eq!(one.counters.index_bytes, 0);
+    assert!(two.counters.index_bytes > 0);
+    assert!(two.counters.transfer_seconds > one.counters.transfer_seconds);
+    // Same payload either way.
+    assert_eq!(one.counters.host_to_gpu_bytes, two.counters.host_to_gpu_bytes);
+}
+
+/// Determinism: the same seed must reproduce the same training run
+/// (losses, traffic, cache statistics) exactly.
+#[test]
+fn training_is_deterministic_in_the_seed() {
+    let ds = tiny(4);
+    let run = || {
+        let mut t = Trainer::new(
+            &ds,
+            Arch::Gcn,
+            16,
+            Machine::single_a100(),
+            cfg(0.9, 30),
+            77,
+        );
+        let mut opt = Adam::new(0.01);
+        let mut losses = Vec::new();
+        for _ in 0..3 {
+            losses.push(t.train_epoch(&ds, &mut opt).mean_loss);
+        }
+        (losses, t.counters.host_to_gpu_bytes, t.cache.stats())
+    };
+    let (l1, b1, s1) = run();
+    let (l2, b2, s2) = run();
+    assert_eq!(l1, l2);
+    assert_eq!(b1, b2);
+    assert_eq!(s1.hits, s2.hits);
+    assert_eq!(s1.admits, s2.admits);
+}
+
+/// The full paper pipeline on a mid-size graph: train to usable accuracy
+/// with >30% I/O saved.
+#[test]
+fn full_pipeline_reaches_accuracy_with_io_savings() {
+    let ds = Dataset::materialize(products_spec(0.001).with_dim(24), 6);
+    let mut t = Trainer::new(
+        &ds,
+        Arch::Sage,
+        32,
+        Machine::single_a100(),
+        cfg(0.9, 10),
+        6,
+    );
+    let mut opt = Adam::new(0.005);
+    for _ in 0..14 {
+        t.train_epoch(&ds, &mut opt);
+    }
+    // 47-class task: far above the ~2% random baseline.
+    let acc = t.evaluate(&ds, &ds.test_nodes, 256);
+    assert!(acc > 0.45, "accuracy {acc}");
+    assert!(
+        t.counters.io_saving() > 0.3,
+        "I/O saving {:.3}",
+        t.counters.io_saving()
+    );
+    assert!(t.cache.stats().hit_rate() > 0.3);
+}
