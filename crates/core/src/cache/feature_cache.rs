@@ -48,9 +48,27 @@ impl StaticFeatureCache {
         self.len
     }
 
+    /// Size of the node ID space this cache covers.
+    pub fn num_nodes(&self) -> usize {
+        self.resident.len()
+    }
+
     /// Whether the cache holds nothing.
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// Serializable residency bitmap (for checkpointing — the selection is
+    /// deterministic given the graph, but saving it avoids recomputing the
+    /// degree order on resume and keeps the restore self-contained).
+    pub fn export(&self) -> Vec<bool> {
+        self.resident.clone()
+    }
+
+    /// Rebuild from [`StaticFeatureCache::export`].
+    pub fn import(resident: Vec<bool>) -> Self {
+        let len = resident.iter().filter(|&&r| r).count();
+        StaticFeatureCache { resident, len }
     }
 }
 

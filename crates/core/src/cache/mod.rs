@@ -7,7 +7,7 @@ pub mod ring;
 
 pub use feature_cache::StaticFeatureCache;
 pub use policy::{apply_policy, gradient_policy, PolicyInput, PolicyKind, Verdict};
-pub use ring::RingCache;
+pub use ring::{RingCache, RingSnapshot};
 
 use fgnn_graph::NodeId;
 use fgnn_tensor::Matrix;
@@ -190,6 +190,96 @@ impl HistoricalCache {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Full serializable state (for checkpointing).
+    pub fn snapshot(&self) -> CacheSnapshot {
+        CacheSnapshot {
+            levels: self
+                .levels
+                .iter()
+                .map(|l| l.as_ref().map(RingCache::snapshot))
+                .collect(),
+            t_stale: self.t_stale,
+            hits: self.hits,
+            misses: self.misses,
+            admits: self.admits,
+            keeps: self.keeps,
+        }
+    }
+
+    /// Replace this cache's state with a snapshot taken from an
+    /// identically-configured cache. The level layout (which levels are
+    /// enabled) must match the current configuration; contents and
+    /// counters are restored verbatim.
+    pub fn restore(&mut self, snapshot: CacheSnapshot) -> Result<(), String> {
+        if snapshot.levels.len() != self.levels.len() {
+            return Err(format!(
+                "cache snapshot has {} levels, config expects {}",
+                snapshot.levels.len(),
+                self.levels.len()
+            ));
+        }
+        let mut levels = Vec::with_capacity(snapshot.levels.len());
+        for (i, (snap, cur)) in snapshot.levels.into_iter().zip(&self.levels).enumerate() {
+            match (snap, cur) {
+                (Some(s), Some(cur)) => {
+                    if s.table.cols() != cur.dim() {
+                        return Err(format!(
+                            "cache snapshot level {} dim {} != configured {}",
+                            i + 1,
+                            s.table.cols(),
+                            cur.dim()
+                        ));
+                    }
+                    levels.push(Some(RingCache::from_snapshot(s)?));
+                }
+                (None, None) => levels.push(None),
+                _ => {
+                    return Err(format!(
+                        "cache snapshot level {} enabled-ness disagrees with config",
+                        i + 1
+                    ))
+                }
+            }
+        }
+        self.levels = levels;
+        self.t_stale = snapshot.t_stale;
+        self.hits = snapshot.hits;
+        self.misses = snapshot.misses;
+        self.admits = snapshot.admits;
+        self.keeps = snapshot.keeps;
+        Ok(())
+    }
+
+    /// Drop all cached entries and counters, keeping the configuration
+    /// (used for graceful degradation when a checkpoint's cache segment is
+    /// missing or corrupt: training resumes correct but cold).
+    pub fn clear(&mut self) {
+        for c in self.levels.iter_mut().flatten() {
+            *c = RingCache::new(c.num_nodes(), c.capacity(), c.dim());
+        }
+        self.hits = 0;
+        self.misses = 0;
+        self.admits = 0;
+        self.keeps = 0;
+    }
+}
+
+/// Serializable state of a [`HistoricalCache`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct CacheSnapshot {
+    /// Per-level ring snapshots (`None` = level not cached).
+    pub levels: Vec<Option<RingSnapshot>>,
+    /// Staleness bound at snapshot time.
+    pub t_stale: u32,
+    /// Lookup-hit counter.
+    pub hits: u64,
+    /// Lookup-miss counter.
+    pub misses: u64,
+    /// Admission counter.
+    pub admits: u64,
+    /// Keep counter.
+    pub keeps: u64,
 }
 
 #[cfg(test)]

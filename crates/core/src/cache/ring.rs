@@ -68,6 +68,11 @@ impl RingCache {
         self.node_of.len()
     }
 
+    /// Size of the node ID space this cache maps.
+    pub fn num_nodes(&self) -> usize {
+        self.slot_of.len()
+    }
+
     /// Number of live entries (O(capacity); used by tests/metrics only).
     pub fn len(&self) -> usize {
         self.node_of
@@ -179,6 +184,86 @@ impl RingCache {
     pub fn bytes(&self) -> usize {
         self.table.as_slice().len() * 4 + self.slot_of.len() * 4 + self.node_of.len() * 8
     }
+
+    /// Full serializable state (for checkpointing).
+    pub fn snapshot(&self) -> RingSnapshot {
+        RingSnapshot {
+            table: self.table.clone(),
+            slot_of: self.slot_of.clone(),
+            node_of: self.node_of.clone(),
+            stamp: self.stamp.clone(),
+            head: self.head,
+            stale_evictions: self.stale_evictions,
+            grad_evictions: self.grad_evictions,
+            overwrites: self.overwrites,
+        }
+    }
+
+    /// Rebuild a cache from a [`RingSnapshot`], validating structural
+    /// consistency (a corrupt-but-checksum-passing snapshot must not
+    /// produce out-of-bounds slots later).
+    pub fn from_snapshot(s: RingSnapshot) -> Result<RingCache, String> {
+        let cap = s.table.rows();
+        if cap == 0 {
+            return Err("ring snapshot with empty table".into());
+        }
+        if s.node_of.len() != cap || s.stamp.len() != cap {
+            return Err(format!(
+                "ring snapshot maps disagree with capacity {cap}: node_of {} stamp {}",
+                s.node_of.len(),
+                s.stamp.len()
+            ));
+        }
+        if s.head >= cap {
+            return Err(format!("ring head {} out of range {cap}", s.head));
+        }
+        if let Some(&bad) = s
+            .slot_of
+            .iter()
+            .find(|&&slot| slot != INVALID && slot as usize >= cap)
+        {
+            return Err(format!("slot_of entry {bad} out of range {cap}"));
+        }
+        if let Some(&bad) = s
+            .node_of
+            .iter()
+            .find(|&&node| node != INVALID && node as usize >= s.slot_of.len())
+        {
+            return Err(format!("node_of entry {bad} out of node range"));
+        }
+        Ok(RingCache {
+            dim: s.table.cols(),
+            table: s.table,
+            slot_of: s.slot_of,
+            node_of: s.node_of,
+            stamp: s.stamp,
+            head: s.head,
+            stale_evictions: s.stale_evictions,
+            grad_evictions: s.grad_evictions,
+            overwrites: s.overwrites,
+        })
+    }
+}
+
+/// Serializable state of a [`RingCache`] (see [`RingCache::snapshot`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RingSnapshot {
+    /// Embedding table, `capacity x dim`.
+    pub table: Matrix,
+    /// node → slot map.
+    pub slot_of: Vec<u32>,
+    /// slot → node map.
+    pub node_of: Vec<u32>,
+    /// slot → admission iteration.
+    pub stamp: Vec<u32>,
+    /// Ring header position.
+    pub head: usize,
+    /// Staleness-eviction counter.
+    pub stale_evictions: u64,
+    /// Gradient-eviction counter.
+    pub grad_evictions: u64,
+    /// Ring-overwrite counter.
+    pub overwrites: u64,
 }
 
 #[cfg(test)]
@@ -282,5 +367,114 @@ mod tests {
         let small = c.bytes();
         let c2 = RingCache::new(100, 16, 4);
         assert!(c2.bytes() > small);
+    }
+
+    #[test]
+    fn t_stale_one_wrap_around_recycles_without_growth() {
+        // The tightest live staleness bound: entries survive exactly one
+        // iteration. Drive the header around the ring several times and
+        // check it recycles slots instead of growing.
+        let mut c = RingCache::new(20, 4, 1);
+        for now in 0..16u32 {
+            // At iteration `now`, entries stamped `now - 1` are still
+            // fresh; entries stamped `now - 2` are overwritable.
+            c.admit(now, &row(now as f32, 1), now, 1);
+            assert!(c.lookup(now, now, 1).is_some(), "fresh at admit time");
+            if now >= 1 {
+                assert!(
+                    c.lookup(now - 1, now, 1).is_some(),
+                    "iter {now}: age-1 entry still within t_stale = 1"
+                );
+            }
+            if now >= 2 {
+                assert!(
+                    c.lookup(now - 2, now, 1).is_none(),
+                    "iter {now}: age-2 entry must be stale"
+                );
+            }
+        }
+        // One wrap with everything stale: capacity 4 admits 16 entries by
+        // recycling. (Growth can legally trigger once while the ring warms
+        // up, but it must not compound every wrap.)
+        assert!(c.capacity() <= 8, "capacity {}", c.capacity());
+        assert!(c.overwrites + c.stale_evictions > 8);
+    }
+
+    #[test]
+    fn admission_racing_eviction_on_same_slot() {
+        // Gradient-evict a node, then admit a different node into the very
+        // slot the ring recycles. The old node's mapping must not resurrect
+        // or alias the new occupant.
+        let mut c = RingCache::new(10, 2, 1);
+        c.admit(1, &row(1.0, 1), 0, 100);
+        let slot1 = c.lookup(1, 0, 100).unwrap();
+        c.evict(1);
+        // Head is at slot 1; fill it, then the next admit recycles slot 0
+        // (node 1's old slot) because its occupant mapping was invalidated.
+        c.admit(2, &row(2.0, 1), 1, 100);
+        c.admit(3, &row(3.0, 1), 1, 100);
+        let slot3 = c.lookup(3, 1, 100).unwrap();
+        assert_eq!(slot3, slot1, "ring reuses the evicted slot, no growth");
+        assert_eq!(c.capacity(), 2);
+        assert!(c.lookup(1, 1, 100).is_none(), "evicted node stays evicted");
+        assert_eq!(c.fetch(slot3), &[3.0]);
+        // And re-admitting the evicted node works like any fresh admission.
+        c.admit(1, &row(9.0, 1), 2, 100);
+        let s = c.lookup(1, 2, 100).unwrap();
+        assert_eq!(c.fetch(s), &[9.0]);
+    }
+
+    #[test]
+    fn lookup_exactly_at_staleness_boundary_is_a_hit() {
+        // age == t_stale is fresh; age == t_stale + 1 is stale — the
+        // boundary itself must hit (the paper reuses embeddings *up to*
+        // t_stale iterations old).
+        for t_stale in [0u32, 1, 7] {
+            let mut c = RingCache::new(4, 4, 1);
+            c.admit(0, &row(1.0, 1), 10, t_stale);
+            assert!(
+                c.lookup(0, 10 + t_stale, t_stale).is_some(),
+                "t_stale {t_stale}: boundary age is a hit"
+            );
+            assert!(
+                c.lookup(0, 10 + t_stale + 1, t_stale).is_none(),
+                "t_stale {t_stale}: boundary + 1 is stale"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_behavior() {
+        let mut c = RingCache::new(30, 4, 2);
+        for n in 0..10u32 {
+            c.admit(n, &row(n as f32, 2), n, 3);
+        }
+        c.evict(4);
+        let restored = RingCache::from_snapshot(c.snapshot()).expect("valid snapshot");
+        // Same live set, same counters, and identical future behavior.
+        assert_eq!(restored.len(), c.len());
+        assert_eq!(restored.grad_evictions, c.grad_evictions);
+        assert_eq!(restored.overwrites, c.overwrites);
+        let (mut a, mut b) = (c, restored);
+        for n in 10..20u32 {
+            a.admit(n, &row(n as f32, 2), n, 3);
+            b.admit(n, &row(n as f32, 2), n, 3);
+            assert_eq!(a.lookup(n - 1, n, 3), b.lookup(n - 1, n, 3));
+        }
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn snapshot_validation_rejects_corrupt_maps() {
+        let c = RingCache::new(10, 4, 2);
+        let mut s = c.snapshot();
+        s.head = 99;
+        assert!(RingCache::from_snapshot(s).is_err());
+        let mut s = RingCache::new(10, 4, 2).snapshot();
+        s.slot_of[3] = 77; // points past capacity
+        assert!(RingCache::from_snapshot(s).is_err());
+        let mut s = RingCache::new(10, 4, 2).snapshot();
+        s.node_of.truncate(2);
+        assert!(RingCache::from_snapshot(s).is_err());
     }
 }

@@ -1,0 +1,226 @@
+//! Minimal bounded multi-producer single-consumer channel.
+//!
+//! Replaces `crossbeam::channel::bounded` for the async sampler so the
+//! workspace carries no registry dependencies (the tier-1 gate must build
+//! with no network access). Semantics match what the sampler needs:
+//!
+//! * `send` blocks while the buffer is full (the paper's GPU-memory
+//!   backpressure) and fails once the receiver is gone, so producer
+//!   threads drain out instead of deadlocking;
+//! * `recv` blocks while the buffer is empty and fails once every sender
+//!   is gone *and* the buffer is drained — which is how the consumer
+//!   detects worker death.
+//!
+//! Built on `std::sync::{Mutex, Condvar}`; fairness is whatever the OS
+//! gives us, which is fine for a work queue whose items are reordered by
+//! batch index downstream anyway.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Error returned by [`Sender::send`] when the receiver was dropped.
+/// Carries the unsent value back to the caller.
+#[derive(Debug)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and all
+/// senders are gone.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+struct State<T> {
+    buf: VecDeque<T>,
+    cap: usize,
+    senders: usize,
+    rx_alive: bool,
+}
+
+struct Inner<T> {
+    state: Mutex<State<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+}
+
+/// Producer half of a bounded channel. Cloneable.
+pub struct Sender<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Consumer half of a bounded channel. Single owner.
+pub struct Receiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Create a bounded channel with room for `cap` queued items (`cap >= 1`).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let inner = Arc::new(Inner {
+        state: Mutex::new(State {
+            buf: VecDeque::with_capacity(cap.max(1)),
+            cap: cap.max(1),
+            senders: 1,
+            rx_alive: true,
+        }),
+        not_full: Condvar::new(),
+        not_empty: Condvar::new(),
+    });
+    (
+        Sender {
+            inner: Arc::clone(&inner),
+        },
+        Receiver { inner },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Block until there is room, then enqueue `value`. Fails (returning
+    /// the value) if the receiver has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut st = self.inner.state.lock().expect("channel poisoned");
+        loop {
+            if !st.rx_alive {
+                return Err(SendError(value));
+            }
+            if st.buf.len() < st.cap {
+                st.buf.push_back(value);
+                self.inner.not_empty.notify_one();
+                return Ok(());
+            }
+            st = self.inner.not_full.wait(st).expect("channel poisoned");
+        }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.inner.state.lock().expect("channel poisoned").senders += 1;
+        Sender {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.inner.state.lock().expect("channel poisoned");
+        st.senders -= 1;
+        if st.senders == 0 {
+            // Wake a consumer blocked on an empty queue so it observes
+            // disconnection.
+            drop(st);
+            self.inner.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Block until an item arrives. Fails once the buffer is empty and
+    /// every sender is gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = self.inner.state.lock().expect("channel poisoned");
+        loop {
+            if let Some(v) = st.buf.pop_front() {
+                self.inner.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            st = self.inner.not_empty.wait(st).expect("channel poisoned");
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut st = self.inner.state.lock().expect("channel poisoned");
+        st.rx_alive = false;
+        // Unstick any producer blocked on a full queue.
+        drop(st);
+        self.inner.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_fifo() {
+        let (tx, rx) = bounded(4);
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..4 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn recv_errors_after_all_senders_drop() {
+        let (tx, rx) = bounded::<u32>(2);
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        drop(tx);
+        drop(tx2);
+        assert_eq!(rx.recv().unwrap(), 1, "buffered items still drain");
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_errors_after_receiver_drops() {
+        let (tx, rx) = bounded(1);
+        drop(rx);
+        let err = tx.send(7).unwrap_err();
+        assert_eq!(err.0, 7, "value handed back");
+    }
+
+    #[test]
+    fn full_queue_blocks_until_consumed() {
+        let (tx, rx) = bounded(1);
+        tx.send(0).unwrap();
+        let h = thread::spawn(move || {
+            tx.send(1).unwrap(); // blocks until the consumer drains slot 0
+            2
+        });
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv().unwrap(), 0);
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(h.join().unwrap(), 2);
+    }
+
+    #[test]
+    fn dropping_receiver_unblocks_full_senders() {
+        let (tx, rx) = bounded(1);
+        tx.send(0).unwrap();
+        let h = thread::spawn(move || tx.send(1).is_err());
+        thread::sleep(Duration::from_millis(20));
+        drop(rx);
+        assert!(h.join().unwrap(), "blocked sender must error out");
+    }
+
+    #[test]
+    fn many_producers_one_consumer() {
+        let (tx, rx) = bounded(3);
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let tx = tx.clone();
+                thread::spawn(move || {
+                    for i in 0..50 {
+                        tx.send(t * 100 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let mut n = 0;
+        while rx.recv().is_ok() {
+            n += 1;
+        }
+        assert_eq!(n, 400);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -42,6 +42,10 @@ pub struct FreshGnnConfig {
     /// paper's; the others exist for the ablation study
     /// (`exp_ablation_policy`).
     pub policy: crate::cache::PolicyKind,
+    /// How many times an async sampler worker re-samples a batch whose
+    /// sampling panicked before the epoch errors out (same `(seed, batch)`
+    /// RNG each attempt, so recovery never changes the stream).
+    pub sampler_retries: u32,
 }
 
 impl Default for FreshGnnConfig {
@@ -56,6 +60,7 @@ impl Default for FreshGnnConfig {
             load_mode: LoadMode::OneSided,
             cache_top_layer: false,
             policy: crate::cache::PolicyKind::Gradient,
+            sampler_retries: crate::sampler::DEFAULT_SAMPLER_RETRIES,
         }
     }
 }

@@ -33,6 +33,8 @@
 
 pub mod baselines;
 pub mod cache;
+pub mod chan;
+pub mod checkpoint;
 pub mod config;
 pub mod hetero_trainer;
 pub mod loader;
@@ -44,5 +46,7 @@ pub mod sgc;
 pub mod trainer;
 
 pub use cache::HistoricalCache;
+pub use checkpoint::{Checkpoint, CheckpointError};
 pub use config::FreshGnnConfig;
+pub use sampler::SampleError;
 pub use trainer::{EpochStats, Trainer};

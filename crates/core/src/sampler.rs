@@ -1,4 +1,4 @@
-//! Asynchronous CPU graph sampling (§5).
+//! Asynchronous CPU graph sampling (§5) with worker fault recovery.
 //!
 //! The paper decouples *sampling* (cache-independent, runs ahead on CPU
 //! threads) from *pruning* (cache-dependent, on GPU). This module is the
@@ -10,19 +10,80 @@
 //! Determinism: each mini-batch is sampled with an RNG seeded by
 //! `(seed, batch_index)`, and the consumer reorders completions by batch
 //! index, so the produced stream is identical regardless of thread count
-//! or scheduling.
+//! or scheduling — and regardless of how many times a batch had to be
+//! re-sampled after a panic, since every attempt recreates the same RNG.
+//!
+//! Fault model: a panic inside a worker is caught with `catch_unwind`; the
+//! batch is re-sampled up to `max_retries` additional times on a fresh
+//! sampler (panic may have poisoned its scratch state). If every attempt
+//! panics, an explicit [`SampleError::BatchPanicked`] is delivered *for
+//! that batch index* instead of silently truncating the epoch. If workers
+//! die without reporting (a defensive bound — `catch_unwind` should make
+//! this unreachable), the consumer yields [`SampleError::WorkersLost`]
+//! rather than ending the iterator early, so a shortfall is always an
+//! error, never a quietly short epoch.
 
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crate::chan::{bounded, Receiver, Sender};
 use fgnn_graph::block::MiniBatch;
 use fgnn_graph::sample::NeighborSampler;
 use fgnn_graph::{Csr, NodeId};
 use fgnn_tensor::Rng;
 use std::collections::BinaryHeap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-struct Indexed(usize, MiniBatch);
+/// Default number of *re*-sample attempts after a worker panic.
+pub const DEFAULT_SAMPLER_RETRIES: u32 = 2;
+
+/// Why an epoch's batch stream could not be fully produced.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SampleError {
+    /// Sampling batch `batch_index` panicked on every one of `attempts`
+    /// attempts.
+    BatchPanicked {
+        /// Index of the failing batch in the epoch schedule.
+        batch_index: usize,
+        /// Total attempts made (1 + retries).
+        attempts: u32,
+    },
+    /// All workers disappeared after producing only `produced` of `total`
+    /// batches (defensive: should be unreachable with `catch_unwind`).
+    WorkersLost {
+        /// Batches delivered in order before the loss.
+        produced: usize,
+        /// Batches the epoch schedule demanded.
+        total: usize,
+    },
+}
+
+impl std::fmt::Display for SampleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SampleError::BatchPanicked {
+                batch_index,
+                attempts,
+            } => write!(
+                f,
+                "sampling batch {batch_index} panicked on all {attempts} attempts"
+            ),
+            SampleError::WorkersLost { produced, total } => write!(
+                f,
+                "sampler workers died after {produced}/{total} batches"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SampleError {}
+
+/// Test/fault-injection hook: called as `(batch_index, attempt)` before
+/// each sampling attempt, *inside* the panic guard — a panicking hook
+/// exercises the recovery path deterministically.
+pub type FaultHook = Arc<dyn Fn(usize, u32) + Send + Sync>;
+
+struct Indexed(usize, Result<MiniBatch, SampleError>);
 
 impl PartialEq for Indexed {
     fn eq(&self, other: &Self) -> bool {
@@ -43,7 +104,8 @@ impl Ord for Indexed {
 }
 
 /// Handle to a running asynchronous sampling job. Iterate to drain the
-/// mini-batches in order.
+/// mini-batches in order; each item is a `Result` so batch-level failures
+/// surface instead of shortening the epoch.
 pub struct AsyncSampler {
     /// `Some` while running; taken in `Drop` so blocked producers see a
     /// disconnected channel and exit instead of deadlocking the join.
@@ -55,7 +117,8 @@ pub struct AsyncSampler {
 }
 
 impl AsyncSampler {
-    /// Spawn `num_threads` workers sampling `batches` over `graph`.
+    /// Spawn `num_threads` workers sampling `batches` over `graph`, with
+    /// the default panic-retry budget and no fault hook.
     ///
     /// `queue_capacity` bounds the number of finished mini-batches waiting
     /// to be consumed (the paper's GPU-memory guard).
@@ -66,6 +129,31 @@ impl AsyncSampler {
         num_threads: usize,
         queue_capacity: usize,
         seed: u64,
+    ) -> AsyncSampler {
+        Self::spawn_with_recovery(
+            graph,
+            batches,
+            fanouts,
+            num_threads,
+            queue_capacity,
+            seed,
+            DEFAULT_SAMPLER_RETRIES,
+            None,
+        )
+    }
+
+    /// [`AsyncSampler::spawn`] with an explicit panic-retry budget and an
+    /// optional fault-injection hook (see [`FaultHook`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn spawn_with_recovery(
+        graph: Arc<Csr>,
+        batches: Vec<Vec<NodeId>>,
+        fanouts: Vec<usize>,
+        num_threads: usize,
+        queue_capacity: usize,
+        seed: u64,
+        max_retries: u32,
+        hook: Option<FaultHook>,
     ) -> AsyncSampler {
         let num_threads = num_threads.max(1);
         let total = batches.len();
@@ -82,6 +170,7 @@ impl AsyncSampler {
                 let batches = Arc::clone(&batches);
                 let fanouts = Arc::clone(&fanouts);
                 let graph = Arc::clone(&graph);
+                let hook = hook.clone();
                 std::thread::spawn(move || {
                     let mut sampler = NeighborSampler::new(graph.num_nodes());
                     loop {
@@ -89,10 +178,42 @@ impl AsyncSampler {
                         if i >= batches.len() {
                             break;
                         }
-                        // Per-batch RNG => schedule-independent output.
-                        let mut rng = Rng::new(seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
-                        let mb = sampler.sample(&graph, &batches[i], &fanouts, &mut rng);
-                        if tx.send(Indexed(i, mb)).is_err() {
+                        let mut produced = None;
+                        let mut attempts = 0;
+                        while attempts <= max_retries {
+                            attempts += 1;
+                            let attempt = attempts - 1;
+                            let out = catch_unwind(AssertUnwindSafe(|| {
+                                if let Some(h) = &hook {
+                                    h(i, attempt);
+                                }
+                                // Per-batch RNG, recreated per attempt =>
+                                // schedule- and retry-independent output.
+                                let mut rng = Rng::new(
+                                    seed ^ (i as u64).wrapping_mul(0x9E37_79B9),
+                                );
+                                sampler.sample(&graph, &batches[i], &fanouts, &mut rng)
+                            }));
+                            match out {
+                                Ok(mb) => {
+                                    produced = Some(mb);
+                                    break;
+                                }
+                                Err(_) => {
+                                    // The panic may have left the sampler's
+                                    // scratch arrays inconsistent; rebuild.
+                                    sampler = NeighborSampler::new(graph.num_nodes());
+                                }
+                            }
+                        }
+                        let msg = match produced {
+                            Some(mb) => Ok(mb),
+                            None => Err(SampleError::BatchPanicked {
+                                batch_index: i,
+                                attempts,
+                            }),
+                        };
+                        if tx.send(Indexed(i, msg)).is_err() {
                             break; // consumer dropped
                         }
                     }
@@ -116,23 +237,32 @@ impl AsyncSampler {
 }
 
 impl Iterator for AsyncSampler {
-    type Item = MiniBatch;
+    type Item = Result<MiniBatch, SampleError>;
 
-    fn next(&mut self) -> Option<MiniBatch> {
+    fn next(&mut self) -> Option<Self::Item> {
         if self.next >= self.total {
             return None;
         }
         loop {
             if let Some(Indexed(i, _)) = self.reorder.peek() {
                 if *i == self.next {
-                    let Indexed(_, mb) = self.reorder.pop().unwrap();
+                    let Indexed(_, item) = self.reorder.pop().unwrap();
                     self.next += 1;
-                    return Some(mb);
+                    return Some(item);
                 }
             }
             match self.rx.as_ref().expect("sampler running").recv() {
                 Ok(ix) => self.reorder.push(ix),
-                Err(_) => return None, // workers died early
+                Err(_) => {
+                    // Workers died without delivering everything: surface
+                    // the shortfall as an error exactly once, then end.
+                    let produced = self.next;
+                    self.next = self.total;
+                    return Some(Err(SampleError::WorkersLost {
+                        produced,
+                        total: self.total,
+                    }));
+                }
             }
         }
     }
@@ -173,6 +303,7 @@ mod tests {
     use super::*;
     use fgnn_graph::generate::{generate, GraphConfig};
     use fgnn_graph::sample::split_batches;
+    use std::sync::atomic::AtomicU32;
 
     fn test_graph() -> Arc<Csr> {
         let cfg = GraphConfig {
@@ -188,12 +319,16 @@ mod tests {
         split_batches(&nodes, size, None)
     }
 
+    fn collect_ok(s: AsyncSampler) -> Vec<MiniBatch> {
+        s.map(|r| r.expect("no sampling faults expected")).collect()
+    }
+
     #[test]
     fn async_sampler_yields_all_batches_in_order() {
         let g = test_graph();
         let bs = batches(100, 10);
         let sampler = AsyncSampler::spawn(Arc::clone(&g), bs.clone(), vec![4, 4], 4, 4, 7);
-        let out: Vec<MiniBatch> = sampler.collect();
+        let out = collect_ok(sampler);
         assert_eq!(out.len(), 10);
         for (mb, b) in out.iter().zip(&bs) {
             assert_eq!(&mb.seeds, b);
@@ -208,7 +343,7 @@ mod tests {
         let sync = sample_epoch_sync(&g, &bs, &[3, 3], 42);
         for threads in [1, 2, 8] {
             let a = AsyncSampler::spawn(Arc::clone(&g), bs.clone(), vec![3, 3], threads, 2, 42);
-            let out: Vec<MiniBatch> = a.collect();
+            let out = collect_ok(a);
             assert_eq!(out.len(), sync.len());
             for (x, y) in out.iter().zip(&sync) {
                 assert_eq!(x.seeds, y.seeds, "threads={threads}");
@@ -230,7 +365,7 @@ mod tests {
         let mut n = 0;
         for mb in sampler {
             n += 1;
-            assert!(!mb.seeds.is_empty());
+            assert!(!mb.unwrap().seeds.is_empty());
         }
         assert_eq!(n, 40);
     }
@@ -242,5 +377,106 @@ mod tests {
         let mut sampler = AsyncSampler::spawn(g, bs, vec![4, 4], 4, 2, 5);
         let _first = sampler.next();
         drop(sampler); // must join cleanly
+    }
+
+    /// A transiently-panicking batch is retried and the epoch completes
+    /// with every batch present, identical to the fault-free stream.
+    #[test]
+    fn transient_panic_is_retried_and_stream_is_unchanged() {
+        let g = test_graph();
+        let bs = batches(60, 6);
+        let clean = sample_epoch_sync(&g, &bs, &[3, 3], 9);
+        let hook: FaultHook = Arc::new(|batch, attempt| {
+            if batch == 4 && attempt == 0 {
+                panic!("injected transient sampler fault");
+            }
+        });
+        let sampler = AsyncSampler::spawn_with_recovery(
+            Arc::clone(&g),
+            bs,
+            vec![3, 3],
+            4,
+            4,
+            9,
+            2,
+            Some(hook),
+        );
+        let out: Vec<_> = sampler.collect();
+        assert_eq!(out.len(), 10);
+        for (r, y) in out.iter().zip(&clean) {
+            let mb = r.as_ref().expect("retry must recover the batch");
+            assert_eq!(mb.seeds, y.seeds);
+            assert_eq!(mb.blocks[0].src_global, y.blocks[0].src_global);
+        }
+    }
+
+    /// Regression for the silent-truncation bug: a batch that panics on
+    /// every attempt must surface an error at its position — the epoch
+    /// must NOT look like a clean short epoch.
+    #[test]
+    fn persistent_panic_surfaces_an_error_not_a_short_epoch() {
+        let g = test_graph();
+        let bs = batches(50, 5); // 10 batches
+        let hook: FaultHook = Arc::new(|batch, _attempt| {
+            if batch == 3 {
+                panic!("injected persistent sampler fault");
+            }
+        });
+        let sampler = AsyncSampler::spawn_with_recovery(
+            Arc::clone(&g),
+            bs,
+            vec![4],
+            2,
+            2,
+            11,
+            1,
+            Some(hook),
+        );
+        let out: Vec<_> = sampler.collect();
+        assert_eq!(out.len(), 10, "every batch index must be accounted for");
+        for (i, r) in out.iter().enumerate() {
+            if i == 3 {
+                assert_eq!(
+                    r.as_ref().unwrap_err(),
+                    &SampleError::BatchPanicked {
+                        batch_index: 3,
+                        attempts: 2
+                    }
+                );
+            } else {
+                assert!(r.is_ok(), "batch {i} should succeed");
+            }
+        }
+    }
+
+    /// Retry attempts recreate the same `(seed, batch_index)` RNG, so a
+    /// recovered batch is bitwise-identical to a never-failed one.
+    #[test]
+    fn retried_batch_is_deterministic() {
+        let g = test_graph();
+        let bs = batches(30, 6);
+        let tries = Arc::new(AtomicU32::new(0));
+        let t2 = Arc::clone(&tries);
+        let hook: FaultHook = Arc::new(move |batch, attempt| {
+            if batch == 2 && attempt < 2 {
+                t2.fetch_add(1, Ordering::Relaxed);
+                panic!("fail twice, then succeed");
+            }
+        });
+        let sampler = AsyncSampler::spawn_with_recovery(
+            Arc::clone(&g),
+            bs.clone(),
+            vec![3],
+            1,
+            2,
+            13,
+            3,
+            Some(hook),
+        );
+        let out = collect_ok(sampler);
+        assert_eq!(tries.load(Ordering::Relaxed), 2, "hook panicked twice");
+        let clean = sample_epoch_sync(&g, &bs, &[3], 13);
+        assert_eq!(out[2].seeds, clean[2].seeds);
+        assert_eq!(out[2].blocks[0].src_global, clean[2].blocks[0].src_global);
     }
 }

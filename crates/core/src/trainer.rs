@@ -19,12 +19,15 @@
 //!    kept, the rest skipped / evicted; stale entries age out via the ring.
 
 use crate::cache::{apply_policy, HistoricalCache, PolicyInput, StaticFeatureCache};
+use crate::checkpoint::{Checkpoint, CheckpointError};
 use crate::config::FreshGnnConfig;
 use crate::loader::FeatureLoader;
 use crate::prune::{prune_with_cache, PruneOutcome};
+use crate::sampler::{FaultHook, SampleError};
 use fgnn_graph::block::MiniBatch;
 use fgnn_graph::sample::{split_batches, NeighborSampler};
 use fgnn_graph::{Dataset, NodeId};
+use fgnn_memsim::fault::{FaultPlan, RetryPolicy};
 use fgnn_memsim::presets::{aggregation_flops, dense_flops, Machine};
 use fgnn_memsim::topology::Node;
 use fgnn_memsim::{TrafficCounters, TransferEngine};
@@ -48,6 +51,10 @@ pub struct EpochStats {
     pub cache_reads: u64,
     /// Destination nodes computed fresh this epoch.
     pub computed_nodes: u64,
+    /// Whether this epoch started from a degraded resume (the checkpoint's
+    /// historical-cache segment was missing or corrupt, so the cache began
+    /// the epoch cold).
+    pub cache_degraded: bool,
 }
 
 /// The FreshGNN trainer (plus, with `p_grad = 0`, the vanilla
@@ -68,7 +75,16 @@ pub struct Trainer {
     sampler: NeighborSampler,
     dims: Vec<usize>,
     iter: u32,
+    epoch: u32,
     rng: Rng,
+    /// Interconnect fault schedule; threaded through the per-epoch engine
+    /// so the fault RNG stream continues across epochs.
+    fault_plan: Option<FaultPlan>,
+    retry_policy: RetryPolicy,
+    /// Test hook forwarded to async sampler workers (fault injection).
+    sampler_fault_hook: Option<FaultHook>,
+    /// Set by a degraded restore; consumed into the next epoch's stats.
+    degraded_resume: bool,
 }
 
 impl Trainer {
@@ -116,8 +132,28 @@ impl Trainer {
             dims,
             cfg,
             iter: 0,
+            epoch: 0,
             rng,
+            fault_plan: None,
+            retry_policy: RetryPolicy::default(),
+            sampler_fault_hook: None,
+            degraded_resume: false,
         }
+    }
+
+    /// Inject interconnect faults: every subsequent epoch's transfers are
+    /// subjected to `plan` under `policy`. The plan's RNG stream persists
+    /// across epochs, so a full run is one deterministic fault schedule.
+    pub fn inject_faults(&mut self, plan: FaultPlan, policy: RetryPolicy) {
+        self.fault_plan = Some(plan);
+        self.retry_policy = policy;
+    }
+
+    /// Install a hook invoked inside async sampler workers before each
+    /// batch attempt (`(batch_index, attempt)`) — panics it raises exercise
+    /// the worker-recovery path. Test-only in spirit, but harmless live.
+    pub fn set_sampler_fault_hook(&mut self, hook: Option<FaultHook>) {
+        self.sampler_fault_hook = hook;
     }
 
     /// Layer dimensions `[in, hidden.., out]`.
@@ -128,6 +164,93 @@ impl Trainer {
     /// Iterations executed so far.
     pub fn iterations(&self) -> u32 {
         self.iter
+    }
+
+    /// Completed epochs so far.
+    pub fn epochs(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Capture the full training state — model parameters, optimizer
+    /// moments, RNG, `(epoch, iteration)` cursor, traffic ledger and both
+    /// caches — as a [`Checkpoint`]. Restoring it (into this or a freshly
+    /// constructed identically-configured trainer) replays the exact
+    /// remaining batch stream.
+    pub fn checkpoint(&mut self, opt: &dyn Optimizer) -> Checkpoint {
+        Checkpoint {
+            arch: self.model.arch,
+            dims: self.dims.clone(),
+            params: self.model.export_parameters(),
+            optimizer: opt.export_state(),
+            rng_state: self.rng.state(),
+            epoch: self.epoch,
+            iter: self.iter,
+            counters: self.counters.clone(),
+            static_resident: self.static_cache.export(),
+            cache: Some(self.cache.snapshot()),
+            cache_degraded: false,
+        }
+    }
+
+    /// Restore state from a checkpoint taken by an identically-configured
+    /// trainer (same dataset, arch, dims, config, optimizer type).
+    ///
+    /// Returns `Ok(degraded)`: `degraded = true` means the checkpoint's
+    /// historical-cache segment was missing, corrupt, or incompatible, and
+    /// training resumed with an empty (cold) cache — correct, just slower
+    /// to re-warm. The degradation is also recorded in the next epoch's
+    /// [`EpochStats::cache_degraded`]. Core-state mismatches are hard
+    /// [`CheckpointError::ShapeMismatch`] errors.
+    pub fn restore(
+        &mut self,
+        ckpt: &Checkpoint,
+        opt: &mut dyn Optimizer,
+    ) -> Result<bool, CheckpointError> {
+        if ckpt.arch != self.model.arch {
+            return Err(CheckpointError::ShapeMismatch(format!(
+                "checkpoint arch {} vs trainer {}",
+                ckpt.arch, self.model.arch
+            )));
+        }
+        if ckpt.dims != self.dims {
+            return Err(CheckpointError::ShapeMismatch(format!(
+                "checkpoint dims {:?} vs trainer {:?}",
+                ckpt.dims, self.dims
+            )));
+        }
+        if ckpt.params.len() != self.model.num_parameters() {
+            return Err(CheckpointError::ShapeMismatch(format!(
+                "checkpoint has {} parameters, model has {}",
+                ckpt.params.len(),
+                self.model.num_parameters()
+            )));
+        }
+        if ckpt.static_resident.len() != self.static_cache.num_nodes() {
+            return Err(CheckpointError::ShapeMismatch(format!(
+                "checkpoint static cache covers {} nodes, dataset has {}",
+                ckpt.static_resident.len(),
+                self.static_cache.num_nodes()
+            )));
+        }
+        self.model.import_parameters(&ckpt.params);
+        opt.import_state(ckpt.optimizer.clone());
+        self.rng = Rng::from_state(ckpt.rng_state);
+        self.epoch = ckpt.epoch;
+        self.iter = ckpt.iter;
+        self.counters = ckpt.counters.clone();
+        self.static_cache = StaticFeatureCache::import(ckpt.static_resident.clone());
+        let mut degraded = ckpt.cache_degraded;
+        let restored = match &ckpt.cache {
+            Some(snapshot) => self.cache.restore(snapshot.clone()).is_ok(),
+            None => false,
+        };
+        if !restored {
+            // Graceful degradation: resume correct but cold.
+            self.cache.clear();
+            degraded = true;
+        }
+        self.degraded_resume = degraded;
+        Ok(degraded)
     }
 
     /// Train one epoch: shuffle the training nodes, split into batches,
@@ -154,7 +277,10 @@ impl Trainer {
             self.cfg.load_mode,
         );
         let topo = self.machine.topology.clone();
-        let mut engine = TransferEngine::new(&topo);
+        let mut engine = match self.fault_plan.take() {
+            Some(plan) => TransferEngine::with_faults(&topo, plan, self.retry_policy),
+            None => TransferEngine::new(&topo),
+        };
 
         let mut total_loss = 0.0f64;
         let mut cache_reads = 0u64;
@@ -170,17 +296,21 @@ impl Trainer {
                 .filter(|&&c| c)
                 .count() as u64;
         }
-        // Restore the static cache moved into the loader.
+        // Restore the static cache moved into the loader, and the fault
+        // plan moved into the engine.
         self.static_cache = loader.into_static_cache();
+        self.fault_plan = engine.take_fault_plan();
+        self.epoch += 1;
 
         let mut delta = self.counters.clone();
-        subtract_counters(&mut delta, &before);
+        delta.subtract(&before);
         EpochStats {
             mean_loss: total_loss / batches.len().max(1) as f64,
             batches: batches.len(),
             counters: delta,
             cache_reads,
             computed_nodes,
+            cache_degraded: std::mem::take(&mut self.degraded_resume),
         }
     }
 
@@ -212,14 +342,22 @@ impl Trainer {
     /// training, which is the paper's design goal.
     ///
     /// Deterministic: the sampled stream is identical for any
-    /// `num_threads` (per-batch RNG + in-order delivery).
+    /// `num_threads` (per-batch RNG + in-order delivery) and across worker
+    /// panics recovered by re-sampling (`cfg.sampler_retries`).
+    ///
+    /// Returns an error when a batch could not be produced even after
+    /// retries ([`SampleError::BatchPanicked`]) or the workers died
+    /// entirely ([`SampleError::WorkersLost`]) — a shortfall is never a
+    /// silent short epoch. Progress made before the failure (parameter
+    /// updates, cache admissions, counters) is kept; the caller decides
+    /// whether to retry the epoch or abort.
     pub fn train_epoch_async(
         &mut self,
         ds: &Dataset,
         opt: &mut dyn Optimizer,
         num_threads: usize,
         queue_capacity: usize,
-    ) -> EpochStats {
+    ) -> Result<EpochStats, SampleError> {
         use crate::sampler::AsyncSampler;
         let before = self.counters.clone();
         let mut shuffle_rng = self.rng.fork();
@@ -227,13 +365,15 @@ impl Trainer {
         let batch_seed = self.rng.fork().next_u64();
 
         let graph = std::sync::Arc::new(ds.graph.clone());
-        let mut stream = AsyncSampler::spawn(
+        let mut stream = AsyncSampler::spawn_with_recovery(
             graph,
             batches.clone(),
             self.cfg.fanouts.clone(),
             num_threads,
             queue_capacity,
             batch_seed,
+            self.cfg.sampler_retries,
+            self.sampler_fault_hook.clone(),
         );
 
         let loader = FeatureLoader::new(
@@ -243,32 +383,51 @@ impl Trainer {
             self.cfg.load_mode,
         );
         let topo = self.machine.topology.clone();
-        let mut engine = TransferEngine::new(&topo);
+        let mut engine = match self.fault_plan.take() {
+            Some(plan) => TransferEngine::with_faults(&topo, plan, self.retry_policy),
+            None => TransferEngine::new(&topo),
+        };
 
         let mut total_loss = 0.0f64;
         let mut cache_reads = 0u64;
         let mut computed_nodes = 0u64;
+        let mut failure: Option<SampleError> = None;
         loop {
             // Only queue stalls count as sampling time (async overlap).
             let t0 = Instant::now();
-            let Some(mb) = stream.next() else { break };
+            let Some(item) = stream.next() else { break };
             self.counters.sample_seconds += t0.elapsed().as_secs_f64();
+            let mb = match item {
+                Ok(mb) => mb,
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            };
             let (loss, outcome) = self.train_sampled(ds, &loader, &mut engine, mb, opt);
             total_loss += loss as f64;
             cache_reads += outcome.cached.iter().map(Vec::len).sum::<usize>() as u64;
             computed_nodes += outcome.computed.iter().flatten().filter(|&&c| c).count() as u64;
         }
+        // Put moved state back before any return — an errored epoch must
+        // leave the trainer usable.
         self.static_cache = loader.into_static_cache();
+        self.fault_plan = engine.take_fault_plan();
+        if let Some(e) = failure {
+            return Err(e);
+        }
+        self.epoch += 1;
 
         let mut delta = self.counters.clone();
-        subtract_counters(&mut delta, &before);
-        EpochStats {
+        delta.subtract(&before);
+        Ok(EpochStats {
             mean_loss: total_loss / batches.len().max(1) as f64,
             batches: batches.len(),
             counters: delta,
             cache_reads,
             computed_nodes,
-        }
+            cache_degraded: std::mem::take(&mut self.degraded_resume),
+        })
     }
 
     /// Steps 2–6 of Algorithm 1 on an already-sampled mini-batch (shared
@@ -456,18 +615,6 @@ pub fn batch_flops(mb: &MiniBatch, outcome: &PruneOutcome, dims: &[usize], arch:
     3.0 * fwd
 }
 
-fn subtract_counters(a: &mut TrafficCounters, b: &TrafficCounters) {
-    a.host_to_gpu_bytes -= b.host_to_gpu_bytes;
-    a.gpu_to_gpu_bytes -= b.gpu_to_gpu_bytes;
-    a.cache_hit_bytes -= b.cache_hit_bytes;
-    a.index_bytes -= b.index_bytes;
-    a.num_transfers -= b.num_transfers;
-    a.transfer_seconds -= b.transfer_seconds;
-    a.compute_seconds -= b.compute_seconds;
-    a.sample_seconds -= b.sample_seconds;
-    a.prune_seconds -= b.prune_seconds;
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -639,7 +786,11 @@ mod tests {
             let mut opt = Adam::new(0.01);
             let mut losses = Vec::new();
             for _ in 0..3 {
-                losses.push(t.train_epoch_async(&ds, &mut opt, threads, 4).mean_loss);
+                losses.push(
+                    t.train_epoch_async(&ds, &mut opt, threads, 4)
+                        .expect("no faults injected")
+                        .mean_loss,
+                );
             }
             (losses, t.counters.host_to_gpu_bytes)
         };
@@ -662,8 +813,9 @@ mod tests {
             22,
         );
         let mut opt = Adam::new(0.01);
-        t.train_epoch_async(&ds, &mut opt, 2, 4);
-        let s = t.train_epoch_async(&ds, &mut opt, 2, 4);
+        t.train_epoch_async(&ds, &mut opt, 2, 4).unwrap();
+        let s = t.train_epoch_async(&ds, &mut opt, 2, 4).unwrap();
         assert!(s.cache_reads > 0, "cache must serve hits on epoch 2");
+        assert_eq!(t.epochs(), 2);
     }
 }

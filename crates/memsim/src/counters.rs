@@ -26,6 +26,16 @@ pub struct TrafficCounters {
     pub sample_seconds: f64,
     /// Measured seconds spent pruning subgraphs.
     pub prune_seconds: f64,
+    /// Transfer attempts that failed (or timed out) and were retried.
+    pub retries: u64,
+    /// Simulated seconds lost to faults: wasted attempt time, stalls and
+    /// retry backoff. Counted into [`TrafficCounters::sim_seconds`] but kept
+    /// apart from `transfer_seconds` so fault-free and faulty runs stay
+    /// comparable on useful work.
+    pub retry_seconds: f64,
+    /// Transfers that exhausted the retry budget and completed on the
+    /// reliable fallback path.
+    pub failed_transfers: u64,
 }
 
 impl TrafficCounters {
@@ -55,7 +65,8 @@ impl TrafficCounters {
     /// when it is the bottleneck (max), while transfer+compute+prune are
     /// serial on the GPU stream.
     pub fn sim_seconds(&self) -> f64 {
-        let gpu_stream = self.transfer_seconds + self.compute_seconds + self.prune_seconds;
+        let gpu_stream =
+            self.transfer_seconds + self.retry_seconds + self.compute_seconds + self.prune_seconds;
         gpu_stream.max(self.sample_seconds)
     }
 
@@ -70,6 +81,25 @@ impl TrafficCounters {
         self.compute_seconds += other.compute_seconds;
         self.sample_seconds += other.sample_seconds;
         self.prune_seconds += other.prune_seconds;
+        self.retries += other.retries;
+        self.retry_seconds += other.retry_seconds;
+        self.failed_transfers += other.failed_transfers;
+    }
+
+    /// Subtract an earlier snapshot of this ledger (for per-epoch deltas).
+    pub fn subtract(&mut self, earlier: &TrafficCounters) {
+        self.host_to_gpu_bytes -= earlier.host_to_gpu_bytes;
+        self.gpu_to_gpu_bytes -= earlier.gpu_to_gpu_bytes;
+        self.cache_hit_bytes -= earlier.cache_hit_bytes;
+        self.index_bytes -= earlier.index_bytes;
+        self.num_transfers -= earlier.num_transfers;
+        self.transfer_seconds -= earlier.transfer_seconds;
+        self.compute_seconds -= earlier.compute_seconds;
+        self.sample_seconds -= earlier.sample_seconds;
+        self.prune_seconds -= earlier.prune_seconds;
+        self.retries -= earlier.retries;
+        self.retry_seconds -= earlier.retry_seconds;
+        self.failed_transfers -= earlier.failed_transfers;
     }
 }
 
@@ -83,7 +113,7 @@ impl std::fmt::Display for TrafficCounters {
             self.cache_hit_bytes as f64 / 1e6,
             self.io_saving() * 100.0
         )?;
-        write!(
+        writeln!(
             f,
             "time: transfer {:.3}s, compute {:.3}s, sample {:.3}s, prune {:.3}s => {:.3}s",
             self.transfer_seconds,
@@ -91,6 +121,11 @@ impl std::fmt::Display for TrafficCounters {
             self.sample_seconds,
             self.prune_seconds,
             self.sim_seconds()
+        )?;
+        write!(
+            f,
+            "faults: {} retries ({:.3}s lost), {} fallback transfers",
+            self.retries, self.retry_seconds, self.failed_transfers
         )
     }
 }
@@ -132,9 +167,43 @@ mod tests {
         b.host_to_gpu_bytes = 5;
         b.transfer_seconds = 0.5;
         b.num_transfers = 3;
+        b.retries = 2;
+        b.retry_seconds = 0.25;
+        b.failed_transfers = 1;
         a.merge(&b);
         assert_eq!(a.host_to_gpu_bytes, 15);
         assert_eq!(a.num_transfers, 3);
         assert!((a.transfer_seconds - 1.5).abs() < 1e-12);
+        assert_eq!(a.retries, 2);
+        assert_eq!(a.failed_transfers, 1);
+        assert!((a.retry_seconds - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subtract_undoes_merge() {
+        let mut a = TrafficCounters::new();
+        a.host_to_gpu_bytes = 10;
+        a.retries = 4;
+        a.retry_seconds = 2.0;
+        let snapshot = a.clone();
+        let mut b = TrafficCounters::new();
+        b.host_to_gpu_bytes = 7;
+        b.retries = 3;
+        b.retry_seconds = 0.5;
+        b.failed_transfers = 2;
+        a.merge(&b);
+        a.subtract(&snapshot);
+        assert_eq!(a.host_to_gpu_bytes, b.host_to_gpu_bytes);
+        assert_eq!(a.retries, b.retries);
+        assert_eq!(a.failed_transfers, b.failed_transfers);
+        assert!((a.retry_seconds - b.retry_seconds).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retry_time_counts_into_sim_seconds() {
+        let mut c = TrafficCounters::new();
+        c.transfer_seconds = 1.0;
+        c.retry_seconds = 0.5;
+        assert!((c.sim_seconds() - 1.5).abs() < 1e-12);
     }
 }

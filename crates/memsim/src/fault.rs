@@ -1,0 +1,298 @@
+//! Deterministic fault injection for the interconnect simulator.
+//!
+//! Multi-hour training runs on hundreds of millions of nodes see link
+//! flaps, transient transfer failures, and congestion stalls. This module
+//! models those as a seed-driven [`FaultPlan`] consulted by
+//! [`crate::TransferEngine`] on every transfer attempt, plus a
+//! [`RetryPolicy`] (bounded retries, exponential backoff with jitter,
+//! per-attempt timeout). Everything is driven by one small PRNG owned by
+//! the plan, so a given `(seed, transfer sequence)` always produces the
+//! same faults, the same retry counts and the same simulated times —
+//! fault-injected runs stay exactly reproducible.
+//!
+//! Semantics (see DESIGN.md "Fault model & recovery"):
+//!
+//! * a **failed** attempt wastes its nominal wire time (charged to the
+//!   ledger's `retry_seconds`, not `transfer_seconds`) and is retried
+//!   after a backoff;
+//! * a **stalled** attempt still delivers, but the stall is capped by the
+//!   policy timeout — a stall past the timeout counts as a failure;
+//! * a **degraded** link multiplies transfer time on every route through
+//!   it; a **down** link fails every attempt routed over it;
+//! * when the retry budget is exhausted the engine falls back to a final
+//!   reliable (re-routed/two-sided) transfer that always completes, and
+//!   records the event in `failed_transfers` — training never wedges on a
+//!   lost transfer, it just pays for it.
+
+use std::collections::HashMap;
+
+/// Health of a single link (by index into `Topology::links()`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LinkHealth {
+    /// Fully operational.
+    Up,
+    /// Operational at `1/factor` of nominal speed (`factor >= 1.0`).
+    Degraded(f64),
+    /// Hard down: every attempt routed over it fails.
+    Down,
+}
+
+/// Outcome of one transfer attempt, drawn from the plan.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum AttemptOutcome {
+    /// Attempt delivers at nominal (possibly degraded) speed.
+    Deliver,
+    /// Attempt delivers after an extra stall of the given seconds.
+    Stall(f64),
+    /// Attempt fails outright; the initiator must retry.
+    Fail,
+}
+
+/// SplitMix64 — tiny deterministic PRNG. `fgnn-memsim` is dependency-free
+/// (it cannot use `fgnn_tensor::Rng`), and fault draws need nothing
+/// fancier.
+#[derive(Clone, Debug)]
+struct SplitMix64 {
+    x: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64 { x: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.x = self.x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A deterministic, seed-driven schedule of interconnect faults.
+///
+/// Built with the builder methods; consulted by the transfer engine once
+/// per attempt. With all probabilities zero (see [`FaultPlan::none`]) the
+/// plan never fires and adds no overhead worth measuring.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    rng: SplitMix64,
+    /// Probability an attempt fails outright.
+    fail_prob: f64,
+    /// Probability an attempt stalls (drawn after the failure draw).
+    stall_prob: f64,
+    /// Stall duration in seconds when a stall fires.
+    stall_seconds: f64,
+    /// Per-link health overrides; absent links are `Up`.
+    links: HashMap<usize, LinkHealth>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults at all.
+    pub fn none() -> Self {
+        Self::new(0)
+    }
+
+    /// A fault-free plan seeded for later builder calls.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            rng: SplitMix64::new(seed),
+            fail_prob: 0.0,
+            stall_prob: 0.0,
+            stall_seconds: 0.0,
+            links: HashMap::new(),
+        }
+    }
+
+    /// Fail each transfer attempt independently with probability `p`.
+    pub fn with_fail_prob(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "fail probability {p} outside [0, 1]");
+        self.fail_prob = p;
+        self
+    }
+
+    /// Stall each (non-failed) attempt with probability `p` for `seconds`.
+    pub fn with_stalls(mut self, p: f64, seconds: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "stall probability {p} outside [0, 1]");
+        assert!(seconds >= 0.0, "negative stall");
+        self.stall_prob = p;
+        self.stall_seconds = seconds;
+        self
+    }
+
+    /// Degrade link `link` (index into `Topology::links()`) to `1/factor`
+    /// of its nominal bandwidth (`factor >= 1.0`).
+    pub fn with_degraded_link(mut self, link: usize, factor: f64) -> Self {
+        assert!(factor >= 1.0, "degradation factor {factor} must be >= 1");
+        self.links.insert(link, LinkHealth::Degraded(factor));
+        self
+    }
+
+    /// Take link `link` hard down: every attempt routed over it fails.
+    pub fn with_down_link(mut self, link: usize) -> Self {
+        self.links.insert(link, LinkHealth::Down);
+        self
+    }
+
+    /// Whether this plan can ever produce a fault (used by the engine to
+    /// skip the draw entirely on the fault-free fast path).
+    pub fn is_active(&self) -> bool {
+        self.fail_prob > 0.0 || self.stall_prob > 0.0 || !self.links.is_empty()
+    }
+
+    /// Health of `link` under this plan.
+    pub fn link_health(&self, link: usize) -> LinkHealth {
+        self.links.get(&link).copied().unwrap_or(LinkHealth::Up)
+    }
+
+    /// Combined slowdown factor over a route (product of per-link
+    /// degradations), or `None` if any link on the route is down.
+    pub fn route_slowdown(&self, route: &[usize]) -> Option<f64> {
+        let mut factor = 1.0;
+        for &l in route {
+            match self.link_health(l) {
+                LinkHealth::Up => {}
+                LinkHealth::Degraded(f) => factor *= f,
+                LinkHealth::Down => return None,
+            }
+        }
+        Some(factor)
+    }
+
+    /// Draw the outcome of one attempt. Consumes plan RNG state, so the
+    /// sequence of outcomes is a pure function of `(seed, call index)`.
+    pub fn draw_outcome(&mut self) -> AttemptOutcome {
+        if self.fail_prob > 0.0 && self.rng.uniform() < self.fail_prob {
+            return AttemptOutcome::Fail;
+        }
+        if self.stall_prob > 0.0 && self.rng.uniform() < self.stall_prob {
+            return AttemptOutcome::Stall(self.stall_seconds);
+        }
+        AttemptOutcome::Deliver
+    }
+
+    /// Draw a jitter multiplier in `[1, 1 + frac)` for retry backoff.
+    pub fn draw_jitter(&mut self, frac: f64) -> f64 {
+        if frac <= 0.0 {
+            1.0
+        } else {
+            1.0 + frac * self.rng.uniform()
+        }
+    }
+}
+
+/// Bounded-retry policy for faulted transfers.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (total attempts = `1 + max_retries`).
+    pub max_retries: u32,
+    /// Backoff before retry `k` (0-based) is
+    /// `base_backoff * multiplier^k * jitter`.
+    pub base_backoff: f64,
+    /// Exponential backoff growth per retry.
+    pub multiplier: f64,
+    /// Jitter fraction: the backoff is scaled by `[1, 1 + jitter_frac)`
+    /// drawn from the fault plan's RNG (deterministic).
+    pub jitter_frac: f64,
+    /// Per-attempt wall-time budget in simulated seconds; an attempt whose
+    /// time (including stall) exceeds this counts as failed and charges
+    /// exactly the timeout.
+    pub timeout: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff: 1e-3,
+            multiplier: 2.0,
+            jitter_frac: 0.25,
+            timeout: 1.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff (seconds) before 0-based retry `k`, jittered via `plan`.
+    pub fn backoff(&self, k: u32, plan: &mut FaultPlan) -> f64 {
+        self.base_backoff * self.multiplier.powi(k as i32) * plan.draw_jitter(self.jitter_frac)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_free_plan_always_delivers() {
+        let mut p = FaultPlan::none();
+        assert!(!p.is_active());
+        for _ in 0..100 {
+            assert_eq!(p.draw_outcome(), AttemptOutcome::Deliver);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_fault_sequence() {
+        let mk = || FaultPlan::new(7).with_fail_prob(0.3).with_stalls(0.2, 0.5);
+        let mut a = mk();
+        let mut b = mk();
+        for _ in 0..200 {
+            assert_eq!(a.draw_outcome(), b.draw_outcome());
+        }
+    }
+
+    #[test]
+    fn fail_rate_close_to_requested() {
+        let mut p = FaultPlan::new(3).with_fail_prob(0.1);
+        let n = 20_000;
+        let fails = (0..n)
+            .filter(|_| p.draw_outcome() == AttemptOutcome::Fail)
+            .count();
+        let rate = fails as f64 / n as f64;
+        assert!((rate - 0.1).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn link_health_and_route_slowdown() {
+        let p = FaultPlan::new(0)
+            .with_degraded_link(1, 4.0)
+            .with_down_link(3);
+        assert_eq!(p.link_health(0), LinkHealth::Up);
+        assert_eq!(p.link_health(1), LinkHealth::Degraded(4.0));
+        assert_eq!(p.link_health(3), LinkHealth::Down);
+        assert_eq!(p.route_slowdown(&[0, 2]), Some(1.0));
+        assert_eq!(p.route_slowdown(&[0, 1]), Some(4.0));
+        assert_eq!(p.route_slowdown(&[1, 1]), Some(16.0));
+        assert_eq!(p.route_slowdown(&[0, 3]), None);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_with_bounded_jitter() {
+        let mut plan = FaultPlan::new(9);
+        let pol = RetryPolicy {
+            max_retries: 5,
+            base_backoff: 1e-3,
+            multiplier: 2.0,
+            jitter_frac: 0.25,
+            timeout: 1.0,
+        };
+        for k in 0..5u32 {
+            let b = pol.backoff(k, &mut plan);
+            let nominal = 1e-3 * 2f64.powi(k as i32);
+            assert!(b >= nominal && b < nominal * 1.25, "k={k} b={b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn rejects_bad_probability() {
+        let _ = FaultPlan::new(0).with_fail_prob(1.5);
+    }
+}

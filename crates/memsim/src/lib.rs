@@ -15,6 +15,10 @@
 //!   paying index-shipping plus synchronization overheads (§6);
 //! * [`alltoall`] — naive concurrent all-to-all vs the paper's multi-round
 //!   schedule that serializes cross-switch pairs to avoid congestion;
+//! * [`fault`] — deterministic seed-driven fault injection (degraded or
+//!   down links, transient failures, stalls) with a bounded
+//!   retry/backoff/timeout policy, so robustness experiments reproduce
+//!   exactly (see DESIGN.md "Fault model & recovery");
 //! * [`counters`] — the byte/time ledger every experiment reads;
 //! * [`presets`] — parameter sets matching the paper's hardware (A100 +
 //!   PCIe 3.0 x16 single-GPU server; p3.16xlarge-style 8-GPU box).
@@ -25,10 +29,12 @@
 
 pub mod alltoall;
 pub mod counters;
+pub mod fault;
 pub mod presets;
 pub mod topology;
 pub mod transfer;
 
 pub use counters::TrafficCounters;
+pub use fault::{AttemptOutcome, FaultPlan, LinkHealth, RetryPolicy};
 pub use topology::{Node, Topology};
 pub use transfer::TransferEngine;

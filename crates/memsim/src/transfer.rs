@@ -1,4 +1,5 @@
-//! One-sided vs two-sided transfer models (§6, Fig 9).
+//! One-sided vs two-sided transfer models (§6, Fig 9), with optional
+//! deterministic fault injection.
 //!
 //! **Two-sided** (classic `gather`-on-host): the computation device ships
 //! node indices to the storage device, the storage device compacts the rows
@@ -10,8 +11,17 @@
 //! mapped memory at full link bandwidth; no index shipping, no sync.
 //! The paper measures one-sided ≈23% faster on PCIe — our default
 //! `TWO_SIDED_EFFICIENCY = 0.78` encodes exactly that observation.
+//!
+//! **Faults**: an engine built with [`TransferEngine::with_faults`]
+//! consults a [`FaultPlan`] once per transfer attempt and retries under a
+//! [`RetryPolicy`]. Failed attempts and backoff are charged to the
+//! ledger's `retries`/`retry_seconds`; a transfer that exhausts its budget
+//! completes on a reliable fallback path at [`FALLBACK_PENALTY`]× nominal
+//! cost and increments `failed_transfers`. Transfers therefore always
+//! complete — faults cost time, never data.
 
 use crate::counters::TrafficCounters;
+use crate::fault::{AttemptOutcome, FaultPlan, RetryPolicy};
 use crate::topology::{Node, Topology};
 
 /// Synchronization latency per two-sided rendezvous (seconds). Two are paid
@@ -26,33 +36,133 @@ pub const TWO_SIDED_EFFICIENCY: f64 = 0.78;
 /// Bytes per shipped node index.
 pub const INDEX_BYTES: u64 = 4;
 
+/// Cost multiplier of the reliable fallback path taken when the retry
+/// budget is exhausted (models re-routing through the host / a pinned
+/// staging buffer: slower, but always lands).
+pub const FALLBACK_PENALTY: f64 = 2.0;
+
 /// Executes transfers against a topology, charging a [`TrafficCounters`].
 pub struct TransferEngine<'a> {
     topo: &'a Topology,
     /// Per-link accumulated busy seconds (per direction folded together;
     /// directions are symmetric in our workloads).
     pub link_busy: Vec<f64>,
+    faults: Option<(FaultPlan, RetryPolicy)>,
 }
 
 impl<'a> TransferEngine<'a> {
-    /// New engine over `topo`.
+    /// New fault-free engine over `topo`.
     pub fn new(topo: &'a Topology) -> Self {
         TransferEngine {
             link_busy: vec![0.0; topo.links().len()],
             topo,
+            faults: None,
         }
     }
 
-    fn charge_route(&mut self, src: Node, dst: Node, bytes: u64) -> f64 {
+    /// Engine that injects faults from `plan`, retrying under `policy`.
+    pub fn with_faults(topo: &'a Topology, plan: FaultPlan, policy: RetryPolicy) -> Self {
+        TransferEngine {
+            link_busy: vec![0.0; topo.links().len()],
+            topo,
+            faults: Some((plan, policy)),
+        }
+    }
+
+    /// Take the fault plan back out (the trainer re-threads it across
+    /// epochs so the fault RNG stream continues instead of restarting).
+    pub fn take_fault_plan(&mut self) -> Option<FaultPlan> {
+        self.faults.take().map(|(plan, _)| plan)
+    }
+
+    /// Route and nominal (fault-free) seconds for `bytes` from `src` to
+    /// `dst`, without committing link busy time.
+    fn plan_route(&self, src: Node, dst: Node, bytes: u64) -> (Vec<usize>, f64) {
         let route = self.topo.route(src, dst);
         if route.is_empty() {
-            return 0.0;
+            return (route, 0.0);
         }
         let bw = self.topo.bottleneck(&route);
         let t = bytes as f64 / bw;
-        for l in route {
+        (route, t)
+    }
+
+    fn commit(&mut self, route: &[usize], t: f64) {
+        for &l in route {
             self.link_busy[l] += t;
         }
+    }
+
+    /// Run the attempt/retry state machine for one logical transfer whose
+    /// fault-free cost is `nominal` seconds, committing each `(route, t)`
+    /// pair of busy time (scaled by the delivery slowdown) on the attempt
+    /// that finally lands. Returns the delivered-transfer seconds to charge
+    /// to `transfer_seconds`; fault losses go straight into `counters`.
+    fn deliver(
+        &mut self,
+        commits: &[(Vec<usize>, f64)],
+        nominal: f64,
+        counters: &mut TrafficCounters,
+    ) -> f64 {
+        // Fast path: no fault machinery configured, or an inert plan.
+        let active = matches!(&self.faults, Some((plan, _)) if plan.is_active());
+        if !active {
+            for (route, t) in commits {
+                self.commit(route, *t);
+            }
+            return nominal;
+        }
+        let (mut plan, policy) = self.faults.take().expect("checked active above");
+
+        let slowdown = commits
+            .iter()
+            .try_fold(1.0f64, |acc, (route, _)| {
+                plan.route_slowdown(route).map(|f| acc * f)
+            });
+        let mut delivered = None;
+        for attempt in 0..=policy.max_retries {
+            let outcome = match slowdown {
+                // A hard-down link fails the attempt before any draw.
+                None => AttemptOutcome::Fail,
+                Some(_) => plan.draw_outcome(),
+            };
+            let eff = nominal * slowdown.unwrap_or(1.0);
+            match outcome {
+                AttemptOutcome::Deliver if eff <= policy.timeout => {
+                    delivered = Some(eff);
+                    break;
+                }
+                AttemptOutcome::Stall(s) if eff + s <= policy.timeout => {
+                    // Stall is fault-induced delay on a successful attempt.
+                    counters.retry_seconds += s;
+                    delivered = Some(eff);
+                    break;
+                }
+                // Outright failure, or a stall/transfer that blew the
+                // per-attempt timeout: the initiator waited `min(cost,
+                // timeout)` for nothing.
+                _ => {
+                    counters.retries += 1;
+                    counters.retry_seconds += eff.min(policy.timeout);
+                    if attempt < policy.max_retries {
+                        counters.retry_seconds += policy.backoff(attempt, &mut plan);
+                    }
+                }
+            }
+        }
+        let (factor, t) = match delivered {
+            Some(eff) => (slowdown.unwrap_or(1.0), eff),
+            None => {
+                // Budget exhausted: reliable fallback always lands.
+                counters.failed_transfers += 1;
+                let f = FALLBACK_PENALTY * slowdown.unwrap_or(1.0);
+                (f, nominal * f)
+            }
+        };
+        for (route, base) in commits {
+            self.commit(route, base * factor);
+        }
+        self.faults = Some((plan, policy));
         t
     }
 
@@ -65,7 +175,12 @@ impl<'a> TransferEngine<'a> {
         bytes: u64,
         counters: &mut TrafficCounters,
     ) -> f64 {
-        let t = self.charge_route(storage, compute, bytes);
+        let (route, nominal) = self.plan_route(storage, compute, bytes);
+        let t = if route.is_empty() {
+            0.0
+        } else {
+            self.deliver(&[(route, nominal)], nominal, counters)
+        };
         if storage == Node::Host || compute == Node::Host {
             counters.host_to_gpu_bytes += bytes;
         } else {
@@ -87,9 +202,21 @@ impl<'a> TransferEngine<'a> {
         counters: &mut TrafficCounters,
     ) -> f64 {
         let idx_bytes = num_indices * INDEX_BYTES;
-        let t_idx = self.charge_route(compute, storage, idx_bytes);
-        let t_payload = self.charge_route(storage, compute, bytes) / TWO_SIDED_EFFICIENCY;
-        let t = t_idx + t_payload + 2.0 * SYNC_LATENCY;
+        let (route_idx, t_idx) = self.plan_route(compute, storage, idx_bytes);
+        let (route_payload, t_payload) = self.plan_route(storage, compute, bytes);
+        let nominal = t_idx + t_payload / TWO_SIDED_EFFICIENCY + 2.0 * SYNC_LATENCY;
+        let t = if route_payload.is_empty() {
+            2.0 * SYNC_LATENCY
+        } else {
+            self.deliver(
+                &[
+                    (route_idx, t_idx),
+                    (route_payload, t_payload / TWO_SIDED_EFFICIENCY),
+                ],
+                nominal,
+                counters,
+            )
+        };
         if storage == Node::Host || compute == Node::Host {
             counters.host_to_gpu_bytes += bytes;
         } else {
@@ -149,5 +276,133 @@ mod tests {
         eng.one_sided_read(Node::Gpu(2), Node::Gpu(0), 1_000_000, &mut c);
         let busy: Vec<f64> = eng.link_busy.iter().copied().filter(|&t| t > 0.0).collect();
         assert_eq!(busy.len(), 4, "cross-switch route touches 4 links");
+    }
+
+    #[test]
+    fn inert_fault_plan_matches_fault_free_engine_exactly() {
+        let topo = Topology::pcie_tree(1, 1, 16.0 * GB);
+        let mut plain = TransferEngine::new(&topo);
+        let mut faulty =
+            TransferEngine::with_faults(&topo, FaultPlan::none(), RetryPolicy::default());
+        let mut c1 = TrafficCounters::new();
+        let mut c2 = TrafficCounters::new();
+        let t1 = plain.one_sided_read(Node::Host, Node::Gpu(0), 5_000_000, &mut c1);
+        let t2 = faulty.one_sided_read(Node::Host, Node::Gpu(0), 5_000_000, &mut c2);
+        assert_eq!(t1, t2);
+        assert_eq!(c2.retries, 0);
+        assert_eq!(c2.retry_seconds, 0.0);
+        assert_eq!(plain.link_busy, faulty.link_busy);
+    }
+
+    #[test]
+    fn failures_charge_retries_and_backoff() {
+        let topo = Topology::pcie_tree(1, 1, 16.0 * GB);
+        // Fail every attempt: all transfers exhaust the budget and fall back.
+        let plan = FaultPlan::new(5).with_fail_prob(1.0);
+        let policy = RetryPolicy {
+            max_retries: 2,
+            ..Default::default()
+        };
+        let mut eng = TransferEngine::with_faults(&topo, plan, policy);
+        let mut c = TrafficCounters::new();
+        let t = eng.one_sided_read(Node::Host, Node::Gpu(0), 16_000_000, &mut c);
+        assert!((t - FALLBACK_PENALTY * 1e-3).abs() < 1e-9, "fallback cost, t={t}");
+        assert_eq!(c.retries, 3, "three wasted attempts");
+        assert_eq!(c.failed_transfers, 1);
+        assert!(c.retry_seconds > 0.0);
+        // Wasted attempts: 3 x 1ms plus two backoffs of >= 1ms and >= 2ms.
+        assert!(c.retry_seconds >= 3e-3 + 3e-3, "retry_seconds {}", c.retry_seconds);
+    }
+
+    #[test]
+    fn partial_failures_eventually_deliver_without_fallback() {
+        let topo = Topology::pcie_tree(1, 1, 16.0 * GB);
+        let plan = FaultPlan::new(11).with_fail_prob(0.5);
+        let mut eng = TransferEngine::with_faults(&topo, plan, RetryPolicy::default());
+        let mut c = TrafficCounters::new();
+        for _ in 0..200 {
+            eng.one_sided_read(Node::Host, Node::Gpu(0), 1_000_000, &mut c);
+        }
+        assert!(c.retries > 50, "should see many retries: {}", c.retries);
+        assert!(
+            c.failed_transfers < 20,
+            "most transfers land within 4 attempts: {}",
+            c.failed_transfers
+        );
+        assert_eq!(c.num_transfers, 200);
+    }
+
+    #[test]
+    fn degraded_link_slows_but_does_not_retry() {
+        let topo = Topology::pcie_tree(1, 1, 16.0 * GB);
+        // Link 0 is GPU0<->Switch0: on the host->GPU route.
+        let plan = FaultPlan::new(0).with_degraded_link(0, 4.0);
+        let mut eng = TransferEngine::with_faults(&topo, plan, RetryPolicy::default());
+        let mut c = TrafficCounters::new();
+        let t = eng.one_sided_read(Node::Host, Node::Gpu(0), 16_000_000, &mut c);
+        assert!((t - 4e-3).abs() < 1e-9, "4x slowdown, t={t}");
+        assert_eq!(c.retries, 0);
+        assert_eq!(c.failed_transfers, 0);
+    }
+
+    #[test]
+    fn down_link_forces_fallback_path() {
+        let topo = Topology::pcie_tree(1, 1, 16.0 * GB);
+        let plan = FaultPlan::new(0).with_down_link(0);
+        let policy = RetryPolicy {
+            max_retries: 1,
+            ..Default::default()
+        };
+        let mut eng = TransferEngine::with_faults(&topo, plan, policy);
+        let mut c = TrafficCounters::new();
+        let t = eng.one_sided_read(Node::Host, Node::Gpu(0), 16_000_000, &mut c);
+        assert!((t - FALLBACK_PENALTY * 1e-3).abs() < 1e-9, "t={t}");
+        assert_eq!(c.failed_transfers, 1);
+        assert_eq!(c.retries, 2);
+        assert_eq!(c.host_to_gpu_bytes, 16_000_000, "bytes still delivered");
+    }
+
+    #[test]
+    fn stalls_charge_retry_seconds_but_deliver() {
+        let topo = Topology::pcie_tree(1, 1, 16.0 * GB);
+        let plan = FaultPlan::new(0).with_stalls(1.0, 0.01);
+        let mut eng = TransferEngine::with_faults(&topo, plan, RetryPolicy::default());
+        let mut c = TrafficCounters::new();
+        let t = eng.one_sided_read(Node::Host, Node::Gpu(0), 16_000_000, &mut c);
+        assert!((t - 1e-3).abs() < 1e-9, "delivered at nominal speed");
+        assert!((c.retry_seconds - 0.01).abs() < 1e-12, "stall accounted");
+        assert_eq!(c.retries, 0);
+    }
+
+    #[test]
+    fn stall_past_timeout_counts_as_failed_attempt() {
+        let topo = Topology::pcie_tree(1, 1, 16.0 * GB);
+        let plan = FaultPlan::new(0).with_stalls(1.0, 10.0);
+        let policy = RetryPolicy {
+            max_retries: 1,
+            timeout: 0.5,
+            ..Default::default()
+        };
+        let mut eng = TransferEngine::with_faults(&topo, plan, policy);
+        let mut c = TrafficCounters::new();
+        eng.one_sided_read(Node::Host, Node::Gpu(0), 16_000_000, &mut c);
+        assert_eq!(c.retries, 2, "both stalled attempts timed out");
+        assert_eq!(c.failed_transfers, 1);
+    }
+
+    #[test]
+    fn fault_sequence_is_deterministic_across_engines() {
+        let topo = Topology::pcie_tree(2, 2, 16.0 * GB);
+        let run = || {
+            let plan = FaultPlan::new(42).with_fail_prob(0.3).with_stalls(0.1, 0.002);
+            let mut eng = TransferEngine::with_faults(&topo, plan, RetryPolicy::default());
+            let mut c = TrafficCounters::new();
+            for i in 0..100u64 {
+                eng.one_sided_read(Node::Host, Node::Gpu((i % 2) as usize), 1_000_000, &mut c);
+                eng.two_sided_read(Node::Host, Node::Gpu(0), 500_000, 100, &mut c);
+            }
+            (c.retries, c.failed_transfers, c.retry_seconds, c.transfer_seconds)
+        };
+        assert_eq!(run(), run());
     }
 }

@@ -35,4 +35,4 @@ pub mod sage;
 
 pub use layer::{Activation, Param};
 pub use model::{Arch, Model};
-pub use optim::{Adam, Optimizer, Sgd};
+pub use optim::{Adam, Optimizer, OptimizerState, Sgd};

@@ -7,6 +7,19 @@
 use crate::layer::Param;
 use fgnn_tensor::{ops, Matrix};
 
+/// Serializable optimizer state (for checkpoint/resume).
+///
+/// A flat encoding shared by all optimizers: integer `counters` (e.g.
+/// Adam's step count) plus moment `tensors` in a stable, optimizer-defined
+/// order. Empty state means "not yet stepped" (lazy moment allocation).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct OptimizerState {
+    /// Integer state, optimizer-defined order.
+    pub counters: Vec<u64>,
+    /// Moment tensors, optimizer-defined order.
+    pub tensors: Vec<Matrix>,
+}
+
 /// A gradient-descent optimizer over a stable parameter list.
 pub trait Optimizer {
     /// Apply one update step using each parameter's accumulated gradient,
@@ -15,6 +28,16 @@ pub trait Optimizer {
 
     /// Learning rate currently in effect.
     fn learning_rate(&self) -> f32;
+
+    /// Export mutable state for checkpointing (hyperparameters are config,
+    /// not state, and are not included).
+    fn export_state(&self) -> OptimizerState;
+
+    /// Restore state exported by [`Optimizer::export_state`] from the same
+    /// optimizer type on the same parameter list. Panics on a shape or
+    /// count mismatch — that indicates a config/checkpoint mix-up the
+    /// caller should have rejected.
+    fn import_state(&mut self, state: OptimizerState);
 }
 
 /// Stochastic gradient descent with optional momentum.
@@ -70,6 +93,18 @@ impl Optimizer for Sgd {
 
     fn learning_rate(&self) -> f32 {
         self.lr
+    }
+
+    fn export_state(&self) -> OptimizerState {
+        OptimizerState {
+            counters: Vec::new(),
+            tensors: self.velocity.clone(),
+        }
+    }
+
+    fn import_state(&mut self, state: OptimizerState) {
+        assert!(state.counters.is_empty(), "SGD has no counter state");
+        self.velocity = state.tensors;
     }
 }
 
@@ -136,6 +171,28 @@ impl Optimizer for Adam {
     fn learning_rate(&self) -> f32 {
         self.lr
     }
+
+    fn export_state(&self) -> OptimizerState {
+        let mut tensors = self.m.clone();
+        tensors.extend(self.v.iter().cloned());
+        OptimizerState {
+            counters: vec![self.t as u64],
+            tensors,
+        }
+    }
+
+    fn import_state(&mut self, state: OptimizerState) {
+        assert_eq!(state.counters.len(), 1, "Adam state has one counter (t)");
+        assert!(
+            state.tensors.len().is_multiple_of(2),
+            "Adam moments come in (m, v) pairs"
+        );
+        self.t = state.counters[0] as u32;
+        let half = state.tensors.len() / 2;
+        let mut tensors = state.tensors;
+        self.v = tensors.split_off(half);
+        self.m = tensors;
+    }
 }
 
 #[cfg(test)]
@@ -184,6 +241,42 @@ mod tests {
         let mut opt = Adam::new(0.1);
         opt.step(&mut [&mut p]);
         assert!((p.value.get(0, 0) - 4.9).abs() < 1e-3);
+    }
+
+    /// Step `opt` a few times, export state, step a fresh optimizer of the
+    /// same kind to the same point via import, and check both continue
+    /// identically.
+    fn state_round_trip<O: Optimizer>(mut warm: O, mut cold: O) {
+        let mut p1 = quadratic_param(5.0);
+        for _ in 0..10 {
+            let x = p1.value.get(0, 0);
+            p1.grad.set(0, 0, 2.0 * x);
+            warm.step(&mut [&mut p1]);
+            p1.zero_grad();
+        }
+        cold.import_state(warm.export_state());
+        let mut p2 = p1.clone();
+        for _ in 0..10 {
+            let x1 = p1.value.get(0, 0);
+            p1.grad.set(0, 0, 2.0 * x1);
+            warm.step(&mut [&mut p1]);
+            p1.zero_grad();
+            let x2 = p2.value.get(0, 0);
+            p2.grad.set(0, 0, 2.0 * x2);
+            cold.step(&mut [&mut p2]);
+            p2.zero_grad();
+            assert_eq!(p1.value.get(0, 0).to_bits(), p2.value.get(0, 0).to_bits());
+        }
+    }
+
+    #[test]
+    fn adam_state_round_trip_is_bitwise() {
+        state_round_trip(Adam::new(0.1), Adam::new(0.1));
+    }
+
+    #[test]
+    fn sgd_momentum_state_round_trip_is_bitwise() {
+        state_round_trip(Sgd::with_momentum(0.05, 0.9), Sgd::with_momentum(0.05, 0.9));
     }
 
     #[test]

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything here must pass offline, with no external
+# dependencies, before a change lands (see ROADMAP.md).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --workspace
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "ci: all green"

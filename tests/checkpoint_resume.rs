@@ -1,0 +1,239 @@
+//! Kill-and-resume integration tests: a training run interrupted by a
+//! checkpoint and resumed in a *fresh process-worth of state* (new trainer,
+//! different construction seed, checkpoint round-tripped through disk)
+//! must produce bitwise-identical final parameters to the uninterrupted
+//! run — plus the corrupt-snapshot error paths and graceful cache
+//! degradation.
+
+use freshgnn_repro::core::checkpoint::{Checkpoint, CheckpointError, MAGIC, VERSION};
+use freshgnn_repro::core::{FreshGnnConfig, Trainer};
+use freshgnn_repro::graph::datasets::arxiv_spec;
+use freshgnn_repro::graph::sample::split_batches;
+use freshgnn_repro::graph::Dataset;
+use freshgnn_repro::memsim::presets::Machine;
+use freshgnn_repro::nn::model::Arch;
+use freshgnn_repro::nn::Adam;
+use freshgnn_repro::tensor::Rng;
+
+fn tiny() -> Dataset {
+    Dataset::materialize(arxiv_spec(0.0).with_dim(16), 42) // 256 nodes
+}
+
+fn cfg() -> FreshGnnConfig {
+    FreshGnnConfig {
+        p_grad: 0.9,
+        t_stale: 50,
+        fanouts: vec![4, 4],
+        batch_size: 32,
+        feature_cache_rows: 16,
+        ..Default::default()
+    }
+}
+
+fn new_trainer(ds: &Dataset, seed: u64) -> Trainer {
+    Trainer::new(ds, Arch::Sage, 16, Machine::single_a100(), cfg(), seed)
+}
+
+fn ckpt_dir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("fgnn_ckpt_integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The headline guarantee: kill after epoch 2 of 4, resume into a trainer
+/// built with a *different* seed, and the final parameters match the
+/// uninterrupted run bit for bit.
+#[test]
+fn kill_between_epochs_and_resume_is_bitwise_identical() {
+    let ds = tiny();
+
+    // Uninterrupted reference: 4 epochs.
+    let mut reference = new_trainer(&ds, 7);
+    let mut opt_ref = Adam::new(0.01);
+    for _ in 0..4 {
+        reference.train_epoch(&ds, &mut opt_ref);
+    }
+    let want = reference.model.export_parameters();
+
+    // Interrupted run: 2 epochs, checkpoint through disk, "kill".
+    let path = ckpt_dir().join("between_epochs.ckpt");
+    {
+        let mut first = new_trainer(&ds, 7);
+        let mut opt = Adam::new(0.01);
+        first.train_epoch(&ds, &mut opt);
+        first.train_epoch(&ds, &mut opt);
+        first.checkpoint(&opt).save(&path).expect("save");
+        // `first` dropped here — nothing survives but the file.
+    }
+
+    // Resume: differently-seeded trainer, fresh optimizer.
+    let ckpt = Checkpoint::load(&path).expect("load");
+    let mut resumed = new_trainer(&ds, 999);
+    let mut opt = Adam::new(0.01);
+    let degraded = resumed.restore(&ckpt, &mut opt).expect("restore");
+    assert!(!degraded, "intact checkpoint must not degrade");
+    assert_eq!(resumed.epochs(), 2);
+    for _ in 0..2 {
+        resumed.train_epoch(&ds, &mut opt);
+    }
+
+    let got = resumed.model.export_parameters();
+    assert_eq!(want.len(), got.len());
+    let diffs = want
+        .iter()
+        .zip(&got)
+        .filter(|(a, b)| a.to_bits() != b.to_bits())
+        .count();
+    assert_eq!(diffs, 0, "{diffs} parameters differ after resume");
+    std::fs::remove_file(&path).ok();
+}
+
+/// Same guarantee mid-epoch: checkpoint after batch 4 of 8 (the caller
+/// owns the schedule via `train_on_batches`), resume, finish the
+/// remaining batches, and continue a full extra epoch.
+#[test]
+fn kill_mid_epoch_and_resume_is_bitwise_identical() {
+    let ds = tiny();
+    let mut schedule_rng = Rng::new(123);
+    let batches = split_batches(&ds.train_nodes, 24, Some(&mut schedule_rng));
+    assert!(batches.len() >= 6, "need a non-trivial schedule");
+    let split = batches.len() / 2;
+
+    // Reference: the whole schedule in one call, then one normal epoch.
+    let mut reference = new_trainer(&ds, 11);
+    let mut opt_ref = Adam::new(0.01);
+    reference.train_on_batches(&ds, &batches, &mut opt_ref);
+    reference.train_epoch(&ds, &mut opt_ref);
+    let want = reference.model.export_parameters();
+
+    // Interrupted: first half, checkpoint, kill, restore, second half.
+    let path = ckpt_dir().join("mid_epoch.ckpt");
+    {
+        let mut first = new_trainer(&ds, 11);
+        let mut opt = Adam::new(0.01);
+        first.train_on_batches(&ds, &batches[..split], &mut opt);
+        first.checkpoint(&opt).save(&path).expect("save");
+    }
+    let ckpt = Checkpoint::load(&path).expect("load");
+    let mut resumed = new_trainer(&ds, 31337);
+    let mut opt = Adam::new(0.01);
+    resumed.restore(&ckpt, &mut opt).expect("restore");
+    assert_eq!(resumed.iterations() as usize, split, "iteration cursor");
+    resumed.train_on_batches(&ds, &batches[split..], &mut opt);
+    resumed.train_epoch(&ds, &mut opt);
+
+    let got = resumed.model.export_parameters();
+    assert_eq!(want, got, "mid-epoch resume diverged");
+    std::fs::remove_file(&path).ok();
+}
+
+/// The traffic ledger and cache statistics survive the round trip too —
+/// experiment reports from a resumed run match the uninterrupted run.
+#[test]
+fn counters_and_cache_stats_survive_resume() {
+    let ds = tiny();
+    let mut reference = new_trainer(&ds, 5);
+    let mut opt_ref = Adam::new(0.01);
+    for _ in 0..3 {
+        reference.train_epoch(&ds, &mut opt_ref);
+    }
+
+    let mut first = new_trainer(&ds, 5);
+    let mut opt = Adam::new(0.01);
+    first.train_epoch(&ds, &mut opt);
+    first.train_epoch(&ds, &mut opt);
+    let ckpt = Checkpoint::from_bytes(&first.checkpoint(&opt).to_bytes()).unwrap();
+    let mut resumed = new_trainer(&ds, 6);
+    let mut opt2 = Adam::new(0.01);
+    resumed.restore(&ckpt, &mut opt2).unwrap();
+    resumed.train_epoch(&ds, &mut opt2);
+
+    assert_eq!(
+        reference.counters.host_to_gpu_bytes,
+        resumed.counters.host_to_gpu_bytes
+    );
+    assert_eq!(reference.counters.num_transfers, resumed.counters.num_transfers);
+    assert_eq!(reference.cache.stats(), resumed.cache.stats());
+    assert_eq!(reference.iterations(), resumed.iterations());
+}
+
+/// Corrupting the core segment is a hard checksum error; corrupting the
+/// cache segment degrades: the load succeeds, the trainer resumes with an
+/// empty cache, and the degradation is recorded in the next EpochStats.
+#[test]
+fn corrupt_snapshots_follow_the_fault_model() {
+    let ds = tiny();
+    let mut t = new_trainer(&ds, 9);
+    let mut opt = Adam::new(0.01);
+    t.train_epoch(&ds, &mut opt);
+    assert!(!t.cache.is_empty(), "warm cache before checkpoint");
+    let bytes = t.checkpoint(&opt).to_bytes();
+
+    // Core corruption (byte right after magic+version+len) → hard error.
+    let mut bad_core = bytes.clone();
+    bad_core[21] ^= 0xFF;
+    assert!(matches!(
+        Checkpoint::from_bytes(&bad_core),
+        Err(CheckpointError::ChecksumMismatch { segment: "core" })
+    ));
+
+    // Wrong version → descriptive rejection.
+    let mut bad_version = bytes.clone();
+    bad_version[8..12].copy_from_slice(&(VERSION + 1).to_le_bytes());
+    let err = Checkpoint::from_bytes(&bad_version).unwrap_err();
+    assert!(err.to_string().contains("version"), "{err}");
+
+    // Not a checkpoint at all.
+    let mut bad_magic = bytes.clone();
+    bad_magic[..8].copy_from_slice(b"GARBAGE!");
+    assert!(!MAGIC.starts_with(b"GARBAGE"));
+    assert!(matches!(
+        Checkpoint::from_bytes(&bad_magic),
+        Err(CheckpointError::BadMagic)
+    ));
+
+    // Cache corruption (last payload byte before the final checksum) →
+    // graceful degradation.
+    let mut bad_cache = bytes.clone();
+    let n = bad_cache.len();
+    bad_cache[n - 9] ^= 0xFF;
+    let ckpt = Checkpoint::from_bytes(&bad_cache).expect("core intact");
+    assert!(ckpt.cache_degraded);
+
+    let mut resumed = new_trainer(&ds, 10);
+    let mut opt2 = Adam::new(0.01);
+    let degraded = resumed.restore(&ckpt, &mut opt2).expect("degraded restore");
+    assert!(degraded);
+    assert!(resumed.cache.is_empty(), "resume starts cold");
+    let stats = resumed.train_epoch(&ds, &mut opt2);
+    assert!(stats.cache_degraded, "degradation recorded in EpochStats");
+    let stats2 = resumed.train_epoch(&ds, &mut opt2);
+    assert!(!stats2.cache_degraded, "flag consumed after one epoch");
+}
+
+/// A checkpoint from a differently-shaped trainer is rejected with
+/// ShapeMismatch, not silently imported.
+#[test]
+fn shape_mismatch_is_rejected() {
+    let ds = tiny();
+    let mut t = new_trainer(&ds, 1);
+    let mut opt = Adam::new(0.01);
+    t.train_epoch(&ds, &mut opt);
+    let ckpt = t.checkpoint(&opt);
+
+    // Different hidden width.
+    let mut wrong_width = Trainer::new(&ds, Arch::Sage, 32, Machine::single_a100(), cfg(), 1);
+    let mut opt2 = Adam::new(0.01);
+    assert!(matches!(
+        wrong_width.restore(&ckpt, &mut opt2),
+        Err(CheckpointError::ShapeMismatch(_))
+    ));
+
+    // Different architecture.
+    let mut wrong_arch = Trainer::new(&ds, Arch::Gcn, 16, Machine::single_a100(), cfg(), 1);
+    let mut opt3 = Adam::new(0.01);
+    assert!(matches!(
+        wrong_arch.restore(&ckpt, &mut opt3),
+        Err(CheckpointError::ShapeMismatch(_))
+    ));
+}
