@@ -2,8 +2,8 @@
 //! ring-buffer admission and O(1) lookup throughput.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use freshgnn::cache::RingCache;
 use fgnn_tensor::Rng;
+use freshgnn::cache::RingCache;
 use std::hint::black_box;
 
 fn bench_cache(c: &mut Criterion) {
@@ -22,7 +22,9 @@ fn bench_cache(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("lookup_hit", dim), &dim, |b, _| {
             let mut cache = RingCache::new(num_nodes, 64 * 1024, dim);
             let mut rng = Rng::new(3);
-            let nodes: Vec<u32> = (0..32 * 1024).map(|_| rng.below(num_nodes) as u32).collect();
+            let nodes: Vec<u32> = (0..32 * 1024)
+                .map(|_| rng.below(num_nodes) as u32)
+                .collect();
             for &n in &nodes {
                 cache.admit(n, &row, 0, u32::MAX);
             }

@@ -13,7 +13,11 @@ fn bench_comm(c: &mut Criterion) {
     for gpus in [4usize, 8, 16] {
         let topo = Topology::pcie_tree(gpus, 2, 16.0 * GB);
         let demand: Vec<Vec<u64>> = (0..gpus)
-            .map(|i| (0..gpus).map(|j| if i == j { 0 } else { 1 << 26 }).collect())
+            .map(|i| {
+                (0..gpus)
+                    .map(|j| if i == j { 0 } else { 1 << 26 })
+                    .collect()
+            })
             .collect();
         group.bench_with_input(BenchmarkId::new("naive", gpus), &gpus, |b, _| {
             b.iter(|| black_box(naive_alltoall(&topo, &demand)));

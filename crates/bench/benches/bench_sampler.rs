@@ -20,7 +20,10 @@ fn bench_sampler(c: &mut Criterion) {
     .graph;
 
     let mut group = c.benchmark_group("neighbor_sampling");
-    for (label, fanouts) in [("f10x2", vec![10usize, 10]), ("f20_15_10", vec![20, 15, 10])] {
+    for (label, fanouts) in [
+        ("f10x2", vec![10usize, 10]),
+        ("f20_15_10", vec![20, 15, 10]),
+    ] {
         group.bench_with_input(BenchmarkId::new(label, 256), &fanouts, |b, f| {
             let mut sampler = NeighborSampler::new(g.num_nodes());
             let mut rng = Rng::new(9);

@@ -8,8 +8,8 @@
 
 use fgnn_bench::{banner, row, Args};
 use fgnn_graph::generate::{generate, GraphConfig};
-use freshgnn::sgc::{run_historical_sgc, SgcConfig};
 use fgnn_tensor::{ops, Rng};
+use freshgnn::sgc::{run_historical_sgc, SgcConfig};
 
 fn main() {
     let args = Args::parse();
@@ -17,7 +17,10 @@ fn main() {
     let n: usize = args.get("nodes", 2000);
     let iters: usize = args.get("iters", 400);
 
-    banner("Appendix B", "SGC convergence with bounded-staleness history");
+    banner(
+        "Appendix B",
+        "SGC convergence with bounded-staleness history",
+    );
     let mut rng = Rng::new(seed);
     let cfg = GraphConfig {
         num_nodes: n,
@@ -34,7 +37,11 @@ fn main() {
     for v in y.as_mut_slice() {
         *v += rng.normal() * 0.01;
     }
-    println!("graph: {} nodes, {} edges; SGC k=2, least squares\n", n, g.num_edges());
+    println!(
+        "graph: {} nodes, {} edges; SGC k=2, least squares\n",
+        n,
+        g.num_edges()
+    );
 
     let configs: Vec<(String, SgcConfig)> = vec![
         (

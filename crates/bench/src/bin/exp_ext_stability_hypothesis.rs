@@ -23,8 +23,8 @@ use fgnn_memsim::presets::Machine;
 use fgnn_nn::loss::softmax_cross_entropy;
 use fgnn_nn::model::Arch;
 use fgnn_nn::Adam;
-use freshgnn::{FreshGnnConfig, Trainer};
 use fgnn_tensor::{stats, Matrix, Rng};
+use freshgnn::{FreshGnnConfig, Trainer};
 
 fn main() {
     let args = Args::parse();
@@ -82,13 +82,15 @@ fn main() {
     trainer.model.zero_grad();
     {
         let norms = &mut grad_norms;
-        trainer.model.backward_with(&probe_mb, &trace, d_top, |level, d| {
-            if level == 1 {
-                for (v, n) in norms.iter_mut().enumerate() {
-                    *n = d.row(v).iter().map(|&x| x * x).sum::<f32>().sqrt();
+        trainer
+            .model
+            .backward_with(&probe_mb, &trace, d_top, |level, d| {
+                if level == 1 {
+                    for (v, n) in norms.iter_mut().enumerate() {
+                        *n = d.row(v).iter().map(|&x| x * x).sum::<f32>().sqrt();
+                    }
                 }
-            }
-        });
+            });
     }
     trainer.model.zero_grad();
 
@@ -120,10 +122,9 @@ fn main() {
     let mut order: Vec<usize> = (0..grad_norms.len()).collect();
     order.sort_by(|&a, &b| grad_norms[a].partial_cmp(&grad_norms[b]).unwrap());
     let cut = (order.len() as f64 * 0.9) as usize;
-    let mean_low: f32 =
-        order[..cut].iter().map(|&i| drift[i]).sum::<f32>() / cut.max(1) as f32;
-    let mean_high: f32 = order[cut..].iter().map(|&i| drift[i]).sum::<f32>()
-        / (order.len() - cut).max(1) as f32;
+    let mean_low: f32 = order[..cut].iter().map(|&i| drift[i]).sum::<f32>() / cut.max(1) as f32;
+    let mean_high: f32 =
+        order[cut..].iter().map(|&i| drift[i]).sum::<f32>() / (order.len() - cut).max(1) as f32;
     row(
         &[&"mean drift, admitted 90%", &format!("{mean_low:.4}")],
         &w,

@@ -19,8 +19,8 @@ use fgnn_graph::Dataset;
 use fgnn_memsim::presets::Machine;
 use fgnn_nn::model::Arch;
 use fgnn_nn::Adam;
-use freshgnn::{FreshGnnConfig, Trainer};
 use fgnn_tensor::Rng;
+use freshgnn::{FreshGnnConfig, Trainer};
 
 fn main() {
     let args = Args::parse();
@@ -29,7 +29,10 @@ fn main() {
     let iters: usize = args.get("iters", 300);
     let probe_every: usize = args.get("probe-every", 20);
 
-    banner("Fig 1", "Estimation error of historical embeddings (GCN, products-s)");
+    banner(
+        "Fig 1",
+        "Estimation error of historical embeddings (GCN, products-s)",
+    );
     let ds = Dataset::materialize(products_spec(scale).with_dim(32), seed);
     println!(
         "dataset: {} nodes, {} directed edges\n",

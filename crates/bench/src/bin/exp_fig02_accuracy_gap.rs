@@ -19,7 +19,10 @@ fn main() {
     let scale_large: f64 = args.get("scale-large", 0.0004);
     let steps: usize = args.get("steps", 600);
 
-    banner("Fig 2", "Test accuracy vs NS target: small vs large graph (GraphSAGE)");
+    banner(
+        "Fig 2",
+        "Test accuracy vs NS target: small vs large graph (GraphSAGE)",
+    );
 
     let methods = [
         Method::NeighborSampling,
@@ -56,11 +59,7 @@ fn main() {
                 target = acc;
             }
             row(
-                &[
-                    &m,
-                    &format!("{:.4}", acc),
-                    &format!("{:+.4}", acc - target),
-                ],
+                &[&m, &format!("{:.4}", acc), &format!("{:+.4}", acc - target)],
                 &w,
             );
         }

@@ -13,9 +13,9 @@ use fgnn_graph::Dataset;
 use fgnn_memsim::presets::Machine;
 use fgnn_nn::model::Arch;
 use fgnn_nn::Adam;
+use fgnn_tensor::{stats, Rng};
 use freshgnn::probes::EmbeddingStabilityProbe;
 use freshgnn::{FreshGnnConfig, Trainer};
-use fgnn_tensor::{stats, Rng};
 
 fn main() {
     let args = Args::parse();
@@ -24,7 +24,10 @@ fn main() {
     let iters: usize = args.get("iters", 300);
     let lag: usize = args.get("lag", 20);
 
-    banner("Fig 3", "Cosine similarity of embeddings at lag s=20 (GraphSAGE, products-s)");
+    banner(
+        "Fig 3",
+        "Cosine similarity of embeddings at lag s=20 (GraphSAGE, products-s)",
+    );
     let ds = Dataset::materialize(products_spec(scale).with_dim(32), seed);
 
     let cfg = FreshGnnConfig::neighbor_sampling(vec![5, 5], 128);

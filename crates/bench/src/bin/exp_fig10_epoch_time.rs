@@ -17,6 +17,7 @@ use fgnn_bench::{banner, fmt_bytes, fmt_secs, row, Args};
 use fgnn_graph::datasets::{friendster_spec, mag240m_spec, papers100m_spec, twitter_spec};
 use fgnn_graph::Dataset;
 use fgnn_memsim::presets::Machine;
+use fgnn_memsim::stage::{StageKind, StageTimings};
 use fgnn_nn::model::Arch;
 use fgnn_nn::Adam;
 use freshgnn::baselines::{ClusterGcnTrainer, GasConfig, GasTrainer};
@@ -34,6 +35,25 @@ struct SystemRow {
     name: &'static str,
     epoch_s: Option<f64>, // None = OOM
     h2d: u64,
+    /// Per-stage attribution of the measured epoch. `sample_scale` rescales
+    /// the sample stage the same way the headline time does (PyG overhead /
+    /// sampler threads).
+    timings: Option<StageTimings>,
+    sample_scale: f64,
+}
+
+/// Simulated seconds attributed to `kind`, with the sampler rescaling.
+fn stage_secs(r: &SystemRow, kind: StageKind) -> f64 {
+    let t = r
+        .timings
+        .as_ref()
+        .expect("stage table only for non-OOM rows");
+    let s = t.sim_seconds(kind);
+    if kind == StageKind::Sample {
+        s * r.sample_scale
+    } else {
+        s
+    }
 }
 
 fn run_ns_system(
@@ -64,6 +84,8 @@ fn run_ns_system(
         name,
         epoch_s: Some(c.sim_seconds()),
         h2d: c.host_to_gpu_bytes,
+        timings: Some(s.timings),
+        sample_scale: sampler_factor / sampler_threads,
     }
 }
 
@@ -72,7 +94,10 @@ fn main() {
     let seed: u64 = args.get("seed", 42);
     let scale: f64 = args.get("scale", 0.0002);
 
-    banner("Fig 10", "Single-GPU epoch time, GraphSAGE (simulated A100 + PCIe3)");
+    banner(
+        "Fig 10",
+        "Single-GPU epoch time, GraphSAGE (simulated A100 + PCIe3)",
+    );
     let specs = vec![
         papers100m_spec(scale).with_dim(128),
         mag240m_spec(scale).with_dim(256),
@@ -92,9 +117,33 @@ fn main() {
         );
 
         let mut rows: Vec<SystemRow> = Vec::new();
-        rows.push(run_ns_system(&ds, "PyG", LoadMode::TwoSided, false, PYG_SAMPLER_FACTOR, 1.0, seed));
-        rows.push(run_ns_system(&ds, "DGL", LoadMode::TwoSided, false, 1.0, SAMPLER_THREADS, seed));
-        rows.push(run_ns_system(&ds, "PyTorch-Direct", LoadMode::OneSided, false, 1.0, SAMPLER_THREADS, seed));
+        rows.push(run_ns_system(
+            &ds,
+            "PyG",
+            LoadMode::TwoSided,
+            false,
+            PYG_SAMPLER_FACTOR,
+            1.0,
+            seed,
+        ));
+        rows.push(run_ns_system(
+            &ds,
+            "DGL",
+            LoadMode::TwoSided,
+            false,
+            1.0,
+            SAMPLER_THREADS,
+            seed,
+        ));
+        rows.push(run_ns_system(
+            &ds,
+            "PyTorch-Direct",
+            LoadMode::OneSided,
+            false,
+            1.0,
+            SAMPLER_THREADS,
+            seed,
+        ));
 
         // GAS: OOM everywhere at paper scale here (papers100M history
         // ~`O(Lnd)`; Twitter/Friendster/MAG are bigger still): paper shows
@@ -115,12 +164,14 @@ fn main() {
                 seed,
             );
             let mut opt = Adam::new(0.003);
-            gas.train_epoch(&ds, &mut opt);
+            let gs = gas.train_epoch(&ds, &mut opt);
             let c = gas.counters.clone();
             rows.push(SystemRow {
                 name: "GAS",
                 epoch_s: Some(c.sim_seconds()),
                 h2d: c.host_to_gpu_bytes,
+                timings: Some(gs.timings),
+                sample_scale: 1.0,
             });
             let mut cg = ClusterGcnTrainer::new(
                 &ds,
@@ -132,15 +183,29 @@ fn main() {
                 Machine::single_a100(),
                 seed,
             );
-            cg.train_epoch(&ds, &mut opt);
+            let cs = cg.train_epoch(&ds, &mut opt);
             rows.push(SystemRow {
                 name: "ClusterGCN",
                 epoch_s: Some(cg.counters.sim_seconds()),
                 h2d: cg.counters.host_to_gpu_bytes,
+                timings: Some(cs.timings),
+                sample_scale: 1.0,
             });
         } else {
-            rows.push(SystemRow { name: "GAS", epoch_s: None, h2d: 0 });
-            rows.push(SystemRow { name: "ClusterGCN", epoch_s: None, h2d: 0 });
+            rows.push(SystemRow {
+                name: "GAS",
+                epoch_s: None,
+                h2d: 0,
+                timings: None,
+                sample_scale: 1.0,
+            });
+            rows.push(SystemRow {
+                name: "ClusterGCN",
+                epoch_s: None,
+                h2d: 0,
+                timings: None,
+                sample_scale: 1.0,
+            });
         }
         // Paper: on MAG240M only DGL and FreshGNN avoid OOM.
         if is_mag {
@@ -150,11 +215,22 @@ fn main() {
                 }
             }
         }
-        rows.push(run_ns_system(&ds, "FreshGNN", LoadMode::OneSided, true, 1.0, SAMPLER_THREADS, seed));
+        rows.push(run_ns_system(
+            &ds,
+            "FreshGNN",
+            LoadMode::OneSided,
+            true,
+            1.0,
+            SAMPLER_THREADS,
+            seed,
+        ));
 
         let fresh_time = rows.last().and_then(|r| r.epoch_s).unwrap_or(1.0);
         let w = [17, 14, 13, 12];
-        row(&[&"system", &"epoch time", &"h2d bytes", &"vs FreshGNN"], &w);
+        row(
+            &[&"system", &"epoch time", &"h2d bytes", &"vs FreshGNN"],
+            &w,
+        );
         for r in &rows {
             match r.epoch_s {
                 Some(t) => row(
@@ -168,6 +244,31 @@ fn main() {
                 ),
                 None => row(&[&r.name, &"OOM", &"-", &"-"], &w),
             }
+        }
+
+        // Per-stage breakdown (the stacked bars of Fig 10): simulated
+        // seconds attributed to each pipeline stage of the measured epoch.
+        println!("\nper-stage sim seconds:");
+        let sw = [17, 9, 9, 9, 9, 9, 13, 11];
+        let mut header: Vec<&dyn std::fmt::Display> = vec![&"system"];
+        let names: Vec<String> = StageKind::ALL
+            .iter()
+            .map(|k| k.name().to_string())
+            .collect();
+        for n in &names {
+            header.push(n);
+        }
+        row(&header, &sw);
+        for r in rows.iter().filter(|r| r.timings.is_some()) {
+            let cells: Vec<String> = StageKind::ALL
+                .iter()
+                .map(|&k| fmt_secs(stage_secs(r, k)))
+                .collect();
+            let mut line: Vec<&dyn std::fmt::Display> = vec![&r.name];
+            for c in &cells {
+                line.push(c);
+            }
+            row(&line, &sw);
         }
     }
     println!("\npaper (Fig 10): FreshGNN 5.3x faster than DGL and 23.6x than PyG on");

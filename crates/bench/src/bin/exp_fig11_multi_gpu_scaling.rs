@@ -19,7 +19,10 @@ fn main() {
     let seed: u64 = args.get("seed", 42);
     let scale: f64 = args.get("scale", 0.0002);
 
-    banner("Fig 11", "Multi-GPU scaling, GraphSAGE on papers100M-s (iterations/s)");
+    banner(
+        "Fig 11",
+        "Multi-GPU scaling, GraphSAGE on papers100M-s (iterations/s)",
+    );
     let ds = Dataset::materialize(papers100m_spec(scale).with_dim(128), seed);
     println!(
         "dataset: {} nodes, {} edges; profiles measured on 2 real epochs\n",

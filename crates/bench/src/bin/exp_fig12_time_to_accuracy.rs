@@ -42,7 +42,13 @@ fn main() {
 
     let w = [17, 12, 12, 14, 12];
     row(
-        &[&"system", &"sim time", &"best acc", &"time@98%target", &"speedup"],
+        &[
+            &"system",
+            &"sim time",
+            &"best acc",
+            &"time@98%target",
+            &"speedup",
+        ],
         &w,
     );
 
@@ -78,10 +84,7 @@ fn main() {
 
     // Target = best accuracy over all exact-NS systems; report time each
     // system first reaches 90% of it.
-    let target = rows
-        .iter()
-        .map(|(_, _, b, _)| *b)
-        .fold(0.0f64, f64::max);
+    let target = rows.iter().map(|(_, _, b, _)| *b).fold(0.0f64, f64::max);
     for (name, clock, best_acc, curve) in &rows {
         let reach = curve
             .iter()

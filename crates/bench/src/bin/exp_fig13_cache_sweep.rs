@@ -17,7 +17,14 @@ struct SweepResult {
     accuracy: f64,
 }
 
-fn run(ds: &Dataset, p_grad: f32, t_stale: u32, feature_rows: usize, epochs: usize, seed: u64) -> SweepResult {
+fn run(
+    ds: &Dataset,
+    p_grad: f32,
+    t_stale: u32,
+    feature_rows: usize,
+    epochs: usize,
+    seed: u64,
+) -> SweepResult {
     let cfg = FreshGnnConfig {
         p_grad,
         t_stale,

@@ -10,8 +10,8 @@ use fgnn_bench::{banner, fmt_secs, row, Args};
 use fgnn_graph::datasets::papers100m_spec;
 use fgnn_graph::sample::{split_batches, NeighborSampler};
 use fgnn_graph::{Coo, Csr, Dataset};
-use freshgnn::sampler::AsyncSampler;
 use fgnn_tensor::Rng;
+use freshgnn::sampler::AsyncSampler;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -25,7 +25,10 @@ fn main() {
     let seed: u64 = args.get("seed", 42);
     let scale: f64 = args.get("scale", 0.0005);
 
-    banner("Fig 14", "Subgraph generator: sampler scaling and pruning structures");
+    banner(
+        "Fig 14",
+        "Subgraph generator: sampler scaling and pruning structures",
+    );
     let ds = Dataset::materialize(papers100m_spec(scale).with_dim(8), seed);
     let graph = Arc::new(ds.graph.clone());
     println!(
@@ -43,7 +46,9 @@ fn main() {
     // 0.8%; DGL 7.5x => 10.5%), applied to the measured single-thread
     // cost of OUR sampler (so absolute throughput is real).
     println!("(a) epoch sampling time vs CPU threads (fanouts 6/6/6, batch 512)");
-    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
     println!("    [machine has {cores} core(s); modeled columns use measured 1-thread cost]");
     let all_nodes: Vec<u32> = (0..graph.num_nodes() as u32).collect();
     let seeds = &all_nodes[..all_nodes.len().min(8192)];
@@ -51,7 +56,14 @@ fn main() {
 
     // Measure single-thread cost through the real async machinery.
     let t0 = Instant::now();
-    let sampler = AsyncSampler::spawn(Arc::clone(&graph), batches.clone(), vec![6, 6, 6], 1, 8, seed);
+    let sampler = AsyncSampler::spawn(
+        Arc::clone(&graph),
+        batches.clone(),
+        vec![6, 6, 6],
+        1,
+        8,
+        seed,
+    );
     let n: usize = sampler.count();
     assert_eq!(n, batches.len());
     let fresh_t1 = t0.elapsed().as_secs_f64();
@@ -62,7 +74,13 @@ fn main() {
 
     let w = [10, 16, 16, 16, 12];
     row(
-        &[&"threads", &"FreshGNN", &"(measured)", &"DGL-style", &"speedup"],
+        &[
+            &"threads",
+            &"FreshGNN",
+            &"(measured)",
+            &"DGL-style",
+            &"speedup",
+        ],
         &w,
     );
     for threads in [1usize, 2, 4, 8, 16, 32] {

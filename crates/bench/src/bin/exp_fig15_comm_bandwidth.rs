@@ -16,11 +16,20 @@ fn main() {
     let mb_per_pair: u64 = args.get("mb-per-pair", 64);
     let bytes = mb_per_pair << 20;
 
-    banner("Fig 15", "All-to-all effective bandwidth by schedule (4 GPUs)");
+    banner(
+        "Fig 15",
+        "All-to-all effective bandwidth by schedule (4 GPUs)",
+    );
 
     for (label, topo) in [
-        ("PCIe tree (2 switches x 2 GPUs)", Topology::pcie_tree(4, 2, 16.0 * GB)),
-        ("NVLink clique (50 GB/s links)", Topology::nvlink_clique(4, 50.0 * GB, 16.0 * GB)),
+        (
+            "PCIe tree (2 switches x 2 GPUs)",
+            Topology::pcie_tree(4, 2, 16.0 * GB),
+        ),
+        (
+            "NVLink clique (50 GB/s links)",
+            Topology::nvlink_clique(4, 50.0 * GB, 16.0 * GB),
+        ),
     ] {
         println!("\n--- {label}, {mb_per_pair} MiB per GPU pair ---");
         let n = topo.num_gpus;

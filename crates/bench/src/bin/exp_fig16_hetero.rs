@@ -17,7 +17,10 @@ fn main() {
     let papers: usize = args.get("papers", 20_000);
     let epochs: usize = args.get("epochs", 15);
 
-    banner("Fig 16", "R-GraphSAGE on MAG-hetero: FreshGNN vs neighbor sampling");
+    banner(
+        "Fig 16",
+        "R-GraphSAGE on MAG-hetero: FreshGNN vs neighbor sampling",
+    );
     let dim: usize = args.get("dim", 256);
     let ds = mag_hetero(papers, 16, dim, seed);
     println!(

@@ -13,8 +13,8 @@ use fgnn_graph::Dataset;
 use fgnn_memsim::presets::Machine;
 use fgnn_nn::model::Arch;
 use fgnn_nn::Adam;
-use freshgnn::{FreshGnnConfig, Trainer};
 use fgnn_tensor::Rng;
+use freshgnn::{FreshGnnConfig, Trainer};
 
 fn main() {
     let args = Args::parse();

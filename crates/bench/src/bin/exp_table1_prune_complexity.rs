@@ -15,13 +15,22 @@ fn main() {
     let args = Args::parse();
     let seed: u64 = args.get("seed", 42);
 
-    banner("Table 1", "Prune complexity and storage: CSR vs COO vs CSR2");
+    banner(
+        "Table 1",
+        "Prune complexity and storage: CSR vs COO vs CSR2",
+    );
 
     let w = [10, 12, 13, 13, 13, 12, 12, 12];
     row(
         &[
-            &"|V|", &"|E|", &"CSR/prune", &"COO/prune", &"CSR2/prune", &"CSR bytes",
-            &"COO bytes", &"CSR2 bytes",
+            &"|V|",
+            &"|E|",
+            &"CSR/prune",
+            &"COO/prune",
+            &"CSR2/prune",
+            &"CSR bytes",
+            &"COO bytes",
+            &"CSR2 bytes",
         ],
         &w,
     );

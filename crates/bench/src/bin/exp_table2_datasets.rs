@@ -10,11 +10,22 @@ fn main() {
     let seed: u64 = args.get("seed", 42);
     let scale: f64 = args.get("scale", 0.0005);
 
-    banner("Table 2", "Graph dataset details (scaled synthetic stand-ins)");
+    banner(
+        "Table 2",
+        "Graph dataset details (scaled synthetic stand-ins)",
+    );
     println!("scale = {scale} of the paper's node counts; seed = {seed}\n");
     let w = [16, 10, 12, 7, 8, 8, 10];
     row(
-        &[&"dataset", &"|V|", &"|E|(dir)", &"dim", &"#class", &"dtype", &"avg-deg"],
+        &[
+            &"dataset",
+            &"|V|",
+            &"|E|(dir)",
+            &"dim",
+            &"#class",
+            &"dtype",
+            &"avg-deg",
+        ],
         &w,
     );
 
@@ -31,7 +42,11 @@ fn main() {
         let name = spec.name;
         let dim = spec.feature_dim;
         let classes = spec.num_classes;
-        let dtype = if spec.feature_scalar_bytes == 2 { "f16" } else { "f32" };
+        let dtype = if spec.feature_scalar_bytes == 2 {
+            "f16"
+        } else {
+            "f32"
+        };
         let ds = Dataset::materialize(spec.with_dim(8), seed); // dim slimmed: structure is what Table 2 validates
         row(
             &[
@@ -41,7 +56,11 @@ fn main() {
                 &dim,
                 &classes,
                 &dtype,
-                &format!("{:.1} (target {:.0})", average_degree(&ds.graph), target_deg),
+                &format!(
+                    "{:.1} (target {:.0})",
+                    average_degree(&ds.graph),
+                    target_deg
+                ),
             ],
             &w,
         );

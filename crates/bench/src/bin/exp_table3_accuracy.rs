@@ -97,7 +97,13 @@ fn main() {
         println!("\n=== {arch} ===");
         let w = [14, 14, 14, 16, 14];
         row(
-            &[&"method", &"arxiv-s", &"products-s", &"papers100M-s", &"mag240M-s"],
+            &[
+                &"method",
+                &"arxiv-s",
+                &"products-s",
+                &"papers100M-s",
+                &"mag240M-s",
+            ],
             &w,
         );
         let spec = RunSpec::new(arch, steps);

@@ -4,6 +4,7 @@
 
 use fgnn_graph::Dataset;
 use fgnn_memsim::presets::Machine;
+use fgnn_memsim::stage::StageTimings;
 use fgnn_nn::model::Arch;
 use fgnn_nn::Adam;
 use freshgnn::baselines::{ClusterGcnTrainer, GasConfig, GasTrainer};
@@ -92,9 +93,22 @@ impl RunSpec {
 /// epochs; the last may overshoot) and return test accuracy after each
 /// epoch.
 pub fn run_method(ds: &Dataset, method: Method, spec: &RunSpec, seed: u64) -> Vec<f64> {
+    run_method_timed(ds, method, spec, seed).0
+}
+
+/// Like [`run_method`], additionally returning the run's cumulative
+/// per-stage time/traffic attribution (every method trains through
+/// `freshgnn::Engine`, so the ledger is populated uniformly).
+pub fn run_method_timed(
+    ds: &Dataset,
+    method: Method,
+    spec: &RunSpec,
+    seed: u64,
+) -> (Vec<f64>, StageTimings) {
     let machine = Machine::single_a100();
     let mut opt = Adam::new(spec.lr);
     let mut curve = Vec::new();
+    let mut timings = StageTimings::new();
     let eval_nodes: &[u32] = &ds.test_nodes[..ds.test_nodes.len().min(2000)];
     let epochs_for = |steps_per_epoch: usize| -> usize {
         spec.target_steps.div_ceil(steps_per_epoch.max(1)).max(1)
@@ -117,14 +131,19 @@ pub fn run_method(ds: &Dataset, method: Method, spec: &RunSpec, seed: u64) -> Ve
             let eval_every = (epochs / 24).max(1);
             let mut t = Trainer::new(ds, spec.arch, spec.hidden, machine, cfg, seed);
             for e in 0..epochs {
-                t.train_epoch(ds, &mut opt);
+                let stats = t.train_epoch(ds, &mut opt);
+                timings.merge(&stats.timings);
                 if e % eval_every == 0 || e + 1 == epochs {
                     curve.push(t.evaluate(ds, eval_nodes, 256));
                 }
             }
         }
         Method::Gas | Method::GraphFm => {
-            let momentum = if method == Method::GraphFm { Some(0.3) } else { None };
+            let momentum = if method == Method::GraphFm {
+                Some(0.3)
+            } else {
+                None
+            };
             let num_parts = (ds.num_nodes() / spec.batch_size.max(1)).clamp(2, 64);
             let mut t = GasTrainer::new(
                 ds,
@@ -142,7 +161,8 @@ pub fn run_method(ds: &Dataset, method: Method, spec: &RunSpec, seed: u64) -> Ve
             let epochs = epochs_for(num_parts);
             let eval_every = (epochs / 24).max(1);
             for e in 0..epochs {
-                t.train_epoch(ds, &mut opt);
+                let stats = t.train_epoch(ds, &mut opt);
+                timings.merge(&stats.timings);
                 if e % eval_every == 0 || e + 1 == epochs {
                     curve.push(t.evaluate(ds, eval_nodes, &spec.fanouts));
                 }
@@ -164,14 +184,15 @@ pub fn run_method(ds: &Dataset, method: Method, spec: &RunSpec, seed: u64) -> Ve
             let epochs = epochs_for(num_parts.div_ceil(q));
             let eval_every = (epochs / 24).max(1);
             for e in 0..epochs {
-                t.train_epoch(ds, &mut opt);
+                let stats = t.train_epoch(ds, &mut opt);
+                timings.merge(&stats.timings);
                 if e % eval_every == 0 || e + 1 == epochs {
                     curve.push(t.evaluate(ds, eval_nodes, &spec.fanouts));
                 }
             }
         }
     }
-    curve
+    (curve, timings)
 }
 
 /// Best (max) accuracy of a curve — the paper reports converged accuracy.

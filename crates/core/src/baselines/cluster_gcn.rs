@@ -6,13 +6,16 @@
 //! sparse-label graphs, Table 3) and runs full-graph-style training on it:
 //! every node of the subgraph is present at every layer.
 
-use crate::baselines::evaluate_model;
 use crate::baselines::sampling::full_subgraph_minibatch;
+use crate::checkpoint::{Checkpoint, CheckpointError};
+use crate::pipeline::{BatchOutput, Engine, EpochStats, EvalHarness, PipelineCtx, StallPolicy};
 use fgnn_graph::partition::{induced_subgraph, partition_ldg};
 use fgnn_graph::{Dataset, NodeId};
+use fgnn_memsim::fault::{FaultPlan, RetryPolicy};
 use fgnn_memsim::presets::Machine;
+use fgnn_memsim::stage::{StageKind, StageTimings};
 use fgnn_memsim::topology::Node;
-use fgnn_memsim::{TrafficCounters, TransferEngine};
+use fgnn_memsim::TrafficCounters;
 use fgnn_nn::loss::softmax_cross_entropy;
 use fgnn_nn::model::{Arch, Model};
 use fgnn_nn::Optimizer;
@@ -28,10 +31,15 @@ pub struct ClusterGcnTrainer {
     pub clusters_per_batch: usize,
     /// Traffic ledger.
     pub counters: TrafficCounters,
+    /// Cumulative per-stage attribution of `counters` (not checkpointed).
+    pub timings: StageTimings,
     machine: Machine,
     dims: Vec<usize>,
     train_set: HashSet<NodeId>,
+    epoch: u32,
     rng: Rng,
+    fault_plan: Option<FaultPlan>,
+    retry_policy: RetryPolicy,
 }
 
 impl ClusterGcnTrainer {
@@ -68,44 +76,148 @@ impl ClusterGcnTrainer {
             clusters,
             clusters_per_batch: clusters_per_batch.max(1),
             counters: TrafficCounters::new(),
+            timings: StageTimings::new(),
             machine,
             dims,
             train_set: ds.train_nodes.iter().copied().collect(),
+            epoch: 0,
             rng,
+            fault_plan: None,
+            retry_policy: RetryPolicy::default(),
         }
     }
 
-    /// Train one epoch: shuffle clusters, merge groups of `q`, train each.
-    pub fn train_epoch(&mut self, ds: &Dataset, opt: &mut dyn Optimizer) -> f64 {
+    /// Inject interconnect faults (same contract as
+    /// [`crate::Trainer::inject_faults`]).
+    pub fn inject_faults(&mut self, plan: FaultPlan, policy: RetryPolicy) {
+        self.fault_plan = Some(plan);
+        self.retry_policy = policy;
+    }
+
+    /// Completed epochs so far.
+    pub fn epochs(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Capture the full trainable state. ClusterGCN keeps no history or
+    /// cache, so a checkpoint is lossless.
+    pub fn checkpoint(&mut self, opt: &dyn Optimizer) -> Checkpoint {
+        Checkpoint {
+            arch: self.model.arch,
+            dims: self.dims.clone(),
+            params: self.model.export_parameters(),
+            optimizer: opt.export_state(),
+            rng_state: self.rng.state(),
+            epoch: self.epoch,
+            iter: 0,
+            counters: self.counters.clone(),
+            static_resident: Vec::new(),
+            cache: None,
+            cache_degraded: false,
+        }
+    }
+
+    /// Restore from a checkpoint. Returns `Ok(false)`: nothing degrades —
+    /// the trainer has no cross-epoch caches.
+    pub fn restore(
+        &mut self,
+        ckpt: &Checkpoint,
+        opt: &mut dyn Optimizer,
+    ) -> Result<bool, CheckpointError> {
+        if ckpt.arch != self.model.arch {
+            return Err(CheckpointError::ShapeMismatch(format!(
+                "checkpoint arch {} vs trainer {}",
+                ckpt.arch, self.model.arch
+            )));
+        }
+        if ckpt.dims != self.dims {
+            return Err(CheckpointError::ShapeMismatch(format!(
+                "checkpoint dims {:?} vs trainer {:?}",
+                ckpt.dims, self.dims
+            )));
+        }
+        if ckpt.params.len() != self.model.num_parameters() {
+            return Err(CheckpointError::ShapeMismatch(format!(
+                "checkpoint has {} parameters, model has {}",
+                ckpt.params.len(),
+                self.model.num_parameters()
+            )));
+        }
+        self.model.import_parameters(&ckpt.params);
+        opt.import_state(ckpt.optimizer.clone());
+        self.rng = Rng::from_state(ckpt.rng_state);
+        self.epoch = ckpt.epoch;
+        self.counters = ckpt.counters.clone();
+        Ok(false)
+    }
+
+    /// Train one epoch through the pipeline engine: shuffle clusters, merge
+    /// groups of `q`, train each. The induced-subgraph construction is
+    /// ClusterGCN's `Sample` stage; it has no `Prune`/`CacheUpdate`.
+    pub fn train_epoch(&mut self, ds: &Dataset, opt: &mut dyn Optimizer) -> EpochStats {
         let mut order: Vec<usize> = (0..self.clusters.len()).collect();
         let mut shuffle_rng = self.rng.fork();
         shuffle_rng.shuffle(&mut order);
-        let topo = self.machine.topology.clone();
-        let mut engine = TransferEngine::new(&topo);
+        let groups: Vec<Vec<NodeId>> = order
+            .chunks(self.clusters_per_batch)
+            .map(|group| {
+                let mut nodes: Vec<NodeId> = group
+                    .iter()
+                    .flat_map(|&ci| self.clusters[ci].iter().copied())
+                    .collect();
+                nodes.sort_unstable();
+                nodes
+            })
+            .collect();
 
-        let mut total = 0.0;
-        let mut n = 0;
-        for group in order.chunks(self.clusters_per_batch) {
-            let mut nodes: Vec<NodeId> = group
-                .iter()
-                .flat_map(|&ci| self.clusters[ci].iter().copied())
-                .collect();
-            nodes.sort_unstable();
-            if let Some(loss) = self.train_subgraph(ds, &nodes, &mut engine, opt) {
-                total += loss as f64;
-                n += 1;
-            }
-        }
-        total / n.max(1) as f64
+        let topo = self.machine.topology.clone();
+        let mut stages = ClusterGcnStages {
+            model: &mut self.model,
+            dims: &self.dims,
+            train_set: &self.train_set,
+            machine: &self.machine,
+            ds,
+        };
+        let result = Engine::run_epoch(
+            &topo,
+            &mut self.fault_plan,
+            self.retry_policy,
+            &mut self.counters,
+            StallPolicy::Free,
+            groups.into_iter().map(Ok::<_, std::convert::Infallible>),
+            |ctx, counters, nodes| stages.train_subgraph(ctx, counters, &nodes, opt),
+        );
+        let stats = result.unwrap();
+        self.epoch += 1;
+        self.timings.merge(&stats.timings);
+        stats
     }
 
+    /// Shared accuracy protocol (plain neighbor sampling).
+    pub fn evaluate(&mut self, ds: &Dataset, nodes: &[NodeId], fanouts: &[usize]) -> f64 {
+        let mut rng = self.rng.fork();
+        EvalHarness::accuracy(&self.model, ds, nodes, fanouts, 256, &mut rng)
+    }
+}
+
+/// Disjoint borrows of [`ClusterGcnTrainer`] fields for the per-group step.
+struct ClusterGcnStages<'s, 'd> {
+    model: &'s mut Model,
+    dims: &'s [usize],
+    train_set: &'s HashSet<NodeId>,
+    machine: &'s Machine,
+    ds: &'d Dataset,
+}
+
+impl<'t> ClusterGcnStages<'_, '_> {
     fn train_subgraph(
         &mut self,
-        ds: &Dataset,
+        ctx: &mut PipelineCtx<'t>,
+        counters: &mut TrafficCounters,
         nodes: &[NodeId],
-        engine: &mut TransferEngine<'_>,
         opt: &mut dyn Optimizer,
-    ) -> Option<f32> {
+    ) -> Option<BatchOutput> {
+        let ds = self.ds;
         let train_local: Vec<usize> = nodes
             .iter()
             .enumerate()
@@ -116,35 +228,49 @@ impl ClusterGcnTrainer {
             return None;
         }
 
-        let (sub, map) = induced_subgraph(&ds.graph, nodes);
-        let mb = full_subgraph_minibatch(&sub, &map, self.dims.len() - 1);
+        let mb = ctx.stage(StageKind::Sample, counters, |_engine, _c| {
+            let (sub, map) = induced_subgraph(&ds.graph, nodes);
+            full_subgraph_minibatch(&sub, &map, self.dims.len() - 1)
+        });
 
         // Load the subgraph's features (every node, every epoch — the
         // ClusterGCN traffic profile).
-        let ids: Vec<usize> = nodes.iter().map(|&g| g as usize).collect();
-        let h0 = ds.features.gather_rows(&ids);
-        engine.one_sided_read(
-            Node::Host,
-            Node::Gpu(0),
-            (nodes.len() * ds.spec.feature_row_bytes()) as u64,
-            &mut self.counters,
-        );
+        let h0 = ctx.stage(StageKind::Load, counters, |engine, c| {
+            let ids: Vec<usize> = nodes.iter().map(|&g| g as usize).collect();
+            let h0 = ds.features.gather_rows(&ids);
+            engine.one_sided_read(
+                Node::Host,
+                Node::Gpu(0),
+                (nodes.len() * ds.spec.feature_row_bytes()) as u64,
+                c,
+            );
+            h0
+        });
 
-        let trace = self.model.forward(&mb, h0);
-        let logits = trace.h.last().unwrap();
-        let sel_logits = logits.gather_rows(&train_local);
-        let labels: Vec<u16> = train_local
-            .iter()
-            .map(|&i| ds.labels[nodes[i] as usize])
-            .collect();
-        let (loss, d_sel) = softmax_cross_entropy(&sel_logits, &labels);
-        let mut d_top = Matrix::zeros(nodes.len(), self.dims[self.dims.len() - 1]);
-        d_top.scatter_add_rows(&train_local, &d_sel);
+        let trace = ctx.stage(StageKind::Forward, counters, |_engine, _c| {
+            self.model.forward(&mb, h0)
+        });
 
-        self.model.zero_grad();
-        self.model.backward(&mb, &trace, d_top);
-        let mut params = self.model.params_mut();
-        opt.step(&mut params);
+        let loss = ctx.stage(StageKind::Backward, counters, |_engine, _c| {
+            let logits = trace.h.last().unwrap();
+            let sel_logits = logits.gather_rows(&train_local);
+            let labels: Vec<u16> = train_local
+                .iter()
+                .map(|&i| ds.labels[nodes[i] as usize])
+                .collect();
+            let (loss, d_sel) = softmax_cross_entropy(&sel_logits, &labels);
+            let mut d_top = Matrix::zeros(nodes.len(), self.dims[self.dims.len() - 1]);
+            d_top.scatter_add_rows(&train_local, &d_sel);
+
+            self.model.zero_grad();
+            self.model.backward(&mb, &trace, d_top);
+            loss
+        });
+
+        ctx.stage(StageKind::OptimStep, counters, |_engine, _c| {
+            let mut params = self.model.params_mut();
+            opt.step(&mut params);
+        });
 
         let edges = mb.total_edges();
         let flops = 3.0
@@ -162,14 +288,10 @@ impl ClusterGcnTrainer {
                         )
                     })
                     .sum::<f64>());
-        self.counters.compute_seconds += self.machine.gpu.compute_seconds(flops);
-        Some(loss)
-    }
-
-    /// Shared accuracy protocol (plain neighbor sampling).
-    pub fn evaluate(&mut self, ds: &Dataset, nodes: &[NodeId], fanouts: &[usize]) -> f64 {
-        let mut rng = self.rng.fork();
-        evaluate_model(&self.model, ds, nodes, fanouts, 256, &mut rng)
+        ctx.stage(StageKind::Backward, counters, |_engine, c| {
+            c.compute_seconds += self.machine.gpu.compute_seconds(flops);
+        });
+        Some(BatchOutput::loss_only(loss))
     }
 }
 
@@ -186,21 +308,12 @@ mod tests {
     #[test]
     fn cluster_gcn_trains() {
         let ds = tiny();
-        let mut t = ClusterGcnTrainer::new(
-            &ds,
-            Arch::Gcn,
-            16,
-            2,
-            8,
-            2,
-            Machine::single_a100(),
-            1,
-        );
+        let mut t = ClusterGcnTrainer::new(&ds, Arch::Gcn, 16, 2, 8, 2, Machine::single_a100(), 1);
         let mut opt = Adam::new(0.01);
-        let first = t.train_epoch(&ds, &mut opt);
+        let first = t.train_epoch(&ds, &mut opt).mean_loss;
         let mut last = first;
         for _ in 0..8 {
-            last = t.train_epoch(&ds, &mut opt);
+            last = t.train_epoch(&ds, &mut opt).mean_loss;
         }
         assert!(last < first, "loss {first} -> {last}");
         assert!(t.counters.host_to_gpu_bytes > 0);
@@ -220,16 +333,7 @@ mod tests {
     #[test]
     fn accuracy_above_random_after_training() {
         let ds = tiny();
-        let mut t = ClusterGcnTrainer::new(
-            &ds,
-            Arch::Gcn,
-            16,
-            2,
-            6,
-            2,
-            Machine::single_a100(),
-            2,
-        );
+        let mut t = ClusterGcnTrainer::new(&ds, Arch::Gcn, 16, 2, 6, 2, Machine::single_a100(), 2);
         let mut opt = Adam::new(0.01);
         for _ in 0..15 {
             t.train_epoch(&ds, &mut opt);

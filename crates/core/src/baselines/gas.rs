@@ -18,12 +18,15 @@
 //! (GraphFM-OB also corrects boundary estimates in-batch; we reproduce the
 //! momentum mechanism, which drives its accuracy behaviour at scale.)
 
-use crate::baselines::evaluate_model;
+use crate::checkpoint::{Checkpoint, CheckpointError};
+use crate::pipeline::{BatchOutput, Engine, EpochStats, EvalHarness, PipelineCtx, StallPolicy};
 use fgnn_graph::partition::{partition_ldg, Partitioning};
 use fgnn_graph::{Block, Csr2, Dataset, NodeId};
+use fgnn_memsim::fault::{FaultPlan, RetryPolicy};
 use fgnn_memsim::presets::Machine;
+use fgnn_memsim::stage::{StageKind, StageTimings};
 use fgnn_memsim::topology::Node;
-use fgnn_memsim::{TrafficCounters, TransferEngine};
+use fgnn_memsim::TrafficCounters;
 use fgnn_nn::loss::softmax_cross_entropy;
 use fgnn_nn::model::{Arch, Model};
 use fgnn_nn::Optimizer;
@@ -64,9 +67,14 @@ pub struct GasTrainer {
     cfg: GasConfig,
     /// Traffic ledger (history pulls/pushes + feature loads).
     pub counters: TrafficCounters,
+    /// Cumulative per-stage attribution of `counters` (not checkpointed).
+    pub timings: StageTimings,
     machine: Machine,
     dims: Vec<usize>,
+    epoch: u32,
     rng: Rng,
+    fault_plan: Option<FaultPlan>,
+    retry_policy: RetryPolicy,
 }
 
 impl GasTrainer {
@@ -90,8 +98,11 @@ impl GasTrainer {
         let model = Model::new(arch, &dims, &mut rng);
 
         let parts: Partitioning = partition_ldg(&ds.graph, cfg.num_parts, &mut rng);
-        let clusters: Vec<Vec<NodeId>> =
-            parts.clusters().into_iter().filter(|c| !c.is_empty()).collect();
+        let clusters: Vec<Vec<NodeId>> = parts
+            .clusters()
+            .into_iter()
+            .filter(|c| !c.is_empty())
+            .collect();
         let blocks = clusters
             .iter()
             .map(|c| build_cluster_block(ds, c, cfg.max_neighbors))
@@ -111,10 +122,87 @@ impl GasTrainer {
             blocks,
             cfg,
             counters: TrafficCounters::new(),
+            timings: StageTimings::new(),
             machine,
             dims,
+            epoch: 0,
             rng,
+            fault_plan: None,
+            retry_policy: RetryPolicy::default(),
         }
+    }
+
+    /// Inject interconnect faults: every subsequent epoch's transfers are
+    /// subjected to `plan` under `policy` (same contract as
+    /// [`crate::Trainer::inject_faults`]).
+    pub fn inject_faults(&mut self, plan: FaultPlan, policy: RetryPolicy) {
+        self.fault_plan = Some(plan);
+        self.retry_policy = policy;
+    }
+
+    /// Completed epochs so far.
+    pub fn epochs(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Capture the trainable state — model parameters, optimizer moments,
+    /// RNG, epoch cursor, traffic ledger. The `O(Lnd)` history is *not*
+    /// captured (it is exactly the storage GAS's design cannot bound, the
+    /// paper's point); [`GasTrainer::restore`] therefore always resumes
+    /// with zeroed histories and reports the degradation, mirroring the
+    /// main trainer's cold-cache semantics.
+    pub fn checkpoint(&mut self, opt: &dyn Optimizer) -> Checkpoint {
+        Checkpoint {
+            arch: self.model.arch,
+            dims: self.dims.clone(),
+            params: self.model.export_parameters(),
+            optimizer: opt.export_state(),
+            rng_state: self.rng.state(),
+            epoch: self.epoch,
+            iter: 0,
+            counters: self.counters.clone(),
+            static_resident: Vec::new(),
+            cache: None,
+            cache_degraded: false,
+        }
+    }
+
+    /// Restore from a checkpoint taken by an identically-configured GAS
+    /// trainer. Always returns `Ok(true)`: core state is exact but the
+    /// histories restart cold (see [`GasTrainer::checkpoint`]).
+    pub fn restore(
+        &mut self,
+        ckpt: &Checkpoint,
+        opt: &mut dyn Optimizer,
+    ) -> Result<bool, CheckpointError> {
+        if ckpt.arch != self.model.arch {
+            return Err(CheckpointError::ShapeMismatch(format!(
+                "checkpoint arch {} vs trainer {}",
+                ckpt.arch, self.model.arch
+            )));
+        }
+        if ckpt.dims != self.dims {
+            return Err(CheckpointError::ShapeMismatch(format!(
+                "checkpoint dims {:?} vs trainer {:?}",
+                ckpt.dims, self.dims
+            )));
+        }
+        if ckpt.params.len() != self.model.num_parameters() {
+            return Err(CheckpointError::ShapeMismatch(format!(
+                "checkpoint has {} parameters, model has {}",
+                ckpt.params.len(),
+                self.model.num_parameters()
+            )));
+        }
+        self.model.import_parameters(&ckpt.params);
+        opt.import_state(ckpt.optimizer.clone());
+        self.rng = Rng::from_state(ckpt.rng_state);
+        self.epoch = ckpt.epoch;
+        self.counters = ckpt.counters.clone();
+        for h in &mut self.history {
+            h.as_mut_slice().iter_mut().for_each(|x| *x = 0.0);
+        }
+        Ok(true)
     }
 
     /// The paper's OOM criterion: GAS must hold `O(Lnd)` history. Returns
@@ -135,32 +223,71 @@ impl GasTrainer {
             .sum()
     }
 
-    /// Train one epoch (= one pass over all clusters, shuffled).
-    pub fn train_epoch(&mut self, ds: &Dataset, opt: &mut dyn Optimizer) -> f64 {
+    /// Train one epoch (= one pass over all clusters, shuffled) through the
+    /// pipeline engine. GAS skips the `Sample`/`Prune`/`CacheUpdate` stages:
+    /// its work units are precomputed cluster blocks and its "cache" (the
+    /// history) is written inside `Forward`, which is exactly the design
+    /// difference the per-stage ledger makes visible.
+    pub fn train_epoch(&mut self, ds: &Dataset, opt: &mut dyn Optimizer) -> EpochStats {
         let mut order: Vec<usize> = (0..self.clusters.len()).collect();
         let mut shuffle_rng = self.rng.fork();
         shuffle_rng.shuffle(&mut order);
 
         let topo = self.machine.topology.clone();
-        let mut engine = TransferEngine::new(&topo);
-        let mut total_loss = 0.0;
-        let mut batches = 0;
-        for ci in order {
-            if let Some(loss) = self.train_cluster(ds, ci, &mut engine, opt) {
-                total_loss += loss as f64;
-                batches += 1;
-            }
-        }
-        total_loss / batches.max(1) as f64
+        let mut stages = GasStages {
+            model: &mut self.model,
+            history: &mut self.history,
+            clusters: &self.clusters,
+            blocks: &self.blocks,
+            cfg: &self.cfg,
+            dims: &self.dims,
+            machine: &self.machine,
+            ds,
+        };
+        let result = Engine::run_epoch(
+            &topo,
+            &mut self.fault_plan,
+            self.retry_policy,
+            &mut self.counters,
+            StallPolicy::Free,
+            order.into_iter().map(Ok::<_, std::convert::Infallible>),
+            |ctx, counters, ci| stages.train_cluster(ctx, counters, ci, opt),
+        );
+        let stats = result.unwrap();
+        self.epoch += 1;
+        self.timings.merge(&stats.timings);
+        stats
     }
 
+    /// Shared accuracy protocol (plain neighbor sampling).
+    pub fn evaluate(&mut self, ds: &Dataset, nodes: &[NodeId], fanouts: &[usize]) -> f64 {
+        let mut rng = self.rng.fork();
+        EvalHarness::accuracy(&self.model, ds, nodes, fanouts, 256, &mut rng)
+    }
+}
+
+/// Disjoint borrows of [`GasTrainer`] fields used by the per-cluster step,
+/// leaving `fault_plan`/`counters` free for [`Engine::run_epoch`].
+struct GasStages<'s, 'd> {
+    model: &'s mut Model,
+    history: &'s mut Vec<Matrix>,
+    clusters: &'s [Vec<NodeId>],
+    blocks: &'s [Block],
+    cfg: &'s GasConfig,
+    dims: &'s [usize],
+    machine: &'s Machine,
+    ds: &'d Dataset,
+}
+
+impl<'t> GasStages<'_, '_> {
     fn train_cluster(
         &mut self,
-        ds: &Dataset,
+        ctx: &mut PipelineCtx<'t>,
+        counters: &mut TrafficCounters,
         ci: usize,
-        engine: &mut TransferEngine<'_>,
         opt: &mut dyn Optimizer,
-    ) -> Option<f32> {
+    ) -> Option<BatchOutput> {
+        let ds = self.ds;
         let cluster = &self.clusters[ci];
         let block = &self.blocks[ci];
         let n_cluster = cluster.len();
@@ -176,8 +303,7 @@ impl GasTrainer {
             .collect();
         // (train_nodes is unsorted; fall back to a set lookup.)
         let train_local = if train_local.is_empty() {
-            let set: std::collections::HashSet<NodeId> =
-                ds.train_nodes.iter().copied().collect();
+            let set: std::collections::HashSet<NodeId> = ds.train_nodes.iter().copied().collect();
             cluster
                 .iter()
                 .enumerate()
@@ -192,79 +318,85 @@ impl GasTrainer {
         }
 
         // Level-0 inputs: raw features of cluster + boundary (charged).
-        let ids: Vec<usize> = block.src_global.iter().map(|&g| g as usize).collect();
-        let mut h_src = ds.features.gather_rows(&ids);
-        engine.one_sided_read(
-            Node::Host,
-            Node::Gpu(0),
-            n_src as u64 * row_bytes,
-            &mut self.counters,
-        );
+        let mut h_src = ctx.stage(StageKind::Load, counters, |engine, c| {
+            let ids: Vec<usize> = block.src_global.iter().map(|&g| g as usize).collect();
+            let h = ds.features.gather_rows(&ids);
+            engine.one_sided_read(Node::Host, Node::Gpu(0), n_src as u64 * row_bytes, c);
+            h
+        });
 
-        // Forward through all layers on the same block.
-        let mut traces = Vec::with_capacity(self.model.layers.len());
-        let mut h_srcs = Vec::with_capacity(self.model.layers.len());
+        // Forward through all layers on the same block. History pushes and
+        // boundary pulls are charged here: in GAS they are inseparable from
+        // the forward pass.
         let num_layers = self.model.layers.len();
-        for l in 0..num_layers {
-            let (h_dst, ctx) = self.model.layers[l].forward(block, &h_src);
-            // Push fresh cluster rows into history[l] (charged).
-            push_rows(&mut self.history[l], cluster, &h_dst, self.cfg.momentum);
-            let level_bytes = (n_cluster * self.dims[l + 1] * 4) as u64;
-            engine.one_sided_read(Node::Gpu(0), Node::Host, level_bytes, &mut self.counters);
+        let mut traces = Vec::with_capacity(num_layers);
+        let mut h_srcs = Vec::with_capacity(num_layers);
+        ctx.stage(StageKind::Forward, counters, |engine, c| {
+            for l in 0..num_layers {
+                let (h_dst, layer_ctx) = self.model.layers[l].forward(block, &h_src);
+                // Push fresh cluster rows into history[l] (charged).
+                push_rows(&mut self.history[l], cluster, &h_dst, self.cfg.momentum);
+                let level_bytes = (n_cluster * self.dims[l + 1] * 4) as u64;
+                engine.one_sided_read(Node::Gpu(0), Node::Host, level_bytes, c);
 
-            h_srcs.push(h_src);
-            traces.push(ctx);
+                h_srcs.push(h_src.clone());
+                traces.push(layer_ctx);
 
-            if l + 1 < num_layers {
-                // Next layer's src: fresh cluster rows + history boundary.
-                let boundary = &block.src_global[n_cluster..];
-                let mut next = Matrix::zeros(n_src, self.dims[l + 1]);
-                next.as_mut_slice()[..n_cluster * self.dims[l + 1]]
-                    .copy_from_slice(h_dst.as_slice());
-                for (o, &g) in boundary.iter().enumerate() {
-                    next.row_mut(n_cluster + o)
-                        .copy_from_slice(self.history[l].row(g as usize));
+                if l + 1 < num_layers {
+                    // Next layer's src: fresh cluster rows + history boundary.
+                    let boundary = &block.src_global[n_cluster..];
+                    let mut next = Matrix::zeros(n_src, self.dims[l + 1]);
+                    next.as_mut_slice()[..n_cluster * self.dims[l + 1]]
+                        .copy_from_slice(h_dst.as_slice());
+                    for (o, &g) in boundary.iter().enumerate() {
+                        next.row_mut(n_cluster + o)
+                            .copy_from_slice(self.history[l].row(g as usize));
+                    }
+                    // Pull boundary history (charged).
+                    let pull = (boundary.len() * self.dims[l + 1] * 4) as u64;
+                    engine.one_sided_read(Node::Host, Node::Gpu(0), pull, c);
+                    h_src = next;
+                } else {
+                    h_src = h_dst;
                 }
-                // Pull boundary history (charged).
-                let pull = (boundary.len() * self.dims[l + 1] * 4) as u64;
-                engine.one_sided_read(Node::Host, Node::Gpu(0), pull, &mut self.counters);
-                h_src = next;
-            } else {
-                h_src = h_dst;
             }
-        }
+        });
         let logits = &h_src; // output of the last layer (cluster rows)
 
-        // Loss over train nodes in the cluster.
-        let sel: Vec<usize> = train_local.clone();
-        let sel_logits = logits.gather_rows(&sel);
-        let labels: Vec<u16> = sel
-            .iter()
-            .map(|&i| ds.labels[cluster[i] as usize])
-            .collect();
-        let (loss, d_sel) = softmax_cross_entropy(&sel_logits, &labels);
+        // Loss over train nodes in the cluster, then backward with boundary
+        // rows detached (they are history constants).
+        let loss = ctx.stage(StageKind::Backward, counters, |_engine, _c| {
+            let sel: Vec<usize> = train_local.clone();
+            let sel_logits = logits.gather_rows(&sel);
+            let labels: Vec<u16> = sel
+                .iter()
+                .map(|&i| ds.labels[cluster[i] as usize])
+                .collect();
+            let (loss, d_sel) = softmax_cross_entropy(&sel_logits, &labels);
 
-        // Scatter loss gradient back to cluster rows.
-        let mut d = Matrix::zeros(n_cluster, self.dims[num_layers]);
-        d.scatter_add_rows(&sel, &d_sel);
+            // Scatter loss gradient back to cluster rows.
+            let mut d = Matrix::zeros(n_cluster, self.dims[num_layers]);
+            d.scatter_add_rows(&sel, &d_sel);
 
-        // Backward, detaching boundary rows between layers.
-        self.model.zero_grad();
-        for l in (0..num_layers).rev() {
-            let d_src =
-                self.model.layers[l].backward(block, &traces[l], &h_srcs[l], &d);
-            // Boundary rows are history constants: truncate to cluster rows.
-            d = Matrix::from_vec(
-                n_cluster,
-                self.dims[l],
-                d_src.as_slice()[..n_cluster * self.dims[l]].to_vec(),
-            );
-        }
+            self.model.zero_grad();
+            for l in (0..num_layers).rev() {
+                let d_src = self.model.layers[l].backward(block, &traces[l], &h_srcs[l], &d);
+                // Boundary rows are history constants: truncate to cluster rows.
+                d = Matrix::from_vec(
+                    n_cluster,
+                    self.dims[l],
+                    d_src.as_slice()[..n_cluster * self.dims[l]].to_vec(),
+                );
+            }
+            loss
+        });
 
-        let mut params = self.model.params_mut();
-        opt.step(&mut params);
+        ctx.stage(StageKind::OptimStep, counters, |_engine, _c| {
+            let mut params = self.model.params_mut();
+            opt.step(&mut params);
+        });
 
-        // Simulated compute.
+        // Simulated compute, attributed to the backward/forward pass.
         let flops = 3.0
             * (0..num_layers)
                 .map(|l| {
@@ -280,15 +412,11 @@ impl GasTrainer {
                         )
                 })
                 .sum::<f64>();
-        self.counters.compute_seconds += self.machine.gpu.compute_seconds(flops);
+        ctx.stage(StageKind::Backward, counters, |_engine, c| {
+            c.compute_seconds += self.machine.gpu.compute_seconds(flops);
+        });
 
-        Some(loss)
-    }
-
-    /// Shared accuracy protocol (plain neighbor sampling).
-    pub fn evaluate(&mut self, ds: &Dataset, nodes: &[NodeId], fanouts: &[usize]) -> f64 {
-        let mut rng = self.rng.fork();
-        evaluate_model(&self.model, ds, nodes, fanouts, 256, &mut rng)
+        Some(BatchOutput::loss_only(loss))
     }
 }
 
@@ -371,10 +499,10 @@ mod tests {
         let ds = tiny();
         let mut t = gas(&ds, None);
         let mut opt = Adam::new(0.01);
-        let first = t.train_epoch(&ds, &mut opt);
+        let first = t.train_epoch(&ds, &mut opt).mean_loss;
         let mut last = first;
         for _ in 0..8 {
-            last = t.train_epoch(&ds, &mut opt);
+            last = t.train_epoch(&ds, &mut opt).mean_loss;
         }
         assert!(last < first, "loss {first} -> {last}");
     }
@@ -388,7 +516,10 @@ mod tests {
         assert_eq!(t.history_bytes(), expect);
         // Paper-scale accounting for the OOM rows of Table 3/Fig 10.
         let at_mag = t.history_bytes_at_scale(244_200_000);
-        assert!(at_mag > 70_000_000_000, "MAG240M history would need {at_mag} bytes");
+        assert!(
+            at_mag > 70_000_000_000,
+            "MAG240M history would need {at_mag} bytes"
+        );
     }
 
     #[test]

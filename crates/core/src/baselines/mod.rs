@@ -23,38 +23,3 @@ pub mod sampling;
 pub use cluster_gcn::ClusterGcnTrainer;
 pub use gas::{GasConfig, GasTrainer};
 pub use sampling::{SamplingBaselineTrainer, SamplingKind};
-
-use fgnn_graph::sample::NeighborSampler;
-use fgnn_graph::{Dataset, NodeId};
-use fgnn_nn::metrics::accuracy;
-use fgnn_nn::model::Model;
-use fgnn_tensor::Rng;
-
-/// Evaluate `model` on `nodes` with plain neighbor sampling — the shared
-/// accuracy protocol for every method in Table 3.
-pub fn evaluate_model(
-    model: &Model,
-    ds: &Dataset,
-    nodes: &[NodeId],
-    fanouts: &[usize],
-    batch_size: usize,
-    rng: &mut Rng,
-) -> f64 {
-    let mut sampler = NeighborSampler::new(ds.num_nodes());
-    let mut correct_weighted = 0.0f64;
-    let mut total = 0usize;
-    for chunk in nodes.chunks(batch_size.max(1)) {
-        let mb = sampler.sample(&ds.graph, chunk, fanouts, rng);
-        let ids: Vec<usize> = mb.input_nodes().iter().map(|&g| g as usize).collect();
-        let h0 = ds.features.gather_rows(&ids);
-        let trace = model.forward(&mb, h0);
-        let labels: Vec<u16> = chunk.iter().map(|&s| ds.labels[s as usize]).collect();
-        correct_weighted += accuracy(trace.h.last().unwrap(), &labels) * chunk.len() as f64;
-        total += chunk.len();
-    }
-    if total == 0 {
-        0.0
-    } else {
-        correct_weighted / total as f64
-    }
-}

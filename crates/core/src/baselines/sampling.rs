@@ -5,14 +5,17 @@
 //! biased/sparser aggregations — the accuracy-vs-footprint tradeoff the
 //! paper contrasts FreshGNN against (see `exp_ext_sampling_families`).
 
-use crate::baselines::evaluate_model;
+use crate::checkpoint::{Checkpoint, CheckpointError};
+use crate::pipeline::{BatchOutput, Engine, EpochStats, EvalHarness, PipelineCtx, StallPolicy};
 use fgnn_graph::block::{Block, MiniBatch};
 use fgnn_graph::partition::induced_subgraph;
 use fgnn_graph::sample::{layer_wise_sample, random_walk_nodes, split_batches};
 use fgnn_graph::{Csr, Csr2, Dataset, NodeId};
+use fgnn_memsim::fault::{FaultPlan, RetryPolicy};
 use fgnn_memsim::presets::Machine;
+use fgnn_memsim::stage::{StageKind, StageTimings};
 use fgnn_memsim::topology::Node;
-use fgnn_memsim::{TrafficCounters, TransferEngine};
+use fgnn_memsim::TrafficCounters;
 use fgnn_nn::loss::softmax_cross_entropy;
 use fgnn_nn::model::{Arch, Model};
 use fgnn_nn::Optimizer;
@@ -45,11 +48,16 @@ pub struct SamplingBaselineTrainer {
     pub kind: SamplingKind,
     /// Traffic ledger.
     pub counters: TrafficCounters,
+    /// Cumulative per-stage attribution of `counters` (not checkpointed).
+    pub timings: StageTimings,
     batch_size: usize,
     machine: Machine,
     dims: Vec<usize>,
     train_set: HashSet<NodeId>,
+    epoch: u32,
     rng: Rng,
+    fault_plan: Option<FaultPlan>,
+    retry_policy: RetryPolicy,
 }
 
 impl SamplingBaselineTrainer {
@@ -80,131 +88,267 @@ impl SamplingBaselineTrainer {
             model: Model::new(arch, &dims, &mut rng),
             kind,
             counters: TrafficCounters::new(),
+            timings: StageTimings::new(),
             batch_size,
             machine,
             dims,
             train_set: ds.train_nodes.iter().copied().collect(),
+            epoch: 0,
             rng,
+            fault_plan: None,
+            retry_policy: RetryPolicy::default(),
         }
     }
 
-    /// Train one epoch. Layer-wise iterates train-node batches;
-    /// graph-wise draws one random-walk subgraph per batch slot.
-    pub fn train_epoch(&mut self, ds: &Dataset, opt: &mut dyn Optimizer) -> f64 {
+    /// Inject interconnect faults (same contract as
+    /// [`crate::Trainer::inject_faults`]).
+    pub fn inject_faults(&mut self, plan: FaultPlan, policy: RetryPolicy) {
+        self.fault_plan = Some(plan);
+        self.retry_policy = policy;
+    }
+
+    /// Completed epochs so far.
+    pub fn epochs(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Capture the full trainable state (lossless: no cross-epoch caches).
+    pub fn checkpoint(&mut self, opt: &dyn Optimizer) -> Checkpoint {
+        Checkpoint {
+            arch: self.model.arch,
+            dims: self.dims.clone(),
+            params: self.model.export_parameters(),
+            optimizer: opt.export_state(),
+            rng_state: self.rng.state(),
+            epoch: self.epoch,
+            iter: 0,
+            counters: self.counters.clone(),
+            static_resident: Vec::new(),
+            cache: None,
+            cache_degraded: false,
+        }
+    }
+
+    /// Restore from a checkpoint. Returns `Ok(false)`: nothing degrades.
+    pub fn restore(
+        &mut self,
+        ckpt: &Checkpoint,
+        opt: &mut dyn Optimizer,
+    ) -> Result<bool, CheckpointError> {
+        if ckpt.arch != self.model.arch {
+            return Err(CheckpointError::ShapeMismatch(format!(
+                "checkpoint arch {} vs trainer {}",
+                ckpt.arch, self.model.arch
+            )));
+        }
+        if ckpt.dims != self.dims {
+            return Err(CheckpointError::ShapeMismatch(format!(
+                "checkpoint dims {:?} vs trainer {:?}",
+                ckpt.dims, self.dims
+            )));
+        }
+        if ckpt.params.len() != self.model.num_parameters() {
+            return Err(CheckpointError::ShapeMismatch(format!(
+                "checkpoint has {} parameters, model has {}",
+                ckpt.params.len(),
+                self.model.num_parameters()
+            )));
+        }
+        self.model.import_parameters(&ckpt.params);
+        opt.import_state(ckpt.optimizer.clone());
+        self.rng = Rng::from_state(ckpt.rng_state);
+        self.epoch = ckpt.epoch;
+        self.counters = ckpt.counters.clone();
+        Ok(false)
+    }
+
+    /// Train one epoch through the pipeline engine. Layer-wise iterates
+    /// train-node batches; graph-wise draws one random-walk subgraph per
+    /// batch slot. Both run `Sample → Load → Forward → Backward →
+    /// OptimStep`; neither has a `Prune` or `CacheUpdate` stage.
+    pub fn train_epoch(&mut self, ds: &Dataset, opt: &mut dyn Optimizer) -> EpochStats {
         let topo = self.machine.topology.clone();
-        let mut engine = TransferEngine::new(&topo);
         let mut shuffle_rng = self.rng.fork();
         let batches = split_batches(&ds.train_nodes, self.batch_size, Some(&mut shuffle_rng));
-        let mut total = 0.0;
-        let mut n = 0;
-        for seeds in &batches {
-            let loss = match &self.kind {
-                SamplingKind::LayerWise { layer_sizes } => {
-                    let sizes = layer_sizes.clone();
-                    self.train_layer_wise(ds, seeds, &sizes, &mut engine, opt)
-                }
-                SamplingKind::GraphWise { roots, walk_length } => {
-                    let (r, w) = (*roots, *walk_length);
-                    self.train_graph_wise(ds, r, w, &mut engine, opt)
-                }
-            };
-            if let Some(l) = loss {
-                total += l as f64;
-                n += 1;
+
+        let mut stages = SamplingStages {
+            model: &mut self.model,
+            kind: &self.kind,
+            rng: &mut self.rng,
+            dims: &self.dims,
+            train_set: &self.train_set,
+            machine: &self.machine,
+            ds,
+        };
+        let result = Engine::run_epoch(
+            &topo,
+            &mut self.fault_plan,
+            self.retry_policy,
+            &mut self.counters,
+            StallPolicy::Free,
+            batches.iter().map(Ok::<_, std::convert::Infallible>),
+            |ctx, counters, seeds| stages.train_batch(ctx, counters, seeds, opt),
+        );
+        let stats = result.unwrap();
+        self.epoch += 1;
+        self.timings.merge(&stats.timings);
+        stats
+    }
+
+    /// Shared accuracy protocol (plain neighbor sampling).
+    pub fn evaluate(&mut self, ds: &Dataset, nodes: &[NodeId], fanouts: &[usize]) -> f64 {
+        let mut rng = self.rng.fork();
+        EvalHarness::accuracy(&self.model, ds, nodes, fanouts, 256, &mut rng)
+    }
+}
+
+/// Disjoint borrows of [`SamplingBaselineTrainer`] fields for the per-batch
+/// step.
+struct SamplingStages<'s, 'd> {
+    model: &'s mut Model,
+    kind: &'s SamplingKind,
+    rng: &'s mut Rng,
+    dims: &'s [usize],
+    train_set: &'s HashSet<NodeId>,
+    machine: &'s Machine,
+    ds: &'d Dataset,
+}
+
+impl<'t> SamplingStages<'_, '_> {
+    fn train_batch(
+        &mut self,
+        ctx: &mut PipelineCtx<'t>,
+        counters: &mut TrafficCounters,
+        seeds: &[NodeId],
+        opt: &mut dyn Optimizer,
+    ) -> Option<BatchOutput> {
+        match self.kind {
+            SamplingKind::LayerWise { layer_sizes } => {
+                let sizes = layer_sizes.clone();
+                self.train_layer_wise(ctx, counters, seeds, &sizes, opt)
+            }
+            SamplingKind::GraphWise { roots, walk_length } => {
+                let (r, w) = (*roots, *walk_length);
+                self.train_graph_wise(ctx, counters, r, w, opt)
             }
         }
-        total / n.max(1) as f64
     }
 
     fn train_layer_wise(
         &mut self,
-        ds: &Dataset,
+        ctx: &mut PipelineCtx<'t>,
+        counters: &mut TrafficCounters,
         seeds: &[NodeId],
         layer_sizes: &[usize],
-        engine: &mut TransferEngine<'_>,
         opt: &mut dyn Optimizer,
-    ) -> Option<f32> {
-        let mut rng = self.rng.fork();
-        let mb = layer_wise_sample(&ds.graph, seeds, layer_sizes, &mut rng);
-        let ids: Vec<usize> = mb.input_nodes().iter().map(|&g| g as usize).collect();
-        let h0 = ds.features.gather_rows(&ids);
-        engine.one_sided_read(
-            Node::Host,
-            Node::Gpu(0),
-            (ids.len() * ds.spec.feature_row_bytes()) as u64,
-            &mut self.counters,
-        );
+    ) -> Option<BatchOutput> {
+        let ds = self.ds;
+        let mb = ctx.stage(StageKind::Sample, counters, |_engine, _c| {
+            let mut rng = self.rng.fork();
+            layer_wise_sample(&ds.graph, seeds, layer_sizes, &mut rng)
+        });
+        let h0 = ctx.stage(StageKind::Load, counters, |engine, c| {
+            let ids: Vec<usize> = mb.input_nodes().iter().map(|&g| g as usize).collect();
+            let h0 = ds.features.gather_rows(&ids);
+            engine.one_sided_read(
+                Node::Host,
+                Node::Gpu(0),
+                (ids.len() * ds.spec.feature_row_bytes()) as u64,
+                c,
+            );
+            h0
+        });
         let labels: Vec<u16> = seeds.iter().map(|&s| ds.labels[s as usize]).collect();
-        let loss = self.step(&mb, h0, &labels, None, opt);
-        Some(loss)
+        let loss = self.step(ctx, counters, &mb, h0, &labels, None, opt);
+        Some(BatchOutput::loss_only(loss))
     }
 
     fn train_graph_wise(
         &mut self,
-        ds: &Dataset,
+        ctx: &mut PipelineCtx<'t>,
+        counters: &mut TrafficCounters,
         roots: usize,
         walk_length: usize,
-        engine: &mut TransferEngine<'_>,
         opt: &mut dyn Optimizer,
-    ) -> Option<f32> {
-        let mut rng = self.rng.fork();
-        let root_nodes: Vec<NodeId> = (0..roots)
-            .map(|_| ds.train_nodes[rng.below(ds.train_nodes.len())])
-            .collect();
-        let nodes = random_walk_nodes(&ds.graph, &root_nodes, walk_length, &mut rng);
-        let train_local: Vec<usize> = nodes
-            .iter()
-            .enumerate()
-            .filter(|(_, g)| self.train_set.contains(g))
-            .map(|(i, _)| i)
-            .collect();
-        if train_local.is_empty() {
-            return None;
-        }
-        let (sub, map) = induced_subgraph(&ds.graph, &nodes);
-        let mb = full_subgraph_minibatch(&sub, &map, self.dims.len() - 1);
-        let ids: Vec<usize> = nodes.iter().map(|&g| g as usize).collect();
-        let h0 = ds.features.gather_rows(&ids);
-        engine.one_sided_read(
-            Node::Host,
-            Node::Gpu(0),
-            (nodes.len() * ds.spec.feature_row_bytes()) as u64,
-            &mut self.counters,
-        );
+    ) -> Option<BatchOutput> {
+        let ds = self.ds;
+        let sampled = ctx.stage(StageKind::Sample, counters, |_engine, _c| {
+            let mut rng = self.rng.fork();
+            let root_nodes: Vec<NodeId> = (0..roots)
+                .map(|_| ds.train_nodes[rng.below(ds.train_nodes.len())])
+                .collect();
+            let nodes = random_walk_nodes(&ds.graph, &root_nodes, walk_length, &mut rng);
+            let train_local: Vec<usize> = nodes
+                .iter()
+                .enumerate()
+                .filter(|(_, g)| self.train_set.contains(g))
+                .map(|(i, _)| i)
+                .collect();
+            if train_local.is_empty() {
+                return None;
+            }
+            let (sub, map) = induced_subgraph(&ds.graph, &nodes);
+            let mb = full_subgraph_minibatch(&sub, &map, self.dims.len() - 1);
+            Some((nodes, train_local, mb))
+        });
+        let (nodes, train_local, mb) = sampled?;
+        let h0 = ctx.stage(StageKind::Load, counters, |engine, c| {
+            let ids: Vec<usize> = nodes.iter().map(|&g| g as usize).collect();
+            let h0 = ds.features.gather_rows(&ids);
+            engine.one_sided_read(
+                Node::Host,
+                Node::Gpu(0),
+                (nodes.len() * ds.spec.feature_row_bytes()) as u64,
+                c,
+            );
+            h0
+        });
         let labels: Vec<u16> = train_local
             .iter()
             .map(|&i| ds.labels[nodes[i] as usize])
             .collect();
-        let loss = self.step(&mb, h0, &labels, Some(&train_local), opt);
-        Some(loss)
+        let loss = self.step(ctx, counters, &mb, h0, &labels, Some(&train_local), opt);
+        Some(BatchOutput::loss_only(loss))
     }
 
     /// Shared forward/backward/step. `loss_rows` restricts the loss to a
     /// subset of output rows (graph-wise); `None` = all rows are seeds.
+    // Stage plumbing (ctx + counters) pushes this over clippy's arg limit;
+    // bundling the rest into a struct would add noise for two call sites.
+    #[allow(clippy::too_many_arguments)]
     fn step(
         &mut self,
+        ctx: &mut PipelineCtx<'t>,
+        counters: &mut TrafficCounters,
         mb: &MiniBatch,
         h0: Matrix,
         labels: &[u16],
         loss_rows: Option<&[usize]>,
         opt: &mut dyn Optimizer,
     ) -> f32 {
-        let trace = self.model.forward(mb, h0);
-        let logits = trace.h.last().unwrap();
-        let (loss, d_top) = match loss_rows {
-            None => softmax_cross_entropy(logits, labels),
-            Some(rows) => {
-                let sel = logits.gather_rows(rows);
-                let (loss, d_sel) = softmax_cross_entropy(&sel, labels);
-                let mut d = Matrix::zeros(logits.rows(), logits.cols());
-                d.scatter_add_rows(rows, &d_sel);
-                (loss, d)
-            }
-        };
-        self.model.zero_grad();
-        self.model.backward(mb, &trace, d_top);
-        let mut params = self.model.params_mut();
-        opt.step(&mut params);
+        let trace = ctx.stage(StageKind::Forward, counters, |_engine, _c| {
+            self.model.forward(mb, h0)
+        });
+        let loss = ctx.stage(StageKind::Backward, counters, |_engine, _c| {
+            let logits = trace.h.last().unwrap();
+            let (loss, d_top) = match loss_rows {
+                None => softmax_cross_entropy(logits, labels),
+                Some(rows) => {
+                    let sel = logits.gather_rows(rows);
+                    let (loss, d_sel) = softmax_cross_entropy(&sel, labels);
+                    let mut d = Matrix::zeros(logits.rows(), logits.cols());
+                    d.scatter_add_rows(rows, &d_sel);
+                    (loss, d)
+                }
+            };
+            self.model.zero_grad();
+            self.model.backward(mb, &trace, d_top);
+            loss
+        });
+        ctx.stage(StageKind::OptimStep, counters, |_engine, _c| {
+            let mut params = self.model.params_mut();
+            opt.step(&mut params);
+        });
 
         let flops = 3.0
             * (0..self.dims.len() - 1)
@@ -219,14 +363,10 @@ impl SamplingBaselineTrainer {
                     )
                 })
                 .sum::<f64>();
-        self.counters.compute_seconds += self.machine.gpu.compute_seconds(flops);
+        ctx.stage(StageKind::Backward, counters, |_engine, c| {
+            c.compute_seconds += self.machine.gpu.compute_seconds(flops);
+        });
         loss
-    }
-
-    /// Shared accuracy protocol (plain neighbor sampling).
-    pub fn evaluate(&mut self, ds: &Dataset, nodes: &[NodeId], fanouts: &[usize]) -> f64 {
-        let mut rng = self.rng.fork();
-        evaluate_model(&self.model, ds, nodes, fanouts, 256, &mut rng)
     }
 }
 
@@ -274,10 +414,10 @@ mod tests {
             1,
         );
         let mut opt = Adam::new(0.01);
-        let first = t.train_epoch(&ds, &mut opt);
+        let first = t.train_epoch(&ds, &mut opt).mean_loss;
         let mut last = first;
         for _ in 0..8 {
-            last = t.train_epoch(&ds, &mut opt);
+            last = t.train_epoch(&ds, &mut opt).mean_loss;
         }
         assert!(last < first, "loss {first} -> {last}");
         // Footprint bound: per batch at most seeds + Σ layer budgets rows.
@@ -307,10 +447,10 @@ mod tests {
             2,
         );
         let mut opt = Adam::new(0.01);
-        let first = t.train_epoch(&ds, &mut opt);
+        let first = t.train_epoch(&ds, &mut opt).mean_loss;
         let mut last = first;
         for _ in 0..8 {
-            last = t.train_epoch(&ds, &mut opt);
+            last = t.train_epoch(&ds, &mut opt).mean_loss;
         }
         assert!(last < first, "loss {first} -> {last}");
         assert!(t.counters.host_to_gpu_bytes > 0);

@@ -75,7 +75,11 @@ impl HistoricalCache {
         enabled: bool,
     ) -> Self {
         let num_levels = dims.len();
-        let cap = if initial_capacity == 0 { 1024 } else { initial_capacity };
+        let cap = if initial_capacity == 0 {
+            1024
+        } else {
+            initial_capacity
+        };
         let levels = dims
             .iter()
             .enumerate()

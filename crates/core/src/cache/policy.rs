@@ -202,9 +202,7 @@ mod tests {
 
     #[test]
     fn random_policy_admits_requested_fraction() {
-        let inputs: Vec<PolicyInput> = (0..100)
-            .map(|i| input(i, i as f32, false))
-            .collect();
+        let inputs: Vec<PolicyInput> = (0..100).map(|i| input(i, i as f32, false)).collect();
         let mut rng = fgnn_tensor::Rng::new(5);
         let out = apply_policy(PolicyKind::Random, &inputs, 0.7, &mut rng);
         let admitted = out.iter().filter(|(_, v)| *v == Verdict::Admit).count();

@@ -71,7 +71,10 @@ impl fmt::Display for CheckpointError {
             CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
             CheckpointError::BadMagic => write!(f, "not a FreshGNN checkpoint (bad magic)"),
             CheckpointError::UnsupportedVersion(v) => {
-                write!(f, "unsupported checkpoint version {v} (this build reads {VERSION})")
+                write!(
+                    f,
+                    "unsupported checkpoint version {v} (this build reads {VERSION})"
+                )
             }
             CheckpointError::ChecksumMismatch { segment } => {
                 write!(f, "checkpoint {segment} segment failed its checksum")
@@ -324,8 +327,7 @@ impl<'a> Reader<'a> {
     fn matrix(&mut self) -> Result<Matrix, CheckpointError> {
         let rows = self.u64()?;
         let cols = self.u64()?;
-        let n = self
-            .checked_len(rows.saturating_mul(cols), 4)?;
+        let n = self.checked_len(rows.saturating_mul(cols), 4)?;
         if rows != 0 && n / rows as usize != cols as usize {
             return Err(CheckpointError::Malformed("matrix shape overflow".into()));
         }

@@ -20,7 +20,12 @@
 //! * [`loader`] — feature loading charged against the `fgnn-memsim`
 //!   interconnect model: one-sided (UVA) or two-sided reads, a static
 //!   feature cache, and multi-GPU feature partitions (§6);
-//! * [`trainer`] — Algorithm 1: the mini-batch loop tying it together;
+//! * [`pipeline`] — the staged execution engine (sample → prune → load →
+//!   forward → backward → cache-update → optim-step) every training loop
+//!   runs through, with per-stage time/traffic attribution and the shared
+//!   evaluation harness;
+//! * [`trainer`] — Algorithm 1: the mini-batch loop tying it together,
+//!   expressed as the full pipeline stage set;
 //! * [`baselines`] — neighbor sampling (DGL/PyG/PyTorch-Direct traffic
 //!   configurations), GAS, ClusterGCN, GraphFM;
 //! * [`multi_gpu`] — data-parallel training over simulated GPU topologies
@@ -39,6 +44,7 @@ pub mod config;
 pub mod hetero_trainer;
 pub mod loader;
 pub mod multi_gpu;
+pub mod pipeline;
 pub mod probes;
 pub mod prune;
 pub mod sampler;
@@ -48,5 +54,6 @@ pub mod trainer;
 pub use cache::HistoricalCache;
 pub use checkpoint::{Checkpoint, CheckpointError};
 pub use config::FreshGnnConfig;
+pub use pipeline::{BatchOutput, Engine, EpochStats, EvalHarness, PipelineCtx, StallPolicy};
 pub use sampler::SampleError;
-pub use trainer::{EpochStats, Trainer};
+pub use trainer::Trainer;

@@ -73,7 +73,8 @@ impl<'a> FeatureLoader<'a> {
                     continue;
                 }
             }
-            out.row_mut(i).copy_from_slice(self.features.row(n as usize));
+            out.row_mut(i)
+                .copy_from_slice(self.features.row(n as usize));
             if self.static_cache.contains(n) {
                 cached_rows += 1;
             } else {
@@ -151,7 +152,14 @@ mod tests {
         let mut c = TrafficCounters::new();
         let nodes = vec![1u32, 4, 5];
         let needed = vec![true, false, true];
-        let out = loader.load(&nodes, Some(&needed), &mut eng, Node::Host, Node::Gpu(0), &mut c);
+        let out = loader.load(
+            &nodes,
+            Some(&needed),
+            &mut eng,
+            Node::Host,
+            Node::Gpu(0),
+            &mut c,
+        );
         assert_eq!(out.row(0), &[10.0, 11.0]);
         assert_eq!(out.row(1), &[0.0, 0.0], "unneeded row untouched");
         assert_eq!(out.row(2), &[50.0, 51.0]);
@@ -207,7 +215,14 @@ mod tests {
         let topo = Topology::pcie_tree(1, 1, 1e9);
         let mut eng = TransferEngine::new(&topo);
         let mut c = TrafficCounters::new();
-        loader.load(&[1, 2], Some(&[false, false]), &mut eng, Node::Host, Node::Gpu(0), &mut c);
+        loader.load(
+            &[1, 2],
+            Some(&[false, false]),
+            &mut eng,
+            Node::Host,
+            Node::Gpu(0),
+            &mut c,
+        );
         assert_eq!(c.num_transfers, 0);
         assert_eq!(c.wire_bytes(), 0);
     }

@@ -237,7 +237,15 @@ mod tests {
     fn freshgnn_profile_moves_fewer_bytes_than_pt_direct() {
         let ds = tiny();
         let fresh = profile_system(&ds, Arch::Sage, 16, &base(), SystemKind::FreshGnn, 3, 1);
-        let ptd = profile_system(&ds, Arch::Sage, 16, &base(), SystemKind::PyTorchDirect, 3, 1);
+        let ptd = profile_system(
+            &ds,
+            Arch::Sage,
+            16,
+            &base(),
+            SystemKind::PyTorchDirect,
+            3,
+            1,
+        );
         assert!(
             fresh.bytes_per_iter < ptd.bytes_per_iter,
             "fresh {} vs ptd {}",

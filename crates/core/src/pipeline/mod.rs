@@ -1,0 +1,341 @@
+//! The staged training pipeline engine.
+//!
+//! Algorithm 1 is one iteration shape — **sample → prune → load → forward
+//! → backward → cache-update → optimizer-step** — and every training loop
+//! in this crate (the FreshGNN [`crate::Trainer`], the hetero trainer, the
+//! GAS/ClusterGCN/sampling baselines, and the multi-GPU profiles built on
+//! top of them) is an instance of it with some stages specialized or
+//! absent. This module is the single implementation of that shape:
+//!
+//! * [`Engine::run_epoch`] owns the epoch skeleton every trainer used to
+//!   duplicate: build the [`TransferEngine`] from the trainer's optional
+//!   [`FaultPlan`] (threading the plan's RNG stream back out afterwards so
+//!   a run is one deterministic fault schedule), drive the unit stream,
+//!   accumulate losses in the exact `total += loss as f64` order, and
+//!   assemble the [`EpochStats`] — counter delta, per-stage
+//!   [`StageTimings`], mean loss.
+//! * [`PipelineCtx`] is handed to the per-batch step function; its
+//!   [`PipelineCtx::stage`] scopes are how trainers declare *which* stage
+//!   the enclosed work belongs to. A scope snapshots the traffic ledger,
+//!   runs the stage body (with access to the epoch's transfer engine),
+//!   and attributes the ledger delta plus the measured wall time to the
+//!   [`StageKind`]. `Sample` and `Prune` scopes additionally charge their
+//!   wall time to the ledger's measured `sample_seconds` /
+//!   `prune_seconds`, exactly as the hand-rolled `Instant` code did.
+//!
+//! Because scopes only *observe* the ledger, porting a trainer onto the
+//! engine is behavior-preserving by construction: the same operations run
+//! in the same order on the same RNG streams, so losses, byte counters and
+//! simulated seconds are bit-for-bit identical to the pre-pipeline loops
+//! (`tests/pipeline_equivalence.rs` pins this against captured goldens).
+//! Stage scopes need not be contiguous: a trainer that charges its
+//! simulated compute time after the optimizer step (the seed ordering,
+//! which f64 accumulation order makes significant) simply opens a second
+//! `Backward` scope there.
+
+pub mod eval;
+
+pub use eval::EvalHarness;
+
+use fgnn_memsim::fault::{FaultPlan, RetryPolicy};
+use fgnn_memsim::stage::{StageKind, StageTimings};
+use fgnn_memsim::topology::Topology;
+use fgnn_memsim::{TrafficCounters, TransferEngine};
+use std::time::Instant;
+
+/// Statistics of one training epoch, produced by [`Engine::run_epoch`].
+#[derive(Clone, Debug)]
+pub struct EpochStats {
+    /// Mean mini-batch loss.
+    pub mean_loss: f64,
+    /// Number of mini-batches that contributed a loss.
+    pub batches: usize,
+    /// Traffic/time ledger accumulated during this epoch.
+    pub counters: TrafficCounters,
+    /// Per-stage attribution of `counters` plus measured stage wall time.
+    pub timings: StageTimings,
+    /// Destination nodes served from the cache this epoch.
+    pub cache_reads: u64,
+    /// Destination nodes computed fresh this epoch.
+    pub computed_nodes: u64,
+    /// Whether this epoch started from a degraded resume (the checkpoint's
+    /// historical-cache segment was missing or corrupt, so the cache began
+    /// the epoch cold).
+    pub cache_degraded: bool,
+}
+
+/// What one pipeline iteration produced, reported back to the engine.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchOutput {
+    /// Mini-batch loss.
+    pub loss: f32,
+    /// Destination nodes served from the cache.
+    pub cache_reads: u64,
+    /// Destination nodes computed fresh.
+    pub computed_nodes: u64,
+}
+
+impl BatchOutput {
+    /// A batch that only has a loss to report (cache-less trainers).
+    pub fn loss_only(loss: f32) -> Self {
+        BatchOutput {
+            loss,
+            cache_reads: 0,
+            computed_nodes: 0,
+        }
+    }
+}
+
+/// How the engine accounts the time spent pulling the next unit from the
+/// stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StallPolicy {
+    /// The stream is an in-memory schedule; pulling is free (synchronous
+    /// trainers, which time their `Sample` stage inside the step).
+    Free,
+    /// The stream is fed by the asynchronous sampler; time the consumer
+    /// spends *stalled* waiting on the queue is charged as `Sample` time
+    /// (§5: with enough workers, sampling fully overlaps training).
+    ChargeSample,
+}
+
+/// Per-epoch pipeline context handed to the step function: the transfer
+/// engine (with this epoch's fault plan armed) and the per-stage ledger.
+pub struct PipelineCtx<'t> {
+    transfer: TransferEngine<'t>,
+    timings: StageTimings,
+}
+
+impl<'t> PipelineCtx<'t> {
+    /// Run one pipeline stage: `body` gets the epoch's transfer engine and
+    /// the trainer's traffic ledger; the ledger delta it causes and its
+    /// wall time are attributed to `kind`. [`StageKind::Sample`] and
+    /// [`StageKind::Prune`] scopes also charge their wall time to the
+    /// ledger's measured `sample_seconds` / `prune_seconds` fields.
+    pub fn stage<R>(
+        &mut self,
+        kind: StageKind,
+        counters: &mut TrafficCounters,
+        body: impl FnOnce(&mut TransferEngine<'t>, &mut TrafficCounters) -> R,
+    ) -> R {
+        let before = counters.clone();
+        let t0 = Instant::now();
+        let out = body(&mut self.transfer, counters);
+        let wall = t0.elapsed().as_secs_f64();
+        match kind {
+            StageKind::Sample => counters.sample_seconds += wall,
+            StageKind::Prune => counters.prune_seconds += wall,
+            _ => {}
+        }
+        let mut delta = counters.clone();
+        delta.subtract(&before);
+        self.timings.record(kind, wall, &delta);
+        out
+    }
+}
+
+/// The epoch driver shared by every trainer.
+pub struct Engine;
+
+impl Engine {
+    /// Run one epoch: pull units (mini-batch seeds, sampled batches,
+    /// cluster indices, …) from `units` and run `step` on each inside a
+    /// [`PipelineCtx`].
+    ///
+    /// * `fault_plan` is moved into the epoch's [`TransferEngine`] and
+    ///   restored (with its advanced RNG stream) before returning — even
+    ///   on error — so fault schedules stay deterministic across epochs.
+    /// * A `step` returning `None` contributes neither loss nor count
+    ///   (e.g. a cluster without training nodes).
+    /// * A unit yielding `Err` aborts the epoch and returns the error;
+    ///   progress already made (parameter updates, counters, cache
+    ///   admissions) is kept, mirroring the async sampler contract.
+    ///
+    /// The returned [`EpochStats`] carries the epoch's counter delta and
+    /// [`StageTimings`]; `cache_degraded` is left `false` for the caller
+    /// to fill in.
+    pub fn run_epoch<'t, U, E>(
+        topo: &'t Topology,
+        fault_plan: &mut Option<FaultPlan>,
+        retry_policy: RetryPolicy,
+        counters: &mut TrafficCounters,
+        stall_policy: StallPolicy,
+        mut units: impl Iterator<Item = Result<U, E>>,
+        mut step: impl FnMut(&mut PipelineCtx<'t>, &mut TrafficCounters, U) -> Option<BatchOutput>,
+    ) -> Result<EpochStats, E> {
+        let before = counters.clone();
+        let transfer = match fault_plan.take() {
+            Some(plan) => TransferEngine::with_faults(topo, plan, retry_policy),
+            None => TransferEngine::new(topo),
+        };
+        let mut ctx = PipelineCtx {
+            transfer,
+            timings: StageTimings::new(),
+        };
+
+        let mut total_loss = 0.0f64;
+        let mut batches = 0usize;
+        let mut cache_reads = 0u64;
+        let mut computed_nodes = 0u64;
+        let mut failure: Option<E> = None;
+        loop {
+            let t0 = Instant::now();
+            let Some(item) = units.next() else { break };
+            if stall_policy == StallPolicy::ChargeSample {
+                // Only the consumer's queue stall counts as sampling time.
+                let stall = t0.elapsed().as_secs_f64();
+                let mut delta = TrafficCounters::new();
+                delta.sample_seconds = stall;
+                counters.sample_seconds += stall;
+                ctx.timings.record(StageKind::Sample, stall, &delta);
+            }
+            match item {
+                Ok(unit) => {
+                    if let Some(out) = step(&mut ctx, counters, unit) {
+                        total_loss += out.loss as f64;
+                        batches += 1;
+                        cache_reads += out.cache_reads;
+                        computed_nodes += out.computed_nodes;
+                    }
+                }
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+        // Thread the fault plan (and its advanced RNG) back out before any
+        // return — an errored epoch must leave the trainer usable.
+        *fault_plan = ctx.transfer.take_fault_plan();
+        if let Some(e) = failure {
+            return Err(e);
+        }
+
+        let mut delta = counters.clone();
+        delta.subtract(&before);
+        Ok(EpochStats {
+            mean_loss: total_loss / batches.max(1) as f64,
+            batches,
+            counters: delta,
+            timings: ctx.timings,
+            cache_reads,
+            computed_nodes,
+            cache_degraded: false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgnn_memsim::topology::Node;
+    use std::convert::Infallible;
+
+    fn topo() -> Topology {
+        Topology::pcie_tree(1, 1, 16e9)
+    }
+
+    #[test]
+    fn stage_scopes_attribute_ledger_deltas() {
+        let topo = topo();
+        let mut counters = TrafficCounters::new();
+        let mut plan = None;
+        let stats = Engine::run_epoch(
+            &topo,
+            &mut plan,
+            RetryPolicy::default(),
+            &mut counters,
+            StallPolicy::Free,
+            (0..3).map(Ok::<u64, Infallible>),
+            |ctx, counters, bytes_k| {
+                ctx.stage(StageKind::Load, counters, |eng, c| {
+                    eng.one_sided_read(Node::Host, Node::Gpu(0), 1000 * (bytes_k + 1), c);
+                });
+                ctx.stage(StageKind::Backward, counters, |_, c| {
+                    c.compute_seconds += 0.5;
+                });
+                Some(BatchOutput::loss_only(1.0))
+            },
+        )
+        .unwrap();
+        assert_eq!(stats.batches, 3);
+        assert!((stats.mean_loss - 1.0).abs() < 1e-12);
+        assert_eq!(stats.timings.wire_bytes(StageKind::Load), 6000);
+        assert_eq!(stats.counters.host_to_gpu_bytes, 6000);
+        assert_eq!(
+            stats.timings.stage(StageKind::Backward).compute_seconds,
+            1.5
+        );
+        // Attribution is complete: per-stage ledgers merge back to the
+        // epoch delta exactly.
+        assert_eq!(
+            stats.timings.sim_seconds_total().to_bits(),
+            stats.counters.sim_seconds().to_bits()
+        );
+    }
+
+    #[test]
+    fn none_outputs_are_skipped_in_the_mean() {
+        let topo = topo();
+        let mut counters = TrafficCounters::new();
+        let mut plan = None;
+        let stats = Engine::run_epoch(
+            &topo,
+            &mut plan,
+            RetryPolicy::default(),
+            &mut counters,
+            StallPolicy::Free,
+            (0..4).map(Ok::<usize, Infallible>),
+            |_, _, i| (i % 2 == 0).then(|| BatchOutput::loss_only(2.0)),
+        )
+        .unwrap();
+        assert_eq!(stats.batches, 2);
+        assert!((stats.mean_loss - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unit_error_aborts_and_surfaces() {
+        let topo = topo();
+        let mut counters = TrafficCounters::new();
+        let mut plan = None;
+        let mut steps = 0;
+        let err = Engine::run_epoch(
+            &topo,
+            &mut plan,
+            RetryPolicy::default(),
+            &mut counters,
+            StallPolicy::Free,
+            vec![Ok(1), Err("boom"), Ok(2)].into_iter(),
+            |_, _, _| {
+                steps += 1;
+                Some(BatchOutput::loss_only(0.0))
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, "boom");
+        assert_eq!(steps, 1, "units after the failure must not run");
+    }
+
+    #[test]
+    fn fault_plan_is_threaded_back_out() {
+        let topo = topo();
+        let mut counters = TrafficCounters::new();
+        let mut plan = Some(FaultPlan::new(7).with_fail_prob(0.5));
+        let _ = Engine::run_epoch(
+            &topo,
+            &mut plan,
+            RetryPolicy::default(),
+            &mut counters,
+            StallPolicy::Free,
+            (0..2).map(Ok::<u64, Infallible>),
+            |ctx, counters, _| {
+                ctx.stage(StageKind::Load, counters, |eng, c| {
+                    eng.one_sided_read(Node::Host, Node::Gpu(0), 4096, c);
+                });
+                Some(BatchOutput::loss_only(0.0))
+            },
+        )
+        .unwrap();
+        assert!(plan.is_some(), "plan must survive the epoch");
+    }
+}

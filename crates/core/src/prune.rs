@@ -40,11 +40,7 @@ impl PruneOutcome {
 ///
 /// With a disabled cache this degenerates gracefully: everything is
 /// computed, nothing is pruned — plain neighbor sampling.
-pub fn prune_with_cache(
-    mb: &mut MiniBatch,
-    cache: &mut HistoricalCache,
-    now: u32,
-) -> PruneOutcome {
+pub fn prune_with_cache(mb: &mut MiniBatch, cache: &mut HistoricalCache, now: u32) -> PruneOutcome {
     let num_blocks = mb.blocks.len();
     let mut cached: Vec<Vec<(u32, u32)>> = vec![Vec::new(); num_blocks];
     let mut computed: Vec<Vec<bool>> = Vec::with_capacity(num_blocks);

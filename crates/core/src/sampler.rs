@@ -68,10 +68,9 @@ impl std::fmt::Display for SampleError {
                 f,
                 "sampling batch {batch_index} panicked on all {attempts} attempts"
             ),
-            SampleError::WorkersLost { produced, total } => write!(
-                f,
-                "sampler workers died after {produced}/{total} batches"
-            ),
+            SampleError::WorkersLost { produced, total } => {
+                write!(f, "sampler workers died after {produced}/{total} batches")
+            }
         }
     }
 }
@@ -157,8 +156,7 @@ impl AsyncSampler {
     ) -> AsyncSampler {
         let num_threads = num_threads.max(1);
         let total = batches.len();
-        let (tx, rx): (Sender<Indexed>, Receiver<Indexed>) =
-            bounded(queue_capacity.max(1));
+        let (tx, rx): (Sender<Indexed>, Receiver<Indexed>) = bounded(queue_capacity.max(1));
         let work = Arc::new(AtomicUsize::new(0));
         let batches = Arc::new(batches);
         let fanouts = Arc::new(fanouts);
@@ -189,9 +187,7 @@ impl AsyncSampler {
                                 }
                                 // Per-batch RNG, recreated per attempt =>
                                 // schedule- and retry-independent output.
-                                let mut rng = Rng::new(
-                                    seed ^ (i as u64).wrapping_mul(0x9E37_79B9),
-                                );
+                                let mut rng = Rng::new(seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
                                 sampler.sample(&graph, &batches[i], &fanouts, &mut rng)
                             }));
                             match out {
@@ -422,16 +418,8 @@ mod tests {
                 panic!("injected persistent sampler fault");
             }
         });
-        let sampler = AsyncSampler::spawn_with_recovery(
-            Arc::clone(&g),
-            bs,
-            vec![4],
-            2,
-            2,
-            11,
-            1,
-            Some(hook),
-        );
+        let sampler =
+            AsyncSampler::spawn_with_recovery(Arc::clone(&g), bs, vec![4], 2, 2, 11, 1, Some(hook));
         let out: Vec<_> = sampler.collect();
         assert_eq!(out.len(), 10, "every batch index must be accounted for");
         for (i, r) in out.iter().enumerate() {

@@ -22,6 +22,7 @@ use crate::cache::{apply_policy, HistoricalCache, PolicyInput, StaticFeatureCach
 use crate::checkpoint::{Checkpoint, CheckpointError};
 use crate::config::FreshGnnConfig;
 use crate::loader::FeatureLoader;
+use crate::pipeline::{BatchOutput, Engine, EvalHarness, PipelineCtx, StallPolicy};
 use crate::prune::{prune_with_cache, PruneOutcome};
 use crate::sampler::{FaultHook, SampleError};
 use fgnn_graph::block::MiniBatch;
@@ -29,33 +30,15 @@ use fgnn_graph::sample::{split_batches, NeighborSampler};
 use fgnn_graph::{Dataset, NodeId};
 use fgnn_memsim::fault::{FaultPlan, RetryPolicy};
 use fgnn_memsim::presets::{aggregation_flops, dense_flops, Machine};
+use fgnn_memsim::stage::{StageKind, StageTimings};
 use fgnn_memsim::topology::Node;
-use fgnn_memsim::{TrafficCounters, TransferEngine};
+use fgnn_memsim::TrafficCounters;
 use fgnn_nn::loss::softmax_cross_entropy;
-use fgnn_nn::metrics::accuracy;
-use fgnn_nn::model::{Arch, Model, Trace};
+use fgnn_nn::model::{Arch, Model};
 use fgnn_nn::Optimizer;
 use fgnn_tensor::Rng;
-use std::time::Instant;
 
-/// Statistics of one training epoch.
-#[derive(Clone, Debug)]
-pub struct EpochStats {
-    /// Mean mini-batch loss.
-    pub mean_loss: f64,
-    /// Number of mini-batches.
-    pub batches: usize,
-    /// Traffic/time ledger accumulated during this epoch.
-    pub counters: TrafficCounters,
-    /// Destination nodes served from the cache this epoch.
-    pub cache_reads: u64,
-    /// Destination nodes computed fresh this epoch.
-    pub computed_nodes: u64,
-    /// Whether this epoch started from a degraded resume (the checkpoint's
-    /// historical-cache segment was missing or corrupt, so the cache began
-    /// the epoch cold).
-    pub cache_degraded: bool,
-}
+pub use crate::pipeline::EpochStats;
 
 /// The FreshGNN trainer (plus, with `p_grad = 0`, the vanilla
 /// neighbor-sampling baseline and, via `LoadMode`, the DGL/PyG/
@@ -71,6 +54,9 @@ pub struct Trainer {
     pub counters: TrafficCounters,
     /// Simulated machine.
     pub machine: Machine,
+    /// Cumulative per-stage attribution of `counters` (not checkpointed:
+    /// a resumed run restarts attribution while the ledger stays exact).
+    pub timings: StageTimings,
     static_cache: StaticFeatureCache,
     sampler: NeighborSampler,
     dims: Vec<usize>,
@@ -127,6 +113,7 @@ impl Trainer {
             cache,
             counters: TrafficCounters::new(),
             machine,
+            timings: StageTimings::new(),
             static_cache,
             sampler: NeighborSampler::new(ds.num_nodes()),
             dims,
@@ -269,69 +256,48 @@ impl Trainer {
         batches: &[Vec<NodeId>],
         opt: &mut dyn Optimizer,
     ) -> EpochStats {
-        let before = self.counters.clone();
+        let topo = self.machine.topology.clone();
+        // Split the trainer into disjoint borrows: the stage set holds the
+        // model/cache/RNG side, while the engine drives the fault plan and
+        // the traffic ledger.
         let loader = FeatureLoader::new(
             &ds.features,
             ds.spec.feature_row_bytes(),
             std::mem::replace(&mut self.static_cache, StaticFeatureCache::disabled(0)),
             self.cfg.load_mode,
         );
-        let topo = self.machine.topology.clone();
-        let mut engine = match self.fault_plan.take() {
-            Some(plan) => TransferEngine::with_faults(&topo, plan, self.retry_policy),
-            None => TransferEngine::new(&topo),
+        let mut stages = FreshGnnStages {
+            model: &mut self.model,
+            cache: &mut self.cache,
+            sampler: &mut self.sampler,
+            rng: &mut self.rng,
+            iter: &mut self.iter,
+            cfg: &self.cfg,
+            dims: &self.dims,
+            machine: &self.machine,
+            loader,
+            ds,
         };
-
-        let mut total_loss = 0.0f64;
-        let mut cache_reads = 0u64;
-        let mut computed_nodes = 0u64;
-        for seeds in batches {
-            let (loss, outcome) = self.train_batch(ds, &loader, &mut engine, seeds, opt);
-            total_loss += loss as f64;
-            cache_reads += outcome.cached.iter().map(Vec::len).sum::<usize>() as u64;
-            computed_nodes += outcome
-                .computed
-                .iter()
-                .flatten()
-                .filter(|&&c| c)
-                .count() as u64;
-        }
-        // Restore the static cache moved into the loader, and the fault
-        // plan moved into the engine.
-        self.static_cache = loader.into_static_cache();
-        self.fault_plan = engine.take_fault_plan();
-        self.epoch += 1;
-
-        let mut delta = self.counters.clone();
-        delta.subtract(&before);
-        EpochStats {
-            mean_loss: total_loss / batches.len().max(1) as f64,
-            batches: batches.len(),
-            counters: delta,
-            cache_reads,
-            computed_nodes,
-            cache_degraded: std::mem::take(&mut self.degraded_resume),
-        }
+        let result = Engine::run_epoch(
+            &topo,
+            &mut self.fault_plan,
+            self.retry_policy,
+            &mut self.counters,
+            StallPolicy::Free,
+            batches.iter().map(Ok::<_, std::convert::Infallible>),
+            |ctx, counters, seeds| Some(stages.train_batch(ctx, counters, seeds, opt)),
+        );
+        self.static_cache = stages.loader.into_static_cache();
+        let mut stats = result.unwrap();
+        self.finish_epoch(&mut stats);
+        stats
     }
 
-    /// One iteration of Algorithm 1. Returns the loss and the pruning
-    /// outcome (for the epoch statistics).
-    fn train_batch(
-        &mut self,
-        ds: &Dataset,
-        loader: &FeatureLoader<'_>,
-        engine: &mut TransferEngine<'_>,
-        seeds: &[NodeId],
-        opt: &mut dyn Optimizer,
-    ) -> (f32, PruneOutcome) {
-        // 1. Sample (measured CPU time).
-        let t0 = Instant::now();
-        let mut sample_rng = self.rng.fork();
-        let mb = self
-            .sampler
-            .sample(&ds.graph, seeds, &self.cfg.fanouts, &mut sample_rng);
-        self.counters.sample_seconds += t0.elapsed().as_secs_f64();
-        self.train_sampled(ds, loader, engine, mb, opt)
+    /// Post-epoch bookkeeping shared by the sync and async paths.
+    fn finish_epoch(&mut self, stats: &mut EpochStats) {
+        self.epoch += 1;
+        self.timings.merge(&stats.timings);
+        stats.cache_degraded = std::mem::take(&mut self.degraded_resume);
     }
 
     /// Train one epoch with the **asynchronous pipeline** of §5: worker
@@ -359,7 +325,6 @@ impl Trainer {
         queue_capacity: usize,
     ) -> Result<EpochStats, SampleError> {
         use crate::sampler::AsyncSampler;
-        let before = self.counters.clone();
         let mut shuffle_rng = self.rng.fork();
         let batches = split_batches(&ds.train_nodes, self.cfg.batch_size, Some(&mut shuffle_rng));
         let batch_seed = self.rng.fork().next_u64();
@@ -376,112 +341,171 @@ impl Trainer {
             self.sampler_fault_hook.clone(),
         );
 
+        let topo = self.machine.topology.clone();
         let loader = FeatureLoader::new(
             &ds.features,
             ds.spec.feature_row_bytes(),
             std::mem::replace(&mut self.static_cache, StaticFeatureCache::disabled(0)),
             self.cfg.load_mode,
         );
-        let topo = self.machine.topology.clone();
-        let mut engine = match self.fault_plan.take() {
-            Some(plan) => TransferEngine::with_faults(&topo, plan, self.retry_policy),
-            None => TransferEngine::new(&topo),
+        let mut stages = FreshGnnStages {
+            model: &mut self.model,
+            cache: &mut self.cache,
+            sampler: &mut self.sampler,
+            rng: &mut self.rng,
+            iter: &mut self.iter,
+            cfg: &self.cfg,
+            dims: &self.dims,
+            machine: &self.machine,
+            loader,
+            ds,
         };
-
-        let mut total_loss = 0.0f64;
-        let mut cache_reads = 0u64;
-        let mut computed_nodes = 0u64;
-        let mut failure: Option<SampleError> = None;
-        loop {
+        let result = Engine::run_epoch(
+            &topo,
+            &mut self.fault_plan,
+            self.retry_policy,
+            &mut self.counters,
             // Only queue stalls count as sampling time (async overlap).
-            let t0 = Instant::now();
-            let Some(item) = stream.next() else { break };
-            self.counters.sample_seconds += t0.elapsed().as_secs_f64();
-            let mb = match item {
-                Ok(mb) => mb,
-                Err(e) => {
-                    failure = Some(e);
-                    break;
-                }
-            };
-            let (loss, outcome) = self.train_sampled(ds, &loader, &mut engine, mb, opt);
-            total_loss += loss as f64;
-            cache_reads += outcome.cached.iter().map(Vec::len).sum::<usize>() as u64;
-            computed_nodes += outcome.computed.iter().flatten().filter(|&&c| c).count() as u64;
-        }
+            StallPolicy::ChargeSample,
+            std::iter::from_fn(|| stream.next()),
+            |ctx, counters, mb| Some(stages.train_sampled(ctx, counters, mb, opt)),
+        );
         // Put moved state back before any return — an errored epoch must
         // leave the trainer usable.
-        self.static_cache = loader.into_static_cache();
-        self.fault_plan = engine.take_fault_plan();
-        if let Some(e) = failure {
-            return Err(e);
-        }
-        self.epoch += 1;
+        self.static_cache = stages.loader.into_static_cache();
+        let mut stats = result?;
+        self.finish_epoch(&mut stats);
+        Ok(stats)
+    }
 
-        let mut delta = self.counters.clone();
-        delta.subtract(&before);
-        Ok(EpochStats {
-            mean_loss: total_loss / batches.len().max(1) as f64,
-            batches: batches.len(),
-            counters: delta,
-            cache_reads,
-            computed_nodes,
-            cache_degraded: std::mem::take(&mut self.degraded_resume),
-        })
+    /// Evaluate accuracy on `nodes` with plain neighbor sampling (no cache
+    /// reads — the paper reports accuracy from an uncached inference pass).
+    pub fn evaluate(&mut self, ds: &Dataset, nodes: &[NodeId], batch_size: usize) -> f64 {
+        let mut rng = self.rng.fork();
+        EvalHarness::accuracy(
+            &self.model,
+            ds,
+            nodes,
+            &self.cfg.fanouts,
+            batch_size,
+            &mut rng,
+        )
+    }
+
+    /// Fig 1 probe: sample a fresh mini-batch for `seeds`, determine which
+    /// destinations the cache would serve, and return the mean L2 distance
+    /// between the top-layer output computed *with* those historical
+    /// overrides and the authentic output computed exactly (same batch,
+    /// full aggregation).
+    pub fn probe_estimation_error(&mut self, ds: &Dataset, seeds: &[NodeId]) -> f32 {
+        let mut rng = self.rng.fork();
+        let mb = self
+            .sampler
+            .sample(&ds.graph, seeds, &self.cfg.fanouts, &mut rng);
+        // Prune a clone to learn the cache-served set; keep `mb` un-pruned
+        // so the exact pass aggregates fully.
+        let mut pruned = mb.clone();
+        let outcome = prune_with_cache(&mut pruned, &mut self.cache, self.iter);
+        let ids: Vec<usize> = mb.input_nodes().iter().map(|&g| g as usize).collect();
+        let h0 = ds.features.gather_rows(&ids);
+        crate::probes::estimation_error(&self.model, &mb, &h0, &self.cache, &outcome.cached)
+    }
+}
+
+/// Algorithm 1's stage set over disjoint borrows of the trainer's state,
+/// run per batch by [`Engine::run_epoch`]. The loader temporarily owns the
+/// trainer's static feature cache for the epoch.
+struct FreshGnnStages<'s, 'd> {
+    model: &'s mut Model,
+    cache: &'s mut HistoricalCache,
+    sampler: &'s mut NeighborSampler,
+    rng: &'s mut Rng,
+    iter: &'s mut u32,
+    cfg: &'s FreshGnnConfig,
+    dims: &'s [usize],
+    machine: &'s Machine,
+    loader: FeatureLoader<'d>,
+    ds: &'d Dataset,
+}
+
+impl<'t> FreshGnnStages<'_, '_> {
+    /// One full iteration of Algorithm 1, sampling included (sync path).
+    fn train_batch(
+        &mut self,
+        ctx: &mut PipelineCtx<'t>,
+        counters: &mut TrafficCounters,
+        seeds: &[NodeId],
+        opt: &mut dyn Optimizer,
+    ) -> BatchOutput {
+        // 1. Sample (measured CPU time).
+        let mb = ctx.stage(StageKind::Sample, counters, |_, _| {
+            let mut sample_rng = self.rng.fork();
+            self.sampler
+                .sample(&self.ds.graph, seeds, &self.cfg.fanouts, &mut sample_rng)
+        });
+        self.train_sampled(ctx, counters, mb, opt)
     }
 
     /// Steps 2–6 of Algorithm 1 on an already-sampled mini-batch (shared
     /// by the synchronous and asynchronous paths).
     fn train_sampled(
         &mut self,
-        ds: &Dataset,
-        loader: &FeatureLoader<'_>,
-        engine: &mut TransferEngine<'_>,
+        ctx: &mut PipelineCtx<'t>,
+        counters: &mut TrafficCounters,
         mut mb: MiniBatch,
         opt: &mut dyn Optimizer,
-    ) -> (f32, PruneOutcome) {
+    ) -> BatchOutput {
+        let ds = self.ds;
         let seeds: Vec<NodeId> = mb.seeds.clone();
         let seeds = &seeds[..];
+        let now = *self.iter;
+
         // 2. Prune against the cache (measured).
-        let t1 = Instant::now();
-        let outcome = prune_with_cache(&mut mb, &mut self.cache, self.iter);
-        self.counters.prune_seconds += t1.elapsed().as_secs_f64();
+        let outcome = ctx.stage(StageKind::Prune, counters, |_, _| {
+            prune_with_cache(&mut mb, self.cache, now)
+        });
 
         // 3. Load surviving raw features (simulated transfer).
-        let h0 = loader.load(
-            mb.input_nodes(),
-            Some(&outcome.needed_input),
-            engine,
-            Node::Host,
-            Node::Gpu(0),
-            &mut self.counters,
-        );
-        // Cache-read embeddings and pruned subtrees save these bytes (for
-        // the Fig 13 I/O-saving metric the baseline is "load everything").
-        let skipped = (mb.input_nodes().len() - outcome.num_inputs_needed()) as u64;
-        self.counters.cache_hit_bytes += skipped * ds.spec.feature_row_bytes() as u64;
+        let h0 = ctx.stage(StageKind::Load, counters, |engine, c| {
+            let h0 = self.loader.load(
+                mb.input_nodes(),
+                Some(&outcome.needed_input),
+                engine,
+                Node::Host,
+                Node::Gpu(0),
+                c,
+            );
+            // Cache-read embeddings and pruned subtrees save these bytes
+            // (for the Fig 13 I/O-saving metric the baseline is "load
+            // everything").
+            let skipped = (mb.input_nodes().len() - outcome.num_inputs_needed()) as u64;
+            c.cache_hit_bytes += skipped * ds.spec.feature_row_bytes() as u64;
+            h0
+        });
 
         // 4. Forward, overriding cached rows between layers.
-        let cache = &self.cache;
-        let cached = &outcome.cached;
-        let trace = self.model.forward_with(&mb, h0, |level, h| {
-            let b = level - 1;
-            if b < cached.len() {
-                for &(local, slot) in &cached[b] {
-                    cache.fetch_into(level, slot, h.row_mut(local as usize));
+        let trace = ctx.stage(StageKind::Forward, counters, |_, _| {
+            let cache = &*self.cache;
+            let cached = &outcome.cached;
+            self.model.forward_with(&mb, h0, |level, h| {
+                let b = level - 1;
+                if b < cached.len() {
+                    for &(local, slot) in &cached[b] {
+                        cache.fetch_into(level, slot, h.row_mut(local as usize));
+                    }
                 }
-            }
+            })
         });
 
         // 5. Loss + backward with gradient harvesting and detach.
-        let logits = trace.h.last().expect("at least one layer");
-        let labels: Vec<u16> = seeds.iter().map(|&s| ds.labels[s as usize]).collect();
-        let (loss, d_top) = softmax_cross_entropy(logits, &labels);
-
-        self.model.zero_grad();
         let num_levels = self.dims.len() - 1;
-        let mut policy_inputs: Vec<Vec<PolicyInput>> = vec![Vec::new(); num_levels + 1];
-        {
+        let (loss, policy_inputs) = ctx.stage(StageKind::Backward, counters, |_, _| {
+            let logits = trace.h.last().expect("at least one layer");
+            let labels: Vec<u16> = seeds.iter().map(|&s| ds.labels[s as usize]).collect();
+            let (loss, d_top) = softmax_cross_entropy(logits, &labels);
+
+            self.model.zero_grad();
+            let mut policy_inputs: Vec<Vec<PolicyInput>> = vec![Vec::new(); num_levels + 1];
             let cache_enabled = self.cfg.cache_enabled();
             let cache_top = self.cfg.cache_top_layer;
             let inputs = &mut policy_inputs;
@@ -517,77 +541,48 @@ impl Trainer {
                     d.row_mut(local as usize).iter_mut().for_each(|x| *x = 0.0);
                 }
             });
-        }
+            (loss, policy_inputs)
+        });
 
         // 6. Cache update (Algorithm 1 line 20).
-        let mut policy_rng = self.rng.fork();
-        for level in 1..=num_levels {
-            if policy_inputs[level].is_empty() {
-                continue;
+        ctx.stage(StageKind::CacheUpdate, counters, |_, _| {
+            let mut policy_rng = self.rng.fork();
+            for level in 1..=num_levels {
+                if policy_inputs[level].is_empty() {
+                    continue;
+                }
+                let verdicts = apply_policy(
+                    self.cfg.policy,
+                    &policy_inputs[level],
+                    self.cfg.p_grad,
+                    &mut policy_rng,
+                );
+                self.cache
+                    .apply_verdicts(level, &verdicts, &trace.h[level], now);
             }
-            let verdicts = apply_policy(
-                self.cfg.policy,
-                &policy_inputs[level],
-                self.cfg.p_grad,
-                &mut policy_rng,
-            );
-            self.cache
-                .apply_verdicts(level, &verdicts, &trace.h[level], self.iter);
+        });
+
+        // 7. Optimizer step.
+        ctx.stage(StageKind::OptimStep, counters, |_, _| {
+            let mut params = self.model.params_mut();
+            opt.step(&mut params);
+        });
+
+        // Simulated GPU compute time: one charge per batch (forward +
+        // backward FLOPs), attributed to the Backward stage. Charged after
+        // the optimizer step to keep the seed trainers' f64 accumulation
+        // order, which the bit-for-bit equivalence guarantee depends on.
+        let flops = batch_flops(&mb, &outcome, self.dims, self.model.arch);
+        ctx.stage(StageKind::Backward, counters, |_, c| {
+            c.compute_seconds += self.machine.gpu.compute_seconds(flops);
+        });
+
+        *self.iter += 1;
+        BatchOutput {
+            loss,
+            cache_reads: outcome.cached.iter().map(Vec::len).sum::<usize>() as u64,
+            computed_nodes: outcome.computed.iter().flatten().filter(|&&c| c).count() as u64,
         }
-
-        // Optimizer step.
-        let mut params = self.model.params_mut();
-        opt.step(&mut params);
-
-        // Simulated GPU compute time.
-        let flops = batch_flops(&mb, &outcome, &self.dims, self.model.arch);
-        self.counters.compute_seconds += self.machine.gpu.compute_seconds(flops);
-
-        self.iter += 1;
-        (loss, outcome)
-    }
-
-    /// Evaluate accuracy on `nodes` with plain neighbor sampling (no cache
-    /// reads — the paper reports accuracy from an uncached inference pass).
-    pub fn evaluate(&mut self, ds: &Dataset, nodes: &[NodeId], batch_size: usize) -> f64 {
-        let mut rng = self.rng.fork();
-        let mut correct_weighted = 0.0f64;
-        let mut total = 0usize;
-        for chunk in nodes.chunks(batch_size.max(1)) {
-            let mb = self
-                .sampler
-                .sample(&ds.graph, chunk, &self.cfg.fanouts, &mut rng);
-            let ids: Vec<usize> = mb.input_nodes().iter().map(|&g| g as usize).collect();
-            let h0 = ds.features.gather_rows(&ids);
-            let trace: Trace = self.model.forward(&mb, h0);
-            let labels: Vec<u16> = chunk.iter().map(|&s| ds.labels[s as usize]).collect();
-            correct_weighted += accuracy(trace.h.last().unwrap(), &labels) * chunk.len() as f64;
-            total += chunk.len();
-        }
-        if total == 0 {
-            0.0
-        } else {
-            correct_weighted / total as f64
-        }
-    }
-
-    /// Fig 1 probe: sample a fresh mini-batch for `seeds`, determine which
-    /// destinations the cache would serve, and return the mean L2 distance
-    /// between the top-layer output computed *with* those historical
-    /// overrides and the authentic output computed exactly (same batch,
-    /// full aggregation).
-    pub fn probe_estimation_error(&mut self, ds: &Dataset, seeds: &[NodeId]) -> f32 {
-        let mut rng = self.rng.fork();
-        let mb = self
-            .sampler
-            .sample(&ds.graph, seeds, &self.cfg.fanouts, &mut rng);
-        // Prune a clone to learn the cache-served set; keep `mb` un-pruned
-        // so the exact pass aggregates fully.
-        let mut pruned = mb.clone();
-        let outcome = prune_with_cache(&mut pruned, &mut self.cache, self.iter);
-        let ids: Vec<usize> = mb.input_nodes().iter().map(|&g| g as usize).collect();
-        let h0 = ds.features.gather_rows(&ids);
-        crate::probes::estimation_error(&self.model, &mb, &h0, &self.cache, &outcome.cached)
     }
 }
 
@@ -728,7 +723,10 @@ mod tests {
         let mut cached_bytes = 0;
         for _ in 0..5 {
             plain_bytes += plain.train_epoch(&ds, &mut opt1).counters.host_to_gpu_bytes;
-            cached_bytes += cached.train_epoch(&ds, &mut opt2).counters.host_to_gpu_bytes;
+            cached_bytes += cached
+                .train_epoch(&ds, &mut opt2)
+                .counters
+                .host_to_gpu_bytes;
         }
         assert!(
             cached_bytes < plain_bytes,

@@ -35,7 +35,11 @@ impl Coo {
                 dst.push(v);
             }
         }
-        Coo { src, dst, n: csr.num_nodes() }
+        Coo {
+            src,
+            dst,
+            n: csr.num_nodes(),
+        }
     }
 
     /// Number of nodes.

@@ -51,7 +51,11 @@ impl Csr {
     /// Build directly from raw CSR arrays. Panics on malformed input.
     pub fn from_parts(indptr: Vec<usize>, indices: Vec<NodeId>) -> Self {
         assert!(!indptr.is_empty(), "indptr must have n+1 entries");
-        assert_eq!(*indptr.last().unwrap(), indices.len(), "indptr/indices mismatch");
+        assert_eq!(
+            *indptr.last().unwrap(),
+            indices.len(),
+            "indptr/indices mismatch"
+        );
         assert!(
             indptr.windows(2).all(|w| w[0] <= w[1]),
             "indptr must be non-decreasing"

@@ -37,7 +37,11 @@ impl Csr2 {
             assert!(start[i] <= end[i], "segment {i} inverted");
             assert!(end[i] <= indices.len(), "segment {i} beyond indices");
         }
-        Csr2 { start, end, indices }
+        Csr2 {
+            start,
+            end,
+            indices,
+        }
     }
 
     /// Build from per-node neighbor lists (used by the block sampler).
@@ -51,7 +55,11 @@ impl Csr2 {
             indices.extend_from_slice(list);
             end.push(indices.len());
         }
-        Csr2 { start, end, indices }
+        Csr2 {
+            start,
+            end,
+            indices,
+        }
     }
 
     /// Number of nodes (rows).
@@ -62,11 +70,7 @@ impl Csr2 {
 
     /// Number of *live* edges (pruned segments excluded).
     pub fn num_live_edges(&self) -> usize {
-        self.start
-            .iter()
-            .zip(&self.end)
-            .map(|(&s, &e)| e - s)
-            .sum()
+        self.start.iter().zip(&self.end).map(|(&s, &e)| e - s).sum()
     }
 
     /// Total edge slots in the column array, including pruned ones.

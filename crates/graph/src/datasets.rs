@@ -208,7 +208,8 @@ impl Dataset {
         // all three splits).
         let mut ids: Vec<NodeId> = (0..spec.num_nodes as NodeId).collect();
         rng.shuffle(&mut ids);
-        let n_train = ((spec.num_nodes as f64 * spec.train_frac) as usize).clamp(1, spec.num_nodes - 2);
+        let n_train =
+            ((spec.num_nodes as f64 * spec.train_frac) as usize).clamp(1, spec.num_nodes - 2);
         let remaining = spec.num_nodes - n_train;
         let n_val = (remaining / 10).max(1);
         let train_nodes = ids[..n_train].to_vec();
@@ -256,7 +257,10 @@ mod tests {
         assert_eq!(ds.labels.len(), ds.num_nodes());
         let total = ds.train_nodes.len() + ds.val_nodes.len() + ds.test_nodes.len();
         assert_eq!(total, ds.num_nodes());
-        assert!(ds.labels.iter().all(|&l| (l as usize) < ds.spec.num_classes));
+        assert!(ds
+            .labels
+            .iter()
+            .all(|&l| (l as usize) < ds.spec.num_classes));
     }
 
     #[test]

@@ -25,7 +25,11 @@ pub fn degree_histogram(graph: &Csr) -> Vec<usize> {
     let mut hist = Vec::new();
     for v in 0..graph.num_nodes() as NodeId {
         let d = graph.degree(v);
-        let bucket = if d <= 1 { 0 } else { (usize::BITS - 1 - d.leading_zeros()) as usize };
+        let bucket = if d <= 1 {
+            0
+        } else {
+            (usize::BITS - 1 - d.leading_zeros()) as usize
+        };
         if bucket >= hist.len() {
             hist.resize(bucket + 1, 0);
         }

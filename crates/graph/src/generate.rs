@@ -69,7 +69,10 @@ impl WeightedPicker {
             acc += weights[m as usize];
             cumulative.push(acc);
         }
-        WeightedPicker { members, cumulative }
+        WeightedPicker {
+            members,
+            cumulative,
+        }
     }
 
     fn total(&self) -> f64 {

@@ -86,7 +86,11 @@ impl HeteroSampler {
     /// Build a sampler sized to `graph`.
     pub fn new(graph: &HeteroGraph) -> Self {
         HeteroSampler {
-            mappers: graph.node_counts.iter().map(|&n| NodeMapper::new(n)).collect(),
+            mappers: graph
+                .node_counts
+                .iter()
+                .map(|&n| NodeMapper::new(n))
+                .collect(),
         }
     }
 
@@ -137,11 +141,7 @@ impl HeteroSampler {
                 rel_adj.push(Csr2::from_neighbor_lists(&lists));
             }
 
-            let src: Vec<Vec<NodeId>> = self
-                .mappers
-                .iter()
-                .map(|m| m.globals().to_vec())
-                .collect();
+            let src: Vec<Vec<NodeId>> = self.mappers.iter().map(|m| m.globals().to_vec()).collect();
             blocks_rev.push(HeteroBlock {
                 dst: dst.clone(),
                 src: src.clone(),
@@ -181,12 +181,7 @@ pub struct HeteroDataset {
 ///
 /// Papers carry community-correlated features and labels; authors inherit
 /// the community of their papers; institutions aggregate authors.
-pub fn mag_hetero(
-    num_papers: usize,
-    num_classes: usize,
-    dim: usize,
-    seed: u64,
-) -> HeteroDataset {
+pub fn mag_hetero(num_papers: usize, num_classes: usize, dim: usize, seed: u64) -> HeteroDataset {
     use crate::generate::{generate, planted_features, GraphConfig};
     let mut rng = Rng::new(seed);
 
@@ -396,6 +391,9 @@ mod tests {
         }
         assert!(total > 20, "not enough co-authored pairs ({total})");
         let frac = same as f64 / total as f64;
-        assert!(frac > 0.4, "same-label co-paper fraction {frac} (base 0.25)");
+        assert!(
+            frac > 0.4,
+            "same-label co-paper fraction {frac} (base 0.25)"
+        );
     }
 }

@@ -116,7 +116,10 @@ pub fn induced_subgraph(graph: &Csr, nodes: &[NodeId]) -> (Csr, Vec<NodeId>) {
             }
         }
     }
-    (Csr::from_directed_edges(nodes.len(), &edges), nodes.to_vec())
+    (
+        Csr::from_directed_edges(nodes.len(), &edges),
+        nodes.to_vec(),
+    )
 }
 
 #[cfg(test)]
@@ -143,7 +146,11 @@ mod tests {
         let g = two_cliques();
         let mut rng = Rng::new(1);
         let p = partition_ldg(&g, 2, &mut rng);
-        assert!(p.edge_locality(&g) > 0.9, "locality {}", p.edge_locality(&g));
+        assert!(
+            p.edge_locality(&g) > 0.9,
+            "locality {}",
+            p.edge_locality(&g)
+        );
         // Balanced: 4 + 4.
         let sizes: Vec<usize> = p.clusters().iter().map(Vec::len).collect();
         assert_eq!(sizes.iter().sum::<usize>(), 8);

@@ -8,9 +8,9 @@
 //! fanout takes every neighbor (used to compute *authentic* embeddings for
 //! the Fig 1 estimation-error probe).
 
+use crate::block::MiniBatch;
 use crate::mapper::NodeMapper;
 use crate::{Block, Csr, Csr2, NodeId};
-use crate::block::MiniBatch;
 use fgnn_tensor::Rng;
 
 /// Fanout value meaning "take all neighbors".
@@ -124,15 +124,13 @@ mod tests {
     use super::*;
 
     fn path_graph(n: usize) -> Csr {
-        let edges: Vec<(NodeId, NodeId)> =
-            (0..n as NodeId - 1).map(|i| (i, i + 1)).collect();
+        let edges: Vec<(NodeId, NodeId)> = (0..n as NodeId - 1).map(|i| (i, i + 1)).collect();
         Csr::from_undirected_edges(n, &edges)
     }
 
     fn star_graph(leaves: usize) -> Csr {
         // Node 0 is the hub.
-        let edges: Vec<(NodeId, NodeId)> =
-            (1..=leaves as NodeId).map(|l| (0, l)).collect();
+        let edges: Vec<(NodeId, NodeId)> = (1..=leaves as NodeId).map(|l| (0, l)).collect();
         Csr::from_undirected_edges(leaves + 1, &edges)
     }
 

@@ -181,7 +181,10 @@ mod tests {
         let t_one = one_sided_alltoall(&topo, &demand);
         let (t_multi, _) = multi_round_alltoall(&topo, &demand);
         assert!(t_one < t_naive, "one-sided {t_one} vs naive {t_naive}");
-        assert!(t_multi < t_one, "multi-round {t_multi} vs one-sided {t_one}");
+        assert!(
+            t_multi < t_one,
+            "multi-round {t_multi} vs one-sided {t_one}"
+        );
         let bw_naive = effective_bandwidth(&demand, t_naive);
         let bw_multi = effective_bandwidth(&demand, t_multi);
         // Paper: one-sided +23%, multi-round +145% over naive on PCIe.

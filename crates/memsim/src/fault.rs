@@ -112,14 +112,20 @@ impl FaultPlan {
 
     /// Fail each transfer attempt independently with probability `p`.
     pub fn with_fail_prob(mut self, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "fail probability {p} outside [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "fail probability {p} outside [0, 1]"
+        );
         self.fail_prob = p;
         self
     }
 
     /// Stall each (non-failed) attempt with probability `p` for `seconds`.
     pub fn with_stalls(mut self, p: f64, seconds: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "stall probability {p} outside [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "stall probability {p} outside [0, 1]"
+        );
         assert!(seconds >= 0.0, "negative stall");
         self.stall_prob = p;
         self.stall_seconds = seconds;

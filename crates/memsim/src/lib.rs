@@ -20,6 +20,8 @@
 //!   retry/backoff/timeout policy, so robustness experiments reproduce
 //!   exactly (see DESIGN.md "Fault model & recovery");
 //! * [`counters`] — the byte/time ledger every experiment reads;
+//! * [`stage`] — per-pipeline-stage attribution of that ledger
+//!   ([`StageTimings`]), feeding Fig 10-style epoch-time breakdowns;
 //! * [`presets`] — parameter sets matching the paper's hardware (A100 +
 //!   PCIe 3.0 x16 single-GPU server; p3.16xlarge-style 8-GPU box).
 //!
@@ -31,10 +33,12 @@ pub mod alltoall;
 pub mod counters;
 pub mod fault;
 pub mod presets;
+pub mod stage;
 pub mod topology;
 pub mod transfer;
 
 pub use counters::TrafficCounters;
 pub use fault::{AttemptOutcome, FaultPlan, LinkHealth, RetryPolicy};
+pub use stage::{StageKind, StageTimings};
 pub use topology::{Node, Topology};
 pub use transfer::TransferEngine;

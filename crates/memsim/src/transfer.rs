@@ -114,11 +114,9 @@ impl<'a> TransferEngine<'a> {
         }
         let (mut plan, policy) = self.faults.take().expect("checked active above");
 
-        let slowdown = commits
-            .iter()
-            .try_fold(1.0f64, |acc, (route, _)| {
-                plan.route_slowdown(route).map(|f| acc * f)
-            });
+        let slowdown = commits.iter().try_fold(1.0f64, |acc, (route, _)| {
+            plan.route_slowdown(route).map(|f| acc * f)
+        });
         let mut delivered = None;
         for attempt in 0..=policy.max_retries {
             let outcome = match slowdown {
@@ -306,12 +304,19 @@ mod tests {
         let mut eng = TransferEngine::with_faults(&topo, plan, policy);
         let mut c = TrafficCounters::new();
         let t = eng.one_sided_read(Node::Host, Node::Gpu(0), 16_000_000, &mut c);
-        assert!((t - FALLBACK_PENALTY * 1e-3).abs() < 1e-9, "fallback cost, t={t}");
+        assert!(
+            (t - FALLBACK_PENALTY * 1e-3).abs() < 1e-9,
+            "fallback cost, t={t}"
+        );
         assert_eq!(c.retries, 3, "three wasted attempts");
         assert_eq!(c.failed_transfers, 1);
         assert!(c.retry_seconds > 0.0);
         // Wasted attempts: 3 x 1ms plus two backoffs of >= 1ms and >= 2ms.
-        assert!(c.retry_seconds >= 3e-3 + 3e-3, "retry_seconds {}", c.retry_seconds);
+        assert!(
+            c.retry_seconds >= 3e-3 + 3e-3,
+            "retry_seconds {}",
+            c.retry_seconds
+        );
     }
 
     #[test]
@@ -394,14 +399,21 @@ mod tests {
     fn fault_sequence_is_deterministic_across_engines() {
         let topo = Topology::pcie_tree(2, 2, 16.0 * GB);
         let run = || {
-            let plan = FaultPlan::new(42).with_fail_prob(0.3).with_stalls(0.1, 0.002);
+            let plan = FaultPlan::new(42)
+                .with_fail_prob(0.3)
+                .with_stalls(0.1, 0.002);
             let mut eng = TransferEngine::with_faults(&topo, plan, RetryPolicy::default());
             let mut c = TrafficCounters::new();
             for i in 0..100u64 {
                 eng.one_sided_read(Node::Host, Node::Gpu((i % 2) as usize), 1_000_000, &mut c);
                 eng.two_sided_read(Node::Host, Node::Gpu(0), 500_000, 100, &mut c);
             }
-            (c.retries, c.failed_transfers, c.retry_seconds, c.transfer_seconds)
+            (
+                c.retries,
+                c.failed_transfers,
+                c.retry_seconds,
+                c.transfer_seconds,
+            )
         };
         assert_eq!(run(), run());
     }

@@ -85,9 +85,7 @@ impl GatLayer {
         // Per-node attention halves.
         let a_src = self.attn_src.value.row(0);
         let a_dst = self.attn_dst.value.row(0);
-        let s_src: Vec<f32> = (0..wh.rows())
-            .map(|u| dot(wh.row(u), a_src))
-            .collect();
+        let s_src: Vec<f32> = (0..wh.rows()).map(|u| dot(wh.row(u), a_src)).collect();
 
         // Build attention edge lists: self edge + sampled neighbors.
         let mut seg = Vec::with_capacity(n_dst + 1);

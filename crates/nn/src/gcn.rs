@@ -4,9 +4,7 @@
 //! form of `Â H W` restricted to the sampled block (the standard mini-batch
 //! adaptation used by DGL's `GraphConv` with `norm="right"` + self loops).
 
-use crate::layer::{
-    mean_agg_with_self, mean_agg_with_self_backward, Activation, Param,
-};
+use crate::layer::{mean_agg_with_self, mean_agg_with_self_backward, Activation, Param};
 use fgnn_graph::Block;
 use fgnn_tensor::{ops, Matrix, Rng};
 

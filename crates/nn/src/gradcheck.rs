@@ -217,8 +217,7 @@ mod tests {
             let g = ps[0].grad.clone();
             ps[0].grad = g.map(|x| -x);
         }
-        let corrupted: Vec<Matrix> =
-            model.params_mut().iter().map(|p| p.grad.clone()).collect();
+        let corrupted: Vec<Matrix> = model.params_mut().iter().map(|p| p.grad.clone()).collect();
         // Numeric gradient of that parameter still points the right way, so
         // cosine against the corrupted analytic gradient must be ~-1.
         let mut loss_at = |pi: usize, k: usize, delta: f32| -> f32 {

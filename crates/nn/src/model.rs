@@ -77,13 +77,7 @@ impl Layer {
     }
 
     /// Backward over a block; accumulates parameter grads, returns `d_h_src`.
-    pub fn backward(
-        &mut self,
-        block: &Block,
-        ctx: &Ctx,
-        h_src: &Matrix,
-        d_out: &Matrix,
-    ) -> Matrix {
+    pub fn backward(&mut self, block: &Block, ctx: &Ctx, h_src: &Matrix, d_out: &Matrix) -> Matrix {
         match (self, ctx) {
             (Layer::Gcn(l), Ctx::Gcn(c)) => l.backward(block, c, d_out),
             (Layer::Sage(l), Ctx::Sage(c)) => l.backward(block, c, d_out),

@@ -251,12 +251,7 @@ pub struct RSageTrace {
 impl RSageModel {
     /// Build with `dims = [in, hidden, ..., out]`; the final layer outputs
     /// logits for the target type.
-    pub fn new(
-        graph: &HeteroGraph,
-        target_type: usize,
-        dims: &[usize],
-        rng: &mut Rng,
-    ) -> Self {
+    pub fn new(graph: &HeteroGraph, target_type: usize, dims: &[usize], rng: &mut Rng) -> Self {
         assert!(dims.len() >= 2);
         let n_layers = dims.len() - 1;
         let layers = (0..n_layers)
@@ -353,7 +348,37 @@ impl RSageModel {
 
     /// All parameters in stable order.
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
+    }
+
+    /// Total scalar parameter count.
+    pub fn num_parameters(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.len()).sum()
+    }
+
+    /// Flatten all parameters into one vector (checkpointing).
+    pub fn export_parameters(&mut self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.num_parameters());
+        for p in self.params_mut() {
+            out.extend_from_slice(p.value.as_slice());
+        }
+        out
+    }
+
+    /// Restore parameters exported by [`RSageModel::export_parameters`]
+    /// from a model of the same shape. Panics on length mismatch.
+    pub fn import_parameters(&mut self, flat: &[f32]) {
+        let expected = self.num_parameters();
+        assert_eq!(flat.len(), expected, "checkpoint has wrong parameter count");
+        let mut off = 0;
+        for p in self.params_mut() {
+            let n = p.len();
+            p.value.as_mut_slice().copy_from_slice(&flat[off..off + n]);
+            off += n;
+        }
     }
 }
 
@@ -375,8 +400,7 @@ mod tests {
         let mb = sampler.sample(&ds.graph, 0, &seeds, &[3, 3], &mut rng);
         let h0: Vec<Matrix> = (0..3)
             .map(|t| {
-                let ids: Vec<usize> =
-                    mb.blocks[0].src[t].iter().map(|&g| g as usize).collect();
+                let ids: Vec<usize> = mb.blocks[0].src[t].iter().map(|&g| g as usize).collect();
                 ds.features[t].gather_rows(&ids)
             })
             .collect();

@@ -1,9 +1,7 @@
 //! GraphSAGE layer (Hamilton et al.) with the mean aggregator:
 //! `h_dst = act( concat(h_self, mean_{u∈N(v)} h_u) · W + b )`.
 
-use crate::layer::{
-    mean_agg_neighbors, mean_agg_neighbors_backward, Activation, Param,
-};
+use crate::layer::{mean_agg_neighbors, mean_agg_neighbors_backward, Activation, Param};
 use fgnn_graph::Block;
 use fgnn_tensor::{ops, Matrix, Rng};
 

@@ -256,7 +256,10 @@ mod tests {
     fn hadamard_multiplies_entrywise() {
         let a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
         let b = m(2, 2, &[5.0, 6.0, 7.0, 8.0]);
-        assert_eq!(hadamard(&a, &b).unwrap().as_slice(), &[5.0, 12.0, 21.0, 32.0]);
+        assert_eq!(
+            hadamard(&a, &b).unwrap().as_slice(),
+            &[5.0, 12.0, 21.0, 32.0]
+        );
     }
 
     #[test]

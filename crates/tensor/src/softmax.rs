@@ -68,7 +68,11 @@ pub fn segment_softmax_backward_inplace(y: &[f32], dy: &mut [f32], segments: &[u
         if lo == hi {
             continue;
         }
-        let dot: f32 = y[lo..hi].iter().zip(&dy[lo..hi]).map(|(&a, &b)| a * b).sum();
+        let dot: f32 = y[lo..hi]
+            .iter()
+            .zip(&dy[lo..hi])
+            .map(|(&a, &b)| a * b)
+            .sum();
         for j in lo..hi {
             dy[j] = y[j] * (dy[j] - dot);
         }

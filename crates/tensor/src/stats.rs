@@ -92,7 +92,6 @@ pub fn mean(values: &[f32]) -> f32 {
     }
 }
 
-
 /// Pearson correlation coefficient between two equal-length samples.
 /// Returns 0 for degenerate inputs (length < 2 or zero variance).
 pub fn pearson(x: &[f32], y: &[f32]) -> f32 {

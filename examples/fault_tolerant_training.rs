@@ -51,7 +51,9 @@ fn main() {
         for _ in 0..2 {
             t.train_epoch(&ds, &mut opt);
         }
-        t.checkpoint(&opt).save(&ckpt_path).expect("save checkpoint");
+        t.checkpoint(&opt)
+            .save(&ckpt_path)
+            .expect("save checkpoint");
         println!(
             "saved {} ({} bytes) after epoch {}",
             ckpt_path.display(),
@@ -77,19 +79,30 @@ fn main() {
 
     let a = reference.model.export_parameters();
     let b = resumed.model.export_parameters();
-    let diffs = a.iter().zip(&b).filter(|(x, y)| x.to_bits() != y.to_bits()).count();
+    let diffs = a
+        .iter()
+        .zip(&b)
+        .filter(|(x, y)| x.to_bits() != y.to_bits())
+        .count();
     println!(
         "uninterrupted vs resumed parameters: {} / {} differ → {}",
         diffs,
         a.len(),
-        if diffs == 0 { "BITWISE IDENTICAL" } else { "MISMATCH" }
+        if diffs == 0 {
+            "BITWISE IDENTICAL"
+        } else {
+            "MISMATCH"
+        }
     );
     std::fs::remove_file(&ckpt_path).ok();
 
     // ---- 2. Interconnect faults ---------------------------------------
     println!("\n== interconnect fault injection (10% failure rate) ==");
     let mut faulty = new_trainer(&ds, 7);
-    faulty.inject_faults(FaultPlan::new(99).with_fail_prob(0.10), RetryPolicy::default());
+    faulty.inject_faults(
+        FaultPlan::new(99).with_fail_prob(0.10),
+        RetryPolicy::default(),
+    );
     let mut opt3 = Adam::new(0.003);
     for _ in 0..2 {
         faulty.train_epoch(&ds, &mut opt3);

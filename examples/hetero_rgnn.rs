@@ -43,7 +43,7 @@ fn main() {
 
     println!("\ntraining R-GraphSAGE on the paper type...");
     for epoch in 1..=10 {
-        let loss = trainer.train_epoch(&ds, &mut opt);
+        let loss = trainer.train_epoch(&ds, &mut opt).mean_loss;
         if epoch % 2 == 0 {
             let acc = trainer.evaluate(&ds, &ds.test_nodes[..2000.min(ds.test_nodes.len())], 512);
             println!(

@@ -50,8 +50,14 @@ fn main() {
     let mut opt_p = Adam::new(0.003);
     let mut opt_f = Adam::new(0.003);
 
-    println!("\n{:<8}{:<24}{:<24}", "epoch", "neighbor sampling", "FreshGNN");
-    println!("{:<8}{:<12}{:<12}{:<12}{:<12}", "", "h2d MB", "acc", "h2d MB", "acc");
+    println!(
+        "\n{:<8}{:<24}{:<24}",
+        "epoch", "neighbor sampling", "FreshGNN"
+    );
+    println!(
+        "{:<8}{:<12}{:<12}{:<12}{:<12}",
+        "", "h2d MB", "acc", "h2d MB", "acc"
+    );
     for epoch in 1..=12 {
         let sp = plain.train_epoch(&ds, &mut opt_p);
         let sf = fresh.train_epoch(&ds, &mut opt_f);
@@ -73,8 +79,7 @@ fn main() {
         "\ncumulative wire traffic: NS {:.1} MB vs FreshGNN {:.1} MB ({:.1}% saved)",
         plain.counters.host_to_gpu_bytes as f64 / 1e6,
         fresh.counters.host_to_gpu_bytes as f64 / 1e6,
-        (1.0 - fresh.counters.host_to_gpu_bytes as f64
-            / plain.counters.host_to_gpu_bytes as f64)
+        (1.0 - fresh.counters.host_to_gpu_bytes as f64 / plain.counters.host_to_gpu_bytes as f64)
             * 100.0
     );
     println!(

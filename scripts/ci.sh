@@ -4,6 +4,16 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+cargo fmt --check
+
+# The repo must stay fully offline-buildable: every crate in the lockfile
+# is a workspace member, never a registry (or git) download.
+if grep -Eq 'source = "(registry|git)' Cargo.lock; then
+    echo "ci: Cargo.lock contains non-workspace dependencies:" >&2
+    grep -B2 'source = ' Cargo.lock >&2
+    exit 1
+fi
+
 cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings

@@ -152,7 +152,10 @@ fn counters_and_cache_stats_survive_resume() {
         reference.counters.host_to_gpu_bytes,
         resumed.counters.host_to_gpu_bytes
     );
-    assert_eq!(reference.counters.num_transfers, resumed.counters.num_transfers);
+    assert_eq!(
+        reference.counters.num_transfers,
+        resumed.counters.num_transfers
+    );
     assert_eq!(reference.cache.stats(), resumed.cache.stats());
     assert_eq!(reference.iterations(), resumed.iterations());
 }

@@ -89,7 +89,14 @@ fn two_sided_loading_costs_more_than_one_sided() {
         c.load_mode = mode;
         c
     };
-    let mut one = Trainer::new(&ds, Arch::Sage, 16, machine.clone(), mk(LoadMode::OneSided), 4);
+    let mut one = Trainer::new(
+        &ds,
+        Arch::Sage,
+        16,
+        machine.clone(),
+        mk(LoadMode::OneSided),
+        4,
+    );
     let mut two = Trainer::new(&ds, Arch::Sage, 16, machine, mk(LoadMode::TwoSided), 4);
     let mut o1 = Adam::new(0.01);
     let mut o2 = Adam::new(0.01);
@@ -99,7 +106,10 @@ fn two_sided_loading_costs_more_than_one_sided() {
     assert!(two.counters.index_bytes > 0);
     assert!(two.counters.transfer_seconds > one.counters.transfer_seconds);
     // Same payload either way.
-    assert_eq!(one.counters.host_to_gpu_bytes, two.counters.host_to_gpu_bytes);
+    assert_eq!(
+        one.counters.host_to_gpu_bytes,
+        two.counters.host_to_gpu_bytes
+    );
 }
 
 /// Determinism: the same seed must reproduce the same training run
@@ -108,14 +118,7 @@ fn two_sided_loading_costs_more_than_one_sided() {
 fn training_is_deterministic_in_the_seed() {
     let ds = tiny(4);
     let run = || {
-        let mut t = Trainer::new(
-            &ds,
-            Arch::Gcn,
-            16,
-            Machine::single_a100(),
-            cfg(0.9, 30),
-            77,
-        );
+        let mut t = Trainer::new(&ds, Arch::Gcn, 16, Machine::single_a100(), cfg(0.9, 30), 77);
         let mut opt = Adam::new(0.01);
         let mut losses = Vec::new();
         for _ in 0..3 {
@@ -136,14 +139,7 @@ fn training_is_deterministic_in_the_seed() {
 #[test]
 fn full_pipeline_reaches_accuracy_with_io_savings() {
     let ds = Dataset::materialize(products_spec(0.001).with_dim(24), 6);
-    let mut t = Trainer::new(
-        &ds,
-        Arch::Sage,
-        32,
-        Machine::single_a100(),
-        cfg(0.9, 10),
-        6,
-    );
+    let mut t = Trainer::new(&ds, Arch::Sage, 32, Machine::single_a100(), cfg(0.9, 10), 6);
     let mut opt = Adam::new(0.005);
     for _ in 0..14 {
         t.train_epoch(&ds, &mut opt);

@@ -163,7 +163,10 @@ fn persistent_panic_is_an_error_not_a_short_epoch() {
         .train_epoch_async(&ds, &mut opt, 2, 4)
         .expect_err("persistent fault must surface");
     match err {
-        SampleError::BatchPanicked { batch_index, attempts } => {
+        SampleError::BatchPanicked {
+            batch_index,
+            attempts,
+        } => {
             assert_eq!(batch_index, 2);
             assert_eq!(attempts, cfg().sampler_retries + 1);
         }
@@ -196,21 +199,10 @@ fn dead_workers_surface_as_an_error() {
             panic!("unrecoverable");
         }
     });
-    let stream = AsyncSampler::spawn_with_recovery(
-        graph,
-        batches,
-        vec![4, 4],
-        2,
-        4,
-        7,
-        0,
-        Some(hook),
-    );
+    let stream =
+        AsyncSampler::spawn_with_recovery(graph, batches, vec![4, 4], 2, 4, 7, 0, Some(hook));
     let results: Vec<Result<_, _>> = stream.collect();
-    assert!(
-        results.len() <= total,
-        "never more items than batches"
-    );
+    assert!(results.len() <= total, "never more items than batches");
     let errors = results.iter().filter(|r| r.is_err()).count();
     assert!(errors > 0, "worker death must produce an error item");
     // Every error is descriptive: either the panicked batch or WorkersLost.

@@ -80,8 +80,7 @@ fn ring_cache_is_always_correct() {
                         let row = cache.fetch(slot);
                         // Whatever we get MUST be the node's own last
                         // admission and within the staleness bound.
-                        let (val, stamp) =
-                            truth.get(&node).expect("hit for a node never admitted");
+                        let (val, stamp) = truth.get(&node).expect("hit for a node never admitted");
                         assert_eq!(row[0], *val, "wrong embedding served");
                         assert!(
                             now.saturating_sub(*stamp) <= t_stale,
