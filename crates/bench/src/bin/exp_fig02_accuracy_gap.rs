@@ -6,8 +6,8 @@
 //! approximate methods (ClusterGCN, GAS) fall well short while FreshGNN
 //! stays within ~1%.
 
-use fgnn_bench::runners::{best, run_method, Method, RunSpec};
-use fgnn_bench::{banner, row, Args};
+use fgnn_bench::runners::{best, run_method_timed, Method, RunSpec};
+use fgnn_bench::{banner, row, Args, ObsExport};
 use fgnn_graph::datasets::{arxiv_spec, papers100m_spec};
 use fgnn_graph::Dataset;
 use fgnn_nn::model::Arch;
@@ -18,6 +18,7 @@ fn main() {
     let scale_small: f64 = args.get("scale-small", 0.002);
     let scale_large: f64 = args.get("scale-large", 0.0004);
     let steps: usize = args.get("steps", 600);
+    let mut export = ObsExport::from_args(&args);
 
     banner(
         "Fig 2",
@@ -53,7 +54,10 @@ fn main() {
         row(&[&"method", &"best acc", &"Δ target"], &w);
         let mut target = 0.0;
         for m in methods {
-            let curve = run_method(&ds, m, &spec, seed);
+            let (curve, _, obs) = run_method_timed(&ds, m, &spec, seed);
+            if export.active() {
+                export.add(format!("{}/{m}", ds.spec.name), obs);
+            }
             let acc = best(&curve);
             if m == Method::NeighborSampling {
                 target = acc;
@@ -64,6 +68,9 @@ fn main() {
             );
         }
     }
+    export
+        .write()
+        .expect("writing --trace-out/--metrics-out files");
     println!("\npaper (Fig 2): gap to target modest on ogbn-products, large on");
     println!("ogbn-papers100M for ClusterGCN/GAS; FreshGNN tracks the target.");
 }

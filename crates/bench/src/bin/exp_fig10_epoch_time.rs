@@ -13,7 +13,7 @@
 //! OOM entries follow the paper's accounting (GAS history at paper scale;
 //! every system except DGL/FreshGNN on MAG240M, per §7.2).
 
-use fgnn_bench::{banner, fmt_bytes, fmt_secs, row, Args};
+use fgnn_bench::{banner, fmt_bytes, fmt_secs, row, Args, ObsExport};
 use fgnn_graph::datasets::{friendster_spec, mag240m_spec, papers100m_spec, twitter_spec};
 use fgnn_graph::Dataset;
 use fgnn_memsim::presets::Machine;
@@ -22,7 +22,7 @@ use fgnn_nn::model::Arch;
 use fgnn_nn::Adam;
 use freshgnn::baselines::{ClusterGcnTrainer, GasConfig, GasTrainer};
 use freshgnn::config::LoadMode;
-use freshgnn::{FreshGnnConfig, Trainer};
+use freshgnn::{FreshGnnConfig, Obs, Trainer};
 
 /// PyG's Python-side per-batch sampling overhead relative to the native
 /// parallel sampler (paper Fig 10 shows PyG ≈4–5x slower than DGL).
@@ -40,6 +40,9 @@ struct SystemRow {
     /// sampler threads).
     timings: Option<StageTimings>,
     sample_scale: f64,
+    /// Observability state of the measured run (spans + metrics), taken
+    /// from the trainer for `--trace-out`/`--metrics-out`.
+    obs: Option<Obs>,
 }
 
 /// Simulated seconds attributed to `kind`, with the sampler rescaling.
@@ -86,6 +89,7 @@ fn run_ns_system(
         h2d: c.host_to_gpu_bytes,
         timings: Some(s.timings),
         sample_scale: sampler_factor / sampler_threads,
+        obs: Some(std::mem::take(&mut t.obs)),
     }
 }
 
@@ -93,6 +97,7 @@ fn main() {
     let args = Args::parse();
     let seed: u64 = args.get("seed", 42);
     let scale: f64 = args.get("scale", 0.0002);
+    let mut export = ObsExport::from_args(&args);
 
     banner(
         "Fig 10",
@@ -172,6 +177,7 @@ fn main() {
                 h2d: c.host_to_gpu_bytes,
                 timings: Some(gs.timings),
                 sample_scale: 1.0,
+                obs: Some(std::mem::take(&mut gas.obs)),
             });
             let mut cg = ClusterGcnTrainer::new(
                 &ds,
@@ -190,6 +196,7 @@ fn main() {
                 h2d: cg.counters.host_to_gpu_bytes,
                 timings: Some(cs.timings),
                 sample_scale: 1.0,
+                obs: Some(std::mem::take(&mut cg.obs)),
             });
         } else {
             rows.push(SystemRow {
@@ -198,6 +205,7 @@ fn main() {
                 h2d: 0,
                 timings: None,
                 sample_scale: 1.0,
+                obs: None,
             });
             rows.push(SystemRow {
                 name: "ClusterGCN",
@@ -205,6 +213,7 @@ fn main() {
                 h2d: 0,
                 timings: None,
                 sample_scale: 1.0,
+                obs: None,
             });
         }
         // Paper: on MAG240M only DGL and FreshGNN avoid OOM.
@@ -270,7 +279,18 @@ fn main() {
             }
             row(&line, &sw);
         }
+
+        if export.active() {
+            for r in &mut rows {
+                if let Some(obs) = r.obs.take() {
+                    export.add(format!("{}/{}", ds.spec.name, r.name), obs);
+                }
+            }
+        }
     }
+    export
+        .write()
+        .expect("writing --trace-out/--metrics-out files");
     println!("\npaper (Fig 10): FreshGNN 5.3x faster than DGL and 23.6x than PyG on");
     println!("papers100M; 4.6x vs PyTorch-Direct; GAS/ClusterGCN orders slower.");
 }

@@ -40,10 +40,77 @@ impl Args {
             .unwrap_or(default)
     }
 
+    /// Fetch `--name v` as `T`, or `None` when the flag is absent or
+    /// unparsable.
+    pub fn get_opt<T: std::str::FromStr>(&self, name: &str) -> Option<T> {
+        let key = format!("--{name}");
+        self.raw
+            .iter()
+            .position(|a| a == &key)
+            .and_then(|i| self.raw.get(i + 1))
+            .and_then(|v| v.parse().ok())
+    }
+
     /// Whether a bare flag `--name` is present.
     pub fn flag(&self, name: &str) -> bool {
         let key = format!("--{name}");
         self.raw.iter().any(|a| a == &key)
+    }
+}
+
+/// Collects labelled per-run observability state and writes the files an
+/// experiment was asked for: `--trace-out <path>` (Chrome-trace JSON, one
+/// thread lane per section) and `--metrics-out <path>` (JSONL, schema in
+/// DESIGN.md §8). A no-op when neither flag is present.
+pub struct ObsExport {
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    sections: Vec<(String, freshgnn::Obs)>,
+}
+
+impl ObsExport {
+    /// Read `--trace-out` / `--metrics-out` from the arguments.
+    pub fn from_args(args: &Args) -> Self {
+        ObsExport {
+            trace_out: args.get_opt("trace-out"),
+            metrics_out: args.get_opt("metrics-out"),
+            sections: Vec::new(),
+        }
+    }
+
+    /// Whether any output file was requested (callers may skip collecting
+    /// when not).
+    pub fn active(&self) -> bool {
+        self.trace_out.is_some() || self.metrics_out.is_some()
+    }
+
+    /// Record one labelled section (e.g. `"arxiv/FreshGNN"`).
+    pub fn add(&mut self, label: impl Into<String>, obs: freshgnn::Obs) {
+        self.sections.push((label.into(), obs));
+    }
+
+    /// Write the requested files (Measured-class metrics included — the
+    /// CLI stream is for humans; tests use the deterministic subset).
+    pub fn write(&self) -> std::io::Result<()> {
+        use freshgnn::obs::export;
+        if let Some(path) = &self.trace_out {
+            let lanes: Vec<(&str, &freshgnn::obs::Tracer)> = self
+                .sections
+                .iter()
+                .map(|(label, obs)| (label.as_str(), &obs.tracer))
+                .collect();
+            std::fs::write(path, export::chrome_trace(&lanes))?;
+            eprintln!("wrote Chrome trace to {path}");
+        }
+        if let Some(path) = &self.metrics_out {
+            let mut doc = export::metrics_jsonl_header();
+            for (label, obs) in &self.sections {
+                doc.push_str(&export::metrics_jsonl(label, &obs.metrics, true));
+            }
+            std::fs::write(path, doc)?;
+            eprintln!("wrote metrics JSONL to {path}");
+        }
+        Ok(())
     }
 }
 

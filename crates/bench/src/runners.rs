@@ -8,7 +8,7 @@ use fgnn_memsim::stage::StageTimings;
 use fgnn_nn::model::Arch;
 use fgnn_nn::Adam;
 use freshgnn::baselines::{ClusterGcnTrainer, GasConfig, GasTrainer};
-use freshgnn::{FreshGnnConfig, Trainer};
+use freshgnn::{FreshGnnConfig, Obs, Trainer};
 
 /// A training method under comparison.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -97,14 +97,15 @@ pub fn run_method(ds: &Dataset, method: Method, spec: &RunSpec, seed: u64) -> Ve
 }
 
 /// Like [`run_method`], additionally returning the run's cumulative
-/// per-stage time/traffic attribution (every method trains through
-/// `freshgnn::Engine`, so the ledger is populated uniformly).
+/// per-stage time/traffic attribution and its observability state (spans
+/// plus metrics — every method trains through `freshgnn::Engine`, so
+/// both are populated uniformly; see `--trace-out` / `--metrics-out`).
 pub fn run_method_timed(
     ds: &Dataset,
     method: Method,
     spec: &RunSpec,
     seed: u64,
-) -> (Vec<f64>, StageTimings) {
+) -> (Vec<f64>, StageTimings, Obs) {
     let machine = Machine::single_a100();
     let mut opt = Adam::new(spec.lr);
     let mut curve = Vec::new();
@@ -113,7 +114,7 @@ pub fn run_method_timed(
     let epochs_for = |steps_per_epoch: usize| -> usize {
         spec.target_steps.div_ceil(steps_per_epoch.max(1)).max(1)
     };
-    match method {
+    let obs = match method {
         Method::NeighborSampling | Method::FreshGnn => {
             let cfg = if method == Method::FreshGnn {
                 FreshGnnConfig {
@@ -137,6 +138,7 @@ pub fn run_method_timed(
                     curve.push(t.evaluate(ds, eval_nodes, 256));
                 }
             }
+            std::mem::take(&mut t.obs)
         }
         Method::Gas | Method::GraphFm => {
             let momentum = if method == Method::GraphFm {
@@ -167,6 +169,7 @@ pub fn run_method_timed(
                     curve.push(t.evaluate(ds, eval_nodes, &spec.fanouts));
                 }
             }
+            std::mem::take(&mut t.obs)
         }
         Method::ClusterGcn => {
             let num_parts = (ds.num_nodes() / spec.batch_size.max(1)).clamp(2, 64);
@@ -190,9 +193,10 @@ pub fn run_method_timed(
                     curve.push(t.evaluate(ds, eval_nodes, &spec.fanouts));
                 }
             }
+            std::mem::take(&mut t.obs)
         }
-    }
-    (curve, timings)
+    };
+    (curve, timings, obs)
 }
 
 /// Best (max) accuracy of a curve — the paper reports converged accuracy.

@@ -8,6 +8,7 @@
 
 use crate::baselines::sampling::full_subgraph_minibatch;
 use crate::checkpoint::{Checkpoint, CheckpointError};
+use crate::obs::Obs;
 use crate::pipeline::{BatchOutput, Engine, EpochStats, EvalHarness, PipelineCtx, StallPolicy};
 use fgnn_graph::partition::{induced_subgraph, partition_ldg};
 use fgnn_graph::{Dataset, NodeId};
@@ -33,6 +34,9 @@ pub struct ClusterGcnTrainer {
     pub counters: TrafficCounters,
     /// Cumulative per-stage attribution of `counters` (not checkpointed).
     pub timings: StageTimings,
+    /// Observability state: sim-clock spans plus metrics, fed by the
+    /// pipeline engine (not checkpointed).
+    pub obs: Obs,
     machine: Machine,
     dims: Vec<usize>,
     train_set: HashSet<NodeId>,
@@ -77,6 +81,7 @@ impl ClusterGcnTrainer {
             clusters_per_batch: clusters_per_batch.max(1),
             counters: TrafficCounters::new(),
             timings: StageTimings::new(),
+            obs: Obs::new(),
             machine,
             dims,
             train_set: ds.train_nodes.iter().copied().collect(),
@@ -183,6 +188,7 @@ impl ClusterGcnTrainer {
             &mut self.fault_plan,
             self.retry_policy,
             &mut self.counters,
+            &mut self.obs,
             StallPolicy::Free,
             groups.into_iter().map(Ok::<_, std::convert::Infallible>),
             |ctx, counters, nodes| stages.train_subgraph(ctx, counters, &nodes, opt),

@@ -19,6 +19,7 @@
 //! momentum mechanism, which drives its accuracy behaviour at scale.)
 
 use crate::checkpoint::{Checkpoint, CheckpointError};
+use crate::obs::Obs;
 use crate::pipeline::{BatchOutput, Engine, EpochStats, EvalHarness, PipelineCtx, StallPolicy};
 use fgnn_graph::partition::{partition_ldg, Partitioning};
 use fgnn_graph::{Block, Csr2, Dataset, NodeId};
@@ -69,6 +70,9 @@ pub struct GasTrainer {
     pub counters: TrafficCounters,
     /// Cumulative per-stage attribution of `counters` (not checkpointed).
     pub timings: StageTimings,
+    /// Observability state: sim-clock spans plus metrics, fed by the
+    /// pipeline engine (not checkpointed).
+    pub obs: Obs,
     machine: Machine,
     dims: Vec<usize>,
     epoch: u32,
@@ -123,6 +127,7 @@ impl GasTrainer {
             cfg,
             counters: TrafficCounters::new(),
             timings: StageTimings::new(),
+            obs: Obs::new(),
             machine,
             dims,
             epoch: 0,
@@ -249,6 +254,7 @@ impl GasTrainer {
             &mut self.fault_plan,
             self.retry_policy,
             &mut self.counters,
+            &mut self.obs,
             StallPolicy::Free,
             order.into_iter().map(Ok::<_, std::convert::Infallible>),
             |ctx, counters, ci| stages.train_cluster(ctx, counters, ci, opt),

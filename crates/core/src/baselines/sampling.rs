@@ -6,6 +6,7 @@
 //! paper contrasts FreshGNN against (see `exp_ext_sampling_families`).
 
 use crate::checkpoint::{Checkpoint, CheckpointError};
+use crate::obs::Obs;
 use crate::pipeline::{BatchOutput, Engine, EpochStats, EvalHarness, PipelineCtx, StallPolicy};
 use fgnn_graph::block::{Block, MiniBatch};
 use fgnn_graph::partition::induced_subgraph;
@@ -50,6 +51,9 @@ pub struct SamplingBaselineTrainer {
     pub counters: TrafficCounters,
     /// Cumulative per-stage attribution of `counters` (not checkpointed).
     pub timings: StageTimings,
+    /// Observability state: sim-clock spans plus metrics, fed by the
+    /// pipeline engine (not checkpointed).
+    pub obs: Obs,
     batch_size: usize,
     machine: Machine,
     dims: Vec<usize>,
@@ -89,6 +93,7 @@ impl SamplingBaselineTrainer {
             kind,
             counters: TrafficCounters::new(),
             timings: StageTimings::new(),
+            obs: Obs::new(),
             batch_size,
             machine,
             dims,
@@ -185,6 +190,7 @@ impl SamplingBaselineTrainer {
             &mut self.fault_plan,
             self.retry_policy,
             &mut self.counters,
+            &mut self.obs,
             StallPolicy::Free,
             batches.iter().map(Ok::<_, std::convert::Infallible>),
             |ctx, counters, seeds| stages.train_batch(ctx, counters, seeds, opt),

@@ -8,6 +8,7 @@
 //! allocation; the traffic accounting is identical).
 
 use fgnn_graph::{degree, Csr, NodeId};
+use std::cell::Cell;
 
 /// Membership-only static cache: the trainer needs to know *whether* a
 /// node's features are resident (traffic accounting); the feature values
@@ -15,6 +16,11 @@ use fgnn_graph::{degree, Csr, NodeId};
 pub struct StaticFeatureCache {
     resident: Vec<bool>,
     len: usize,
+    /// Membership-test hits (observability only; `Cell` because
+    /// [`StaticFeatureCache::contains`] is a `&self` query).
+    hits: Cell<u64>,
+    /// Membership-test misses (observability only).
+    misses: Cell<u64>,
 }
 
 impl StaticFeatureCache {
@@ -26,7 +32,12 @@ impl StaticFeatureCache {
         for &v in order.iter().take(len) {
             resident[v as usize] = true;
         }
-        StaticFeatureCache { resident, len }
+        StaticFeatureCache {
+            resident,
+            len,
+            hits: Cell::new(0),
+            misses: Cell::new(0),
+        }
     }
 
     /// An empty (disabled) cache for `num_nodes` nodes.
@@ -34,13 +45,33 @@ impl StaticFeatureCache {
         StaticFeatureCache {
             resident: vec![false; num_nodes],
             len: 0,
+            hits: Cell::new(0),
+            misses: Cell::new(0),
         }
     }
 
     /// Whether `node`'s features are resident on the compute device.
     #[inline]
     pub fn contains(&self, node: NodeId) -> bool {
-        self.resident[node as usize]
+        let hit = self.resident[node as usize];
+        if hit {
+            self.hits.set(self.hits.get() + 1);
+        } else {
+            self.misses.set(self.misses.get() + 1);
+        }
+        hit
+    }
+
+    /// Membership-test hits recorded so far (observability only; resets on
+    /// checkpoint restore).
+    pub fn hits(&self) -> u64 {
+        self.hits.get()
+    }
+
+    /// Membership-test misses recorded so far (observability only; resets
+    /// on checkpoint restore).
+    pub fn misses(&self) -> u64 {
+        self.misses.get()
     }
 
     /// Number of cached rows.
@@ -65,10 +96,16 @@ impl StaticFeatureCache {
         self.resident.clone()
     }
 
-    /// Rebuild from [`StaticFeatureCache::export`].
+    /// Rebuild from [`StaticFeatureCache::export`]. Telemetry counters
+    /// restart at zero (they are not part of the checkpoint format).
     pub fn import(resident: Vec<bool>) -> Self {
         let len = resident.iter().filter(|&&r| r).count();
-        StaticFeatureCache { resident, len }
+        StaticFeatureCache {
+            resident,
+            len,
+            hits: Cell::new(0),
+            misses: Cell::new(0),
+        }
     }
 }
 

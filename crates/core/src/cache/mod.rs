@@ -180,6 +180,23 @@ impl HistoricalCache {
         s
     }
 
+    /// Total ring-level lookups across levels (observability only; not
+    /// checkpointed). Disabled levels never reach a ring, so this always
+    /// equals `stats().hits + stats().misses` on a fresh cache — the
+    /// cross-layer invariant `tests/obs_invariants.rs` pins.
+    pub fn lookups(&self) -> u64 {
+        self.levels.iter().flatten().map(|c| c.lookups).sum()
+    }
+
+    /// Merged hit-age histogram across levels (observability only).
+    pub fn hit_age_histogram(&self) -> crate::obs::Histogram {
+        let mut out = crate::obs::Histogram::new(&crate::obs::AGE_BUCKETS);
+        for c in self.levels.iter().flatten() {
+            out.merge(c.hit_age_histogram());
+        }
+        out
+    }
+
     /// Resident bytes across levels (tables + mapping arrays).
     pub fn bytes(&self) -> usize {
         self.levels.iter().flatten().map(RingCache::bytes).sum()

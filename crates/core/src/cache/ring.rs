@@ -15,6 +15,7 @@
 //!   paper's corner case), the table grows — "initialize the cache table
 //!   with a fixed size and reallocate on-demand".
 
+use crate::obs::{Histogram, AGE_BUCKETS};
 use fgnn_graph::NodeId;
 use fgnn_tensor::Matrix;
 
@@ -38,6 +39,18 @@ pub struct RingCache {
     pub grad_evictions: u64,
     /// Entries overwritten by the advancing ring header.
     pub overwrites: u64,
+    /// Total lookups (observability only; `hits + (lookups - hits)` must
+    /// reconcile with the owning [`crate::cache::HistoricalCache`]'s
+    /// hit/miss counters — pinned by `tests/obs_invariants.rs`). Not
+    /// checkpointed: a resumed run restarts telemetry while the
+    /// checkpointed [`crate::cache::CacheStats`] counters stay exact.
+    pub lookups: u64,
+    /// Lookups that returned a live, fresh entry (observability only; not
+    /// checkpointed).
+    pub hits: u64,
+    /// Age (iterations since admission) of every served hit (observability
+    /// only; not checkpointed).
+    hit_age: Histogram,
 }
 
 impl RingCache {
@@ -55,7 +68,15 @@ impl RingCache {
             stale_evictions: 0,
             grad_evictions: 0,
             overwrites: 0,
+            lookups: 0,
+            hits: 0,
+            hit_age: Histogram::new(&AGE_BUCKETS),
         }
+    }
+
+    /// Age histogram (iterations since admission) of every hit served.
+    pub fn hit_age_histogram(&self) -> &Histogram {
+        &self.hit_age
     }
 
     /// Embedding dimension.
@@ -90,6 +111,7 @@ impl RingCache {
     /// Look up `node` at iteration `now` under staleness bound `t_stale`.
     /// A stale entry is evicted on the spot and counts as a miss.
     pub fn lookup(&mut self, node: NodeId, now: u32, t_stale: u32) -> Option<u32> {
+        self.lookups += 1;
         let slot = self.slot_of[node as usize];
         if slot == INVALID {
             return None;
@@ -100,12 +122,15 @@ impl RingCache {
             self.slot_of[node as usize] = INVALID;
             return None;
         }
-        if now.saturating_sub(self.stamp[s]) > t_stale {
+        let age = now.saturating_sub(self.stamp[s]);
+        if age > t_stale {
             self.slot_of[node as usize] = INVALID;
             self.node_of[s] = INVALID;
             self.stale_evictions += 1;
             return None;
         }
+        self.hits += 1;
+        self.hit_age.observe(age as f64);
         Some(slot)
     }
 
@@ -241,6 +266,10 @@ impl RingCache {
             stale_evictions: s.stale_evictions,
             grad_evictions: s.grad_evictions,
             overwrites: s.overwrites,
+            // Telemetry restarts on resume (not part of the snapshot).
+            lookups: 0,
+            hits: 0,
+            hit_age: Histogram::new(&AGE_BUCKETS),
         })
     }
 }
@@ -476,5 +505,75 @@ mod tests {
         let mut s = RingCache::new(10, 4, 2).snapshot();
         s.node_of.truncate(2);
         assert!(RingCache::from_snapshot(s).is_err());
+    }
+
+    #[test]
+    fn snapshot_validation_rejects_capacity_mismatch() {
+        // A stamp array shorter than the table's row count.
+        let mut s = RingCache::new(10, 4, 2).snapshot();
+        s.stamp.truncate(3);
+        let err = RingCache::from_snapshot(s)
+            .err()
+            .expect("snapshot must be rejected");
+        assert!(err.contains("capacity"), "{err}");
+        // node_of longer than the table's row count.
+        let mut s = RingCache::new(10, 4, 2).snapshot();
+        s.node_of.push(INVALID);
+        let err = RingCache::from_snapshot(s)
+            .err()
+            .expect("snapshot must be rejected");
+        assert!(err.contains("capacity"), "{err}");
+        // A table with no rows at all (e.g. a zeroed length field).
+        let mut s = RingCache::new(10, 4, 2).snapshot();
+        s.table = Matrix::zeros(0, 2);
+        s.node_of.clear();
+        s.stamp.clear();
+        s.head = 0;
+        let err = RingCache::from_snapshot(s)
+            .err()
+            .expect("snapshot must be rejected");
+        assert!(err.contains("empty"), "{err}");
+    }
+
+    #[test]
+    fn snapshot_validation_rejects_slot_map_entries_out_of_node_range() {
+        // node_of must only name nodes inside the cache's ID space —
+        // a corrupted entry would index out of bounds on later evictions.
+        let mut s = RingCache::new(10, 4, 2).snapshot();
+        s.node_of[0] = 10; // valid nodes are 0..10
+        let err = RingCache::from_snapshot(s)
+            .err()
+            .expect("snapshot must be rejected");
+        assert!(err.contains("node range"), "{err}");
+    }
+
+    #[test]
+    fn restore_rejects_dim_mismatch_against_config() {
+        // Dim validation lives in HistoricalCache::restore (the ring takes
+        // its dim from the snapshot's table): a snapshot whose embedding
+        // width disagrees with the configured cache must be rejected.
+        let donor = crate::cache::HistoricalCache::new(10, &[3, 3], 5, 4, true, true);
+        let snapshot = donor.snapshot();
+        let mut wrong_dim = crate::cache::HistoricalCache::new(10, &[4, 4], 5, 4, true, true);
+        let err = wrong_dim.restore(snapshot).unwrap_err();
+        assert!(err.contains("dim"), "{err}");
+    }
+
+    #[test]
+    fn lookup_telemetry_reconciles_hits_and_misses() {
+        let mut c = RingCache::new(10, 4, 2);
+        c.admit(1, &row(1.0, 2), 0, 5);
+        assert!(c.lookup(1, 3, 5).is_some()); // hit at age 3
+        assert!(c.lookup(2, 3, 5).is_none()); // absent
+        assert!(c.lookup(1, 9, 5).is_none()); // stale
+        assert_eq!(c.lookups, 3);
+        assert_eq!(c.hits, 1);
+        let h = c.hit_age_histogram();
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 3.0);
+        // Telemetry restarts across snapshot/restore.
+        let restored = RingCache::from_snapshot(c.snapshot()).unwrap();
+        assert_eq!(restored.lookups, 0);
+        assert_eq!(restored.hit_age_histogram().count(), 0);
     }
 }

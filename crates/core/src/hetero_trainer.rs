@@ -16,6 +16,7 @@
 use crate::cache::{gradient_policy, HistoricalCache, PolicyInput};
 use crate::checkpoint::{Checkpoint, CheckpointError};
 use crate::config::FreshGnnConfig;
+use crate::obs::Obs;
 use crate::pipeline::{BatchOutput, Engine, EpochStats, EvalHarness, PipelineCtx, StallPolicy};
 use fgnn_graph::hetero::{HeteroDataset, HeteroMiniBatch, HeteroSampler};
 use fgnn_graph::sample::split_batches;
@@ -43,6 +44,9 @@ pub struct HeteroTrainer {
     pub counters: TrafficCounters,
     /// Cumulative per-stage attribution of `counters` (not checkpointed).
     pub timings: StageTimings,
+    /// Observability state: sim-clock spans plus metrics, fed by the
+    /// pipeline engine (not checkpointed).
+    pub obs: Obs,
     machine: Machine,
     sampler: HeteroSampler,
     /// `(src_type, dst_type)` per relation, in the graph's relation order.
@@ -90,6 +94,7 @@ impl HeteroTrainer {
             cache,
             counters: TrafficCounters::new(),
             timings: StageTimings::new(),
+            obs: Obs::new(),
             machine,
             sampler: HeteroSampler::new(&ds.graph),
             rel_types: ds
@@ -210,6 +215,7 @@ impl HeteroTrainer {
             &mut self.fault_plan,
             self.retry_policy,
             &mut self.counters,
+            &mut self.obs,
             StallPolicy::Free,
             batches.iter().map(Ok::<_, std::convert::Infallible>),
             |ctx, counters, seeds| Some(stages.train_batch(ctx, counters, seeds, opt)),

@@ -24,6 +24,9 @@
 //!   forward → backward → cache-update → optim-step) every training loop
 //!   runs through, with per-stage time/traffic attribution and the shared
 //!   evaluation harness;
+//! * [`obs`] — deterministic observability: a sim-clock span tracer plus
+//!   a metrics registry, fed by the pipeline, caches, sampler and
+//!   transfer engine, exported as JSONL / Chrome-trace JSON;
 //! * [`trainer`] — Algorithm 1: the mini-batch loop tying it together,
 //!   expressed as the full pipeline stage set;
 //! * [`baselines`] — neighbor sampling (DGL/PyG/PyTorch-Direct traffic
@@ -44,6 +47,7 @@ pub mod config;
 pub mod hetero_trainer;
 pub mod loader;
 pub mod multi_gpu;
+pub mod obs;
 pub mod pipeline;
 pub mod probes;
 pub mod prune;
@@ -54,6 +58,7 @@ pub mod trainer;
 pub use cache::HistoricalCache;
 pub use checkpoint::{Checkpoint, CheckpointError};
 pub use config::FreshGnnConfig;
+pub use obs::Obs;
 pub use pipeline::{BatchOutput, Engine, EpochStats, EvalHarness, PipelineCtx, StallPolicy};
 pub use sampler::SampleError;
 pub use trainer::Trainer;

@@ -37,8 +37,9 @@ pub mod eval;
 
 pub use eval::EvalHarness;
 
+use crate::obs::{MetricClass, Obs};
 use fgnn_memsim::fault::{FaultPlan, RetryPolicy};
-use fgnn_memsim::stage::{StageKind, StageTimings};
+use fgnn_memsim::stage::{StageKind, StageTimings, NUM_STAGES};
 use fgnn_memsim::topology::Topology;
 use fgnn_memsim::{TrafficCounters, TransferEngine};
 use std::time::Instant;
@@ -100,10 +101,16 @@ pub enum StallPolicy {
 }
 
 /// Per-epoch pipeline context handed to the step function: the transfer
-/// engine (with this epoch's fault plan armed) and the per-stage ledger.
+/// engine (with this epoch's fault plan armed), the per-stage ledger, and
+/// the trainer's observability state (taken for the epoch, restored when
+/// the epoch ends).
 pub struct PipelineCtx<'t> {
     transfer: TransferEngine<'t>,
     timings: StageTimings,
+    obs: Obs,
+    /// Exact sim-clock nanoseconds advanced inside each stage's scopes —
+    /// by construction these sum to the epoch span's duration.
+    stage_exact_ns: [u64; NUM_STAGES],
 }
 
 impl<'t> PipelineCtx<'t> {
@@ -112,6 +119,11 @@ impl<'t> PipelineCtx<'t> {
     /// wall time are attributed to `kind`. [`StageKind::Sample`] and
     /// [`StageKind::Prune`] scopes also charge their wall time to the
     /// ledger's measured `sample_seconds` / `prune_seconds` fields.
+    ///
+    /// Each scope also emits a stage [`crate::obs::Span`]: the sim clock
+    /// advances by the scope's *exact* ledger delta (transfer + retry +
+    /// compute seconds — never the measured sample/prune wall time), so
+    /// span timestamps are bit-reproducible across runs.
     pub fn stage<R>(
         &mut self,
         kind: StageKind,
@@ -130,6 +142,15 @@ impl<'t> PipelineCtx<'t> {
         let mut delta = counters.clone();
         delta.subtract(&before);
         self.timings.record(kind, wall, &delta);
+        let exact = delta.transfer_seconds + delta.retry_seconds + delta.compute_seconds;
+        self.obs
+            .tracer
+            .begin(kind.name(), "stage", self.obs.clock.now_ns());
+        self.stage_exact_ns[kind.index()] += self.obs.clock.advance_secs(exact);
+        self.obs.tracer.end_with(
+            self.obs.clock.now_ns(),
+            vec![("wire_bytes", delta.wire_bytes())],
+        );
         out
     }
 }
@@ -154,11 +175,17 @@ impl Engine {
     /// The returned [`EpochStats`] carries the epoch's counter delta and
     /// [`StageTimings`]; `cache_degraded` is left `false` for the caller
     /// to fill in.
+    ///
+    /// `obs` is taken for the duration of the epoch and restored — with
+    /// the epoch/batch/stage span tree appended and the per-stage and
+    /// per-link metrics flushed — before returning, even on error.
+    #[allow(clippy::too_many_arguments)]
     pub fn run_epoch<'t, U, E>(
         topo: &'t Topology,
         fault_plan: &mut Option<FaultPlan>,
         retry_policy: RetryPolicy,
         counters: &mut TrafficCounters,
+        obs: &mut Obs,
         stall_policy: StallPolicy,
         mut units: impl Iterator<Item = Result<U, E>>,
         mut step: impl FnMut(&mut PipelineCtx<'t>, &mut TrafficCounters, U) -> Option<BatchOutput>,
@@ -171,7 +198,12 @@ impl Engine {
         let mut ctx = PipelineCtx {
             transfer,
             timings: StageTimings::new(),
+            obs: std::mem::take(obs),
+            stage_exact_ns: [0; NUM_STAGES],
         };
+        ctx.obs
+            .tracer
+            .begin("epoch", "pipeline", ctx.obs.clock.now_ns());
 
         let mut total_loss = 0.0f64;
         let mut batches = 0usize;
@@ -188,14 +220,34 @@ impl Engine {
                 delta.sample_seconds = stall;
                 counters.sample_seconds += stall;
                 ctx.timings.record(StageKind::Sample, stall, &delta);
+                // Measured time never advances the sim clock: the stall
+                // leaves a zero-duration sample span under the epoch.
+                let now = ctx.obs.clock.now_ns();
+                ctx.obs.tracer.begin(StageKind::Sample.name(), "stage", now);
+                ctx.obs.tracer.end(now);
             }
             match item {
                 Ok(unit) => {
-                    if let Some(out) = step(&mut ctx, counters, unit) {
-                        total_loss += out.loss as f64;
-                        batches += 1;
-                        cache_reads += out.cache_reads;
-                        computed_nodes += out.computed_nodes;
+                    ctx.obs
+                        .tracer
+                        .begin("batch", "pipeline", ctx.obs.clock.now_ns());
+                    let out = step(&mut ctx, counters, unit);
+                    let now = ctx.obs.clock.now_ns();
+                    match out {
+                        Some(out) => {
+                            ctx.obs.tracer.end_with(
+                                now,
+                                vec![
+                                    ("cache_reads", out.cache_reads),
+                                    ("computed_nodes", out.computed_nodes),
+                                ],
+                            );
+                            total_loss += out.loss as f64;
+                            batches += 1;
+                            cache_reads += out.cache_reads;
+                            computed_nodes += out.computed_nodes;
+                        }
+                        None => ctx.obs.tracer.end(now),
                     }
                 }
                 Err(e) => {
@@ -207,6 +259,70 @@ impl Engine {
         // Thread the fault plan (and its advanced RNG) back out before any
         // return — an errored epoch must leave the trainer usable.
         *fault_plan = ctx.transfer.take_fault_plan();
+
+        // Close the epoch span and flush epoch-level metrics, even for an
+        // errored epoch: the telemetry reflects the work actually done.
+        ctx.obs
+            .tracer
+            .end_with(ctx.obs.clock.now_ns(), vec![("batches", batches as u64)]);
+        let m = &mut ctx.obs.metrics;
+        m.counter_add("pipeline.epochs", MetricClass::Exact, 1);
+        m.counter_add("pipeline.batches", MetricClass::Exact, batches as u64);
+        for kind in StageKind::ALL {
+            let name = kind.name();
+            let exact_ns = ctx.stage_exact_ns[kind.index()];
+            if exact_ns > 0 {
+                m.counter_add(
+                    &format!("pipeline.stage.{name}.sim_ns"),
+                    MetricClass::Exact,
+                    exact_ns,
+                );
+            }
+            let wire = ctx.timings.wire_bytes(kind);
+            if wire > 0 {
+                m.counter_add(
+                    &format!("pipeline.stage.{name}.wire_bytes"),
+                    MetricClass::Exact,
+                    wire,
+                );
+            }
+            let wall = ctx.timings.measured_seconds(kind);
+            if wall > 0.0 {
+                m.counter_add(
+                    &format!("pipeline.stage.{name}.measured_ns"),
+                    MetricClass::Measured,
+                    (wall * 1e9).round() as u64,
+                );
+            }
+        }
+        for (l, &bytes) in ctx.transfer.link_bytes.iter().enumerate() {
+            if bytes > 0 {
+                m.counter_add(
+                    &format!("transfer.link.{l}.bytes"),
+                    MetricClass::Exact,
+                    bytes,
+                );
+            }
+        }
+        for (l, &retries) in ctx.transfer.link_retries.iter().enumerate() {
+            if retries > 0 {
+                m.counter_add(
+                    &format!("transfer.link.{l}.retries"),
+                    MetricClass::Exact,
+                    retries,
+                );
+            }
+        }
+        for (l, &busy) in ctx.transfer.link_busy.iter().enumerate() {
+            if busy > 0.0 {
+                m.counter_add(
+                    &format!("transfer.link.{l}.busy_ns"),
+                    MetricClass::Exact,
+                    (busy * 1e9).round() as u64,
+                );
+            }
+        }
+        *obs = ctx.obs;
         if let Some(e) = failure {
             return Err(e);
         }
@@ -245,6 +361,7 @@ mod tests {
             &mut plan,
             RetryPolicy::default(),
             &mut counters,
+            &mut Obs::new(),
             StallPolicy::Free,
             (0..3).map(Ok::<u64, Infallible>),
             |ctx, counters, bytes_k| {
@@ -284,6 +401,7 @@ mod tests {
             &mut plan,
             RetryPolicy::default(),
             &mut counters,
+            &mut Obs::new(),
             StallPolicy::Free,
             (0..4).map(Ok::<usize, Infallible>),
             |_, _, i| (i % 2 == 0).then(|| BatchOutput::loss_only(2.0)),
@@ -304,6 +422,7 @@ mod tests {
             &mut plan,
             RetryPolicy::default(),
             &mut counters,
+            &mut Obs::new(),
             StallPolicy::Free,
             vec![Ok(1), Err("boom"), Ok(2)].into_iter(),
             |_, _, _| {
@@ -326,6 +445,7 @@ mod tests {
             &mut plan,
             RetryPolicy::default(),
             &mut counters,
+            &mut Obs::new(),
             StallPolicy::Free,
             (0..2).map(Ok::<u64, Infallible>),
             |ctx, counters, _| {

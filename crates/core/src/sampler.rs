@@ -24,13 +24,14 @@
 //! error, never a quietly short epoch.
 
 use crate::chan::{bounded, Receiver, Sender};
+use crate::obs::{Histogram, LATENCY_BUCKETS, QUEUE_DEPTH_BUCKETS};
 use fgnn_graph::block::MiniBatch;
 use fgnn_graph::sample::NeighborSampler;
 use fgnn_graph::{Csr, NodeId};
 use fgnn_tensor::Rng;
 use std::collections::BinaryHeap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -82,6 +83,63 @@ impl std::error::Error for SampleError {}
 /// exercises the recovery path deterministically.
 pub type FaultHook = Arc<dyn Fn(usize, u32) + Send + Sync>;
 
+/// Worker-side observability counters shared across the pool, updated
+/// lock-free. Timings are wall-clock (scheduling-dependent → exported as
+/// `Measured`); the retry count is deterministic for a seeded fault hook.
+struct WorkerObs {
+    /// Successful sampling tasks per worker.
+    tasks: Vec<AtomicU64>,
+    /// Wall-clock nanoseconds spent inside sampling attempts, per worker.
+    task_nanos: Vec<AtomicU64>,
+    /// Per-attempt latency bucket counts over [`LATENCY_BUCKETS`] plus an
+    /// overflow bucket.
+    latency_counts: Vec<AtomicU64>,
+    /// Extra sampling attempts spent recovering from worker panics.
+    retries: AtomicU64,
+}
+
+impl WorkerObs {
+    fn new(num_threads: usize) -> Self {
+        WorkerObs {
+            tasks: (0..num_threads).map(|_| AtomicU64::new(0)).collect(),
+            task_nanos: (0..num_threads).map(|_| AtomicU64::new(0)).collect(),
+            latency_counts: (0..=LATENCY_BUCKETS.len())
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            retries: AtomicU64::new(0),
+        }
+    }
+
+    fn record_attempt(&self, worker: usize, nanos: u64) {
+        self.task_nanos[worker].fetch_add(nanos, Ordering::Relaxed);
+        let secs = nanos as f64 * 1e-9;
+        let b = LATENCY_BUCKETS
+            .iter()
+            .position(|&edge| secs <= edge)
+            .unwrap_or(LATENCY_BUCKETS.len());
+        self.latency_counts[b].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Observability snapshot of one async sampling job (schema in DESIGN.md
+/// §8). Batch/retry counts are deterministic; the timing fields are
+/// wall-clock and belong to the `Measured` metric class.
+#[derive(Clone, Debug)]
+pub struct SamplerObsReport {
+    /// Mini-batches delivered in order to the consumer so far.
+    pub batches: u64,
+    /// Extra sampling attempts spent recovering from worker panics.
+    pub resample_retries: u64,
+    /// Successful sampling tasks per worker thread.
+    pub worker_tasks: Vec<u64>,
+    /// Wall-clock nanoseconds spent sampling, per worker thread.
+    pub worker_task_nanos: Vec<u64>,
+    /// Per-attempt sampling latency in seconds (wall-clock).
+    pub task_seconds: Histogram,
+    /// Reorder-queue depth observed at each in-order delivery.
+    pub queue_depth: Histogram,
+}
+
 struct Indexed(usize, Result<MiniBatch, SampleError>);
 
 impl PartialEq for Indexed {
@@ -113,6 +171,9 @@ pub struct AsyncSampler {
     next: usize,
     total: usize,
     handles: Vec<JoinHandle<()>>,
+    obs: Arc<WorkerObs>,
+    /// Reorder-queue depth observed at each in-order delivery.
+    queue_depth: Histogram,
 }
 
 impl AsyncSampler {
@@ -160,15 +221,17 @@ impl AsyncSampler {
         let work = Arc::new(AtomicUsize::new(0));
         let batches = Arc::new(batches);
         let fanouts = Arc::new(fanouts);
+        let obs = Arc::new(WorkerObs::new(num_threads));
 
         let handles = (0..num_threads)
-            .map(|_| {
+            .map(|w| {
                 let tx = tx.clone();
                 let work = Arc::clone(&work);
                 let batches = Arc::clone(&batches);
                 let fanouts = Arc::clone(&fanouts);
                 let graph = Arc::clone(&graph);
                 let hook = hook.clone();
+                let obs = Arc::clone(&obs);
                 std::thread::spawn(move || {
                     let mut sampler = NeighborSampler::new(graph.num_nodes());
                     loop {
@@ -181,6 +244,7 @@ impl AsyncSampler {
                         while attempts <= max_retries {
                             attempts += 1;
                             let attempt = attempts - 1;
+                            let t0 = std::time::Instant::now();
                             let out = catch_unwind(AssertUnwindSafe(|| {
                                 if let Some(h) = &hook {
                                     h(i, attempt);
@@ -190,12 +254,15 @@ impl AsyncSampler {
                                 let mut rng = Rng::new(seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
                                 sampler.sample(&graph, &batches[i], &fanouts, &mut rng)
                             }));
+                            obs.record_attempt(w, t0.elapsed().as_nanos() as u64);
                             match out {
                                 Ok(mb) => {
+                                    obs.tasks[w].fetch_add(1, Ordering::Relaxed);
                                     produced = Some(mb);
                                     break;
                                 }
                                 Err(_) => {
+                                    obs.retries.fetch_add(1, Ordering::Relaxed);
                                     // The panic may have left the sampler's
                                     // scratch arrays inconsistent; rebuild.
                                     sampler = NeighborSampler::new(graph.num_nodes());
@@ -223,12 +290,47 @@ impl AsyncSampler {
             next: 0,
             total,
             handles,
+            obs,
+            queue_depth: Histogram::new(&QUEUE_DEPTH_BUCKETS),
         }
     }
 
     /// Number of batches this job will produce in total.
     pub fn total(&self) -> usize {
         self.total
+    }
+
+    /// Snapshot the job's observability counters (callable while workers
+    /// are still running; mid-flight values are momentarily stale but each
+    /// individual counter is consistent).
+    pub fn obs_report(&self) -> SamplerObsReport {
+        let worker_tasks: Vec<u64> = self
+            .obs
+            .tasks
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect();
+        let worker_task_nanos: Vec<u64> = self
+            .obs
+            .task_nanos
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect();
+        let latency_counts: Vec<u64> = self
+            .obs
+            .latency_counts
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect();
+        let total_secs = worker_task_nanos.iter().sum::<u64>() as f64 * 1e-9;
+        SamplerObsReport {
+            batches: self.next.min(self.total) as u64,
+            resample_retries: self.obs.retries.load(Ordering::Relaxed),
+            worker_tasks,
+            worker_task_nanos,
+            task_seconds: Histogram::from_parts(&LATENCY_BUCKETS, &latency_counts, total_secs),
+            queue_depth: self.queue_depth.clone(),
+        }
     }
 }
 
@@ -244,6 +346,9 @@ impl Iterator for AsyncSampler {
                 if *i == self.next {
                     let Indexed(_, item) = self.reorder.pop().unwrap();
                     self.next += 1;
+                    // Completed-but-undelivered batches still queued: the
+                    // headroom the bounded queue is buying us.
+                    self.queue_depth.observe(self.reorder.len() as f64);
                     return Some(item);
                 }
             }
@@ -466,5 +571,46 @@ mod tests {
         let clean = sample_epoch_sync(&g, &bs, &[3], 13);
         assert_eq!(out[2].seeds, clean[2].seeds);
         assert_eq!(out[2].blocks[0].src_global, clean[2].blocks[0].src_global);
+    }
+
+    /// The obs report reconciles: every batch is sampled by exactly one
+    /// worker, injected panics show up as retries and extra timed
+    /// attempts, and queue depth is observed once per delivery.
+    #[test]
+    fn obs_report_reconciles_tasks_retries_and_deliveries() {
+        let g = test_graph();
+        let bs = batches(60, 6); // 10 batches
+        let hook: FaultHook = Arc::new(|batch, attempt| {
+            if batch == 4 && attempt == 0 {
+                panic!("injected transient sampler fault");
+            }
+        });
+        let mut sampler = AsyncSampler::spawn_with_recovery(
+            Arc::clone(&g),
+            bs,
+            vec![3, 3],
+            3,
+            4,
+            9,
+            2,
+            Some(hook),
+        );
+        let mut delivered = 0u64;
+        for r in sampler.by_ref() {
+            r.expect("transient fault must be recovered");
+            delivered += 1;
+        }
+        let rep = sampler.obs_report();
+        assert_eq!(rep.batches, delivered);
+        assert_eq!(rep.worker_tasks.iter().sum::<u64>(), 10);
+        assert_eq!(rep.resample_retries, 1);
+        assert_eq!(
+            rep.task_seconds.count(),
+            11,
+            "10 successes + 1 panicked attempt, all timed"
+        );
+        assert_eq!(rep.queue_depth.count(), 10);
+        assert_eq!(rep.worker_task_nanos.len(), 3);
+        assert!(rep.worker_task_nanos.iter().sum::<u64>() > 0);
     }
 }

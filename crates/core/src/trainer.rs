@@ -22,9 +22,10 @@ use crate::cache::{apply_policy, HistoricalCache, PolicyInput, StaticFeatureCach
 use crate::checkpoint::{Checkpoint, CheckpointError};
 use crate::config::FreshGnnConfig;
 use crate::loader::FeatureLoader;
+use crate::obs::{MetricClass, Obs};
 use crate::pipeline::{BatchOutput, Engine, EvalHarness, PipelineCtx, StallPolicy};
 use crate::prune::{prune_with_cache, PruneOutcome};
-use crate::sampler::{FaultHook, SampleError};
+use crate::sampler::{FaultHook, SampleError, SamplerObsReport};
 use fgnn_graph::block::MiniBatch;
 use fgnn_graph::sample::{split_batches, NeighborSampler};
 use fgnn_graph::{Dataset, NodeId};
@@ -57,6 +58,10 @@ pub struct Trainer {
     /// Cumulative per-stage attribution of `counters` (not checkpointed:
     /// a resumed run restarts attribution while the ledger stays exact).
     pub timings: StageTimings,
+    /// Observability state: sim-clock spans plus the metrics registry,
+    /// fed by the pipeline engine, the caches and the async sampler. Not
+    /// checkpointed — telemetry restarts on resume.
+    pub obs: Obs,
     static_cache: StaticFeatureCache,
     sampler: NeighborSampler,
     dims: Vec<usize>,
@@ -114,6 +119,7 @@ impl Trainer {
             counters: TrafficCounters::new(),
             machine,
             timings: StageTimings::new(),
+            obs: Obs::new(),
             static_cache,
             sampler: NeighborSampler::new(ds.num_nodes()),
             dims,
@@ -237,6 +243,10 @@ impl Trainer {
             degraded = true;
         }
         self.degraded_resume = degraded;
+        // Align the metric baseline with the restored cache counters, so
+        // per-epoch metric deltas after resume match a never-interrupted
+        // run (restored absolutes, not stale pre-restore ones).
+        self.sync_cache_metrics();
         Ok(degraded)
     }
 
@@ -283,6 +293,7 @@ impl Trainer {
             &mut self.fault_plan,
             self.retry_policy,
             &mut self.counters,
+            &mut self.obs,
             StallPolicy::Free,
             batches.iter().map(Ok::<_, std::convert::Infallible>),
             |ctx, counters, seeds| Some(stages.train_batch(ctx, counters, seeds, opt)),
@@ -298,6 +309,81 @@ impl Trainer {
         self.epoch += 1;
         self.timings.merge(&stats.timings);
         stats.cache_degraded = std::mem::take(&mut self.degraded_resume);
+        if stats.cache_degraded {
+            self.obs
+                .metrics
+                .counter_add("pipeline.cache_degraded_epochs", MetricClass::Exact, 1);
+        }
+        self.sync_cache_metrics();
+    }
+
+    /// Publish both caches' internal counters into the metrics registry.
+    /// Called after every epoch and after a restore (so that per-epoch
+    /// metric *deltas* line up between a fresh run and a resumed one —
+    /// the property `tests/checkpoint_resume.rs` pins).
+    fn sync_cache_metrics(&mut self) {
+        let stats = self.cache.stats();
+        let m = &mut self.obs.metrics;
+        let e = MetricClass::Exact;
+        m.counter_set("cache.hist.hits", e, stats.hits);
+        m.counter_set("cache.hist.misses", e, stats.misses);
+        m.counter_set("cache.hist.lookups", e, self.cache.lookups());
+        m.counter_set("cache.hist.admits", e, stats.admits);
+        m.counter_set("cache.hist.keeps", e, stats.keeps);
+        m.counter_set("cache.hist.grad_evictions", e, stats.grad_evictions);
+        m.counter_set("cache.hist.stale_evictions", e, stats.stale_evictions);
+        m.counter_set("cache.hist.overwrites", e, stats.overwrites);
+        m.hist_set(
+            "cache.hist.hit_age_iters",
+            e,
+            self.cache.hit_age_histogram(),
+        );
+        m.gauge_set("cache.hist.resident_entries", e, self.cache.len() as f64);
+        m.gauge_set("cache.hist.bytes", e, self.cache.bytes() as f64);
+        m.counter_set("cache.static.hits", e, self.static_cache.hits());
+        m.counter_set("cache.static.misses", e, self.static_cache.misses());
+        m.gauge_set(
+            "cache.static.resident_rows",
+            e,
+            self.static_cache.len() as f64,
+        );
+    }
+
+    /// Fold one async-sampling job's report into the metrics registry
+    /// (totals accumulate across epochs; per-worker timings are
+    /// wall-clock and therefore `Measured`).
+    fn record_sampler_obs(&mut self, r: &SamplerObsReport) {
+        let m = &mut self.obs.metrics;
+        m.counter_add("sampler.batches", MetricClass::Exact, r.batches);
+        m.counter_add(
+            "sampler.resample_retries",
+            MetricClass::Exact,
+            r.resample_retries,
+        );
+        for (w, (&t, &n)) in r.worker_tasks.iter().zip(&r.worker_task_nanos).enumerate() {
+            m.counter_add(
+                &format!("sampler.worker.{w}.tasks"),
+                MetricClass::Measured,
+                t,
+            );
+            m.counter_add(
+                &format!("sampler.worker.{w}.task_ns"),
+                MetricClass::Measured,
+                n,
+            );
+        }
+        let mut task_secs = m
+            .histogram("sampler.task_seconds")
+            .cloned()
+            .unwrap_or_default();
+        task_secs.merge(&r.task_seconds);
+        m.hist_set("sampler.task_seconds", MetricClass::Measured, task_secs);
+        let mut depth = m
+            .histogram("sampler.queue_depth")
+            .cloned()
+            .unwrap_or_default();
+        depth.merge(&r.queue_depth);
+        m.hist_set("sampler.queue_depth", MetricClass::Measured, depth);
     }
 
     /// Train one epoch with the **asynchronous pipeline** of §5: worker
@@ -365,6 +451,7 @@ impl Trainer {
             &mut self.fault_plan,
             self.retry_policy,
             &mut self.counters,
+            &mut self.obs,
             // Only queue stalls count as sampling time (async overlap).
             StallPolicy::ChargeSample,
             std::iter::from_fn(|| stream.next()),
@@ -373,6 +460,9 @@ impl Trainer {
         // Put moved state back before any return — an errored epoch must
         // leave the trainer usable.
         self.static_cache = stages.loader.into_static_cache();
+        // Telemetry even for an errored epoch: the report reflects the
+        // work the pool actually did before the failure.
+        self.record_sampler_obs(&stream.obs_report());
         let mut stats = result?;
         self.finish_epoch(&mut stats);
         Ok(stats)

@@ -47,6 +47,12 @@ pub struct TransferEngine<'a> {
     /// Per-link accumulated busy seconds (per direction folded together;
     /// directions are symmetric in our workloads).
     pub link_busy: Vec<f64>,
+    /// Per-link payload bytes carried (index bytes included; every link on
+    /// a route carries the full payload).
+    pub link_bytes: Vec<u64>,
+    /// Per-link failed/timed-out attempts (each retry charges every link
+    /// of the affected route once).
+    pub link_retries: Vec<u64>,
     faults: Option<(FaultPlan, RetryPolicy)>,
 }
 
@@ -55,6 +61,8 @@ impl<'a> TransferEngine<'a> {
     pub fn new(topo: &'a Topology) -> Self {
         TransferEngine {
             link_busy: vec![0.0; topo.links().len()],
+            link_bytes: vec![0; topo.links().len()],
+            link_retries: vec![0; topo.links().len()],
             topo,
             faults: None,
         }
@@ -64,6 +72,8 @@ impl<'a> TransferEngine<'a> {
     pub fn with_faults(topo: &'a Topology, plan: FaultPlan, policy: RetryPolicy) -> Self {
         TransferEngine {
             link_busy: vec![0.0; topo.links().len()],
+            link_bytes: vec![0; topo.links().len()],
+            link_retries: vec![0; topo.links().len()],
             topo,
             faults: Some((plan, policy)),
         }
@@ -141,6 +151,11 @@ impl<'a> TransferEngine<'a> {
                 // timeout)` for nothing.
                 _ => {
                     counters.retries += 1;
+                    for (route, _) in commits {
+                        for &l in route {
+                            self.link_retries[l] += 1;
+                        }
+                    }
                     counters.retry_seconds += eff.min(policy.timeout);
                     if attempt < policy.max_retries {
                         counters.retry_seconds += policy.backoff(attempt, &mut plan);
@@ -177,6 +192,9 @@ impl<'a> TransferEngine<'a> {
         let t = if route.is_empty() {
             0.0
         } else {
+            for &l in &route {
+                self.link_bytes[l] += bytes;
+            }
             self.deliver(&[(route, nominal)], nominal, counters)
         };
         if storage == Node::Host || compute == Node::Host {
@@ -206,6 +224,12 @@ impl<'a> TransferEngine<'a> {
         let t = if route_payload.is_empty() {
             2.0 * SYNC_LATENCY
         } else {
+            for &l in &route_idx {
+                self.link_bytes[l] += idx_bytes;
+            }
+            for &l in &route_payload {
+                self.link_bytes[l] += bytes;
+            }
             self.deliver(
                 &[
                     (route_idx, t_idx),
@@ -274,6 +298,32 @@ mod tests {
         eng.one_sided_read(Node::Gpu(2), Node::Gpu(0), 1_000_000, &mut c);
         let busy: Vec<f64> = eng.link_busy.iter().copied().filter(|&t| t > 0.0).collect();
         assert_eq!(busy.len(), 4, "cross-switch route touches 4 links");
+        // Every busy link also carried the payload bytes, and vice versa.
+        for (l, &t) in eng.link_busy.iter().enumerate() {
+            assert_eq!(t > 0.0, eng.link_bytes[l] == 1_000_000);
+        }
+    }
+
+    #[test]
+    fn retries_are_charged_per_link() {
+        let topo = Topology::pcie_tree(1, 1, 16.0 * GB);
+        let plan = FaultPlan::new(5).with_fail_prob(1.0);
+        let policy = RetryPolicy {
+            max_retries: 2,
+            ..Default::default()
+        };
+        let mut eng = TransferEngine::with_faults(&topo, plan, policy);
+        let mut c = TrafficCounters::new();
+        eng.one_sided_read(Node::Host, Node::Gpu(0), 16_000_000, &mut c);
+        // Three wasted attempts, each charging every link on the route once.
+        let per_link: Vec<u64> = eng
+            .link_retries
+            .iter()
+            .copied()
+            .filter(|&r| r > 0)
+            .collect();
+        assert!(!per_link.is_empty());
+        assert!(per_link.iter().all(|&r| r == 3), "{per_link:?}");
     }
 
     #[test]

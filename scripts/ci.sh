@@ -16,6 +16,13 @@ fi
 
 cargo build --release --workspace
 cargo test -q --workspace
+
+# Property and observability-invariant suites again at a higher case count
+# (FGNN_PROP_CASES overrides the in-tree default of 64), and the committed
+# golden trace must carry the current export schema version.
+FGNN_PROP_CASES=256 cargo test -q --test property_tests --test obs_invariants
+grep -q '"schemaVersion":"fgnn-obs-v1"' tests/golden/sync_trainer_2epoch.trace.json
+
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "ci: all green"

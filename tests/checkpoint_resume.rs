@@ -6,6 +6,7 @@
 //! degradation.
 
 use freshgnn_repro::core::checkpoint::{Checkpoint, CheckpointError, MAGIC, VERSION};
+use freshgnn_repro::core::obs::export::metrics_jsonl;
 use freshgnn_repro::core::{FreshGnnConfig, Trainer};
 use freshgnn_repro::graph::datasets::arxiv_spec;
 use freshgnn_repro::graph::sample::split_batches;
@@ -212,6 +213,124 @@ fn corrupt_snapshots_follow_the_fault_model() {
     assert!(stats.cache_degraded, "degradation recorded in EpochStats");
     let stats2 = resumed.train_epoch(&ds, &mut opt2);
     assert!(!stats2.cache_degraded, "flag consumed after one epoch");
+}
+
+/// Differential telemetry: replay one epoch twice — straight through vs.
+/// killed mid-epoch and restored from a checkpoint — and the two runs'
+/// *per-segment deterministic metric streams* must be identical. Restoring
+/// re-baselines the registry (`Trainer::restore` republishes the restored
+/// cache counters), so second-half deltas line up even though the ring's
+/// lookup telemetry itself is not checkpointed.
+#[test]
+fn metric_stream_after_resume_matches_uninterrupted_run() {
+    let ds = tiny();
+    let mut schedule_rng = Rng::new(123);
+    let batches = split_batches(&ds.train_nodes, 24, Some(&mut schedule_rng));
+    let split = batches.len() / 2;
+
+    // Uninterrupted run: first half, metric snapshot, second half.
+    let mut reference = new_trainer(&ds, 11);
+    let mut opt_ref = Adam::new(0.01);
+    reference.train_on_batches(&ds, &batches[..split], &mut opt_ref);
+    let mid = reference.obs.metrics.snapshot();
+    reference.train_on_batches(&ds, &batches[split..], &mut opt_ref);
+    let want = metrics_jsonl(
+        "second-half",
+        &reference.obs.metrics.delta_since(&mid),
+        false, // Exact class only: the deterministic stream
+    );
+
+    // Killed run: first half, checkpoint, restore elsewhere, second half.
+    let ckpt = {
+        let mut first = new_trainer(&ds, 11);
+        let mut opt = Adam::new(0.01);
+        first.train_on_batches(&ds, &batches[..split], &mut opt);
+        Checkpoint::from_bytes(&first.checkpoint(&opt).to_bytes()).unwrap()
+    };
+    let mut resumed = new_trainer(&ds, 31337);
+    let mut opt = Adam::new(0.01);
+    resumed.restore(&ckpt, &mut opt).expect("restore");
+    let base = resumed.obs.metrics.snapshot();
+    resumed.train_on_batches(&ds, &batches[split..], &mut opt);
+    let got = metrics_jsonl(
+        "second-half",
+        &resumed.obs.metrics.delta_since(&base),
+        false,
+    );
+
+    assert!(!want.is_empty() && want.contains("cache.hist.lookups"));
+    assert_eq!(want, got, "resumed metric stream diverged");
+}
+
+/// Degraded resume telemetry: with the historical cache disabled by
+/// config, dropping the checkpoint's cache segment changes nothing about
+/// training — so the degraded run's deterministic metric stream must be
+/// identical to the intact run's *except* for the documented
+/// `pipeline.cache_degraded_epochs` counter.
+#[test]
+fn degraded_resume_stream_differs_only_in_degraded_counter() {
+    let ds = tiny();
+    let no_cache = FreshGnnConfig {
+        p_grad: 0.0,
+        t_stale: 0,
+        fanouts: vec![4, 4],
+        batch_size: 32,
+        feature_cache_rows: 16,
+        ..Default::default()
+    };
+    let mk = |seed| {
+        Trainer::new(
+            &ds,
+            Arch::Sage,
+            16,
+            Machine::single_a100(),
+            no_cache.clone(),
+            seed,
+        )
+    };
+
+    let mut first = mk(21);
+    let mut opt = Adam::new(0.01);
+    first.train_epoch(&ds, &mut opt);
+    let intact_ckpt = first.checkpoint(&opt);
+    let mut dropped_ckpt = intact_ckpt.clone();
+    dropped_ckpt.cache = None; // simulate a lost/corrupt cache segment
+
+    let run_second = |ckpt: &Checkpoint, expect_degraded: bool| -> String {
+        let mut t = mk(99);
+        let mut opt = Adam::new(0.01);
+        let degraded = t.restore(ckpt, &mut opt).expect("restore");
+        assert_eq!(degraded, expect_degraded);
+        let base = t.obs.metrics.snapshot();
+        let stats = t.train_epoch(&ds, &mut opt);
+        assert_eq!(stats.cache_degraded, expect_degraded);
+        metrics_jsonl("resume", &t.obs.metrics.delta_since(&base), false)
+    };
+    let intact = run_second(&intact_ckpt, false);
+    let degraded = run_second(&dropped_ckpt, true);
+
+    let intact_lines: Vec<&str> = intact.lines().collect();
+    let degraded_lines: Vec<&str> = degraded.lines().collect();
+    let extra: Vec<&&str> = degraded_lines
+        .iter()
+        .filter(|l| !intact_lines.contains(l))
+        .collect();
+    assert_eq!(
+        extra.len(),
+        1,
+        "exactly one metric line may differ, got {extra:?}"
+    );
+    assert!(
+        extra[0].contains("pipeline.cache_degraded_epochs"),
+        "the only difference must be the documented degraded counter: {}",
+        extra[0]
+    );
+    for l in &intact_lines {
+        assert!(
+            degraded_lines.contains(l),
+            "intact metric line missing from degraded stream: {l}"
+        );
+    }
 }
 
 /// A checkpoint from a differently-shaped trainer is rejected with

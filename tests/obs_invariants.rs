@@ -1,0 +1,277 @@
+//! Invariant suite locking down the observability layer (DESIGN.md §8).
+//!
+//! The span model makes three guarantees *by construction* — the sim
+//! clock only advances inside stage scopes, scopes nest strictly, and
+//! exact stage time is the only thing that advances it — so:
+//!
+//! 1. the tracer is balanced after every epoch;
+//! 2. per-stage span durations sum exactly (integer nanoseconds) to the
+//!    epoch spans' total duration, which equals the sim clock's position;
+//! 3. every pipeline stage that left evidence in [`StageTimings`] has a
+//!    matching span, and the `pipeline.stage.*.sim_ns` metrics agree with
+//!    the spans they summarize;
+//! 4. the historical cache's metrics reconcile:
+//!    `hits + misses == lookups`, and the hit-age histogram has one
+//!    observation per hit.
+//!
+//! Checked against the FreshGNN sync trainer, GAS, ClusterGCN (every
+//! trainer runs through the same `pipeline::Engine`) and the async
+//! FreshGNN path (whose queue stalls add zero-duration sample spans).
+
+mod common;
+
+use common::for_cases;
+use freshgnn_repro::core::baselines::{ClusterGcnTrainer, GasConfig, GasTrainer};
+use freshgnn_repro::core::{FreshGnnConfig, Obs, Trainer};
+use freshgnn_repro::graph::datasets::arxiv_spec;
+use freshgnn_repro::graph::Dataset;
+use freshgnn_repro::memsim::presets::Machine;
+use freshgnn_repro::memsim::stage::{StageKind, StageTimings};
+use freshgnn_repro::nn::model::Arch;
+use freshgnn_repro::nn::Adam;
+
+/// The structural span/metric invariants every trainer must satisfy.
+fn check_span_invariants(obs: &Obs, timings: &StageTimings) {
+    assert!(obs.tracer.is_balanced(), "unclosed spans after epoch");
+    let spans = obs.tracer.spans();
+    assert!(!spans.is_empty(), "training must emit spans");
+
+    let epoch_ns: u64 = spans
+        .iter()
+        .filter(|s| s.name == "epoch")
+        .map(|s| s.dur_ns)
+        .sum();
+    let batch_ns: u64 = spans
+        .iter()
+        .filter(|s| s.name == "batch")
+        .map(|s| s.dur_ns)
+        .sum();
+    let stage_ns: u64 = spans
+        .iter()
+        .filter(|s| s.cat == "stage")
+        .map(|s| s.dur_ns)
+        .sum();
+
+    // The clock advances only inside stage scopes, so stage spans tile
+    // their batch, batches tile their epoch, and the epochs tile the
+    // clock — exactly, in integer nanoseconds.
+    assert_eq!(stage_ns, epoch_ns, "stage spans must tile the epochs");
+    assert_eq!(batch_ns, epoch_ns, "batch spans must tile the epochs");
+    assert_eq!(
+        epoch_ns,
+        obs.clock.now_ns(),
+        "epoch spans must account for every clock tick"
+    );
+
+    // Epoch spans are top-level; stages sit under a batch (depth 2) or,
+    // for async queue stalls, directly under the epoch with zero width.
+    for s in spans {
+        match &*s.name {
+            "epoch" => assert_eq!(s.depth, 0),
+            "batch" => assert_eq!(s.depth, 1),
+            _ => {
+                assert_eq!(s.cat, "stage", "unexpected span {:?}", s.name);
+                if s.depth == 1 {
+                    assert_eq!(s.dur_ns, 0, "stall spans are zero-duration");
+                } else {
+                    assert_eq!(s.depth, 2, "stage spans nest under a batch");
+                }
+            }
+        }
+    }
+
+    // Every stage that left evidence in the per-stage ledger has spans,
+    // and the flushed sim_ns metric equals the sum of those spans.
+    for kind in StageKind::ALL {
+        let name = kind.name();
+        let span_ns: u64 = spans
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.dur_ns)
+            .sum();
+        let evidence = timings.measured_seconds(kind) > 0.0 || timings.wire_bytes(kind) > 0;
+        if evidence {
+            assert!(
+                spans.iter().any(|s| s.name == name),
+                "stage {name} recorded timings but emitted no span"
+            );
+        }
+        let metric = obs
+            .metrics
+            .counter(&format!("pipeline.stage.{name}.sim_ns"))
+            .unwrap_or(0);
+        assert_eq!(metric, span_ns, "sim_ns metric vs spans for {name}");
+    }
+}
+
+/// The historical-cache metric reconciliation (FreshGNN trainers only).
+fn check_cache_metrics(t: &Trainer) {
+    let m = &t.obs.metrics;
+    let hits = m.counter("cache.hist.hits").unwrap();
+    let misses = m.counter("cache.hist.misses").unwrap();
+    let lookups = m.counter("cache.hist.lookups").unwrap();
+    assert_eq!(hits + misses, lookups, "cache lookups must reconcile");
+    let age = m.histogram("cache.hist.hit_age_iters").unwrap();
+    assert_eq!(age.count(), hits, "one age observation per hit");
+    let stats = t.cache.stats();
+    assert_eq!(hits, stats.hits);
+    assert_eq!(misses, stats.misses);
+}
+
+#[test]
+fn sync_trainer_spans_and_metrics_reconcile() {
+    let ds = Dataset::materialize(arxiv_spec(0.0).with_dim(8), 42);
+    for_cases("sync_trainer_spans_and_metrics_reconcile", |rng| {
+        let cfg = FreshGnnConfig {
+            p_grad: 0.5 + (rng.below(50) as f32) / 100.0,
+            t_stale: 20 + rng.below(80) as u32,
+            fanouts: vec![3, 3],
+            batch_size: 16 + rng.below(64),
+            ..Default::default()
+        };
+        let mut t = Trainer::new(
+            &ds,
+            Arch::Sage,
+            8,
+            Machine::single_a100(),
+            cfg,
+            rng.next_u64(),
+        );
+        let mut opt = Adam::new(0.01);
+        let epochs = 1 + rng.below(2);
+        let mut batches = 0u64;
+        for _ in 0..epochs {
+            batches += t.train_epoch(&ds, &mut opt).batches as u64;
+        }
+        check_span_invariants(&t.obs, &t.timings);
+        check_cache_metrics(&t);
+        assert_eq!(
+            t.obs.metrics.counter("pipeline.epochs"),
+            Some(epochs as u64)
+        );
+        assert_eq!(t.obs.metrics.counter("pipeline.batches"), Some(batches));
+    });
+}
+
+#[test]
+fn gas_trainer_spans_reconcile() {
+    let ds = Dataset::materialize(arxiv_spec(0.0).with_dim(8), 43);
+    for_cases("gas_trainer_spans_reconcile", |rng| {
+        let cfg = GasConfig {
+            num_parts: 2 + rng.below(6),
+            max_neighbors: 8 + rng.below(32),
+            momentum: if rng.below(2) == 0 { None } else { Some(0.3) },
+        };
+        let mut t = GasTrainer::new(
+            &ds,
+            Arch::Sage,
+            8,
+            2,
+            Machine::single_a100(),
+            cfg,
+            rng.next_u64(),
+        );
+        let mut opt = Adam::new(0.01);
+        t.train_epoch(&ds, &mut opt);
+        check_span_invariants(&t.obs, &t.timings);
+        assert_eq!(t.obs.metrics.counter("pipeline.epochs"), Some(1));
+    });
+}
+
+#[test]
+fn cluster_gcn_trainer_spans_reconcile() {
+    let ds = Dataset::materialize(arxiv_spec(0.0).with_dim(8), 44);
+    for_cases("cluster_gcn_trainer_spans_reconcile", |rng| {
+        let num_parts = 2 + rng.below(6);
+        let q = 1 + rng.below(2);
+        let mut t = ClusterGcnTrainer::new(
+            &ds,
+            Arch::Sage,
+            8,
+            2,
+            num_parts,
+            q,
+            Machine::single_a100(),
+            rng.next_u64(),
+        );
+        let mut opt = Adam::new(0.01);
+        t.train_epoch(&ds, &mut opt);
+        check_span_invariants(&t.obs, &t.timings);
+        assert_eq!(t.obs.metrics.counter("pipeline.epochs"), Some(1));
+    });
+}
+
+/// The async pipeline adds zero-duration queue-stall sample spans under
+/// the epoch and sampler metrics; the span accounting must still close.
+#[test]
+fn async_trainer_spans_and_sampler_metrics_reconcile() {
+    let ds = Dataset::materialize(arxiv_spec(0.0).with_dim(8), 45);
+    let cfg = FreshGnnConfig {
+        p_grad: 0.9,
+        t_stale: 50,
+        fanouts: vec![3, 3],
+        batch_size: 32,
+        ..Default::default()
+    };
+    let mut t = Trainer::new(&ds, Arch::Sage, 8, Machine::single_a100(), cfg, 7);
+    let mut opt = Adam::new(0.01);
+    let mut batches = 0u64;
+    for _ in 0..2 {
+        batches += t
+            .train_epoch_async(&ds, &mut opt, 2, 4)
+            .expect("no faults injected")
+            .batches as u64;
+    }
+    check_span_invariants(&t.obs, &t.timings);
+    check_cache_metrics(&t);
+    let m = &t.obs.metrics;
+    assert_eq!(m.counter("sampler.batches"), Some(batches));
+    assert_eq!(m.counter("sampler.resample_retries"), Some(0));
+    let depth = m.histogram("sampler.queue_depth").unwrap();
+    assert_eq!(depth.count(), batches, "one depth sample per delivery");
+    let lat = m.histogram("sampler.task_seconds").unwrap();
+    assert_eq!(lat.count(), batches, "one timed attempt per batch");
+    // The stall spans exist: sample spans at depth 1.
+    assert!(
+        t.obs
+            .tracer
+            .spans()
+            .iter()
+            .any(|s| s.depth == 1 && s.name == StageKind::Sample.name()),
+        "async epochs must emit queue-stall sample spans"
+    );
+}
+
+/// Two identically-seeded runs produce byte-identical deterministic
+/// telemetry: same spans, same Chrome trace, same Exact-class JSONL.
+#[test]
+fn telemetry_is_deterministic_across_reruns() {
+    use freshgnn_repro::core::obs::export;
+    let run = || {
+        let ds = Dataset::materialize(arxiv_spec(0.0).with_dim(8), 46);
+        let cfg = FreshGnnConfig {
+            p_grad: 0.9,
+            t_stale: 50,
+            fanouts: vec![3, 3],
+            batch_size: 32,
+            ..Default::default()
+        };
+        let mut t = Trainer::new(&ds, Arch::Sage, 8, Machine::single_a100(), cfg, 11);
+        let mut opt = Adam::new(0.01);
+        for _ in 0..2 {
+            t.train_epoch(&ds, &mut opt);
+        }
+        (
+            export::chrome_trace(&[("freshgnn", &t.obs.tracer)]),
+            export::metrics_jsonl("freshgnn", &t.obs.metrics, false),
+        )
+    };
+    let (trace_a, metrics_a) = run();
+    let (trace_b, metrics_b) = run();
+    assert_eq!(trace_a, trace_b, "Chrome trace must be bit-reproducible");
+    assert_eq!(
+        metrics_a, metrics_b,
+        "Exact metrics must be bit-reproducible"
+    );
+    assert!(trace_a.contains(export::SCHEMA_VERSION));
+}

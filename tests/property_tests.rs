@@ -4,37 +4,19 @@
 //!
 //! These used to run under `proptest`; they are now driven by the
 //! workspace's own deterministic [`Rng`] so the tier-1 suite builds with
-//! zero external dependencies (see DESIGN.md). Each property runs a fixed
-//! number of seeded cases; failures print the case seed, which fully
-//! reproduces the input.
+//! zero external dependencies (see DESIGN.md). Each property runs
+//! `common::cases()` seeded cases (`FGNN_PROP_CASES` overrides); failures
+//! print the case seed, which fully reproduces the input.
 
+mod common;
+
+use common::for_cases;
 use freshgnn_repro::core::cache::{gradient_policy, PolicyInput, RingCache, Verdict};
 use freshgnn_repro::graph::sample::{split_batches, NeighborSampler};
 use freshgnn_repro::graph::{Csr, Csr2};
 use freshgnn_repro::memsim::alltoall::{multi_round_alltoall, naive_alltoall, one_sided_alltoall};
 use freshgnn_repro::memsim::{Node, Topology};
 use freshgnn_repro::tensor::{stats, Rng};
-
-const CASES: u64 = 64;
-
-/// Run `body` for `CASES` independently-seeded cases, reporting the
-/// failing case's seed (which fully reproduces its input).
-fn for_cases(test_name: &str, body: impl Fn(&mut Rng)) {
-    for case in 0..CASES {
-        // Stable per-test stream: derive from the test name + case index.
-        let seed = test_name
-            .bytes()
-            .fold(case.wrapping_mul(0x9E37_79B9_7F4A_7C15), |h, b| {
-                (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
-            });
-        let result =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut Rng::new(seed))));
-        if let Err(e) = result {
-            eprintln!("property {test_name} failed at case {case} (seed {seed:#x})");
-            std::panic::resume_unwind(e);
-        }
-    }
-}
 
 fn random_edges(rng: &mut Rng, num_nodes: u32, max_edges: usize) -> Vec<(u32, u32)> {
     let n = rng.below(max_edges.max(1)) + 1;
