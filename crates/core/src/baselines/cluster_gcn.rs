@@ -12,7 +12,7 @@ use crate::obs::Obs;
 use crate::pipeline::{BatchOutput, Engine, EpochStats, EvalHarness, PipelineCtx, StallPolicy};
 use fgnn_graph::partition::{induced_subgraph, partition_ldg};
 use fgnn_graph::{Dataset, NodeId};
-use fgnn_memsim::fault::{FaultPlan, RetryPolicy};
+use fgnn_memsim::fault::{FaultPlan, FaultState, RetryPolicy};
 use fgnn_memsim::presets::Machine;
 use fgnn_memsim::stage::{StageKind, StageTimings};
 use fgnn_memsim::topology::Node;
@@ -42,8 +42,7 @@ pub struct ClusterGcnTrainer {
     train_set: HashSet<NodeId>,
     epoch: u32,
     rng: Rng,
-    fault_plan: Option<FaultPlan>,
-    retry_policy: RetryPolicy,
+    faults: FaultState,
 }
 
 impl ClusterGcnTrainer {
@@ -87,16 +86,14 @@ impl ClusterGcnTrainer {
             train_set: ds.train_nodes.iter().copied().collect(),
             epoch: 0,
             rng,
-            fault_plan: None,
-            retry_policy: RetryPolicy::default(),
+            faults: FaultState::none(),
         }
     }
 
     /// Inject interconnect faults (same contract as
     /// [`crate::Trainer::inject_faults`]).
     pub fn inject_faults(&mut self, plan: FaultPlan, policy: RetryPolicy) {
-        self.fault_plan = Some(plan);
-        self.retry_policy = policy;
+        self.faults.inject(plan, policy);
     }
 
     /// Completed epochs so far.
@@ -185,8 +182,7 @@ impl ClusterGcnTrainer {
         };
         let result = Engine::run_epoch(
             &topo,
-            &mut self.fault_plan,
-            self.retry_policy,
+            &mut self.faults,
             &mut self.counters,
             &mut self.obs,
             StallPolicy::Free,

@@ -23,7 +23,7 @@ use crate::obs::Obs;
 use crate::pipeline::{BatchOutput, Engine, EpochStats, EvalHarness, PipelineCtx, StallPolicy};
 use fgnn_graph::partition::{partition_ldg, Partitioning};
 use fgnn_graph::{Block, Csr2, Dataset, NodeId};
-use fgnn_memsim::fault::{FaultPlan, RetryPolicy};
+use fgnn_memsim::fault::{FaultPlan, FaultState, RetryPolicy};
 use fgnn_memsim::presets::Machine;
 use fgnn_memsim::stage::{StageKind, StageTimings};
 use fgnn_memsim::topology::Node;
@@ -77,8 +77,7 @@ pub struct GasTrainer {
     dims: Vec<usize>,
     epoch: u32,
     rng: Rng,
-    fault_plan: Option<FaultPlan>,
-    retry_policy: RetryPolicy,
+    faults: FaultState,
 }
 
 impl GasTrainer {
@@ -132,8 +131,7 @@ impl GasTrainer {
             dims,
             epoch: 0,
             rng,
-            fault_plan: None,
-            retry_policy: RetryPolicy::default(),
+            faults: FaultState::none(),
         }
     }
 
@@ -141,8 +139,7 @@ impl GasTrainer {
     /// subjected to `plan` under `policy` (same contract as
     /// [`crate::Trainer::inject_faults`]).
     pub fn inject_faults(&mut self, plan: FaultPlan, policy: RetryPolicy) {
-        self.fault_plan = Some(plan);
-        self.retry_policy = policy;
+        self.faults.inject(plan, policy);
     }
 
     /// Completed epochs so far.
@@ -251,8 +248,7 @@ impl GasTrainer {
         };
         let result = Engine::run_epoch(
             &topo,
-            &mut self.fault_plan,
-            self.retry_policy,
+            &mut self.faults,
             &mut self.counters,
             &mut self.obs,
             StallPolicy::Free,

@@ -12,7 +12,7 @@ use fgnn_graph::block::{Block, MiniBatch};
 use fgnn_graph::partition::induced_subgraph;
 use fgnn_graph::sample::{layer_wise_sample, random_walk_nodes, split_batches};
 use fgnn_graph::{Csr, Csr2, Dataset, NodeId};
-use fgnn_memsim::fault::{FaultPlan, RetryPolicy};
+use fgnn_memsim::fault::{FaultPlan, FaultState, RetryPolicy};
 use fgnn_memsim::presets::Machine;
 use fgnn_memsim::stage::{StageKind, StageTimings};
 use fgnn_memsim::topology::Node;
@@ -60,8 +60,7 @@ pub struct SamplingBaselineTrainer {
     train_set: HashSet<NodeId>,
     epoch: u32,
     rng: Rng,
-    fault_plan: Option<FaultPlan>,
-    retry_policy: RetryPolicy,
+    faults: FaultState,
 }
 
 impl SamplingBaselineTrainer {
@@ -100,16 +99,14 @@ impl SamplingBaselineTrainer {
             train_set: ds.train_nodes.iter().copied().collect(),
             epoch: 0,
             rng,
-            fault_plan: None,
-            retry_policy: RetryPolicy::default(),
+            faults: FaultState::none(),
         }
     }
 
     /// Inject interconnect faults (same contract as
     /// [`crate::Trainer::inject_faults`]).
     pub fn inject_faults(&mut self, plan: FaultPlan, policy: RetryPolicy) {
-        self.fault_plan = Some(plan);
-        self.retry_policy = policy;
+        self.faults.inject(plan, policy);
     }
 
     /// Completed epochs so far.
@@ -187,8 +184,7 @@ impl SamplingBaselineTrainer {
         };
         let result = Engine::run_epoch(
             &topo,
-            &mut self.fault_plan,
-            self.retry_policy,
+            &mut self.faults,
             &mut self.counters,
             &mut self.obs,
             StallPolicy::Free,

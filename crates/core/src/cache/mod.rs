@@ -57,6 +57,10 @@ pub struct HistoricalCache {
     misses: u64,
     admits: u64,
     keeps: u64,
+    /// Transient degraded-mode switch (never checkpointed): while set,
+    /// every lookup misses silently and admissions are dropped, so the
+    /// trainer fetches raw features instead of trusting stale entries.
+    bypass: bool,
 }
 
 impl HistoricalCache {
@@ -99,7 +103,22 @@ impl HistoricalCache {
             misses: 0,
             admits: 0,
             keeps: 0,
+            bypass: false,
         }
+    }
+
+    /// Engage or release degraded-mode bypass: while engaged, lookups miss
+    /// silently (no counters move, like a disabled level) and
+    /// [`HistoricalCache::apply_verdicts`] is a no-op. The flag is
+    /// transient — it is not part of [`CacheSnapshot`] and survives
+    /// neither `snapshot`/`restore` nor checkpointing.
+    pub fn set_bypass(&mut self, bypass: bool) {
+        self.bypass = bypass;
+    }
+
+    /// Whether degraded-mode bypass is currently engaged.
+    pub fn bypassed(&self) -> bool {
+        self.bypass
     }
 
     /// Whether level `l` (1-based) has a cache.
@@ -114,6 +133,9 @@ impl HistoricalCache {
 
     /// Look up `node` at `level` for iteration `now`.
     pub fn lookup(&mut self, level: usize, node: NodeId, now: u32) -> Option<u32> {
+        if self.bypass {
+            return None;
+        }
         let t_stale = self.t_stale;
         let res = self.levels[level - 1]
             .as_mut()
@@ -144,6 +166,9 @@ impl HistoricalCache {
         h: &Matrix,
         now: u32,
     ) {
+        if self.bypass {
+            return;
+        }
         let t_stale = self.t_stale;
         let Some(cache) = self.levels[level - 1].as_mut() else {
             return;
@@ -272,6 +297,19 @@ impl HistoricalCache {
         Ok(())
     }
 
+    /// Evict, across all levels, every entry stamped after iteration
+    /// `iter`; returns the number dropped. Called after restoring a
+    /// checkpoint older than the cache contents so the `t_stale` bound
+    /// holds over the restored iteration counter (see
+    /// [`RingCache::evict_newer_than`]).
+    pub fn evict_newer_than(&mut self, iter: u32) -> u64 {
+        self.levels
+            .iter_mut()
+            .flatten()
+            .map(|c| c.evict_newer_than(iter))
+            .sum()
+    }
+
     /// Drop all cached entries and counters, keeping the configuration
     /// (used for graceful degradation when a checkpoint's cache segment is
     /// missing or corrupt: training resumes correct but cold).
@@ -396,6 +434,56 @@ mod tests {
         c.apply_verdicts(1, &admit, &h, 0);
         assert!(c.lookup(1, 9, 0).is_some());
         assert!(c.lookup(2, 9, 0).is_none());
+    }
+
+    #[test]
+    fn bypass_misses_silently_and_drops_admissions() {
+        let mut c = cache();
+        let h = Matrix::full(1, 4, 3.0);
+        let admit = vec![(
+            PolicyInput {
+                node: 5,
+                local: 0,
+                grad_norm: 0.0,
+                was_cached: false,
+            },
+            Verdict::Admit,
+        )];
+        c.apply_verdicts(1, &admit, &h, 0);
+        assert!(c.lookup(1, 5, 1).is_some());
+        let stats_before = c.stats();
+        c.set_bypass(true);
+        assert!(c.bypassed());
+        assert!(c.lookup(1, 5, 1).is_none(), "bypass misses");
+        c.apply_verdicts(1, &admit, &h, 1);
+        assert_eq!(c.stats(), stats_before, "no counters move under bypass");
+        c.set_bypass(false);
+        assert!(c.lookup(1, 5, 2).is_some(), "entry intact after bypass");
+    }
+
+    #[test]
+    fn evict_newer_than_spans_levels() {
+        let mut c = cache();
+        let h = Matrix::zeros(1, 4);
+        for level in 1..=2usize {
+            for (node, now) in [(1u32, 2u32), (2, 8)] {
+                let admit = vec![(
+                    PolicyInput {
+                        node,
+                        local: 0,
+                        grad_norm: 0.0,
+                        was_cached: false,
+                    },
+                    Verdict::Admit,
+                )];
+                c.apply_verdicts(level, &admit, &h, now);
+            }
+        }
+        assert_eq!(c.evict_newer_than(4), 2, "one future entry per level");
+        for level in 1..=2usize {
+            assert!(c.lookup(level, 1, 4).is_some());
+            assert!(c.lookup(level, 2, 4).is_none());
+        }
     }
 
     #[test]

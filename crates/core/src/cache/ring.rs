@@ -191,6 +191,30 @@ impl RingCache {
         }
     }
 
+    /// Evict every live entry stamped *after* iteration `iter`, returning
+    /// how many were dropped (counted as staleness evictions).
+    ///
+    /// Needed when restoring a checkpoint taken at `iter` into a cache
+    /// whose contents ran past it: a future-stamped entry would otherwise
+    /// report `age = now.saturating_sub(stamp) = 0` forever and silently
+    /// violate the `t_stale` bound after the rollback.
+    pub fn evict_newer_than(&mut self, iter: u32) -> u64 {
+        let mut dropped = 0u64;
+        for s in 0..self.node_of.len() {
+            let node = self.node_of[s];
+            if node == INVALID || self.slot_of[node as usize] != s as u32 {
+                continue;
+            }
+            if self.stamp[s] > iter {
+                self.slot_of[node as usize] = INVALID;
+                self.node_of[s] = INVALID;
+                self.stale_evictions += 1;
+                dropped += 1;
+            }
+        }
+        dropped
+    }
+
     /// Double the table (preserving slots `0..old_capacity` in place; the
     /// header continues into the fresh region).
     fn grow(&mut self) {
@@ -557,6 +581,25 @@ mod tests {
         let mut wrong_dim = crate::cache::HistoricalCache::new(10, &[4, 4], 5, 4, true, true);
         let err = wrong_dim.restore(snapshot).unwrap_err();
         assert!(err.contains("dim"), "{err}");
+    }
+
+    #[test]
+    fn evict_newer_than_drops_only_future_stamps() {
+        let mut c = RingCache::new(20, 8, 1);
+        for n in 0..6u32 {
+            c.admit(n, &row(n as f32, 1), n, 100);
+        }
+        // Roll back to iteration 3: entries stamped 4 and 5 must go.
+        let dropped = c.evict_newer_than(3);
+        assert_eq!(dropped, 2);
+        for n in 0..4u32 {
+            assert!(c.lookup(n, 3, 100).is_some(), "node {n} kept");
+        }
+        for n in 4..6u32 {
+            assert!(c.lookup(n, 3, 100).is_none(), "node {n} evicted");
+        }
+        // Idempotent once the future entries are gone.
+        assert_eq!(c.evict_newer_than(3), 0);
     }
 
     #[test]

@@ -28,6 +28,15 @@ pub struct SendError<T>(pub T);
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RecvError;
 
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// Nothing arrived within the deadline; senders are still alive.
+    Timeout,
+    /// The channel is empty and all senders are gone.
+    Disconnected,
+}
+
 struct State<T> {
     buf: VecDeque<T>,
     cap: usize,
@@ -128,6 +137,34 @@ impl<T> Receiver<T> {
             st = self.inner.not_empty.wait(st).expect("channel poisoned");
         }
     }
+
+    /// [`Receiver::recv`] with a deadline: blocks at most `dur`, returning
+    /// [`RecvTimeoutError::Timeout`] if nothing arrived in time (the
+    /// straggler-detection primitive the hedged sampler is built on).
+    pub fn recv_timeout(&self, dur: std::time::Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = std::time::Instant::now() + dur;
+        let mut st = self.inner.state.lock().expect("channel poisoned");
+        loop {
+            if let Some(v) = st.buf.pop_front() {
+                self.inner.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            // Spurious wakeups just re-loop against the absolute deadline.
+            let (guard, _) = self
+                .inner
+                .not_empty
+                .wait_timeout(st, deadline - now)
+                .expect("channel poisoned");
+            st = guard;
+        }
+    }
 }
 
 impl<T> Drop for Receiver<T> {
@@ -198,6 +235,22 @@ mod tests {
         thread::sleep(Duration::from_millis(20));
         drop(rx);
         assert!(h.join().unwrap(), "blocked sender must error out");
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = bounded::<u32>(2);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(5).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(5));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
     }
 
     #[test]

@@ -1,0 +1,131 @@
+//! The unified error type for runtime fault handling.
+//!
+//! Historically each subsystem grew its own failure surface: checkpointing
+//! returns [`CheckpointError`], the async sampler returns
+//! [`SampleError`], the cache and config validate with ad-hoc `String`s,
+//! and the feature loader just panicked on a bad index. Resilience code
+//! (the [`crate::resilience`] supervisor) needs to *match on error kinds*
+//! to pick a recovery action, so everything funnels into [`FgnnError`]
+//! via `From` impls — `?` works across subsystem boundaries and the
+//! supervisor can name the failure domain in its transition log.
+
+use crate::checkpoint::CheckpointError;
+use crate::sampler::SampleError;
+use std::fmt;
+
+/// Any failure the training runtime can surface.
+#[derive(Debug)]
+pub enum FgnnError {
+    /// Checkpoint save/load/restore failed.
+    Checkpoint(CheckpointError),
+    /// The async sampler lost a batch or its workers.
+    Sample(SampleError),
+    /// Historical-cache snapshot/restore failed structural validation.
+    Cache(String),
+    /// Feature loading was asked for out-of-range rows.
+    Load(String),
+    /// Invalid configuration.
+    Config(String),
+    /// Numeric health guard tripped and recovery was exhausted.
+    Numeric(String),
+    /// Underlying I/O failure outside the checkpoint framing.
+    Io(std::io::Error),
+}
+
+impl FgnnError {
+    /// Short stable name of the failure domain (used in supervisor
+    /// transition-log causes).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FgnnError::Checkpoint(_) => "checkpoint",
+            FgnnError::Sample(_) => "sample",
+            FgnnError::Cache(_) => "cache",
+            FgnnError::Load(_) => "load",
+            FgnnError::Config(_) => "config",
+            FgnnError::Numeric(_) => "numeric",
+            FgnnError::Io(_) => "io",
+        }
+    }
+}
+
+impl fmt::Display for FgnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FgnnError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+            FgnnError::Sample(e) => write!(f, "sampler error: {e}"),
+            FgnnError::Cache(m) => write!(f, "cache error: {m}"),
+            FgnnError::Load(m) => write!(f, "feature-load error: {m}"),
+            FgnnError::Config(m) => write!(f, "config error: {m}"),
+            FgnnError::Numeric(m) => write!(f, "numeric-health error: {m}"),
+            FgnnError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FgnnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FgnnError::Checkpoint(e) => Some(e),
+            FgnnError::Sample(e) => Some(e),
+            FgnnError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CheckpointError> for FgnnError {
+    fn from(e: CheckpointError) -> Self {
+        FgnnError::Checkpoint(e)
+    }
+}
+
+impl From<SampleError> for FgnnError {
+    fn from(e: SampleError) -> Self {
+        FgnnError::Sample(e)
+    }
+}
+
+impl From<std::io::Error> for FgnnError {
+    fn from(e: std::io::Error) -> Self {
+        FgnnError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_impls_allow_question_mark_across_domains() {
+        fn load() -> Result<(), FgnnError> {
+            Err(CheckpointError::BadMagic)?
+        }
+        fn sample() -> Result<(), FgnnError> {
+            Err(SampleError::BatchPanicked {
+                batch_index: 3,
+                attempts: 2,
+            })?
+        }
+        assert!(matches!(load(), Err(FgnnError::Checkpoint(_))));
+        assert!(matches!(sample(), Err(FgnnError::Sample(_))));
+    }
+
+    #[test]
+    fn kind_and_display_are_stable() {
+        let e = FgnnError::Cache("snapshot level 2 dim 3 != configured 4".into());
+        assert_eq!(e.kind(), "cache");
+        assert!(e.to_string().contains("cache error"));
+        let e: FgnnError = CheckpointError::Truncated.into();
+        assert_eq!(e.kind(), "checkpoint");
+        assert!(e.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn source_chains_to_the_underlying_error() {
+        use std::error::Error;
+        let e: FgnnError = CheckpointError::BadMagic.into();
+        assert!(e.source().is_some());
+        let e = FgnnError::Config("bad p_grad".into());
+        assert!(e.source().is_none());
+    }
+}

@@ -18,10 +18,11 @@ use crate::checkpoint::{Checkpoint, CheckpointError};
 use crate::config::FreshGnnConfig;
 use crate::obs::Obs;
 use crate::pipeline::{BatchOutput, Engine, EpochStats, EvalHarness, PipelineCtx, StallPolicy};
+use crate::resilience::{HealthState, NumericFault, NumericGuard, Supervisor};
 use fgnn_graph::hetero::{HeteroDataset, HeteroMiniBatch, HeteroSampler};
 use fgnn_graph::sample::split_batches;
 use fgnn_graph::NodeId;
-use fgnn_memsim::fault::{FaultPlan, RetryPolicy};
+use fgnn_memsim::fault::{BreakerPolicy, BreakerState, FaultPlan, FaultState, RetryPolicy};
 use fgnn_memsim::presets::Machine;
 use fgnn_memsim::stage::{StageKind, StageTimings};
 use fgnn_memsim::topology::Node;
@@ -31,6 +32,7 @@ use fgnn_nn::model::Arch;
 use fgnn_nn::rsage::RSageModel;
 use fgnn_nn::Optimizer;
 use fgnn_tensor::{Matrix, Rng};
+use std::collections::BTreeSet;
 
 /// R-GraphSAGE trainer over a [`HeteroDataset`].
 pub struct HeteroTrainer {
@@ -55,8 +57,9 @@ pub struct HeteroTrainer {
     iter: u32,
     epoch: u32,
     rng: Rng,
-    fault_plan: Option<FaultPlan>,
-    retry_policy: RetryPolicy,
+    faults: FaultState,
+    /// Iterations whose reported loss is forced to NaN (chaos-test hook).
+    nan_iters: BTreeSet<u32>,
     /// Set by a degraded restore; consumed into the next epoch's stats.
     degraded_resume: bool,
 }
@@ -108,8 +111,8 @@ impl HeteroTrainer {
             iter: 0,
             epoch: 0,
             rng,
-            fault_plan: None,
-            retry_policy: RetryPolicy::default(),
+            faults: FaultState::none(),
+            nan_iters: BTreeSet::new(),
             degraded_resume: false,
         }
     }
@@ -117,8 +120,37 @@ impl HeteroTrainer {
     /// Inject interconnect faults (same contract as
     /// [`crate::Trainer::inject_faults`]).
     pub fn inject_faults(&mut self, plan: FaultPlan, policy: RetryPolicy) {
-        self.fault_plan = Some(plan);
-        self.retry_policy = policy;
+        self.faults.inject(plan, policy);
+    }
+
+    /// Arm the interconnect circuit breaker (same contract as
+    /// [`crate::Trainer::enable_breaker`]).
+    pub fn enable_breaker(&mut self, policy: BreakerPolicy) {
+        self.faults.arm_breaker(policy);
+    }
+
+    /// Force the loss reported at the given iterations to NaN (chaos-test
+    /// hook, same contract as [`crate::Trainer::inject_nan_at`]).
+    pub fn inject_nan_at(&mut self, iters: impl IntoIterator<Item = u32>) {
+        self.nan_iters.extend(iters);
+    }
+
+    /// State of the interconnect circuit breaker, if one is armed.
+    pub fn breaker_state(&self) -> Option<BreakerState> {
+        self.faults.breaker_state()
+    }
+
+    /// Breaker lifetime statistics `(trips, fast_fails)`, if one is armed.
+    pub fn breaker_stats(&self) -> Option<(u64, u64)> {
+        self.faults
+            .breaker
+            .as_ref()
+            .map(|b| (b.trips, b.fast_fails))
+    }
+
+    /// Iterations executed so far.
+    pub fn iterations(&self) -> u32 {
+        self.iter
     }
 
     /// Completed epochs so far.
@@ -187,6 +219,11 @@ impl HeteroTrainer {
         if !restored {
             self.cache.clear();
             degraded = true;
+        } else {
+            // Drop cache entries stamped after the restored iteration so
+            // the t_stale bound holds post-rollback (see
+            // `Trainer::restore`).
+            self.cache.evict_newer_than(ckpt.iter);
         }
         self.degraded_resume = degraded;
         Ok(degraded)
@@ -212,8 +249,7 @@ impl HeteroTrainer {
         };
         let result = Engine::run_epoch(
             &topo,
-            &mut self.fault_plan,
-            self.retry_policy,
+            &mut self.faults,
             &mut self.counters,
             &mut self.obs,
             StallPolicy::Free,
@@ -225,6 +261,133 @@ impl HeteroTrainer {
         self.timings.merge(&stats.timings);
         stats.cache_degraded = std::mem::take(&mut self.degraded_resume);
         stats
+    }
+
+    /// Train one epoch under the health supervisor — the heterogeneous
+    /// analogue of [`crate::Trainer::train_epoch_resilient`]: a tripped
+    /// numeric guard aborts the epoch, rolls back to the supervisor's
+    /// baseline checkpoint (evicting future-stamped cache entries) and
+    /// replays the identical batch schedule; the rollback budget bounds
+    /// deterministic divergences.
+    pub fn train_epoch_resilient(
+        &mut self,
+        ds: &HeteroDataset,
+        opt: &mut dyn Optimizer,
+        sup: &mut Supervisor,
+    ) -> Result<EpochStats, crate::error::FgnnError> {
+        use crate::error::FgnnError;
+        if !sup.has_baseline() {
+            sup.set_baseline(self.checkpoint(opt));
+        }
+        loop {
+            let mut nan_iters = std::mem::take(&mut self.nan_iters);
+            let (stats, fault) = self.train_epoch_guarded(ds, opt, &mut sup.guard, &mut nan_iters);
+            self.nan_iters = nan_iters;
+            let Some(fault) = fault else {
+                let breaker_open = matches!(self.faults.breaker_state(), Some(BreakerState::Open));
+                if breaker_open || stats.degraded_batches > 0 {
+                    sup.transition(
+                        HealthState::Degraded,
+                        self.iter,
+                        self.epoch,
+                        "breaker-open",
+                        &mut self.obs,
+                    );
+                } else {
+                    sup.transition(
+                        HealthState::Healthy,
+                        self.iter,
+                        self.epoch,
+                        "epoch-clean",
+                        &mut self.obs,
+                    );
+                    sup.set_baseline(self.checkpoint(opt));
+                }
+                return Ok(stats);
+            };
+            sup.transition(
+                HealthState::Degraded,
+                fault.iter(),
+                self.epoch,
+                fault.cause(),
+                &mut self.obs,
+            );
+            if !sup.can_roll_back() {
+                return Err(FgnnError::Numeric(format!(
+                    "rollback budget exhausted after {} rollbacks: {}",
+                    sup.rollbacks(),
+                    fault.cause()
+                )));
+            }
+            let ckpt = sup.baseline().cloned().ok_or_else(|| {
+                FgnnError::Numeric(format!("no baseline to roll back to: {}", fault.cause()))
+            })?;
+            self.restore(&ckpt, opt)?;
+            sup.record_rollback(&mut self.obs);
+            sup.transition(
+                HealthState::Recovering,
+                ckpt.iter,
+                self.epoch,
+                "rollback",
+                &mut self.obs,
+            );
+        }
+    }
+
+    /// [`HeteroTrainer::train_epoch`] with the numeric-health guard in the
+    /// loop; once it trips, remaining batches are skipped and the fault is
+    /// returned with the partial stats.
+    fn train_epoch_guarded(
+        &mut self,
+        ds: &HeteroDataset,
+        opt: &mut dyn Optimizer,
+        guard: &mut NumericGuard,
+        nan_iters: &mut BTreeSet<u32>,
+    ) -> (EpochStats, Option<NumericFault>) {
+        let mut shuffle_rng = self.rng.fork();
+        let batches = split_batches(&ds.train_nodes, self.cfg.batch_size, Some(&mut shuffle_rng));
+        let topo = self.machine.topology.clone();
+        let mut stages = HeteroStages {
+            model: &mut self.model,
+            cache: &mut self.cache,
+            sampler: &mut self.sampler,
+            rng: &mut self.rng,
+            iter: &mut self.iter,
+            cfg: &self.cfg,
+            rel_types: &self.rel_types,
+            dims: &self.dims,
+            machine: &self.machine,
+            ds,
+        };
+        let mut fault: Option<NumericFault> = None;
+        let result = Engine::run_epoch(
+            &topo,
+            &mut self.faults,
+            &mut self.counters,
+            &mut self.obs,
+            StallPolicy::Free,
+            batches.iter().map(Ok::<_, std::convert::Infallible>),
+            |ctx, counters, seeds| {
+                if fault.is_some() {
+                    return None;
+                }
+                let it = *stages.iter;
+                let mut out = stages.train_batch(ctx, counters, seeds, opt);
+                if nan_iters.remove(&it) {
+                    out.loss = f32::NAN;
+                }
+                if let Some(f) = guard.observe(it, out.loss) {
+                    fault = Some(f);
+                    return None;
+                }
+                Some(out)
+            },
+        );
+        let mut stats = result.unwrap();
+        self.epoch += 1;
+        self.timings.merge(&stats.timings);
+        stats.cache_degraded = std::mem::take(&mut self.degraded_resume);
+        (stats, fault)
     }
 
     /// Evaluate accuracy on target-type `nodes` with plain (uncached)
@@ -267,6 +430,11 @@ impl<'t> HeteroStages<'_, '_> {
         let ds = self.ds;
         let target = ds.target_type;
         let now = *self.iter;
+
+        // Degraded mode: breaker open — bypass the ring cache for this
+        // batch (see `FreshGnnStages::train_sampled`).
+        let degraded = ctx.breaker_open();
+        self.cache.set_bypass(degraded);
 
         let mut mb = ctx.stage(StageKind::Sample, counters, |_engine, _c| {
             let mut sample_rng = self.rng.fork();
@@ -395,8 +563,9 @@ impl<'t> HeteroStages<'_, '_> {
             c.compute_seconds += self.machine.gpu.compute_seconds(3.0 * flops);
         });
 
+        self.cache.set_bypass(false);
         *self.iter += 1;
-        BatchOutput::loss_only(loss)
+        BatchOutput::loss_only(loss).with_degraded(degraded)
     }
 }
 
@@ -560,6 +729,24 @@ mod tests {
         }
         let acc = t.evaluate(&ds, &ds.test_nodes, 128);
         assert!(acc > 0.3, "4-class accuracy {acc}");
+    }
+
+    #[test]
+    fn hetero_resilient_epoch_rolls_back_on_injected_nan() {
+        use crate::resilience::Supervisor;
+        let ds = tiny();
+        let mut t = HeteroTrainer::new(&ds, 16, Machine::single_a100(), config(0.9, 50), 9);
+        let mut opt = Adam::new(0.01);
+        let mut sup = Supervisor::default();
+        let clean = t.train_epoch_resilient(&ds, &mut opt, &mut sup).unwrap();
+        assert!(sup.transitions().is_empty());
+        t.inject_nan_at([t.iter + 1]);
+        let recovered = t.train_epoch_resilient(&ds, &mut opt, &mut sup).unwrap();
+        assert_eq!(sup.rollbacks(), 1);
+        assert_eq!(sup.state(), crate::resilience::HealthState::Healthy);
+        assert_eq!(recovered.batches, clean.batches);
+        assert!(recovered.mean_loss.is_finite());
+        assert_eq!(t.epochs(), 2);
     }
 
     #[test]

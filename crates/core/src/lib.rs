@@ -37,13 +37,19 @@
 //! * [`sgc`] — the Appendix B SGC model with a random-selector bounded-
 //!   staleness history (Proposition 4.1);
 //! * [`probes`] — estimation-error and embedding-stability measurements
-//!   (Figs 1 and 3).
+//!   (Figs 1 and 3);
+//! * [`resilience`] — the self-healing layer: numeric-health guard,
+//!   `Healthy → Degraded → Recovering` supervisor state machine, and
+//!   rollback-on-divergence bookkeeping;
+//! * [`error`] — the unified [`FgnnError`] the runtime's fallible paths
+//!   funnel into.
 
 pub mod baselines;
 pub mod cache;
 pub mod chan;
 pub mod checkpoint;
 pub mod config;
+pub mod error;
 pub mod hetero_trainer;
 pub mod loader;
 pub mod multi_gpu;
@@ -51,6 +57,7 @@ pub mod obs;
 pub mod pipeline;
 pub mod probes;
 pub mod prune;
+pub mod resilience;
 pub mod sampler;
 pub mod sgc;
 pub mod trainer;
@@ -58,7 +65,9 @@ pub mod trainer;
 pub use cache::HistoricalCache;
 pub use checkpoint::{Checkpoint, CheckpointError};
 pub use config::FreshGnnConfig;
+pub use error::FgnnError;
 pub use obs::Obs;
 pub use pipeline::{BatchOutput, Engine, EpochStats, EvalHarness, PipelineCtx, StallPolicy};
+pub use resilience::{HealthState, Supervisor, SupervisorConfig};
 pub use sampler::SampleError;
 pub use trainer::Trainer;

@@ -54,6 +54,10 @@ impl<'a> FeatureLoader<'a> {
     /// Gather features for `nodes` into a fresh matrix. Rows where
     /// `needed` is false are left zero and move no bytes. Traffic is
     /// charged on `engine` from `storage` into `compute`.
+    ///
+    /// Panics on an out-of-range node or a mask-length mismatch — the
+    /// sampler only ever hands the loader in-range nodes, so either is a
+    /// logic bug. Use [`FeatureLoader::try_load`] for the checked form.
     pub fn load(
         &self,
         nodes: &[NodeId],
@@ -63,6 +67,38 @@ impl<'a> FeatureLoader<'a> {
         compute: Node,
         counters: &mut TrafficCounters,
     ) -> Matrix {
+        self.try_load(nodes, needed, engine, storage, compute, counters)
+            .expect("feature load")
+    }
+
+    /// Checked [`FeatureLoader::load`]: returns
+    /// [`FgnnError::Load`](crate::error::FgnnError::Load) instead of
+    /// panicking when a node index falls outside the feature matrix or the
+    /// `needed` mask disagrees with `nodes` in length.
+    pub fn try_load(
+        &self,
+        nodes: &[NodeId],
+        needed: Option<&[bool]>,
+        engine: &mut TransferEngine,
+        storage: Node,
+        compute: Node,
+        counters: &mut TrafficCounters,
+    ) -> Result<Matrix, crate::error::FgnnError> {
+        if let Some(mask) = needed {
+            if mask.len() != nodes.len() {
+                return Err(crate::error::FgnnError::Load(format!(
+                    "needed mask covers {} nodes, batch has {}",
+                    mask.len(),
+                    nodes.len()
+                )));
+            }
+        }
+        let num_rows = self.features.rows();
+        if let Some(&bad) = nodes.iter().find(|&&n| n as usize >= num_rows) {
+            return Err(crate::error::FgnnError::Load(format!(
+                "node {bad} outside feature matrix with {num_rows} rows"
+            )));
+        }
         let dim = self.features.cols();
         let mut out = Matrix::zeros(nodes.len(), dim);
         let mut wire_rows: u64 = 0;
@@ -93,7 +129,7 @@ impl<'a> FeatureLoader<'a> {
                 }
             }
         }
-        out
+        Ok(out)
     }
 
     /// For feature-partitioned multi-GPU training: bytes GPU `g` must pull
@@ -185,6 +221,38 @@ mod tests {
         assert_eq!(c.cache_hit_bytes, 8);
         assert_eq!(c.host_to_gpu_bytes, 8);
         assert!((c.io_saving() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn try_load_rejects_out_of_range_nodes_and_bad_masks() {
+        use crate::error::FgnnError;
+        let (features, graph) = setup();
+        let loader = FeatureLoader::new(
+            &features,
+            8,
+            StaticFeatureCache::disabled(graph.num_nodes()),
+            LoadMode::OneSided,
+        );
+        let topo = Topology::pcie_tree(1, 1, 1e9);
+        let mut eng = TransferEngine::new(&topo);
+        let mut c = TrafficCounters::new();
+        let err = loader
+            .try_load(&[99], None, &mut eng, Node::Host, Node::Gpu(0), &mut c)
+            .unwrap_err();
+        assert!(matches!(err, FgnnError::Load(_)), "{err}");
+        assert!(err.to_string().contains("99"), "{err}");
+        let err = loader
+            .try_load(
+                &[0, 1],
+                Some(&[true]),
+                &mut eng,
+                Node::Host,
+                Node::Gpu(0),
+                &mut c,
+            )
+            .unwrap_err();
+        assert!(matches!(err, FgnnError::Load(_)), "{err}");
+        assert_eq!(c.num_transfers, 0, "failed loads move no bytes");
     }
 
     #[test]

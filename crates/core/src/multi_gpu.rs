@@ -23,6 +23,7 @@
 use crate::config::{FreshGnnConfig, LoadMode};
 use crate::trainer::Trainer;
 use fgnn_graph::Dataset;
+use fgnn_memsim::fault::{BreakerPolicy, FaultPlan, RetryPolicy};
 use fgnn_memsim::presets::{Machine, GB};
 use fgnn_nn::model::Arch;
 use fgnn_nn::Adam;
@@ -70,6 +71,11 @@ pub struct IterationProfile {
     pub sample_s: f64,
     /// Model parameter bytes (for the gradient all-reduce).
     pub param_bytes: f64,
+    /// Transfer retries spent recovering from injected interconnect faults
+    /// during profiling (0 on a fault-free profile).
+    pub retries: u64,
+    /// Iterations that ran in degraded mode (circuit breaker open).
+    pub degraded_iters: u64,
 }
 
 /// Measure a system's per-iteration profile by running `epochs` real
@@ -82,6 +88,26 @@ pub fn profile_system(
     system: SystemKind,
     epochs: usize,
     seed: u64,
+) -> IterationProfile {
+    profile_system_faulted(ds, arch, hidden, base, system, epochs, seed, None, None)
+}
+
+/// [`profile_system`] with interconnect fault injection: the profiling
+/// trainer runs its epochs under `faults` (retry/backoff schedule) and,
+/// when `breaker` is armed, degrades to raw-feature loads while the
+/// breaker is open — so the scaling projection can be taken on a lossy
+/// fabric. Bytes and FLOPs stay exact; only timing-side counters move.
+#[allow(clippy::too_many_arguments)]
+pub fn profile_system_faulted(
+    ds: &Dataset,
+    arch: Arch,
+    hidden: usize,
+    base: &FreshGnnConfig,
+    system: SystemKind,
+    epochs: usize,
+    seed: u64,
+    faults: Option<(FaultPlan, RetryPolicy)>,
+    breaker: Option<BreakerPolicy>,
 ) -> IterationProfile {
     let mut cfg = base.clone();
     match system {
@@ -109,17 +135,27 @@ pub fn profile_system(
         }
     }
     let mut trainer = Trainer::new(ds, arch, hidden, Machine::single_a100(), cfg, seed);
+    if let Some((plan, policy)) = faults {
+        trainer.inject_faults(plan, policy);
+    }
+    if let Some(policy) = breaker {
+        trainer.enable_breaker(policy);
+    }
     let mut opt = Adam::new(0.003);
     let mut iters = 0usize;
     let mut bytes = 0u64;
     let mut compute = 0.0;
     let mut sample = 0.0;
+    let mut retries = 0u64;
+    let mut degraded_iters = 0u64;
     for _ in 0..epochs.max(1) {
         let s = trainer.train_epoch(ds, &mut opt);
         iters += s.batches;
         bytes += s.counters.wire_bytes();
         compute += s.counters.compute_seconds;
         sample += s.counters.sample_seconds;
+        retries += s.counters.retries;
+        degraded_iters += s.degraded_batches;
     }
     let param_bytes = trainer.model.num_parameters() as f64 * 4.0;
     let n = iters.max(1) as f64;
@@ -128,6 +164,8 @@ pub fn profile_system(
         compute_s: compute / n,
         sample_s: sample / n,
         param_bytes,
+        retries,
+        degraded_iters,
     }
 }
 
@@ -261,6 +299,8 @@ mod tests {
             compute_s: 0.005,
             sample_s: 0.02,
             param_bytes: 4e6,
+            retries: 0,
+            degraded_iters: 0,
         };
         let t1 = project_throughput(&p, SystemKind::Dgl, 1);
         let t8 = project_throughput(&p, SystemKind::Dgl, 8);
@@ -274,6 +314,8 @@ mod tests {
             compute_s: 0.004,
             sample_s: 0.08, // sampler-bound at high GPU counts
             param_bytes: 4e6,
+            retries: 0,
+            degraded_iters: 0,
         };
         let t1 = project_throughput(&p, SystemKind::FreshGnn, 1);
         let t4 = project_throughput(&p, SystemKind::FreshGnn, 4);
@@ -289,6 +331,8 @@ mod tests {
             compute_s: 0.004,
             sample_s: 0.0,
             param_bytes: 4e6,
+            retries: 0,
+            degraded_iters: 0,
         };
         let lab = project_throughput(&p, SystemKind::GnnLab, 4);
         let fresh = project_throughput(&p, SystemKind::FreshGnn, 4);

@@ -38,7 +38,7 @@ pub mod eval;
 pub use eval::EvalHarness;
 
 use crate::obs::{MetricClass, Obs};
-use fgnn_memsim::fault::{FaultPlan, RetryPolicy};
+use fgnn_memsim::fault::FaultState;
 use fgnn_memsim::stage::{StageKind, StageTimings, NUM_STAGES};
 use fgnn_memsim::topology::Topology;
 use fgnn_memsim::{TrafficCounters, TransferEngine};
@@ -63,6 +63,9 @@ pub struct EpochStats {
     /// historical-cache segment was missing or corrupt, so the cache began
     /// the epoch cold).
     pub cache_degraded: bool,
+    /// Batches that ran in degraded mode (circuit breaker open, ring cache
+    /// bypassed, raw features fetched).
+    pub degraded_batches: u64,
 }
 
 /// What one pipeline iteration produced, reported back to the engine.
@@ -74,6 +77,9 @@ pub struct BatchOutput {
     pub cache_reads: u64,
     /// Destination nodes computed fresh.
     pub computed_nodes: u64,
+    /// Whether this batch ran in degraded mode (breaker open, cache
+    /// bypassed).
+    pub degraded: bool,
 }
 
 impl BatchOutput {
@@ -83,7 +89,14 @@ impl BatchOutput {
             loss,
             cache_reads: 0,
             computed_nodes: 0,
+            degraded: false,
         }
+    }
+
+    /// Mark this batch as having run in degraded mode.
+    pub fn with_degraded(mut self, degraded: bool) -> Self {
+        self.degraded = degraded;
+        self
     }
 }
 
@@ -153,6 +166,14 @@ impl<'t> PipelineCtx<'t> {
         );
         out
     }
+
+    /// Whether the epoch's transfer engine has an open circuit breaker.
+    /// Trainers consult this at the top of each batch to decide whether to
+    /// run the batch in degraded mode (bypass the ring cache, fetch raw
+    /// features).
+    pub fn breaker_open(&self) -> bool {
+        self.transfer.breaker_open()
+    }
 }
 
 /// The epoch driver shared by every trainer.
@@ -163,9 +184,11 @@ impl Engine {
     /// cluster indices, …) from `units` and run `step` on each inside a
     /// [`PipelineCtx`].
     ///
-    /// * `fault_plan` is moved into the epoch's [`TransferEngine`] and
-    ///   restored (with its advanced RNG stream) before returning — even
-    ///   on error — so fault schedules stay deterministic across epochs.
+    /// * `faults` lends its plan and breaker to the epoch's
+    ///   [`TransferEngine`]; both are restored (the plan with its advanced
+    ///   RNG stream, the breaker with its trip state) before returning —
+    ///   even on error — so fault schedules and breaker behavior stay
+    ///   deterministic across epochs.
     /// * A `step` returning `None` contributes neither loss nor count
     ///   (e.g. a cluster without training nodes).
     /// * A unit yielding `Err` aborts the epoch and returns the error;
@@ -182,8 +205,7 @@ impl Engine {
     #[allow(clippy::too_many_arguments)]
     pub fn run_epoch<'t, U, E>(
         topo: &'t Topology,
-        fault_plan: &mut Option<FaultPlan>,
-        retry_policy: RetryPolicy,
+        faults: &mut FaultState,
         counters: &mut TrafficCounters,
         obs: &mut Obs,
         stall_policy: StallPolicy,
@@ -191,10 +213,11 @@ impl Engine {
         mut step: impl FnMut(&mut PipelineCtx<'t>, &mut TrafficCounters, U) -> Option<BatchOutput>,
     ) -> Result<EpochStats, E> {
         let before = counters.clone();
-        let transfer = match fault_plan.take() {
-            Some(plan) => TransferEngine::with_faults(topo, plan, retry_policy),
+        let mut transfer = match faults.plan.take() {
+            Some(plan) => TransferEngine::with_faults(topo, plan, faults.policy),
             None => TransferEngine::new(topo),
         };
+        transfer.set_breaker(faults.breaker.take());
         let mut ctx = PipelineCtx {
             transfer,
             timings: StageTimings::new(),
@@ -209,6 +232,7 @@ impl Engine {
         let mut batches = 0usize;
         let mut cache_reads = 0u64;
         let mut computed_nodes = 0u64;
+        let mut degraded_batches = 0u64;
         let mut failure: Option<E> = None;
         loop {
             let t0 = Instant::now();
@@ -246,6 +270,7 @@ impl Engine {
                             batches += 1;
                             cache_reads += out.cache_reads;
                             computed_nodes += out.computed_nodes;
+                            degraded_batches += out.degraded as u64;
                         }
                         None => ctx.obs.tracer.end(now),
                     }
@@ -256,9 +281,11 @@ impl Engine {
                 }
             }
         }
-        // Thread the fault plan (and its advanced RNG) back out before any
-        // return — an errored epoch must leave the trainer usable.
-        *fault_plan = ctx.transfer.take_fault_plan();
+        // Thread the fault plan (and its advanced RNG) and the breaker
+        // (and its trip state) back out before any return — an errored
+        // epoch must leave the trainer usable.
+        faults.plan = ctx.transfer.take_fault_plan();
+        faults.breaker = ctx.transfer.take_breaker();
 
         // Close the epoch span and flush epoch-level metrics, even for an
         // errored epoch: the telemetry reflects the work actually done.
@@ -268,6 +295,29 @@ impl Engine {
         let m = &mut ctx.obs.metrics;
         m.counter_add("pipeline.epochs", MetricClass::Exact, 1);
         m.counter_add("pipeline.batches", MetricClass::Exact, batches as u64);
+        if degraded_batches > 0 {
+            m.counter_add(
+                "pipeline.degraded_batches",
+                MetricClass::Exact,
+                degraded_batches,
+            );
+        }
+        // Breaker telemetry is Exact: trips and fast-fails are a pure
+        // function of the fault seed. Flushed only when a breaker is armed
+        // so fault-free metric streams are untouched.
+        if let Some(b) = &faults.breaker {
+            m.counter_set("transfer.breaker.trips", MetricClass::Exact, b.trips);
+            m.counter_set(
+                "transfer.breaker.fast_fails",
+                MetricClass::Exact,
+                b.fast_fails,
+            );
+            m.gauge_set(
+                "transfer.breaker.state",
+                MetricClass::Exact,
+                b.state().code() as f64,
+            );
+        }
         for kind in StageKind::ALL {
             let name = kind.name();
             let exact_ns = ctx.stage_exact_ns[kind.index()];
@@ -337,6 +387,7 @@ impl Engine {
             cache_reads,
             computed_nodes,
             cache_degraded: false,
+            degraded_batches,
         })
     }
 }
@@ -344,6 +395,7 @@ impl Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fgnn_memsim::fault::FaultPlan;
     use fgnn_memsim::topology::Node;
     use std::convert::Infallible;
 
@@ -355,11 +407,10 @@ mod tests {
     fn stage_scopes_attribute_ledger_deltas() {
         let topo = topo();
         let mut counters = TrafficCounters::new();
-        let mut plan = None;
+        let mut faults = FaultState::none();
         let stats = Engine::run_epoch(
             &topo,
-            &mut plan,
-            RetryPolicy::default(),
+            &mut faults,
             &mut counters,
             &mut Obs::new(),
             StallPolicy::Free,
@@ -395,11 +446,10 @@ mod tests {
     fn none_outputs_are_skipped_in_the_mean() {
         let topo = topo();
         let mut counters = TrafficCounters::new();
-        let mut plan = None;
+        let mut faults = FaultState::none();
         let stats = Engine::run_epoch(
             &topo,
-            &mut plan,
-            RetryPolicy::default(),
+            &mut faults,
             &mut counters,
             &mut Obs::new(),
             StallPolicy::Free,
@@ -415,12 +465,11 @@ mod tests {
     fn unit_error_aborts_and_surfaces() {
         let topo = topo();
         let mut counters = TrafficCounters::new();
-        let mut plan = None;
+        let mut faults = FaultState::none();
         let mut steps = 0;
         let err = Engine::run_epoch(
             &topo,
-            &mut plan,
-            RetryPolicy::default(),
+            &mut faults,
             &mut counters,
             &mut Obs::new(),
             StallPolicy::Free,
@@ -439,11 +488,14 @@ mod tests {
     fn fault_plan_is_threaded_back_out() {
         let topo = topo();
         let mut counters = TrafficCounters::new();
-        let mut plan = Some(FaultPlan::new(7).with_fail_prob(0.5));
+        let mut faults = FaultState::none();
+        faults.inject(
+            FaultPlan::new(7).with_fail_prob(0.5),
+            fgnn_memsim::RetryPolicy::default(),
+        );
         let _ = Engine::run_epoch(
             &topo,
-            &mut plan,
-            RetryPolicy::default(),
+            &mut faults,
             &mut counters,
             &mut Obs::new(),
             StallPolicy::Free,
@@ -456,6 +508,6 @@ mod tests {
             },
         )
         .unwrap();
-        assert!(plan.is_some(), "plan must survive the epoch");
+        assert!(faults.plan.is_some(), "plan must survive the epoch");
     }
 }

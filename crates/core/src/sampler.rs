@@ -22,8 +22,17 @@
 //! this unreachable), the consumer yields [`SampleError::WorkersLost`]
 //! rather than ending the iterator early, so a shortfall is always an
 //! error, never a quietly short epoch.
+//!
+//! Straggler hedging ([`AsyncSampler::with_hedging`]): the consumer derives
+//! a deadline from the observed task-latency histogram (p95 × multiplier,
+//! floored); when the next in-order batch overruns it, the consumer
+//! re-samples that batch *inline* with the same `(seed, batch_index)` RNG —
+//! a duplicate dispatch whose output is bitwise-identical to the
+//! straggler's, so first-wins resolution cannot change the stream. The
+//! straggler's late copy is discarded by index on arrival. Hedge counts are
+//! wall-clock artifacts and are exported `Measured`, never `Exact`.
 
-use crate::chan::{bounded, Receiver, Sender};
+use crate::chan::{bounded, Receiver, RecvTimeoutError, Sender};
 use crate::obs::{Histogram, LATENCY_BUCKETS, QUEUE_DEPTH_BUCKETS};
 use fgnn_graph::block::MiniBatch;
 use fgnn_graph::sample::NeighborSampler;
@@ -31,12 +40,33 @@ use fgnn_graph::{Csr, NodeId};
 use fgnn_tensor::Rng;
 use std::collections::BinaryHeap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Default number of *re*-sample attempts after a worker panic.
 pub const DEFAULT_SAMPLER_RETRIES: u32 = 2;
+
+/// Straggler-hedging tunables for [`AsyncSampler::with_hedging`].
+#[derive(Clone, Copy, Debug)]
+pub struct HedgePolicy {
+    /// Floor on the straggler deadline in seconds — hedging never fires
+    /// faster than this, so warm-up noise cannot trigger it.
+    pub min_deadline: f64,
+    /// The deadline is this multiple of the observed p95 task latency
+    /// (when above the floor).
+    pub multiplier: f64,
+}
+
+impl Default for HedgePolicy {
+    fn default() -> Self {
+        HedgePolicy {
+            min_deadline: 0.05,
+            multiplier: 4.0,
+        }
+    }
+}
 
 /// Why an epoch's batch stream could not be fully produced.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -138,6 +168,11 @@ pub struct SamplerObsReport {
     pub task_seconds: Histogram,
     /// Reorder-queue depth observed at each in-order delivery.
     pub queue_depth: Histogram,
+    /// Straggler batches re-dispatched inline by the consumer
+    /// (wall-clock-dependent — `Measured`, never `Exact`).
+    pub hedges: u64,
+    /// Late straggler duplicates discarded after their hedge won.
+    pub hedge_discards: u64,
 }
 
 struct Indexed(usize, Result<MiniBatch, SampleError>);
@@ -174,6 +209,25 @@ pub struct AsyncSampler {
     obs: Arc<WorkerObs>,
     /// Reorder-queue depth observed at each in-order delivery.
     queue_depth: Histogram,
+    /// Raised by `Drop`: workers check it before claiming a batch and
+    /// between retry attempts, so a mid-epoch drop joins promptly instead
+    /// of waiting out whole retry budgets.
+    shutdown: Arc<AtomicBool>,
+    /// Straggler hedging, off by default (see [`AsyncSampler::with_hedging`]).
+    hedge: Option<HedgePolicy>,
+    hedges: u64,
+    hedge_discards: u64,
+    /// When the consumer started waiting for a given in-order index. The
+    /// straggler clock keeps ticking across out-of-order arrivals —
+    /// otherwise a healthy worker's steady stream would mask the straggler
+    /// forever.
+    wait_start: Option<(usize, std::time::Instant)>,
+    // Inputs retained so the consumer can hedge a straggler inline with
+    // the exact per-(seed, index) RNG the worker would have used.
+    graph: Arc<Csr>,
+    batches: Arc<Vec<Vec<NodeId>>>,
+    fanouts: Arc<Vec<usize>>,
+    seed: u64,
 }
 
 impl AsyncSampler {
@@ -222,6 +276,7 @@ impl AsyncSampler {
         let batches = Arc::new(batches);
         let fanouts = Arc::new(fanouts);
         let obs = Arc::new(WorkerObs::new(num_threads));
+        let shutdown = Arc::new(AtomicBool::new(false));
 
         let handles = (0..num_threads)
             .map(|w| {
@@ -232,9 +287,13 @@ impl AsyncSampler {
                 let graph = Arc::clone(&graph);
                 let hook = hook.clone();
                 let obs = Arc::clone(&obs);
+                let shutdown = Arc::clone(&shutdown);
                 std::thread::spawn(move || {
                     let mut sampler = NeighborSampler::new(graph.num_nodes());
                     loop {
+                        if shutdown.load(Ordering::Relaxed) {
+                            break;
+                        }
                         let i = work.fetch_add(1, Ordering::Relaxed);
                         if i >= batches.len() {
                             break;
@@ -242,6 +301,9 @@ impl AsyncSampler {
                         let mut produced = None;
                         let mut attempts = 0;
                         while attempts <= max_retries {
+                            if shutdown.load(Ordering::Relaxed) {
+                                return; // consumer gone mid-retry-loop
+                            }
                             attempts += 1;
                             let attempt = attempts - 1;
                             let t0 = std::time::Instant::now();
@@ -292,12 +354,72 @@ impl AsyncSampler {
             handles,
             obs,
             queue_depth: Histogram::new(&QUEUE_DEPTH_BUCKETS),
+            shutdown,
+            hedge: None,
+            hedges: 0,
+            hedge_discards: 0,
+            wait_start: None,
+            graph,
+            batches,
+            fanouts,
+            seed,
         }
+    }
+
+    /// Enable straggler hedging under `policy`: when the next in-order
+    /// batch overruns the latency-derived deadline, the consumer
+    /// re-samples it inline (identical RNG ⇒ identical output; the late
+    /// worker copy is discarded on arrival). The fault hook is a
+    /// worker-side construct and does not run on the hedge path.
+    pub fn with_hedging(mut self, policy: HedgePolicy) -> Self {
+        self.hedge = Some(policy);
+        self
     }
 
     /// Number of batches this job will produce in total.
     pub fn total(&self) -> usize {
         self.total
+    }
+
+    /// Current straggler deadline: `max(min_deadline, p95 × multiplier)`
+    /// over the task-latency histogram observed so far.
+    fn hedge_deadline(&self, policy: &HedgePolicy) -> Duration {
+        let counts: Vec<u64> = self
+            .obs
+            .latency_counts
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        let mut secs = policy.min_deadline;
+        if total > 0 {
+            let target = ((total as f64) * 0.95).ceil() as u64;
+            let mut cum = 0u64;
+            for (b, &c) in counts.iter().enumerate() {
+                cum += c;
+                if cum >= target {
+                    // Overflow bucket: extrapolate past the last edge.
+                    let edge = LATENCY_BUCKETS
+                        .get(b)
+                        .copied()
+                        .unwrap_or_else(|| LATENCY_BUCKETS[LATENCY_BUCKETS.len() - 1] * 2.0);
+                    secs = secs.max(edge * policy.multiplier);
+                    break;
+                }
+            }
+        }
+        Duration::from_secs_f64(secs)
+    }
+
+    /// Duplicate-dispatch the straggling batch `self.next` on this thread.
+    /// Same `(seed, index)` RNG as the worker ⇒ bitwise-identical output.
+    fn hedge_batch(&mut self) {
+        let i = self.next;
+        let mut sampler = NeighborSampler::new(self.graph.num_nodes());
+        let mut rng = Rng::new(self.seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
+        let mb = sampler.sample(&self.graph, &self.batches[i], &self.fanouts, &mut rng);
+        self.hedges += 1;
+        self.reorder.push(Indexed(i, Ok(mb)));
     }
 
     /// Snapshot the job's observability counters (callable while workers
@@ -330,6 +452,8 @@ impl AsyncSampler {
             worker_task_nanos,
             task_seconds: Histogram::from_parts(&LATENCY_BUCKETS, &latency_counts, total_secs),
             queue_depth: self.queue_depth.clone(),
+            hedges: self.hedges,
+            hedge_discards: self.hedge_discards,
         }
     }
 }
@@ -342,19 +466,55 @@ impl Iterator for AsyncSampler {
             return None;
         }
         loop {
-            if let Some(Indexed(i, _)) = self.reorder.peek() {
+            while let Some(Indexed(i, _)) = self.reorder.peek() {
+                if *i < self.next {
+                    // A straggler's late copy whose hedge already won.
+                    self.reorder.pop();
+                    self.hedge_discards += 1;
+                    continue;
+                }
                 if *i == self.next {
                     let Indexed(_, item) = self.reorder.pop().unwrap();
                     self.next += 1;
+                    self.wait_start = None;
                     // Completed-but-undelivered batches still queued: the
                     // headroom the bounded queue is buying us.
                     self.queue_depth.observe(self.reorder.len() as f64);
                     return Some(item);
                 }
+                break;
             }
-            match self.rx.as_ref().expect("sampler running").recv() {
+            let rx = self.rx.as_ref().expect("sampler running");
+            let received = match self.hedge {
+                None => rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
+                Some(policy) => {
+                    // Anchor the deadline to when we *started* waiting for
+                    // this index, not to the last arrival.
+                    let start = match self.wait_start {
+                        Some((i, t)) if i == self.next => t,
+                        _ => {
+                            let t = std::time::Instant::now();
+                            self.wait_start = Some((self.next, t));
+                            t
+                        }
+                    };
+                    let deadline = self.hedge_deadline(&policy);
+                    match deadline.checked_sub(start.elapsed()) {
+                        Some(remaining) => rx.recv_timeout(remaining),
+                        None => Err(RecvTimeoutError::Timeout), // already overdue
+                    }
+                }
+            };
+            match received {
                 Ok(ix) => self.reorder.push(ix),
-                Err(_) => {
+                Err(RecvTimeoutError::Timeout) => {
+                    // The next in-order batch is straggling: duplicate-
+                    // dispatch it inline; first-wins is trivially safe
+                    // because both copies are bitwise-identical.
+                    self.hedge_batch();
+                    self.wait_start = None;
+                }
+                Err(RecvTimeoutError::Disconnected) => {
                     // Workers died without delivering everything: surface
                     // the shortfall as an error exactly once, then end.
                     let produced = self.next;
@@ -371,8 +531,12 @@ impl Iterator for AsyncSampler {
 
 impl Drop for AsyncSampler {
     fn drop(&mut self) {
-        // Disconnect the channel so blocked producers error out of their
-        // `send` and exit, then join them.
+        // Tell workers to stop claiming work (and to bail out of retry
+        // loops), then disconnect the channel so producers blocked in
+        // `send` error out, then join. Order matters: the flag alone
+        // cannot wake a blocked sender, and the disconnect alone would let
+        // a worker mid-retry-loop burn its whole retry budget first.
+        self.shutdown.store(true, Ordering::Relaxed);
         drop(self.rx.take());
         for h in self.handles.drain(..) {
             let _ = h.join();
@@ -478,6 +642,106 @@ mod tests {
         let mut sampler = AsyncSampler::spawn(g, bs, vec![4, 4], 4, 2, 5);
         let _first = sampler.next();
         drop(sampler); // must join cleanly
+    }
+
+    /// Regression: a mid-epoch drop must join *promptly* even when a
+    /// worker sits in a long retry loop — the shutdown flag is checked
+    /// between attempts, so the drop never waits out a retry budget.
+    #[test]
+    fn drop_mid_epoch_cuts_retry_loops_short() {
+        let g = test_graph();
+        let bs = batches(40, 2); // 20 batches
+        let hook: FaultHook = Arc::new(|batch, _attempt| {
+            if batch >= 2 {
+                std::thread::sleep(Duration::from_millis(5));
+                panic!("persistent fault with a slow attempt");
+            }
+        });
+        let mut sampler = AsyncSampler::spawn_with_recovery(
+            Arc::clone(&g),
+            bs,
+            vec![4],
+            2,
+            2,
+            17,
+            1000, // a retry budget that would take ~5 s to burn per batch
+            Some(hook),
+        );
+        assert!(sampler.next().unwrap().is_ok());
+        let t0 = std::time::Instant::now();
+        drop(sampler);
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "drop took {:?} — workers kept retrying after shutdown",
+            t0.elapsed()
+        );
+    }
+
+    /// A straggling worker is hedged: the consumer re-samples the overdue
+    /// batch inline and the delivered stream is identical to the fault-free
+    /// sync stream (same per-(seed, index) RNG ⇒ first-wins is safe).
+    #[test]
+    fn hedging_covers_stragglers_without_changing_the_stream() {
+        let g = test_graph();
+        let bs = batches(240, 4); // 60 batches
+        let sync = sample_epoch_sync(&g, &bs, &[3, 3], 23);
+        let hook: FaultHook = Arc::new(|batch, _attempt| {
+            if batch == 2 {
+                // A straggler, not a failure: the worker eventually
+                // delivers, long after the hedge deadline.
+                std::thread::sleep(Duration::from_millis(150));
+            } else {
+                // Keep the epoch running past the straggler's wake-up so
+                // its late duplicate is observed (and discarded) before
+                // the stream ends.
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        });
+        let mut sampler = AsyncSampler::spawn_with_recovery(
+            Arc::clone(&g),
+            bs,
+            vec![3, 3],
+            2,
+            4,
+            23,
+            2,
+            Some(hook),
+        )
+        .with_hedging(HedgePolicy {
+            min_deadline: 0.02,
+            multiplier: 4.0,
+        });
+        let mut out = Vec::new();
+        for r in sampler.by_ref() {
+            out.push(r.expect("hedging must not surface errors"));
+        }
+        assert_eq!(out.len(), sync.len());
+        for (x, y) in out.iter().zip(&sync) {
+            assert_eq!(x.seeds, y.seeds);
+            assert_eq!(x.blocks[0].src_global, y.blocks[0].src_global);
+        }
+        let rep = sampler.obs_report();
+        assert!(rep.hedges >= 1, "the straggler must have been hedged");
+        // The straggler's late duplicate lands well before the epoch ends
+        // (30 batches, 300 ms sleep) and must be discarded by index.
+        assert!(
+            rep.hedge_discards >= 1,
+            "late duplicate should be discarded"
+        );
+    }
+
+    /// Hedging disabled (the default) leaves the stream untouched and the
+    /// hedge counters at zero even with slow batches.
+    #[test]
+    fn no_hedging_means_no_hedge_counters() {
+        let g = test_graph();
+        let bs = batches(30, 6);
+        let mut sampler = AsyncSampler::spawn(Arc::clone(&g), bs, vec![3], 2, 2, 29);
+        let n = sampler.by_ref().filter(|r| r.is_ok()).count();
+        assert_eq!(n, 5);
+        let rep = sampler.obs_report();
+        assert_eq!(rep.hedges, 0);
+        assert_eq!(rep.hedge_discards, 0);
     }
 
     /// A transiently-panicking batch is retried and the epoch completes

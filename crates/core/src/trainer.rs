@@ -25,11 +25,12 @@ use crate::loader::FeatureLoader;
 use crate::obs::{MetricClass, Obs};
 use crate::pipeline::{BatchOutput, Engine, EvalHarness, PipelineCtx, StallPolicy};
 use crate::prune::{prune_with_cache, PruneOutcome};
-use crate::sampler::{FaultHook, SampleError, SamplerObsReport};
+use crate::resilience::{HealthState, NumericFault, NumericGuard, Supervisor};
+use crate::sampler::{FaultHook, HedgePolicy, SampleError, SamplerObsReport};
 use fgnn_graph::block::MiniBatch;
 use fgnn_graph::sample::{split_batches, NeighborSampler};
 use fgnn_graph::{Dataset, NodeId};
-use fgnn_memsim::fault::{FaultPlan, RetryPolicy};
+use fgnn_memsim::fault::{BreakerPolicy, BreakerState, FaultPlan, FaultState, RetryPolicy};
 use fgnn_memsim::presets::{aggregation_flops, dense_flops, Machine};
 use fgnn_memsim::stage::{StageKind, StageTimings};
 use fgnn_memsim::topology::Node;
@@ -38,6 +39,7 @@ use fgnn_nn::loss::softmax_cross_entropy;
 use fgnn_nn::model::{Arch, Model};
 use fgnn_nn::Optimizer;
 use fgnn_tensor::Rng;
+use std::collections::BTreeSet;
 
 pub use crate::pipeline::EpochStats;
 
@@ -70,10 +72,14 @@ pub struct Trainer {
     rng: Rng,
     /// Interconnect fault schedule; threaded through the per-epoch engine
     /// so the fault RNG stream continues across epochs.
-    fault_plan: Option<FaultPlan>,
-    retry_policy: RetryPolicy,
+    faults: FaultState,
     /// Test hook forwarded to async sampler workers (fault injection).
     sampler_fault_hook: Option<FaultHook>,
+    /// Iterations whose reported loss is forced to NaN (chaos-test hook
+    /// for the numeric-health guard). Entries are consumed when they fire.
+    nan_iters: BTreeSet<u32>,
+    /// Straggler-hedging policy for the async sampler (off by default).
+    hedge: Option<HedgePolicy>,
     /// Set by a degraded restore; consumed into the next epoch's stats.
     degraded_resume: bool,
 }
@@ -127,9 +133,10 @@ impl Trainer {
             iter: 0,
             epoch: 0,
             rng,
-            fault_plan: None,
-            retry_policy: RetryPolicy::default(),
+            faults: FaultState::none(),
             sampler_fault_hook: None,
+            nan_iters: BTreeSet::new(),
+            hedge: None,
             degraded_resume: false,
         }
     }
@@ -138,8 +145,7 @@ impl Trainer {
     /// subjected to `plan` under `policy`. The plan's RNG stream persists
     /// across epochs, so a full run is one deterministic fault schedule.
     pub fn inject_faults(&mut self, plan: FaultPlan, policy: RetryPolicy) {
-        self.fault_plan = Some(plan);
-        self.retry_policy = policy;
+        self.faults.inject(plan, policy);
     }
 
     /// Install a hook invoked inside async sampler workers before each
@@ -147,6 +153,42 @@ impl Trainer {
     /// the worker-recovery path. Test-only in spirit, but harmless live.
     pub fn set_sampler_fault_hook(&mut self, hook: Option<FaultHook>) {
         self.sampler_fault_hook = hook;
+    }
+
+    /// Arm the interconnect circuit breaker under `policy`: repeated
+    /// budget-exhausted transfers trip it open, and while it is open the
+    /// pipeline runs batches in **degraded mode** (ring cache bypassed,
+    /// every needed row fetched raw) instead of burning retry time.
+    pub fn enable_breaker(&mut self, policy: BreakerPolicy) {
+        self.faults.arm_breaker(policy);
+    }
+
+    /// Force the loss reported at the given iterations to NaN (chaos-test
+    /// hook exercising the numeric-health guard and rollback path inside
+    /// [`Trainer::train_epoch_resilient`]). Each entry fires once.
+    pub fn inject_nan_at(&mut self, iters: impl IntoIterator<Item = u32>) {
+        self.nan_iters.extend(iters);
+    }
+
+    /// Enable (or disable with `None`) straggler hedging on
+    /// [`Trainer::train_epoch_async`]'s sampler: overdue batches are
+    /// re-dispatched inline with identical RNG, so hedging never changes
+    /// the delivered stream — only its latency.
+    pub fn set_hedge(&mut self, policy: Option<HedgePolicy>) {
+        self.hedge = policy;
+    }
+
+    /// State of the interconnect circuit breaker, if one is armed.
+    pub fn breaker_state(&self) -> Option<BreakerState> {
+        self.faults.breaker_state()
+    }
+
+    /// Breaker lifetime statistics `(trips, fast_fails)`, if one is armed.
+    pub fn breaker_stats(&self) -> Option<(u64, u64)> {
+        self.faults
+            .breaker
+            .as_ref()
+            .map(|b| (b.trips, b.fast_fails))
     }
 
     /// Layer dimensions `[in, hidden.., out]`.
@@ -241,6 +283,13 @@ impl Trainer {
             // Graceful degradation: resume correct but cold.
             self.cache.clear();
             degraded = true;
+        } else {
+            // The snapshot may have been taken from a cache that ran past
+            // the checkpoint's iteration cursor (rollback, or a grafted
+            // segment). Future-stamped entries would look forever fresh
+            // (`age = now - stamp` saturates at 0) and silently violate
+            // the t_stale bound — evict them now.
+            self.cache.evict_newer_than(ckpt.iter);
         }
         self.degraded_resume = degraded;
         // Align the metric baseline with the restored cache counters, so
@@ -290,8 +339,7 @@ impl Trainer {
         };
         let result = Engine::run_epoch(
             &topo,
-            &mut self.fault_plan,
-            self.retry_policy,
+            &mut self.faults,
             &mut self.counters,
             &mut self.obs,
             StallPolicy::Free,
@@ -302,6 +350,156 @@ impl Trainer {
         let mut stats = result.unwrap();
         self.finish_epoch(&mut stats);
         stats
+    }
+
+    /// Train one epoch under the health supervisor: every batch loss is
+    /// fed through `sup`'s [`NumericGuard`], and a tripped guard (NaN/Inf
+    /// loss, or a loss spike past the z-score threshold) aborts the epoch,
+    /// rolls the trainer back to the supervisor's last-known-good baseline
+    /// checkpoint and replays it. The rollback restores the RNG, so the
+    /// replay walks the exact same batch schedule; restoring also evicts
+    /// ring-cache entries stamped after the baseline iteration, keeping
+    /// the `t_stale` bound intact across the rewind.
+    ///
+    /// State machine: a fault moves the supervisor `→ Degraded`, the
+    /// rollback `→ Recovering`, and the first clean epoch `→ Healthy`
+    /// (which also refreshes the baseline). If the circuit breaker is open
+    /// after a clean epoch the supervisor parks in `Degraded` instead and
+    /// the baseline is left alone.
+    ///
+    /// Errors with [`FgnnError::Numeric`] once `sup`'s rollback budget is
+    /// exhausted (a deterministic divergence replays identically, so
+    /// retrying forever would livelock).
+    pub fn train_epoch_resilient(
+        &mut self,
+        ds: &Dataset,
+        opt: &mut dyn Optimizer,
+        sup: &mut Supervisor,
+    ) -> Result<EpochStats, crate::error::FgnnError> {
+        use crate::error::FgnnError;
+        if !sup.has_baseline() {
+            sup.set_baseline(self.checkpoint(opt));
+        }
+        loop {
+            let mut shuffle_rng = self.rng.fork();
+            let batches =
+                split_batches(&ds.train_nodes, self.cfg.batch_size, Some(&mut shuffle_rng));
+            let mut nan_iters = std::mem::take(&mut self.nan_iters);
+            let (stats, fault) =
+                self.train_on_batches_guarded(ds, &batches, opt, &mut sup.guard, &mut nan_iters);
+            // Unconsumed injections stay armed for later iterations.
+            self.nan_iters = nan_iters;
+            let Some(fault) = fault else {
+                let breaker_open = matches!(self.faults.breaker_state(), Some(BreakerState::Open));
+                if breaker_open || stats.degraded_batches > 0 {
+                    sup.transition(
+                        HealthState::Degraded,
+                        self.iter,
+                        self.epoch,
+                        "breaker-open",
+                        &mut self.obs,
+                    );
+                } else {
+                    sup.transition(
+                        HealthState::Healthy,
+                        self.iter,
+                        self.epoch,
+                        "epoch-clean",
+                        &mut self.obs,
+                    );
+                    sup.set_baseline(self.checkpoint(opt));
+                }
+                return Ok(stats);
+            };
+            sup.transition(
+                HealthState::Degraded,
+                fault.iter(),
+                self.epoch,
+                fault.cause(),
+                &mut self.obs,
+            );
+            if !sup.can_roll_back() {
+                return Err(FgnnError::Numeric(format!(
+                    "rollback budget exhausted after {} rollbacks: {}",
+                    sup.rollbacks(),
+                    fault.cause()
+                )));
+            }
+            let ckpt = sup.baseline().cloned().ok_or_else(|| {
+                FgnnError::Numeric(format!("no baseline to roll back to: {}", fault.cause()))
+            })?;
+            self.restore(&ckpt, opt)?;
+            sup.record_rollback(&mut self.obs);
+            sup.transition(
+                HealthState::Recovering,
+                ckpt.iter,
+                self.epoch,
+                "rollback",
+                &mut self.obs,
+            );
+        }
+    }
+
+    /// [`Trainer::train_on_batches`] with the numeric-health guard in the
+    /// loop. Once the guard trips, the remaining batches are skipped (no
+    /// further parameter updates on a known-bad trajectory) and the fault
+    /// is returned alongside the partial epoch's stats.
+    fn train_on_batches_guarded(
+        &mut self,
+        ds: &Dataset,
+        batches: &[Vec<NodeId>],
+        opt: &mut dyn Optimizer,
+        guard: &mut NumericGuard,
+        nan_iters: &mut BTreeSet<u32>,
+    ) -> (EpochStats, Option<NumericFault>) {
+        let topo = self.machine.topology.clone();
+        let loader = FeatureLoader::new(
+            &ds.features,
+            ds.spec.feature_row_bytes(),
+            std::mem::replace(&mut self.static_cache, StaticFeatureCache::disabled(0)),
+            self.cfg.load_mode,
+        );
+        let mut stages = FreshGnnStages {
+            model: &mut self.model,
+            cache: &mut self.cache,
+            sampler: &mut self.sampler,
+            rng: &mut self.rng,
+            iter: &mut self.iter,
+            cfg: &self.cfg,
+            dims: &self.dims,
+            machine: &self.machine,
+            loader,
+            ds,
+        };
+        let mut fault: Option<NumericFault> = None;
+        let result = Engine::run_epoch(
+            &topo,
+            &mut self.faults,
+            &mut self.counters,
+            &mut self.obs,
+            StallPolicy::Free,
+            batches.iter().map(Ok::<_, std::convert::Infallible>),
+            |ctx, counters, seeds| {
+                if fault.is_some() {
+                    return None;
+                }
+                let it = *stages.iter;
+                let mut out = stages.train_batch(ctx, counters, seeds, opt);
+                if nan_iters.remove(&it) {
+                    out.loss = f32::NAN;
+                }
+                if let Some(f) = guard.observe(it, out.loss) {
+                    fault = Some(f);
+                    // The faulty loss must not poison the epoch mean.
+                    return None;
+                }
+                Some(out)
+            },
+        );
+        self.static_cache = stages.loader.into_static_cache();
+        let mut stats = result.unwrap();
+        self.finish_epoch(&mut stats);
+        (stats, fault)
     }
 
     /// Post-epoch bookkeeping shared by the sync and async paths.
@@ -359,6 +557,14 @@ impl Trainer {
             "sampler.resample_retries",
             MetricClass::Exact,
             r.resample_retries,
+        );
+        // Hedge counts depend on wall-clock straggler timing: Measured,
+        // never part of the Exact rerun-identical stream.
+        m.counter_add("sampler.hedges", MetricClass::Measured, r.hedges);
+        m.counter_add(
+            "sampler.hedge_discards",
+            MetricClass::Measured,
+            r.hedge_discards,
         );
         for (w, (&t, &n)) in r.worker_tasks.iter().zip(&r.worker_task_nanos).enumerate() {
             m.counter_add(
@@ -426,6 +632,9 @@ impl Trainer {
             self.cfg.sampler_retries,
             self.sampler_fault_hook.clone(),
         );
+        if let Some(policy) = self.hedge {
+            stream = stream.with_hedging(policy);
+        }
 
         let topo = self.machine.topology.clone();
         let loader = FeatureLoader::new(
@@ -448,8 +657,7 @@ impl Trainer {
         };
         let result = Engine::run_epoch(
             &topo,
-            &mut self.fault_plan,
-            self.retry_policy,
+            &mut self.faults,
             &mut self.counters,
             &mut self.obs,
             // Only queue stalls count as sampling time (async overlap).
@@ -549,6 +757,13 @@ impl<'t> FreshGnnStages<'_, '_> {
         let seeds: Vec<NodeId> = mb.seeds.clone();
         let seeds = &seeds[..];
         let now = *self.iter;
+
+        // Degraded mode: with the circuit breaker open the interconnect is
+        // known bad, so stale cache reads are not worth trusting — bypass
+        // the ring cache for this batch (prune finds nothing, every needed
+        // row loads raw, no admissions).
+        let degraded = ctx.breaker_open();
+        self.cache.set_bypass(degraded);
 
         // 2. Prune against the cache (measured).
         let outcome = ctx.stage(StageKind::Prune, counters, |_, _| {
@@ -667,11 +882,13 @@ impl<'t> FreshGnnStages<'_, '_> {
             c.compute_seconds += self.machine.gpu.compute_seconds(flops);
         });
 
+        self.cache.set_bypass(false);
         *self.iter += 1;
         BatchOutput {
             loss,
             cache_reads: outcome.cached.iter().map(Vec::len).sum::<usize>() as u64,
             computed_nodes: outcome.computed.iter().flatten().filter(|&&c| c).count() as u64,
+            degraded,
         }
     }
 }
@@ -887,6 +1104,75 @@ mod tests {
         assert_eq!(l1, l4, "async stream must be thread-count invariant");
         assert_eq!(b1, b4);
         assert!(l1[2] < l1[0], "loss must decrease: {l1:?}");
+    }
+
+    #[test]
+    fn resilient_epoch_rolls_back_on_injected_nan() {
+        use crate::resilience::Supervisor;
+        let ds = tiny_dataset();
+        let mut t = Trainer::new(
+            &ds,
+            Arch::Sage,
+            16,
+            Machine::single_a100(),
+            config(0.9, 50),
+            7,
+        );
+        let mut opt = Adam::new(0.01);
+        let mut sup = Supervisor::default();
+        let clean = t.train_epoch_resilient(&ds, &mut opt, &mut sup).unwrap();
+        assert!(sup.transitions().is_empty(), "clean epoch stays healthy");
+        assert_eq!(sup.rollbacks(), 0);
+
+        t.inject_nan_at([t.iterations() + 3]);
+        let recovered = t.train_epoch_resilient(&ds, &mut opt, &mut sup).unwrap();
+        assert_eq!(sup.rollbacks(), 1);
+        let arcs: Vec<_> = sup
+            .transitions()
+            .iter()
+            .map(|tr| (tr.from.name(), tr.to.name()))
+            .collect();
+        assert_eq!(
+            arcs,
+            vec![
+                ("healthy", "degraded"),
+                ("degraded", "recovering"),
+                ("recovering", "healthy"),
+            ]
+        );
+        // The rollback restored the RNG, so the replay walks the full
+        // batch schedule; the injection was consumed, so it runs clean.
+        assert_eq!(recovered.batches, clean.batches);
+        assert!(recovered.mean_loss.is_finite());
+        assert_eq!(t.epochs(), 2, "replay must not inflate the epoch count");
+    }
+
+    #[test]
+    fn resilient_epoch_errors_when_rollback_budget_exhausted() {
+        use crate::error::FgnnError;
+        use crate::resilience::{GuardConfig, Supervisor, SupervisorConfig};
+        let ds = tiny_dataset();
+        let mut t = Trainer::new(
+            &ds,
+            Arch::Sage,
+            16,
+            Machine::single_a100(),
+            config(0.9, 50),
+            8,
+        );
+        let mut opt = Adam::new(0.01);
+        let mut sup = Supervisor::new(SupervisorConfig {
+            max_rollbacks: 2,
+            guard: GuardConfig::default(),
+        });
+        // Injections at the same post-rollback iteration re-fire on every
+        // replay: a persistent divergence.
+        t.inject_nan_at([0, 1, 2, 3]);
+        let err = t
+            .train_epoch_resilient(&ds, &mut opt, &mut sup)
+            .unwrap_err();
+        assert!(matches!(err, FgnnError::Numeric(_)), "{err}");
+        assert_eq!(sup.rollbacks(), 2);
     }
 
     #[test]

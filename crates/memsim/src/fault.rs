@@ -193,6 +193,180 @@ impl FaultPlan {
     }
 }
 
+/// Tunables for the per-engine [`CircuitBreaker`].
+#[derive(Clone, Copy, Debug)]
+pub struct BreakerPolicy {
+    /// Consecutive budget-exhausted transfers that trip the breaker open.
+    pub failure_threshold: u32,
+    /// Fast-failed transfers absorbed while open before the breaker moves
+    /// to half-open and lets one probe transfer through the normal
+    /// attempt loop (clamped to at least 1).
+    pub cooldown: u32,
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> Self {
+        BreakerPolicy {
+            failure_threshold: 3,
+            cooldown: 8,
+        }
+    }
+}
+
+/// Where a [`CircuitBreaker`] currently stands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Transfers run the normal attempt/retry loop.
+    Closed,
+    /// Transfers fail fast onto the fallback path without burning retries.
+    Open,
+    /// Cooldown elapsed: the next transfer is a full probe attempt.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable numeric code for metric export (`0` closed, `1` open,
+    /// `2` half-open).
+    pub fn code(self) -> u64 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::Open => 1,
+            BreakerState::HalfOpen => 2,
+        }
+    }
+
+    /// Stable lowercase name for logs and exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+/// Deterministic circuit breaker over the transfer fallback path.
+///
+/// Driven entirely by the (plan-RNG-determined) outcomes of faulted
+/// transfers, so its transition sequence is a pure function of the fault
+/// seed: `failure_threshold` *consecutive* transfers that exhaust their
+/// retry budget trip it open; while open every transfer short-circuits to
+/// the reliable fallback path (no retries, no backoff — the retry budget
+/// is not burned on a link already known bad); after `cooldown`
+/// fast-failed transfers it goes half-open and lets one probe run the
+/// full attempt loop — a delivered probe closes it, a failed probe
+/// re-opens it. The engine only consults the breaker while a fault plan
+/// is active, so fault-free runs never observe it.
+#[derive(Clone, Debug)]
+pub struct CircuitBreaker {
+    policy: BreakerPolicy,
+    state: BreakerState,
+    consecutive_failures: u32,
+    cooldown_left: u32,
+    /// Times the breaker tripped open.
+    pub trips: u64,
+    /// Transfers short-circuited straight to the fallback path while open.
+    pub fast_fails: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker under `policy`.
+    pub fn new(policy: BreakerPolicy) -> Self {
+        CircuitBreaker {
+            policy,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            cooldown_left: 0,
+            trips: 0,
+            fast_fails: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Whether the breaker is open (transfers fail fast; the pipeline's
+    /// degraded mode keys off this).
+    pub fn is_open(&self) -> bool {
+        self.state == BreakerState::Open
+    }
+
+    /// Called by the engine before a transfer's attempt loop. Returns
+    /// `true` when the transfer must fail fast (breaker open), counting
+    /// the fast-fail and ticking the cooldown toward half-open.
+    pub fn fail_fast(&mut self) -> bool {
+        if self.state != BreakerState::Open {
+            return false;
+        }
+        self.fast_fails += 1;
+        self.cooldown_left = self.cooldown_left.saturating_sub(1);
+        if self.cooldown_left == 0 {
+            self.state = BreakerState::HalfOpen;
+        }
+        true
+    }
+
+    /// A transfer delivered within its retry budget.
+    pub fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+        if self.state == BreakerState::HalfOpen {
+            self.state = BreakerState::Closed;
+        }
+    }
+
+    /// A transfer exhausted its retry budget (took the fallback path).
+    pub fn record_failure(&mut self) {
+        self.consecutive_failures += 1;
+        if self.state == BreakerState::HalfOpen
+            || self.consecutive_failures >= self.policy.failure_threshold
+        {
+            self.state = BreakerState::Open;
+            self.trips += 1;
+            self.cooldown_left = self.policy.cooldown.max(1);
+            self.consecutive_failures = 0;
+        }
+    }
+}
+
+/// The fault-injection state a trainer threads through the pipeline
+/// engine each epoch: the seeded plan (whose RNG stream advances across
+/// epochs), the retry policy, and the optional circuit breaker (whose
+/// trip state likewise persists across epochs).
+#[derive(Clone, Debug, Default)]
+pub struct FaultState {
+    /// Seed-driven fault schedule; `None` disables injection entirely.
+    pub plan: Option<FaultPlan>,
+    /// Retry budget applied while the plan is active.
+    pub policy: RetryPolicy,
+    /// Optional circuit breaker over the fallback path.
+    pub breaker: Option<CircuitBreaker>,
+}
+
+impl FaultState {
+    /// No fault injection at all.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Install `plan` under `policy`, keeping any existing breaker.
+    pub fn inject(&mut self, plan: FaultPlan, policy: RetryPolicy) {
+        self.plan = Some(plan);
+        self.policy = policy;
+    }
+
+    /// Install a closed circuit breaker under `policy`.
+    pub fn arm_breaker(&mut self, policy: BreakerPolicy) {
+        self.breaker = Some(CircuitBreaker::new(policy));
+    }
+
+    /// State of the breaker, if one is armed.
+    pub fn breaker_state(&self) -> Option<BreakerState> {
+        self.breaker.as_ref().map(|b| b.state())
+    }
+}
+
 /// Bounded-retry policy for faulted transfers.
 #[derive(Clone, Copy, Debug)]
 pub struct RetryPolicy {
@@ -300,5 +474,75 @@ mod tests {
     #[should_panic(expected = "outside [0, 1]")]
     fn rejects_bad_probability() {
         let _ = FaultPlan::new(0).with_fail_prob(1.5);
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_consecutive_failures() {
+        let mut b = CircuitBreaker::new(BreakerPolicy {
+            failure_threshold: 3,
+            cooldown: 2,
+        });
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed);
+        // A success in between resets the streak.
+        b.record_success();
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips, 1);
+    }
+
+    #[test]
+    fn breaker_cooldown_leads_to_half_open_probe() {
+        let mut b = CircuitBreaker::new(BreakerPolicy {
+            failure_threshold: 1,
+            cooldown: 2,
+        });
+        b.record_failure();
+        assert!(b.is_open());
+        assert!(b.fail_fast());
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(b.fail_fast(), "last cooldown tick still fails fast");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.fail_fast(), "half-open lets the probe through");
+        assert_eq!(b.fast_fails, 2);
+        // Successful probe closes; failed probe would re-open.
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn breaker_failed_probe_reopens_immediately() {
+        let mut b = CircuitBreaker::new(BreakerPolicy {
+            failure_threshold: 5,
+            cooldown: 1,
+        });
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed, "below threshold");
+        // Force open via threshold.
+        for _ in 0..5 {
+            b.record_failure();
+        }
+        assert!(b.is_open());
+        assert!(b.fail_fast());
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // One failed probe re-opens without needing the full streak.
+        b.record_failure();
+        assert!(b.is_open());
+        assert_eq!(b.trips, 2);
+    }
+
+    #[test]
+    fn fault_state_defaults_are_inert() {
+        let s = FaultState::none();
+        assert!(s.plan.is_none());
+        assert!(s.breaker.is_none());
+        assert!(s.breaker_state().is_none());
+        let mut armed = FaultState::none();
+        armed.arm_breaker(BreakerPolicy::default());
+        assert_eq!(armed.breaker_state(), Some(BreakerState::Closed));
     }
 }

@@ -38,7 +38,10 @@ pub mod topology;
 pub mod transfer;
 
 pub use counters::TrafficCounters;
-pub use fault::{AttemptOutcome, FaultPlan, LinkHealth, RetryPolicy};
+pub use fault::{
+    AttemptOutcome, BreakerPolicy, BreakerState, CircuitBreaker, FaultPlan, FaultState, LinkHealth,
+    RetryPolicy,
+};
 pub use stage::{StageKind, StageTimings};
 pub use topology::{Node, Topology};
 pub use transfer::TransferEngine;

@@ -21,7 +21,7 @@
 //! complete — faults cost time, never data.
 
 use crate::counters::TrafficCounters;
-use crate::fault::{AttemptOutcome, FaultPlan, RetryPolicy};
+use crate::fault::{AttemptOutcome, CircuitBreaker, FaultPlan, RetryPolicy};
 use crate::topology::{Node, Topology};
 
 /// Synchronization latency per two-sided rendezvous (seconds). Two are paid
@@ -54,6 +54,7 @@ pub struct TransferEngine<'a> {
     /// of the affected route once).
     pub link_retries: Vec<u64>,
     faults: Option<(FaultPlan, RetryPolicy)>,
+    breaker: Option<CircuitBreaker>,
 }
 
 impl<'a> TransferEngine<'a> {
@@ -65,6 +66,7 @@ impl<'a> TransferEngine<'a> {
             link_retries: vec![0; topo.links().len()],
             topo,
             faults: None,
+            breaker: None,
         }
     }
 
@@ -76,6 +78,7 @@ impl<'a> TransferEngine<'a> {
             link_retries: vec![0; topo.links().len()],
             topo,
             faults: Some((plan, policy)),
+            breaker: None,
         }
     }
 
@@ -83,6 +86,25 @@ impl<'a> TransferEngine<'a> {
     /// epochs so the fault RNG stream continues instead of restarting).
     pub fn take_fault_plan(&mut self) -> Option<FaultPlan> {
         self.faults.take().map(|(plan, _)| plan)
+    }
+
+    /// Install a circuit breaker over the fallback path. The breaker is
+    /// only consulted while an active fault plan is installed; fault-free
+    /// engines never touch it.
+    pub fn set_breaker(&mut self, breaker: Option<CircuitBreaker>) {
+        self.breaker = breaker;
+    }
+
+    /// Take the breaker back out (re-threaded across epochs like the fault
+    /// plan, so trip state and counters persist).
+    pub fn take_breaker(&mut self) -> Option<CircuitBreaker> {
+        self.breaker.take()
+    }
+
+    /// Whether an installed breaker is currently open (the pipeline keys
+    /// its cache-bypassing degraded mode off this).
+    pub fn breaker_open(&self) -> bool {
+        self.breaker.as_ref().is_some_and(|b| b.is_open())
     }
 
     /// Route and nominal (fault-free) seconds for `bytes` from `src` to
@@ -127,6 +149,19 @@ impl<'a> TransferEngine<'a> {
         let slowdown = commits.iter().try_fold(1.0f64, |acc, (route, _)| {
             plan.route_slowdown(route).map(|f| acc * f)
         });
+        // Open breaker: skip the attempt loop entirely and take the
+        // reliable fallback path — no retries or backoff are charged for a
+        // link already known bad.
+        let fast_fail = self.breaker.as_mut().is_some_and(|b| b.fail_fast());
+        if fast_fail {
+            counters.failed_transfers += 1;
+            let f = FALLBACK_PENALTY * slowdown.unwrap_or(1.0);
+            for (route, base) in commits {
+                self.commit(route, base * f);
+            }
+            self.faults = Some((plan, policy));
+            return nominal * f;
+        }
         let mut delivered = None;
         for attempt in 0..=policy.max_retries {
             let outcome = match slowdown {
@@ -161,6 +196,13 @@ impl<'a> TransferEngine<'a> {
                         counters.retry_seconds += policy.backoff(attempt, &mut plan);
                     }
                 }
+            }
+        }
+        if let Some(b) = self.breaker.as_mut() {
+            if delivered.is_some() {
+                b.record_success();
+            } else {
+                b.record_failure();
             }
         }
         let (factor, t) = match delivered {
@@ -443,6 +485,85 @@ mod tests {
         eng.one_sided_read(Node::Host, Node::Gpu(0), 16_000_000, &mut c);
         assert_eq!(c.retries, 2, "both stalled attempts timed out");
         assert_eq!(c.failed_transfers, 1);
+    }
+
+    #[test]
+    fn breaker_opens_after_consecutive_fallbacks_and_fast_fails() {
+        use crate::fault::{BreakerPolicy, BreakerState};
+        let topo = Topology::pcie_tree(1, 1, 16.0 * GB);
+        // Every attempt fails: each transfer exhausts its budget.
+        let plan = FaultPlan::new(5).with_fail_prob(1.0);
+        let policy = RetryPolicy {
+            max_retries: 1,
+            ..Default::default()
+        };
+        let mut eng = TransferEngine::with_faults(&topo, plan, policy);
+        eng.set_breaker(Some(CircuitBreaker::new(BreakerPolicy {
+            failure_threshold: 3,
+            cooldown: 4,
+        })));
+        let mut c = TrafficCounters::new();
+        for _ in 0..3 {
+            eng.one_sided_read(Node::Host, Node::Gpu(0), 16_000_000, &mut c);
+        }
+        assert!(eng.breaker_open(), "three fallbacks trip the breaker");
+        let retries_before = c.retries;
+        let retry_secs_before = c.retry_seconds;
+        let t = eng.one_sided_read(Node::Host, Node::Gpu(0), 16_000_000, &mut c);
+        // Fast fail: fallback cost, but no retries or backoff burned.
+        assert!((t - FALLBACK_PENALTY * 1e-3).abs() < 1e-9, "t={t}");
+        assert_eq!(c.retries, retries_before);
+        assert_eq!(c.retry_seconds, retry_secs_before);
+        assert_eq!(c.failed_transfers, 4);
+        let b = eng.take_breaker().unwrap();
+        assert_eq!(b.trips, 1);
+        assert_eq!(b.fast_fails, 1);
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn breaker_half_open_probe_closes_on_recovery() {
+        use crate::fault::{BreakerPolicy, BreakerState};
+        let topo = Topology::pcie_tree(1, 1, 16.0 * GB);
+        // Deterministic alternation via a down link we remove by swapping
+        // plans: first plan fails everything, second is clean.
+        let plan = FaultPlan::new(5).with_fail_prob(1.0);
+        let policy = RetryPolicy {
+            max_retries: 0,
+            ..Default::default()
+        };
+        let mut eng = TransferEngine::with_faults(&topo, plan, policy);
+        eng.set_breaker(Some(CircuitBreaker::new(BreakerPolicy {
+            failure_threshold: 1,
+            cooldown: 1,
+        })));
+        let mut c = TrafficCounters::new();
+        eng.one_sided_read(Node::Host, Node::Gpu(0), 16_000_000, &mut c);
+        assert!(eng.breaker_open());
+        // One fast-fail exhausts the cooldown -> half-open.
+        eng.one_sided_read(Node::Host, Node::Gpu(0), 16_000_000, &mut c);
+        assert!(!eng.breaker_open());
+        // Link recovers: swap in a stall-free plan that still counts as
+        // active so the breaker stays engaged.
+        let _ = eng.take_fault_plan();
+        let recovered = FaultPlan::new(6).with_stalls(1.0, 0.0);
+        let mut eng2 = TransferEngine::with_faults(&topo, recovered, policy);
+        eng2.set_breaker(eng.take_breaker());
+        let t = eng2.one_sided_read(Node::Host, Node::Gpu(0), 16_000_000, &mut c);
+        assert!((t - 1e-3).abs() < 1e-9, "probe delivered at nominal, t={t}");
+        let b = eng2.take_breaker().unwrap();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn engine_without_breaker_is_unchanged_by_breaker_api() {
+        let topo = Topology::pcie_tree(1, 1, 16.0 * GB);
+        let mut eng = TransferEngine::new(&topo);
+        assert!(!eng.breaker_open());
+        assert!(eng.take_breaker().is_none());
+        let mut c = TrafficCounters::new();
+        let t = eng.one_sided_read(Node::Host, Node::Gpu(0), 16_000_000, &mut c);
+        assert!((t - 1e-3).abs() < 1e-9);
     }
 
     #[test]

@@ -23,6 +23,18 @@ cargo test -q --workspace
 FGNN_PROP_CASES=256 cargo test -q --test property_tests --test obs_invariants
 grep -q '"schemaVersion":"fgnn-obs-v1"' tests/golden/sync_trainer_2epoch.trace.json
 
+# Chaos suite at an elevated seed matrix: seeded fault storms, straggler
+# hedging and NaN-rollback across trainer families, byte-identical reruns.
+FGNN_PROP_CASES=256 cargo test -q --test chaos
+
+# Resilience transition exports must carry the obs schema tag.
+resilience_out="$(mktemp)"
+cargo run -q --release -p fgnn-bench --bin exp_resilience -- \
+    --resilience --resilience-out "$resilience_out" > /dev/null
+grep -q '"schemaVersion":"fgnn-obs-v1"' "$resilience_out"
+grep -q '"kind":"resilience"' "$resilience_out"
+rm -f "$resilience_out"
+
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "ci: all green"

@@ -333,6 +333,48 @@ fn degraded_resume_stream_differs_only_in_degraded_counter() {
     }
 }
 
+/// Rollback invariant: restoring a checkpoint whose cache snapshot holds
+/// entries stamped *after* the checkpoint's iteration cursor evicts them.
+/// A future-stamped entry would report `age = now - stamp = 0` forever and
+/// silently violate the `t_stale` bound — exactly the state a
+/// rollback-to-baseline would otherwise leave behind in a warm cache.
+#[test]
+fn restore_evicts_cache_entries_stamped_after_the_checkpoint() {
+    let ds = tiny();
+    let mut t = new_trainer(&ds, 15);
+    let mut opt = Adam::new(0.01);
+    t.train_epoch(&ds, &mut opt);
+    let mut early = t.checkpoint(&opt); // iteration cursor at 1 epoch
+    t.train_epoch(&ds, &mut opt);
+    let late = t.checkpoint(&opt); // cache stamped through epoch 2
+
+    // Graft the ran-ahead cache onto the older checkpoint — the shape a
+    // rollback restores: core state from the baseline, cache from a run
+    // that continued past it.
+    early.cache = late.cache.clone();
+    let mut grafted = new_trainer(&ds, 99);
+    let mut o1 = Adam::new(0.01);
+    grafted.restore(&early, &mut o1).expect("grafted restore");
+
+    // Restore already purged everything stamped past the cursor…
+    assert_eq!(
+        grafted.cache.evict_newer_than(early.iter),
+        0,
+        "future-stamped entries survived restore"
+    );
+    // …and the purge was real: a plain restore of the late checkpoint
+    // holds strictly more live entries.
+    let mut full = new_trainer(&ds, 98);
+    let mut o2 = Adam::new(0.01);
+    full.restore(&late, &mut o2).expect("late restore");
+    assert!(
+        grafted.cache.len() < full.cache.len(),
+        "eviction dropped nothing: grafted {} vs late {}",
+        grafted.cache.len(),
+        full.cache.len()
+    );
+}
+
 /// A checkpoint from a differently-shaped trainer is rejected with
 /// ShapeMismatch, not silently imported.
 #[test]

@@ -3,12 +3,15 @@
 //! learns exactly what a fault-free run learns (faults cost time, never
 //! correctness).
 
+use freshgnn_repro::core::hetero_trainer::HeteroTrainer;
+use freshgnn_repro::core::multi_gpu::{profile_system, profile_system_faulted, SystemKind};
 use freshgnn_repro::core::sampler::{AsyncSampler, FaultHook, SampleError};
 use freshgnn_repro::core::{FreshGnnConfig, Trainer};
 use freshgnn_repro::graph::datasets::arxiv_spec;
+use freshgnn_repro::graph::hetero::mag_hetero;
 use freshgnn_repro::graph::sample::split_batches;
 use freshgnn_repro::graph::Dataset;
-use freshgnn_repro::memsim::fault::{FaultPlan, RetryPolicy};
+use freshgnn_repro::memsim::fault::{BreakerPolicy, FaultPlan, RetryPolicy};
 use freshgnn_repro::memsim::presets::Machine;
 use freshgnn_repro::nn::model::Arch;
 use freshgnn_repro::nn::Adam;
@@ -214,4 +217,112 @@ fn dead_workers_surface_as_an_error() {
             }
         }
     }
+}
+
+/// The fault model holds for the hetero trainer too: a lossy fabric costs
+/// retries and simulated time but the learning trajectory is identical —
+/// faults touch the clock, never the data.
+#[test]
+fn hetero_training_survives_transfer_failures() {
+    let ds = mag_hetero(400, 4, 8, 3);
+    let hcfg = FreshGnnConfig {
+        p_grad: 0.9,
+        t_stale: 50,
+        fanouts: vec![3, 3],
+        batch_size: 8,
+        ..Default::default()
+    };
+
+    let mut clean = HeteroTrainer::new(&ds, 16, Machine::single_a100(), hcfg.clone(), 19);
+    let mut opt_clean = Adam::new(0.01);
+    let mut clean_losses = Vec::new();
+    for _ in 0..3 {
+        clean_losses.push(clean.train_epoch(&ds, &mut opt_clean).mean_loss);
+    }
+
+    // The hetero epoch issues one transfer per batch (15 across the run),
+    // so a 10% rate could legitimately draw zero failures; 30% cannot in
+    // practice, and the plan RNG makes the draw deterministic anyway.
+    let mut faulty = HeteroTrainer::new(&ds, 16, Machine::single_a100(), hcfg, 19);
+    faulty.inject_faults(
+        FaultPlan::new(77).with_fail_prob(0.30),
+        RetryPolicy::default(),
+    );
+    let mut opt_faulty = Adam::new(0.01);
+    let mut faulty_losses = Vec::new();
+    for _ in 0..3 {
+        faulty_losses.push(faulty.train_epoch(&ds, &mut opt_faulty).mean_loss);
+    }
+
+    assert!(faulty.counters.retries > 0, "no retries recorded");
+    assert!(faulty.counters.retry_seconds > 0.0, "no lost time recorded");
+    assert_eq!(
+        faulty.counters.host_to_gpu_bytes, clean.counters.host_to_gpu_bytes,
+        "useful work must be unchanged"
+    );
+    assert_eq!(clean_losses, faulty_losses, "loss trajectory diverged");
+}
+
+/// Multi-GPU profiling on a lossy fabric: without a breaker the profile is
+/// time-only faulted — retries are accounted and every byte/FLOP figure is
+/// exactly the fault-free profile; with the breaker armed under a fault
+/// storm, degraded iterations are reported.
+#[test]
+fn multi_gpu_profile_under_faults_accounts_retries_and_degraded_iters() {
+    let ds = tiny();
+    let base = cfg();
+
+    let clean = profile_system(&ds, Arch::Sage, 16, &base, SystemKind::FreshGnn, 2, 31);
+    assert_eq!(clean.retries, 0);
+    assert_eq!(clean.degraded_iters, 0);
+
+    // Lossy fabric, no breaker: time-only — the projection inputs match
+    // fault-free bit for bit.
+    let faulted = profile_system_faulted(
+        &ds,
+        Arch::Sage,
+        16,
+        &base,
+        SystemKind::FreshGnn,
+        2,
+        31,
+        Some((
+            FaultPlan::new(7).with_fail_prob(0.15),
+            RetryPolicy::default(),
+        )),
+        None,
+    );
+    assert!(faulted.retries > 0, "retries must be surfaced");
+    assert_eq!(faulted.degraded_iters, 0, "no breaker, no degraded mode");
+    assert_eq!(
+        faulted.bytes_per_iter.to_bits(),
+        clean.bytes_per_iter.to_bits()
+    );
+    assert_eq!(faulted.compute_s.to_bits(), clean.compute_s.to_bits());
+    assert_eq!(faulted.param_bytes.to_bits(), clean.param_bytes.to_bits());
+
+    // Fault storm with the breaker armed: the profile reports how many
+    // iterations ran degraded (ring cache bypassed).
+    let stormy = profile_system_faulted(
+        &ds,
+        Arch::Sage,
+        16,
+        &base,
+        SystemKind::FreshGnn,
+        2,
+        31,
+        Some((
+            FaultPlan::new(7).with_fail_prob(1.0),
+            RetryPolicy {
+                max_retries: 1,
+                ..Default::default()
+            },
+        )),
+        Some(BreakerPolicy {
+            failure_threshold: 2,
+            cooldown: 10_000,
+        }),
+    );
+    assert!(stormy.degraded_iters > 0, "breaker never opened");
+    assert!(stormy.retries > 0);
 }
