@@ -6,7 +6,9 @@ pub mod policy;
 pub mod ring;
 
 pub use feature_cache::StaticFeatureCache;
-pub use policy::{apply_policy, gradient_policy, PolicyInput, PolicyKind, Verdict};
+pub use policy::{
+    apply_policy, frequency_policy, gradient_policy, PolicyInput, PolicyKind, Verdict,
+};
 pub use ring::{RingCache, RingSnapshot};
 
 use fgnn_graph::NodeId;

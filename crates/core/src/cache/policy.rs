@@ -83,6 +83,40 @@ pub fn gradient_policy(inputs: &[PolicyInput], p_grad: f32) -> Vec<(PolicyInput,
     out
 }
 
+/// Serving-time admission: keep the most *requested* embeddings instead
+/// of the most *stable* ones.
+///
+/// Training admits by gradient norm because stability predicts reuse
+/// value; at inference time there are no gradients, so request frequency
+/// is the surrogate stability score — a hot node's embedding amortizes
+/// its recompute over many requests exactly as a stable node's amortizes
+/// over many iterations. `grad_norm` carries the observed request count
+/// and the *top* `p_hot` fraction is admitted/kept (ties broken by node
+/// ID, so verdicts are deterministic for equal-frequency nodes).
+pub fn frequency_policy(inputs: &[PolicyInput], p_hot: f32) -> Vec<(PolicyInput, Verdict)> {
+    // Reuse the gradient machinery with the score negated: "smallest
+    // norm is most stable" becomes "largest frequency is most stable".
+    let flipped: Vec<PolicyInput> = inputs
+        .iter()
+        .map(|x| PolicyInput {
+            grad_norm: -x.grad_norm,
+            ..*x
+        })
+        .collect();
+    gradient_policy(&flipped, p_hot)
+        .into_iter()
+        .map(|(x, v)| {
+            (
+                PolicyInput {
+                    grad_norm: -x.grad_norm,
+                    ..x
+                },
+                v,
+            )
+        })
+        .collect()
+}
+
 /// Apply the chosen criterion. `rng` is only consumed by
 /// [`PolicyKind::Random`].
 pub fn apply_policy(
@@ -216,6 +250,37 @@ mod tests {
         let out = apply_policy(PolicyKind::InverseGradient, &inputs, 0.5, &mut rng);
         assert_eq!(verdict_of(&out, 1), Verdict::Admit);
         assert_eq!(verdict_of(&out, 0), Verdict::Skip);
+    }
+
+    #[test]
+    fn frequency_policy_admits_hottest_nodes() {
+        // grad_norm carries request counts: 3 hot nodes, 3 cold.
+        let inputs = vec![
+            input(0, 40.0, false),
+            input(1, 2.0, false),
+            input(2, 31.0, true),
+            input(3, 1.0, true),
+            input(4, 25.0, false),
+            input(5, 3.0, false),
+        ];
+        let out = frequency_policy(&inputs, 0.5);
+        assert_eq!(verdict_of(&out, 0), Verdict::Admit);
+        assert_eq!(verdict_of(&out, 2), Verdict::Keep);
+        assert_eq!(verdict_of(&out, 4), Verdict::Admit);
+        assert_eq!(verdict_of(&out, 1), Verdict::Skip);
+        assert_eq!(verdict_of(&out, 3), Verdict::Evict);
+        assert_eq!(verdict_of(&out, 5), Verdict::Skip);
+        // The reported score is the caller's frequency, not the negated
+        // internal surrogate.
+        assert!(out.iter().all(|(x, _)| x.grad_norm >= 0.0));
+    }
+
+    #[test]
+    fn frequency_ties_break_by_node_id() {
+        let inputs = vec![input(9, 5.0, false), input(4, 5.0, false)];
+        let out = frequency_policy(&inputs, 0.5);
+        assert_eq!(verdict_of(&out, 4), Verdict::Admit);
+        assert_eq!(verdict_of(&out, 9), Verdict::Skip);
     }
 
     #[test]

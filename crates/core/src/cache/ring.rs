@@ -139,6 +139,15 @@ impl RingCache {
         self.table.row(slot as usize)
     }
 
+    /// Age at `now` of the entry in `slot` (same clock units as the
+    /// `lookup` stamps). The serving read path records the exact age of
+    /// every embedding it serves so the per-request staleness budget — the
+    /// serving analogue of the training `t_stale` invariant — is provable
+    /// rather than assumed.
+    pub fn age_of(&self, slot: u32, now: u32) -> u32 {
+        now.saturating_sub(self.stamp[slot as usize])
+    }
+
     /// Admit (or refresh) `node` with `row` at iteration `now`.
     ///
     /// Grows the table when the ring header catches up with entries still
@@ -163,6 +172,34 @@ impl RingCache {
             self.grow();
         }
 
+        let h = self.head;
+        let occupant = self.node_of[h];
+        if occupant != INVALID {
+            if self.slot_of[occupant as usize] == h as u32 {
+                self.slot_of[occupant as usize] = INVALID;
+            }
+            self.overwrites += 1;
+        }
+        self.table.set_row(h, row);
+        self.node_of[h] = node;
+        self.stamp[h] = now;
+        self.slot_of[node as usize] = h as u32;
+        self.head = (h + 1) % self.capacity();
+    }
+
+    /// Admit (or refresh) `node` with `row` at `now` **without ever
+    /// growing**: the header row is overwritten even when its occupant is
+    /// still fresh. The serving engine uses this so cache capacity stays a
+    /// real experiment knob under any admission burst; training keeps the
+    /// §4.2 grow-on-demand semantics of [`RingCache::admit`].
+    pub fn admit_fixed(&mut self, node: NodeId, row: &[f32], now: u32) {
+        debug_assert_eq!(row.len(), self.dim);
+        let existing = self.slot_of[node as usize];
+        if existing != INVALID && self.node_of[existing as usize] == node {
+            self.table.set_row(existing as usize, row);
+            self.stamp[existing as usize] = now;
+            return;
+        }
         let h = self.head;
         let occupant = self.node_of[h];
         if occupant != INVALID {
@@ -325,6 +362,29 @@ mod tests {
 
     fn row(v: f32, dim: usize) -> Vec<f32> {
         vec![v; dim]
+    }
+
+    #[test]
+    fn admit_fixed_overwrites_instead_of_growing() {
+        let mut c = RingCache::new(32, 4, 2);
+        // Eight same-tick admissions into a 4-slot ring: `admit` would
+        // reallocate (every occupant is fresh at `now`); the fixed-size
+        // variant wraps and overwrites instead.
+        for n in 0..8u32 {
+            c.admit_fixed(n, &row(n as f32, 2), 5);
+        }
+        assert_eq!(c.capacity(), 4, "capacity is pinned");
+        assert_eq!(c.overwrites, 4);
+        for n in 0..4u32 {
+            assert!(c.lookup(n, 5, 0).is_none(), "node {n} was overwritten");
+        }
+        let slot = c.lookup(6, 5, 0).expect("recent admit survives");
+        assert_eq!(c.fetch(slot), &[6.0, 6.0]);
+        // Refreshing a live node updates in place, no header advance.
+        c.admit_fixed(6, &row(9.0, 2), 6);
+        let slot = c.lookup(6, 6, 0).expect("refreshed");
+        assert_eq!(c.fetch(slot), &[9.0, 9.0]);
+        assert_eq!(c.capacity(), 4);
     }
 
     #[test]

@@ -28,6 +28,12 @@ pub enum FgnnError {
     Config(String),
     /// Numeric health guard tripped and recovery was exhausted.
     Numeric(String),
+    /// The serving engine hit an invalid configuration or request (bad
+    /// trace, zero-capacity queue, node outside the embedding store).
+    Serve(String),
+    /// The serving admission controller rejected work it cannot absorb:
+    /// offered load exceeds what the bounded queue + token bucket accept.
+    Overload(String),
     /// Underlying I/O failure outside the checkpoint framing.
     Io(std::io::Error),
 }
@@ -43,6 +49,8 @@ impl FgnnError {
             FgnnError::Load(_) => "load",
             FgnnError::Config(_) => "config",
             FgnnError::Numeric(_) => "numeric",
+            FgnnError::Serve(_) => "serve",
+            FgnnError::Overload(_) => "overload",
             FgnnError::Io(_) => "io",
         }
     }
@@ -57,6 +65,8 @@ impl fmt::Display for FgnnError {
             FgnnError::Load(m) => write!(f, "feature-load error: {m}"),
             FgnnError::Config(m) => write!(f, "config error: {m}"),
             FgnnError::Numeric(m) => write!(f, "numeric-health error: {m}"),
+            FgnnError::Serve(m) => write!(f, "serving error: {m}"),
+            FgnnError::Overload(m) => write!(f, "overload error: {m}"),
             FgnnError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -118,6 +128,52 @@ mod tests {
         let e: FgnnError = CheckpointError::Truncated.into();
         assert_eq!(e.kind(), "checkpoint");
         assert!(e.to_string().contains("truncated"));
+    }
+
+    /// Exhaustive display/kind round-trip: one instance of *every*
+    /// variant (the match below fails to compile when a variant is added
+    /// without extending this list), each checked for a stable `kind()`
+    /// and a display string that leads with its domain.
+    #[test]
+    fn every_variant_displays_and_round_trips_its_kind() {
+        let variants: Vec<FgnnError> = vec![
+            FgnnError::Checkpoint(CheckpointError::BadMagic),
+            FgnnError::Sample(SampleError::BatchPanicked {
+                batch_index: 0,
+                attempts: 1,
+            }),
+            FgnnError::Cache("c".into()),
+            FgnnError::Load("l".into()),
+            FgnnError::Config("c".into()),
+            FgnnError::Numeric("n".into()),
+            FgnnError::Serve("queue cap 0".into()),
+            FgnnError::Overload("bucket empty".into()),
+            FgnnError::Io(std::io::Error::other("disk on fire")),
+        ];
+        let mut seen = std::collections::BTreeSet::new();
+        for e in &variants {
+            // Compile-time exhaustiveness + the expected display prefix.
+            let prefix = match e {
+                FgnnError::Checkpoint(_) => "checkpoint error",
+                FgnnError::Sample(_) => "sampler error",
+                FgnnError::Cache(_) => "cache error",
+                FgnnError::Load(_) => "feature-load error",
+                FgnnError::Config(_) => "config error",
+                FgnnError::Numeric(_) => "numeric-health error",
+                FgnnError::Serve(_) => "serving error",
+                FgnnError::Overload(_) => "overload error",
+                FgnnError::Io(_) => "i/o error",
+            };
+            let shown = e.to_string();
+            assert!(
+                shown.starts_with(prefix),
+                "{shown:?} should start with {prefix:?}"
+            );
+            assert!(seen.insert(e.kind()), "duplicate kind {:?}", e.kind());
+        }
+        assert_eq!(seen.len(), variants.len());
+        // The serving-side kinds the supervisor matches on are pinned.
+        assert!(seen.contains("serve") && seen.contains("overload"));
     }
 
     #[test]

@@ -34,6 +34,9 @@
 //! * [`multi_gpu`] — data-parallel training over simulated GPU topologies
 //!   (Fig 11);
 //! * [`hetero_trainer`] — the §7.6 R-GraphSAGE extension;
+//! * [`serve`] — overload-robust online inference serving: seeded request
+//!   traces, admission control with load shedding, batching, and a
+//!   freshness-SLA degraded read path over the embedding cache;
 //! * [`sgc`] — the Appendix B SGC model with a random-selector bounded-
 //!   staleness history (Proposition 4.1);
 //! * [`probes`] — estimation-error and embedding-stability measurements
@@ -59,6 +62,7 @@ pub mod probes;
 pub mod prune;
 pub mod resilience;
 pub mod sampler;
+pub mod serve;
 pub mod sgc;
 pub mod trainer;
 
@@ -70,4 +74,5 @@ pub use obs::Obs;
 pub use pipeline::{BatchOutput, Engine, EpochStats, EvalHarness, PipelineCtx, StallPolicy};
 pub use resilience::{HealthState, Supervisor, SupervisorConfig};
 pub use sampler::SampleError;
+pub use serve::{ServeConfig, ServeEngine, ServeReport};
 pub use trainer::Trainer;

@@ -13,7 +13,7 @@ use super::span::Tracer;
 pub const SCHEMA_VERSION: &str = "fgnn-obs-v1";
 
 /// Escape a string for inclusion in a JSON string literal.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -31,7 +31,7 @@ fn json_escape(s: &str) -> String {
 
 /// Format an `f64` as a JSON number (Rust's `Display` for floats never
 /// emits exponents; non-finite values become `null`).
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {

@@ -104,6 +104,36 @@ impl Histogram {
         self.sum
     }
 
+    /// Upper bucket edge containing the `q`-quantile (`0 < q <= 1`) of the
+    /// observations, or `None` for an empty histogram.
+    ///
+    /// Quantiles over fixed buckets are conservative: the returned value is
+    /// the inclusive upper edge of the bucket the quantile observation
+    /// landed in, so it never under-reports. The overflow bucket
+    /// extrapolates to twice the last edge (the same convention the async
+    /// sampler's straggler-hedging deadline has always used, which now
+    /// delegates here), and a histogram with no finite edges reports
+    /// `f64::INFINITY`.
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = (((self.count as f64) * q).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return Some(
+                    self.bounds
+                        .get(i)
+                        .copied()
+                        .unwrap_or_else(|| self.bounds.last().map_or(f64::INFINITY, |&b| b * 2.0)),
+                );
+            }
+        }
+        unreachable!("cumulative bucket counts always reach `count`")
+    }
+
     /// Add another histogram with identical bounds into this one.
     pub fn merge(&mut self, other: &Histogram) {
         if self.count == 0 && self.bounds.is_empty() {
@@ -286,6 +316,31 @@ mod tests {
         assert_eq!(h.counts(), &[2, 1, 1]);
         assert_eq!(h.count(), 4);
         assert!((h.sum() - 103.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_walks_buckets_conservatively() {
+        let mut h = Histogram::new(&[1.0, 2.0, 4.0]);
+        assert_eq!(h.percentile(0.5), None, "empty histogram has no quantile");
+        for v in [0.5, 0.7, 1.5, 3.0] {
+            h.observe(v);
+        }
+        // target = ceil(4 * 0.5) = 2 → second observation, first bucket.
+        assert_eq!(h.percentile(0.5), Some(1.0));
+        assert_eq!(h.percentile(0.75), Some(2.0));
+        assert_eq!(h.percentile(1.0), Some(4.0));
+        // Tiny q still selects at least the first observation.
+        assert_eq!(h.percentile(1e-12), Some(1.0));
+    }
+
+    #[test]
+    fn percentile_extrapolates_overflow_bucket() {
+        let mut h = Histogram::new(&[1.0, 2.0]);
+        h.observe(50.0);
+        assert_eq!(h.percentile(0.95), Some(4.0), "2× last edge");
+        let mut edgeless = Histogram::new(&[]);
+        edgeless.observe(1.0);
+        assert_eq!(edgeless.percentile(0.5), Some(f64::INFINITY));
     }
 
     #[test]

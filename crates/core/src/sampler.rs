@@ -390,23 +390,10 @@ impl AsyncSampler {
             .iter()
             .map(|a| a.load(Ordering::Relaxed))
             .collect();
-        let total: u64 = counts.iter().sum();
+        let hist = Histogram::from_parts(&LATENCY_BUCKETS, &counts, 0.0);
         let mut secs = policy.min_deadline;
-        if total > 0 {
-            let target = ((total as f64) * 0.95).ceil() as u64;
-            let mut cum = 0u64;
-            for (b, &c) in counts.iter().enumerate() {
-                cum += c;
-                if cum >= target {
-                    // Overflow bucket: extrapolate past the last edge.
-                    let edge = LATENCY_BUCKETS
-                        .get(b)
-                        .copied()
-                        .unwrap_or_else(|| LATENCY_BUCKETS[LATENCY_BUCKETS.len() - 1] * 2.0);
-                    secs = secs.max(edge * policy.multiplier);
-                    break;
-                }
-            }
+        if let Some(p95) = hist.percentile(0.95) {
+            secs = secs.max(p95 * policy.multiplier);
         }
         Duration::from_secs_f64(secs)
     }

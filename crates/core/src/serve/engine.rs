@@ -1,0 +1,497 @@
+//! The deterministic request/response serving engine.
+//!
+//! A discrete-event loop over simulated time: open-loop arrivals from the
+//! seeded trace generator are offered to the admission controller, the
+//! batcher forms batches under its `max_batch`/`max_delay` knobs, and
+//! each batch is served against the freshness-SLA embedding store. Cache
+//! misses recompute real embeddings through the model and charge feature
+//! movement to the `fgnn-memsim` interconnect — including its bounded
+//! retry/backoff loop and circuit breaker — so every latency, shed
+//! decision and metric is a pure function of the seed and two same-seed
+//! runs are byte-identical.
+//!
+//! **Degraded mode** engages when the transfer breaker is open or the
+//! supervisor's health state says so ([`HealthState::is_degraded`]): the
+//! store widens cache hits from the tight operator SLA to each request's
+//! own staleness budget, so admitted requests complete from cache instead
+//! of queueing behind a broken interconnect. Deadline shedding looks
+//! ahead using a running maximum of observed batch service times: work
+//! that cannot finish before its deadline is dropped at dispatch, which
+//! is what keeps the p99 of *served* requests under the deadline while
+//! the queue sheds bounded load instead of collapsing.
+
+use super::admission::AdmissionController;
+use super::batcher::Batcher;
+use super::freshness::EmbedStore;
+use super::trace::Request;
+use super::{ServeConfig, SERVE_AGE_BUCKETS_MS, SERVE_LATENCY_BUCKETS_NS, SERVE_QUEUE_BUCKETS};
+use crate::error::FgnnError;
+use crate::obs::{MetricClass, Obs};
+use crate::resilience::HealthState;
+use fgnn_graph::sample::NeighborSampler;
+use fgnn_graph::{Dataset, NodeId};
+use fgnn_memsim::fault::{BreakerPolicy, BreakerState, FaultPlan, FaultState, RetryPolicy};
+use fgnn_memsim::presets::{dense_flops, Machine};
+use fgnn_memsim::transfer::SYNC_LATENCY;
+use fgnn_memsim::{Node, TrafficCounters, TransferEngine};
+use fgnn_nn::model::{Arch, Model};
+use fgnn_tensor::Rng;
+
+/// Fixed per-request serving overhead (seconds): response framing and
+/// cache-row readout, charged even on an all-hit batch.
+const PER_REQUEST_OVERHEAD: f64 = 2e-6;
+
+/// Outcome summary of one serving run. All fields are exact (simulated)
+/// quantities: equal seeds produce equal reports.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeReport {
+    /// Requests in the offered trace.
+    pub offered: u64,
+    /// Requests admitted past the token bucket and queue bound.
+    pub admitted: u64,
+    /// Requests served to completion.
+    pub served: u64,
+    /// Requests shed by the token bucket.
+    pub shed_rate_limited: u64,
+    /// Requests shed by the bounded queue (including displacements).
+    pub shed_queue_full: u64,
+    /// Requests shed because their deadline became unreachable.
+    pub shed_deadline: u64,
+    /// Requests served while the engine was in degraded mode.
+    pub degraded_served: u64,
+    /// Served cache hits.
+    pub cache_hits: u64,
+    /// Served cache misses (recomputed through the model).
+    pub cache_misses: u64,
+    /// Served embeddings older than their request's staleness budget.
+    /// The freshness-SLA invariant is that this is zero.
+    pub sla_violations: u64,
+    /// Served requests that completed after their deadline (the lookahead
+    /// shed keeps this near zero; it is reported, not hidden).
+    pub deadline_misses: u64,
+    /// Exact latency percentiles over served requests (milliseconds).
+    pub p50_ms: f64,
+    /// 95th-percentile latency (milliseconds).
+    pub p95_ms: f64,
+    /// 99th-percentile latency (milliseconds).
+    pub p99_ms: f64,
+    /// Deepest admission queue observed.
+    pub max_queue_depth: usize,
+    /// Simulated run duration (first arrival to last completion), seconds.
+    pub duration_secs: f64,
+    /// Served requests per simulated second.
+    pub throughput_rps: f64,
+    /// Shed fraction of offered load.
+    pub shed_fraction: f64,
+    /// Append-only `(request id, reason)` shed ledger, in decision order.
+    pub shed_log: Vec<(u64, super::admission::ShedReason)>,
+}
+
+impl ServeReport {
+    /// Total shed requests across all reasons.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_rate_limited + self.shed_queue_full + self.shed_deadline
+    }
+}
+
+/// The serving engine: model, embedding store, simulated machine and
+/// fault state, plus the observability registry the run writes into.
+pub struct ServeEngine<'a> {
+    ds: &'a Dataset,
+    model: Model,
+    machine: Machine,
+    cfg: ServeConfig,
+    store: EmbedStore,
+    faults: FaultState,
+    health: HealthState,
+    /// Observability state (sim clock, per-batch spans, `Exact` metrics).
+    pub obs: Obs,
+}
+
+impl<'a> ServeEngine<'a> {
+    /// Build a serving engine over `ds` with a freshly initialized
+    /// `hidden`-wide model on `machine`. The model is seeded from
+    /// `cfg.seed`; swap in trained weights via [`ServeEngine::model_mut`].
+    pub fn new(
+        ds: &'a Dataset,
+        hidden: usize,
+        machine: Machine,
+        cfg: ServeConfig,
+    ) -> Result<Self, FgnnError> {
+        cfg.validate()?;
+        if cfg.trace.num_nodes > ds.num_nodes() {
+            return Err(FgnnError::Serve(format!(
+                "trace universe {} exceeds dataset nodes {}",
+                cfg.trace.num_nodes,
+                ds.num_nodes()
+            )));
+        }
+        let mut rng = Rng::new(cfg.seed);
+        let mut dims = Vec::with_capacity(cfg.fanouts.len() + 1);
+        dims.push(ds.spec.feature_dim);
+        for _ in 1..cfg.fanouts.len() {
+            dims.push(hidden);
+        }
+        dims.push(ds.spec.num_classes);
+        let model = Model::new(Arch::Sage, &dims, &mut rng);
+        let store = EmbedStore::new(ds.num_nodes(), ds.spec.num_classes, cfg.freshness.clone());
+        Ok(ServeEngine {
+            ds,
+            model,
+            machine,
+            cfg,
+            store,
+            faults: FaultState::none(),
+            health: HealthState::Healthy,
+            obs: Obs::new(),
+        })
+    }
+
+    /// The model behind the serving engine (e.g. to import trained
+    /// parameters before opening for traffic).
+    pub fn model_mut(&mut self) -> &mut Model {
+        &mut self.model
+    }
+
+    /// Install a seeded fault plan + retry policy on the miss-fetch path.
+    pub fn inject_faults(&mut self, plan: FaultPlan, policy: RetryPolicy) {
+        self.faults.inject(plan, policy);
+    }
+
+    /// Arm a closed circuit breaker over the miss-fetch path.
+    pub fn enable_breaker(&mut self, policy: BreakerPolicy) {
+        self.faults.arm_breaker(policy);
+    }
+
+    /// Force the breaker open (arming it first if needed): the degraded-
+    /// serving drill used by tests and the chaos suite.
+    pub fn trip_breaker(&mut self) {
+        if self.faults.breaker.is_none() {
+            self.faults.arm_breaker(BreakerPolicy::default());
+        }
+        let b = self.faults.breaker.as_mut().expect("armed above");
+        while b.state() != BreakerState::Open {
+            b.record_failure();
+        }
+    }
+
+    /// Current breaker state, if one is armed.
+    pub fn breaker_state(&self) -> Option<BreakerState> {
+        self.faults.breaker_state()
+    }
+
+    /// Feed the supervisor's health verdict into the serving engine;
+    /// degraded or recovering health engages the SLA-relaxed read path.
+    pub fn set_health(&mut self, health: HealthState) {
+        self.health = health;
+    }
+
+    /// The embedding store (cache counters, SLA bookkeeping).
+    pub fn store(&self) -> &EmbedStore {
+        &self.store
+    }
+
+    /// Warm the cache with freshly computed embeddings for `nodes` at sim
+    /// time zero (no traffic is charged: warm-up is provisioning, not
+    /// serving).
+    pub fn warm(&mut self, nodes: &[NodeId]) {
+        let mut sampler = NeighborSampler::new(self.ds.num_nodes());
+        let mut rng = Rng::new(self.cfg.seed ^ 0x5EED_4A3B_1C2D_3E4F);
+        let fanouts = self.cfg.fanouts.clone();
+        for chunk in nodes.chunks(256) {
+            let mb = sampler.sample(&self.ds.graph, chunk, &fanouts, &mut rng);
+            let ids: Vec<usize> = mb.input_nodes().iter().map(|&g| g as usize).collect();
+            let h0 = self.ds.features.gather_rows(&ids);
+            let trace = self.model.forward(&mb, h0);
+            let out = trace.h.last().expect("model has layers");
+            self.store.warm(chunk, |i| out.row(i), 0);
+        }
+    }
+
+    /// Serve `trace` to completion and return the run report. The trace
+    /// must be arrival-ordered (as [`super::generate_trace`] produces);
+    /// fault state is threaded back out, so trip counts and the plan's
+    /// RNG stream persist across runs exactly like training epochs.
+    pub fn run(&mut self, trace: &[Request]) -> Result<ServeReport, FgnnError> {
+        self.cfg.validate()?;
+        if let Some(bad) = trace
+            .iter()
+            .find(|r| r.node as usize >= self.ds.num_nodes())
+        {
+            return Err(FgnnError::Serve(format!(
+                "request {} targets node {} outside the {}-node dataset",
+                bad.id,
+                bad.node,
+                self.ds.num_nodes()
+            )));
+        }
+        if let Some(w) = trace.windows(2).find(|w| w[0].arrival_ns > w[1].arrival_ns) {
+            return Err(FgnnError::Serve(format!(
+                "trace is not arrival-ordered at request {}",
+                w[1].id
+            )));
+        }
+
+        let mut adm = AdmissionController::new(self.cfg.admission.clone());
+        let batcher = Batcher::new(self.cfg.batcher.clone());
+        let topo = self.machine.topology.clone();
+        let mut transfer = match self.faults.plan.take() {
+            Some(plan) => TransferEngine::with_faults(&topo, plan, self.faults.policy),
+            None => TransferEngine::new(&topo),
+        };
+        transfer.set_breaker(self.faults.breaker.take());
+        let mut counters = TrafficCounters::new();
+
+        let mut i = 0usize; // next trace arrival
+        let mut cursor_ns = 0u64;
+        let mut server_free_ns = 0u64;
+        let mut est_service_ns = 0u64;
+        let mut end_ns = 0u64;
+        let mut batch_idx = 0u64;
+        let mut latencies_ns: Vec<u64> = Vec::new();
+        let mut served = 0u64;
+        let mut degraded_served = 0u64;
+        let mut degraded_batches = 0u64;
+        let mut cache_hits = 0u64;
+        let mut cache_misses = 0u64;
+        let mut deadline_misses = 0u64;
+
+        loop {
+            let dispatch = batcher.dispatch_at(&adm.queue, server_free_ns, cursor_ns);
+            let next_arrival = trace.get(i).map(|r| r.arrival_ns);
+            match (next_arrival, dispatch) {
+                // Arrivals are processed first on ties so a full batch
+                // still picks up the freshest co-arriving request.
+                (Some(a), d) if d.is_none_or(|d| a <= d) => {
+                    cursor_ns = a;
+                    adm.offer(trace[i], cursor_ns);
+                    self.obs.metrics.hist_observe(
+                        "serve.queue.depth",
+                        MetricClass::Exact,
+                        &SERVE_QUEUE_BUCKETS,
+                        adm.queue.len() as f64,
+                    );
+                    i += 1;
+                }
+                (_, Some(d)) => {
+                    cursor_ns = d;
+                    // Lookahead shed: drop work that cannot finish before
+                    // its deadline given the worst batch seen so far.
+                    adm.shed_expired(cursor_ns + est_service_ns);
+                    let batch = batcher.take(&mut adm.queue);
+                    if batch.is_empty() {
+                        continue;
+                    }
+                    let start_ns = cursor_ns;
+                    let degraded = transfer.breaker_open() || self.health.is_degraded();
+                    let (service_secs, hits, misses) = self.serve_batch(
+                        &batch,
+                        start_ns,
+                        degraded,
+                        &mut transfer,
+                        &mut counters,
+                        batch_idx,
+                    );
+                    let service_ns = (service_secs * 1e9).round() as u64;
+                    let completion_ns = start_ns + service_ns;
+                    est_service_ns = est_service_ns.max(service_ns);
+                    server_free_ns = completion_ns;
+                    end_ns = end_ns.max(completion_ns);
+                    cache_hits += hits;
+                    cache_misses += misses;
+                    served += batch.len() as u64;
+                    if degraded {
+                        degraded_served += batch.len() as u64;
+                        degraded_batches += 1;
+                    }
+                    for r in &batch {
+                        let latency = completion_ns - r.arrival_ns;
+                        latencies_ns.push(latency);
+                        self.obs.metrics.hist_observe(
+                            "serve.latency_ns",
+                            MetricClass::Exact,
+                            &SERVE_LATENCY_BUCKETS_NS,
+                            latency as f64,
+                        );
+                        if completion_ns > r.deadline_ns {
+                            deadline_misses += 1;
+                        }
+                    }
+                    self.obs.tracer.begin("batch", "serve", start_ns);
+                    self.obs.tracer.end_with(
+                        completion_ns,
+                        vec![
+                            ("size", batch.len() as u64),
+                            ("misses", misses),
+                            ("degraded", degraded as u64),
+                        ],
+                    );
+                    batch_idx += 1;
+                }
+                (None, None) => break,
+                (Some(_), None) => unreachable!("arrivals left but no dispatch candidate"),
+            }
+        }
+
+        // Thread fault state back out (plan RNG stream + breaker trips
+        // persist across runs, as in the training engine).
+        self.faults.plan = transfer.take_fault_plan();
+        self.faults.breaker = transfer.take_breaker();
+
+        let offered = trace.len() as u64;
+        if offered > 0 && served == 0 {
+            return Err(FgnnError::Overload(format!(
+                "all {offered} offered requests were shed (rate {} rps over queue cap {})",
+                self.cfg.trace.rate_rps, self.cfg.admission.queue_cap
+            )));
+        }
+        let admitted = served; // the queue fully drains: admitted − deadline-shed = served
+        let admitted_total = offered - adm.shed_rate_limited - adm.shed_queue_full;
+        debug_assert_eq!(admitted_total, admitted + adm.shed_deadline);
+
+        latencies_ns.sort_unstable();
+        let pct = |q: f64| -> f64 {
+            if latencies_ns.is_empty() {
+                return 0.0;
+            }
+            let n = latencies_ns.len();
+            let idx = (((n as f64) * q).ceil() as usize).clamp(1, n) - 1;
+            latencies_ns[idx] as f64 / 1e6
+        };
+        let duration_secs = end_ns as f64 * 1e-9;
+        let report = ServeReport {
+            offered,
+            admitted: admitted_total,
+            served,
+            shed_rate_limited: adm.shed_rate_limited,
+            shed_queue_full: adm.shed_queue_full,
+            shed_deadline: adm.shed_deadline,
+            degraded_served,
+            cache_hits,
+            cache_misses,
+            sla_violations: self.store.sla_violations,
+            deadline_misses,
+            p50_ms: pct(0.50),
+            p95_ms: pct(0.95),
+            p99_ms: pct(0.99),
+            max_queue_depth: adm.max_depth,
+            duration_secs,
+            throughput_rps: if duration_secs > 0.0 {
+                served as f64 / duration_secs
+            } else {
+                0.0
+            },
+            shed_fraction: if offered > 0 {
+                adm.shed_total() as f64 / offered as f64
+            } else {
+                0.0
+            },
+            shed_log: adm.shed_log.clone(),
+        };
+
+        // Flush the run's Exact metrics into the registry.
+        let m = &mut self.obs.metrics;
+        let e = MetricClass::Exact;
+        m.counter_set("serve.requests.offered", e, report.offered);
+        m.counter_set("serve.requests.admitted", e, report.admitted);
+        m.counter_set("serve.requests.served", e, report.served);
+        m.counter_set("serve.shed.rate_limited", e, report.shed_rate_limited);
+        m.counter_set("serve.shed.queue_full", e, report.shed_queue_full);
+        m.counter_set("serve.shed.deadline", e, report.shed_deadline);
+        m.counter_set("serve.deadline_misses", e, report.deadline_misses);
+        m.counter_set("serve.batches", e, batch_idx);
+        m.counter_set("serve.cache.hits", e, report.cache_hits);
+        m.counter_set("serve.cache.misses", e, report.cache_misses);
+        m.counter_set("serve.degraded.served", e, report.degraded_served);
+        m.counter_set("serve.degraded.batches", e, degraded_batches);
+        m.counter_set("serve.degraded.hits", e, self.store.degraded_hits);
+        m.counter_set("serve.sla.violations", e, report.sla_violations);
+        m.counter_set("serve.transfer.failed", e, counters.failed_transfers);
+        m.counter_set("serve.transfer.retries", e, counters.retries);
+        m.gauge_set("serve.transfer.seconds", e, counters.transfer_seconds);
+        m.gauge_set("serve.transfer.retry_seconds", e, counters.retry_seconds);
+        if let Some(b) = &self.faults.breaker {
+            m.counter_set("serve.breaker.trips", e, b.trips);
+            m.counter_set("serve.breaker.fast_fails", e, b.fast_fails);
+            m.gauge_set("serve.breaker.state", e, b.state().code() as f64);
+        }
+        self.obs.clock.advance_secs(duration_secs);
+        Ok(report)
+    }
+
+    /// Serve one batch at `start_ns`: cache hits read the store, misses
+    /// recompute through the model with feature movement charged to the
+    /// simulated interconnect. Returns `(service seconds, hits, misses)`.
+    fn serve_batch(
+        &mut self,
+        batch: &[Request],
+        start_ns: u64,
+        degraded: bool,
+        transfer: &mut TransferEngine<'_>,
+        counters: &mut TrafficCounters,
+        batch_idx: u64,
+    ) -> (f64, u64, u64) {
+        let now_ms = (start_ns / 1_000_000) as u32;
+        for r in batch {
+            self.store.note_request(r.node);
+        }
+        let mut hits = 0u64;
+        let mut miss_nodes: Vec<NodeId> = Vec::new();
+        let mut seen_miss = std::collections::BTreeSet::new();
+        for r in batch {
+            match self.store.try_hit(r, now_ms, degraded) {
+                Some(age) => {
+                    hits += 1;
+                    self.obs.metrics.hist_observe(
+                        "serve.served_age_ms",
+                        MetricClass::Exact,
+                        &SERVE_AGE_BUCKETS_MS,
+                        age as f64,
+                    );
+                }
+                None => {
+                    if seen_miss.insert(r.node) {
+                        miss_nodes.push(r.node);
+                    }
+                }
+            }
+        }
+        let misses = (batch.len() as u64) - hits;
+
+        let mut service = SYNC_LATENCY + batch.len() as f64 * PER_REQUEST_OVERHEAD;
+        if !miss_nodes.is_empty() {
+            let mut sampler = NeighborSampler::new(self.ds.num_nodes());
+            let mut rng = Rng::new(self.cfg.seed ^ batch_idx.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mb = sampler.sample(&self.ds.graph, &miss_nodes, &self.cfg.fanouts, &mut rng);
+            let ids: Vec<usize> = mb.input_nodes().iter().map(|&g| g as usize).collect();
+            let h0 = self.ds.features.gather_rows(&ids);
+            let bytes = (ids.len() * self.ds.spec.feature_row_bytes()) as u64;
+            // The requester blocks through retries and backoff, so fault
+            // losses (`retry_seconds`) are service time here, unlike the
+            // trainer's separate loss ledger.
+            let retry_before = counters.retry_seconds;
+            service += transfer.one_sided_read(Node::Host, Node::Gpu(0), bytes, counters);
+            service += counters.retry_seconds - retry_before;
+            let trace = self.model.forward(&mb, h0);
+            let flops = dense_flops(
+                ids.len(),
+                self.ds.spec.feature_dim,
+                self.ds.spec.num_classes,
+            ) * self.cfg.fanouts.len() as f64;
+            service += self.machine.gpu.compute_seconds(flops);
+            let out = trace.h.last().expect("model has layers");
+            // Freshly computed embeddings are served at age 0; the hot
+            // fraction is admitted for future hits.
+            for _ in 0..miss_nodes.len() {
+                self.obs.metrics.hist_observe(
+                    "serve.served_age_ms",
+                    MetricClass::Exact,
+                    &SERVE_AGE_BUCKETS_MS,
+                    0.0,
+                );
+            }
+            self.store.admit_fresh(&miss_nodes, |i| out.row(i), now_ms);
+        }
+        (service, hits, misses)
+    }
+}

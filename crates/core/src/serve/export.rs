@@ -1,0 +1,161 @@
+//! Schema-tagged serving exports: a `fgnn-serve-v1` JSONL stream and a
+//! compact benchmark-trajectory JSON blob.
+//!
+//! Like the obs exporters (DESIGN.md §8), everything is hand-rolled JSON
+//! — no serde, zero registry dependencies — and deterministic: the stream
+//! is built from `Exact`-class quantities only, so two same-seed runs
+//! export byte-identical documents. `scripts/ci.sh` greps the schema tag
+//! out of a live `exp_serve` run.
+
+use super::engine::ServeReport;
+use crate::obs::export::{json_escape, json_f64, metrics_jsonl};
+use crate::obs::Obs;
+
+/// Schema tag stamped on every serving export line.
+pub const SERVE_SCHEMA_VERSION: &str = "fgnn-serve-v1";
+
+/// Render one serving run as a JSONL document:
+///
+/// 1. a header line carrying the schema tag;
+/// 2. a `summary` line with the run's headline numbers;
+/// 3. a `shed_log` line with the full `(id, reason)` shed ledger;
+/// 4. one `metrics` line per `Exact` metric in `obs` (the standard
+///    obs stream, re-tagged under `section`).
+pub fn serve_jsonl(section: &str, report: &ServeReport, obs: &Obs) -> String {
+    let sec = json_escape(section);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"schemaVersion\":\"{SERVE_SCHEMA_VERSION}\",\"kind\":\"serve\",\"section\":\"{sec}\"}}\n"
+    ));
+    out.push_str(&format!(
+        concat!(
+            "{{\"section\":\"{sec}\",\"kind\":\"summary\"",
+            ",\"offered\":{offered},\"admitted\":{admitted},\"served\":{served}",
+            ",\"shedRateLimited\":{srl},\"shedQueueFull\":{sqf},\"shedDeadline\":{sd}",
+            ",\"degradedServed\":{deg},\"cacheHits\":{ch},\"cacheMisses\":{cm}",
+            ",\"slaViolations\":{sla},\"deadlineMisses\":{dm}",
+            ",\"p50Ms\":{p50},\"p95Ms\":{p95},\"p99Ms\":{p99}",
+            ",\"maxQueueDepth\":{mqd},\"durationSecs\":{dur}",
+            ",\"throughputRps\":{thr},\"shedFraction\":{sf}}}\n"
+        ),
+        sec = sec,
+        offered = report.offered,
+        admitted = report.admitted,
+        served = report.served,
+        srl = report.shed_rate_limited,
+        sqf = report.shed_queue_full,
+        sd = report.shed_deadline,
+        deg = report.degraded_served,
+        ch = report.cache_hits,
+        cm = report.cache_misses,
+        sla = report.sla_violations,
+        dm = report.deadline_misses,
+        p50 = json_f64(report.p50_ms),
+        p95 = json_f64(report.p95_ms),
+        p99 = json_f64(report.p99_ms),
+        mqd = report.max_queue_depth,
+        dur = json_f64(report.duration_secs),
+        thr = json_f64(report.throughput_rps),
+        sf = json_f64(report.shed_fraction),
+    ));
+    let decisions: Vec<String> = report
+        .shed_log
+        .iter()
+        .map(|(id, reason)| format!("{{\"id\":{id},\"reason\":\"{}\"}}", reason.name()))
+        .collect();
+    out.push_str(&format!(
+        "{{\"section\":\"{sec}\",\"kind\":\"shed_log\",\"decisions\":[{}]}}\n",
+        decisions.join(",")
+    ));
+    out.push_str(&metrics_jsonl(section, &obs.metrics, false));
+    out
+}
+
+/// Render one `(label, report)` sweep as a benchmark-trajectory JSON
+/// object (the payload `scripts/bench_trajectory.sh` commits as
+/// `BENCH_serve.json`). Latency percentiles are in milliseconds.
+pub fn bench_json(runs: &[(String, &ServeReport)]) -> String {
+    let entries: Vec<String> = runs
+        .iter()
+        .map(|(label, r)| {
+            format!(
+                concat!(
+                    "    {{\"label\":\"{}\",\"p50Ms\":{},\"p95Ms\":{},\"p99Ms\":{}",
+                    ",\"throughputRps\":{},\"shedFraction\":{},\"served\":{},\"slaViolations\":{}}}"
+                ),
+                json_escape(label),
+                json_f64(r.p50_ms),
+                json_f64(r.p95_ms),
+                json_f64(r.p99_ms),
+                json_f64(r.throughput_rps),
+                json_f64(r.shed_fraction),
+                r.served,
+                r.sla_violations,
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"schemaVersion\":\"{SERVE_SCHEMA_VERSION}\",\n  \"kind\":\"bench\",\n  \"runs\":[\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::admission::ShedReason;
+    use super::*;
+
+    fn report() -> ServeReport {
+        ServeReport {
+            offered: 10,
+            admitted: 8,
+            served: 7,
+            shed_rate_limited: 1,
+            shed_queue_full: 1,
+            shed_deadline: 1,
+            degraded_served: 2,
+            cache_hits: 5,
+            cache_misses: 2,
+            sla_violations: 0,
+            deadline_misses: 0,
+            p50_ms: 1.5,
+            p95_ms: 3.0,
+            p99_ms: 4.25,
+            max_queue_depth: 6,
+            duration_secs: 0.5,
+            throughput_rps: 14.0,
+            shed_fraction: 0.3,
+            shed_log: vec![
+                (3, ShedReason::RateLimited),
+                (9, ShedReason::DeadlineExpired),
+            ],
+        }
+    }
+
+    #[test]
+    fn jsonl_is_schema_tagged_and_line_shaped() {
+        let doc = serve_jsonl("serve", &report(), &Obs::new());
+        let mut lines = doc.lines();
+        let header = lines.next().unwrap();
+        assert!(header.contains("\"schemaVersion\":\"fgnn-serve-v1\""));
+        assert!(header.contains("\"kind\":\"serve\""));
+        for line in doc.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+        assert!(doc.contains("\"kind\":\"summary\""));
+        assert!(doc.contains("\"p99Ms\":4.25"));
+        assert!(doc.contains("\"reason\":\"rate_limited\""));
+        assert!(doc.contains("\"reason\":\"deadline_expired\""));
+    }
+
+    #[test]
+    fn bench_json_lists_runs_in_order() {
+        let r = report();
+        let doc = bench_json(&[("load=1x".to_string(), &r), ("load=2x".to_string(), &r)]);
+        assert!(doc.contains("\"schemaVersion\":\"fgnn-serve-v1\""));
+        let a = doc.find("load=1x").unwrap();
+        let b = doc.find("load=2x").unwrap();
+        assert!(a < b);
+        assert!(doc.contains("\"shedFraction\":0.3"));
+    }
+}

@@ -556,6 +556,35 @@ mod tests {
     }
 
     #[test]
+    fn breaker_half_open_probe_failure_re_trips() {
+        use crate::fault::{BreakerPolicy, BreakerState};
+        let topo = Topology::pcie_tree(1, 1, 16.0 * GB);
+        let plan = FaultPlan::new(5).with_fail_prob(1.0);
+        let policy = RetryPolicy {
+            max_retries: 0,
+            ..Default::default()
+        };
+        let mut eng = TransferEngine::with_faults(&topo, plan, policy);
+        eng.set_breaker(Some(CircuitBreaker::new(BreakerPolicy {
+            failure_threshold: 1,
+            cooldown: 1,
+        })));
+        let mut c = TrafficCounters::new();
+        eng.one_sided_read(Node::Host, Node::Gpu(0), 16_000_000, &mut c);
+        assert!(eng.breaker_open(), "first failure trips the breaker");
+        // One fast-fail exhausts the cooldown -> half-open.
+        eng.one_sided_read(Node::Host, Node::Gpu(0), 16_000_000, &mut c);
+        assert!(!eng.breaker_open(), "cooldown elapsed: probing");
+        // The link is still down: the half-open probe fails and the
+        // breaker re-trips immediately — no second grace period.
+        eng.one_sided_read(Node::Host, Node::Gpu(0), 16_000_000, &mut c);
+        assert!(eng.breaker_open(), "failed probe re-opens the breaker");
+        let b = eng.take_breaker().unwrap();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips, 2, "initial trip plus the probe-failure re-trip");
+    }
+
+    #[test]
     fn engine_without_breaker_is_unchanged_by_breaker_api() {
         let topo = Topology::pcie_tree(1, 1, 16.0 * GB);
         let mut eng = TransferEngine::new(&topo);

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Performance trajectory: run the serving sweep and the training epoch-time
+# experiment at fixed seeds and write BENCH_serve.json at the repo root.
+#
+# The serving numbers (p50/p95/p99, throughput, shed fraction) are exact
+# simulated quantities — byte-identical across machines — so the committed
+# baseline is a real regression reference; the wall-clock seconds of the
+# two runs are recorded alongside as machine-dependent context only.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEED="${SEED:-42}"
+OUT="BENCH_serve.json"
+
+cargo build --release -p fgnn-bench
+
+serve_json="$(mktemp)"
+start=$SECONDS
+./target/release/exp_serve --seed "$SEED" --bench-json "$serve_json" > /dev/null
+serve_wall=$((SECONDS - start))
+
+start=$SECONDS
+./target/release/exp_fig10_epoch_time --seed "$SEED" > /dev/null
+fig10_wall=$((SECONDS - start))
+
+{
+    printf '{\n'
+    printf '  "seed": %s,\n' "$SEED"
+    printf '  "wallSecs": {"exp_serve": %s, "exp_fig10_epoch_time": %s},\n' \
+        "$serve_wall" "$fig10_wall"
+    printf '  "serve": '
+    sed 's/^/  /' "$serve_json" | sed '1s/^  //'
+    printf '}\n'
+} > "$OUT"
+rm -f "$serve_json"
+
+echo "wrote $OUT (seed $SEED; exp_serve ${serve_wall}s, exp_fig10 ${fig10_wall}s)"

@@ -27,6 +27,16 @@ grep -q '"schemaVersion":"fgnn-obs-v1"' tests/golden/sync_trainer_2epoch.trace.j
 # hedging and NaN-rollback across trainer families, byte-identical reruns.
 FGNN_PROP_CASES=256 cargo test -q --test chaos
 
+# Serving acceptance + property suite at the elevated case count, and a
+# live exp_serve export must carry the fgnn-serve-v1 schema tag.
+FGNN_PROP_CASES=256 cargo test -q --test serve
+serve_out="$(mktemp)"
+cargo run -q --release -p fgnn-bench --bin exp_serve -- \
+    --requests 600 --serve-out "$serve_out" > /dev/null
+grep -q '"schemaVersion":"fgnn-serve-v1"' "$serve_out"
+grep -q '"kind":"serve"' "$serve_out"
+rm -f "$serve_out"
+
 # Resilience transition exports must carry the obs schema tag.
 resilience_out="$(mktemp)"
 cargo run -q --release -p fgnn-bench --bin exp_resilience -- \

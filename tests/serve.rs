@@ -1,0 +1,220 @@
+//! Acceptance suite for the overload-robust serving engine: same-seed
+//! runs are byte-identical; a 2x overload burst sheds bounded load while
+//! the p99 of served requests stays under the deadline; with the breaker
+//! forced open, degraded serving completes every admitted request from
+//! cache within its staleness SLA; and no served embedding ever exceeds
+//! its per-request staleness budget (property-checked over random knobs).
+
+mod common;
+
+use freshgnn_repro::core::serve::{generate_trace, serve_jsonl, ServeConfig, ServeEngine};
+use freshgnn_repro::graph::datasets::arxiv_spec;
+use freshgnn_repro::graph::{Dataset, NodeId};
+use freshgnn_repro::memsim::fault::{BreakerPolicy, BreakerState, FaultPlan, RetryPolicy};
+use freshgnn_repro::memsim::presets::Machine;
+
+fn tiny() -> Dataset {
+    Dataset::materialize(arxiv_spec(0.0).with_dim(16), 42) // 256 nodes
+}
+
+fn base_cfg(seed: u64) -> ServeConfig {
+    let mut cfg = ServeConfig {
+        seed,
+        fanouts: vec![4, 4],
+        ..ServeConfig::default()
+    };
+    cfg.trace.num_nodes = 256;
+    cfg.trace.num_requests = 800;
+    cfg.trace.rate_rps = 4000.0;
+    cfg.admission.rate_rps = 3000.0;
+    cfg
+}
+
+fn engine<'a>(ds: &'a Dataset, cfg: &ServeConfig) -> ServeEngine<'a> {
+    ServeEngine::new(ds, 16, Machine::single_a100(), cfg.clone()).expect("valid config")
+}
+
+/// Same seed, same everything: the trace, the report (shed ledger
+/// included) and the full `fgnn-serve-v1` JSONL export are byte-identical
+/// across reruns — under overload, faults and an armed breaker.
+#[test]
+fn same_seed_overload_runs_are_byte_identical() {
+    let ds = tiny();
+    let cfg = base_cfg(7);
+    let run = || {
+        let trace = generate_trace(&cfg.trace, cfg.seed);
+        let mut eng = engine(&ds, &cfg);
+        eng.inject_faults(
+            FaultPlan::new(cfg.seed ^ 0xFA).with_fail_prob(0.3),
+            RetryPolicy {
+                max_retries: 2,
+                ..Default::default()
+            },
+        );
+        eng.enable_breaker(BreakerPolicy::default());
+        let report = eng.run(&trace).expect("run serves");
+        let jsonl = serve_jsonl("serve", &report, &eng.obs);
+        (trace, report, jsonl)
+    };
+    let (trace_a, report_a, jsonl_a) = run();
+    let (trace_b, report_b, jsonl_b) = run();
+    assert_eq!(trace_a, trace_b, "traces are seed-pure");
+    assert_eq!(report_a, report_b, "reports (incl. shed log) match");
+    assert_eq!(jsonl_a, jsonl_b, "JSONL exports are byte-identical");
+    assert!(report_a.shed_total() > 0, "overload actually shed");
+    assert!(
+        jsonl_a.contains("\"schemaVersion\":\"fgnn-serve-v1\""),
+        "export carries the schema tag"
+    );
+}
+
+/// Under a 2x overload burst the engine sheds bounded load — the queue
+/// never exceeds its cap, shedding is substantial but not total, and the
+/// p99 latency of the requests it *does* serve stays under the deadline.
+#[test]
+fn overload_burst_sheds_bounded_load_and_keeps_p99_under_deadline() {
+    let ds = tiny();
+    let mut cfg = base_cfg(11);
+    cfg.trace.rate_rps = 2.0 * cfg.admission.rate_rps;
+    cfg.trace.burst_factor = 2.0;
+    let trace = generate_trace(&cfg.trace, cfg.seed);
+    let mut eng = engine(&ds, &cfg);
+    let report = eng.run(&trace).expect("overloaded run still serves");
+
+    assert!(report.shed_total() > 0, "2x overload must shed");
+    assert!(report.served > 0, "shedding is partial, not collapse");
+    assert!(
+        report.max_queue_depth <= cfg.admission.queue_cap,
+        "queue depth {} exceeded cap {}",
+        report.max_queue_depth,
+        cfg.admission.queue_cap
+    );
+    assert_eq!(
+        report.offered,
+        report.served + report.shed_total(),
+        "every request is either served or accountably shed"
+    );
+    let deadline_ms = cfg.trace.deadline_ms as f64;
+    assert!(
+        report.p99_ms <= deadline_ms,
+        "p99 {}ms blew the {}ms deadline",
+        report.p99_ms,
+        deadline_ms
+    );
+    assert_eq!(
+        report.deadline_misses, 0,
+        "lookahead shed kept all serves on time"
+    );
+}
+
+/// With the transfer breaker forced open over a fully warmed cache,
+/// degraded serving completes every admitted request from cache within
+/// its staleness SLA: zero misses, zero violations, and the degraded
+/// counters are exported as `Exact` metrics.
+#[test]
+fn breaker_open_degraded_serving_completes_from_cache_within_sla() {
+    let ds = tiny();
+    let mut cfg = base_cfg(13);
+    cfg.admission.rate_rps = 1e6; // no rate shedding: isolate the read path
+    cfg.admission.burst = 1e6;
+    cfg.admission.queue_cap = 1024;
+    cfg.freshness.cache_capacity = 256;
+    cfg.trace.budget_ms = (600, 900); // run lasts ~200ms: budgets cover it
+    let trace = generate_trace(&cfg.trace, cfg.seed);
+    let mut eng = engine(&ds, &cfg);
+    let nodes: Vec<NodeId> = (0..256).collect();
+    eng.warm(&nodes);
+    // An active fault plan keeps the breaker consulted; every attempt
+    // fails, so a half-open probe could never close it.
+    eng.inject_faults(
+        FaultPlan::new(99).with_fail_prob(1.0),
+        RetryPolicy::default(),
+    );
+    eng.trip_breaker();
+    assert_eq!(eng.breaker_state(), Some(BreakerState::Open));
+
+    let report = eng.run(&trace).expect("degraded run serves");
+    assert_eq!(
+        report.offered, report.served,
+        "every admitted request completed"
+    );
+    assert_eq!(
+        report.cache_misses, 0,
+        "all reads came from the warmed cache"
+    );
+    assert_eq!(
+        report.degraded_served, report.served,
+        "whole run was degraded"
+    );
+    assert_eq!(
+        report.sla_violations, 0,
+        "no served embedding exceeded its budget"
+    );
+    assert_eq!(
+        eng.breaker_state(),
+        Some(BreakerState::Open),
+        "no transfers happened, so the breaker never ticked toward half-open"
+    );
+    let m = &eng.obs.metrics;
+    assert_eq!(m.counter("serve.degraded.served"), Some(report.served));
+    assert!(m.counter("serve.degraded.hits").unwrap() > 0);
+    assert_eq!(m.counter("serve.sla.violations"), Some(0));
+}
+
+/// Property: over random trace/admission/batcher/freshness knobs, the
+/// engine never serves an embedding past its staleness budget, accounts
+/// for every offered request, and respects the queue bound.
+#[test]
+fn serving_invariants_hold_over_random_knobs() {
+    let ds = tiny();
+    common::for_cases("serving_invariants_hold_over_random_knobs", |rng| {
+        let mut cfg = ServeConfig {
+            seed: rng.next_u64(),
+            fanouts: vec![3, 3],
+            ..ServeConfig::default()
+        };
+        cfg.trace.num_nodes = 32 + rng.below(225); // 32..=256
+        cfg.trace.num_requests = 100 + rng.below(200);
+        cfg.trace.rate_rps = 1000.0 + rng.below(7000) as f64;
+        cfg.trace.burst_factor = 1.0 + rng.below(3) as f64;
+        cfg.trace.deadline_ms = 20 + rng.below(100) as u32;
+        cfg.trace.budget_ms = (50 + rng.below(100) as u32, 300 + rng.below(300) as u32);
+        cfg.admission.rate_rps = 500.0 + rng.below(7000) as f64;
+        cfg.admission.queue_cap = 4 + rng.below(60);
+        cfg.admission.burst = 1.0 + rng.below(64) as f64;
+        cfg.batcher.max_batch = 1 + rng.below(32);
+        cfg.batcher.max_delay_ns = 1 + rng.next_u64() % 5_000_000;
+        cfg.freshness.cache_capacity = 1 + rng.below(64);
+        cfg.freshness.t_sla_ms = 10 + rng.below(200) as u32;
+        cfg.freshness.admit_top_frac = rng.below(11) as f32 / 10.0;
+
+        let trace = generate_trace(&cfg.trace, cfg.seed);
+        let mut eng = engine(&ds, &cfg);
+        if rng.below(2) == 1 {
+            eng.inject_faults(
+                FaultPlan::new(cfg.seed ^ 0xC4A05).with_fail_prob(rng.below(10) as f64 / 10.0),
+                RetryPolicy {
+                    max_retries: rng.below(3) as u32,
+                    ..Default::default()
+                },
+            );
+            eng.enable_breaker(BreakerPolicy::default());
+        }
+        match eng.run(&trace) {
+            Ok(report) => {
+                assert_eq!(
+                    report.offered,
+                    report.served + report.shed_total(),
+                    "request conservation"
+                );
+                assert_eq!(report.sla_violations, 0, "staleness budget is inviolable");
+                assert!(report.max_queue_depth <= cfg.admission.queue_cap);
+                assert_eq!(report.shed_log.len() as u64, report.shed_total());
+            }
+            Err(freshgnn_repro::core::FgnnError::Overload(_)) => {
+                // Legal outcome: the knobs starved admission completely.
+            }
+            Err(e) => panic!("unexpected serving error: {e}"),
+        }
+    });
+}
