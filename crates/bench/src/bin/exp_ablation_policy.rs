@@ -28,6 +28,12 @@ fn main() {
     let epochs: usize = args.get("epochs", 60);
     let t_stale: u32 = args.get("t-stale", 30);
     let p: f32 = args.get("p", 0.9);
+    // `--policy <name>` restricts the sweep to one criterion (any
+    // `PolicyKind` display name parses, not just the default three).
+    let only: Option<PolicyKind> = args.get_opt::<String>("policy").map(|s| {
+        s.parse()
+            .unwrap_or_else(|e: String| panic!("--policy: {e}"))
+    });
 
     banner(
         "Ablation",
@@ -42,11 +48,16 @@ fn main() {
 
     let w = [20, 14, 14, 12];
     row(&[&"criterion", &"I/O saving", &"hit rate", &"test acc"], &w);
-    for (name, kind) in [
+    let default_sweep = [
         ("gradient (paper)", PolicyKind::Gradient),
         ("random", PolicyKind::Random),
         ("inverse-gradient", PolicyKind::InverseGradient),
-    ] {
+    ];
+    let sweep: Vec<(&str, PolicyKind)> = match only {
+        Some(kind) => vec![(kind.name(), kind)],
+        None => default_sweep.to_vec(),
+    };
+    for (name, kind) in sweep {
         let cfg = FreshGnnConfig {
             p_grad: p,
             t_stale,

@@ -1,0 +1,121 @@
+//! Policy-frontier export: the compact `fgnn-policy-v1` JSON that
+//! `exp_ext_policy_frontier --bench-json` writes and
+//! `scripts/bench_trajectory.sh` commits as `BENCH_policy.json`.
+//!
+//! Hand-rolled like the other exporters (zero registry dependencies) and
+//! bit-for-bit reproducible from the same seed: every field is either an
+//! exact counter or a deterministic float — no wall-clock time ever enters
+//! the document.
+
+use crate::obs::export::{json_escape, json_f64};
+
+/// Schema tag stamped into the export (and grepped by `scripts/ci.sh`
+/// against the committed `BENCH_policy.json`).
+pub const POLICY_SCHEMA_VERSION: &str = "fgnn-policy-v1";
+
+/// One point on the accuracy-vs-cache-traffic frontier: a (policy,
+/// dataset) cell of the sweep.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PolicyFrontierRow {
+    /// Policy name (the `PolicyKind` display form, e.g. `"gradient"`).
+    pub policy: String,
+    /// Dataset label (e.g. `"papers100m"`).
+    pub dataset: String,
+    /// Final training accuracy on the fixed config.
+    pub accuracy: f64,
+    /// Total host-to-device feature bytes moved over the run.
+    pub h2d_bytes: u64,
+    /// Fraction of feature I/O avoided versus the cache-off baseline.
+    pub io_saving: f64,
+    /// Historical-cache hit rate over the run.
+    pub hit_rate: f64,
+    /// Hits declined by the policy's refresh schedule (forced recomputes).
+    pub scheduled_refreshes: u64,
+    /// Reads extrapolated along update history.
+    pub predicted_reads: u64,
+    /// Reads scaled by a staleness weight.
+    pub weighted_reads: u64,
+}
+
+/// Serialize the frontier as one deterministic JSON document. Row order is
+/// preserved (callers sweep policies and datasets in a fixed order), so two
+/// runs with the same seed produce byte-identical output.
+pub fn policy_bench_json(seed: u64, rows: &[PolicyFrontierRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"schemaVersion\":\"{POLICY_SCHEMA_VERSION}\",\"seed\":{seed},\"rows\":["
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"policy\":\"{}\",\"dataset\":\"{}\",\"accuracy\":{},\"h2dBytes\":{},\
+             \"ioSaving\":{},\"hitRate\":{},\"scheduledRefreshes\":{},\"predictedReads\":{},\
+             \"weightedReads\":{}}}",
+            json_escape(&r.policy),
+            json_escape(&r.dataset),
+            json_f64(r.accuracy),
+            r.h2d_bytes,
+            json_f64(r.io_saving),
+            json_f64(r.hit_rate),
+            r.scheduled_refreshes,
+            r.predicted_reads,
+            r.weighted_reads,
+        ));
+    }
+    out.push_str("]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> PolicyFrontierRow {
+        PolicyFrontierRow {
+            policy: "gradient".into(),
+            dataset: "papers100m".into(),
+            accuracy: 0.5,
+            h2d_bytes: 1024,
+            io_saving: 0.25,
+            hit_rate: 0.75,
+            scheduled_refreshes: 0,
+            predicted_reads: 0,
+            weighted_reads: 0,
+        }
+    }
+
+    #[test]
+    fn export_carries_schema_tag_and_seed() {
+        let doc = policy_bench_json(42, &[row()]);
+        assert!(doc.contains("\"schemaVersion\":\"fgnn-policy-v1\""));
+        assert!(doc.contains("\"seed\":42"));
+        assert!(doc.contains("\"policy\":\"gradient\""));
+        assert!(doc.contains("\"h2dBytes\":1024"));
+        assert!(doc.ends_with("]}\n"));
+    }
+
+    #[test]
+    fn export_is_deterministic_and_order_preserving() {
+        let mut second = row();
+        second.policy = "coarse-refresh".into();
+        second.scheduled_refreshes = 7;
+        let rows = [row(), second];
+        let a = policy_bench_json(7, &rows);
+        let b = policy_bench_json(7, &rows);
+        assert_eq!(a, b);
+        let g = a.find("\"policy\":\"gradient\"").unwrap();
+        let c = a.find("\"policy\":\"coarse-refresh\"").unwrap();
+        assert!(g < c, "row order preserved");
+    }
+
+    #[test]
+    fn empty_sweep_is_valid_json_shell() {
+        let doc = policy_bench_json(1, &[]);
+        assert_eq!(
+            doc,
+            "{\"schemaVersion\":\"fgnn-policy-v1\",\"seed\":1,\"rows\":[]}\n"
+        );
+    }
+}

@@ -1,18 +1,23 @@
 //! The historical embedding cache (§4): per-layer ring buffers plus the
-//! gradient/staleness policy.
+//! pluggable gradient/staleness policy family (DESIGN.md §11).
 
+pub mod export;
 pub mod feature_cache;
 pub mod policy;
 pub mod ring;
 
+pub use export::{policy_bench_json, PolicyFrontierRow, POLICY_SCHEMA_VERSION};
 pub use feature_cache::StaticFeatureCache;
 pub use policy::{
-    apply_policy, frequency_policy, gradient_policy, PolicyInput, PolicyKind, Verdict,
+    apply_policy, frequency_policy, gradient_policy, inverted_gradient_policy, CachePolicy,
+    CoarseRefreshPolicy, FrequencyPolicy, GradientPolicy, InverseGradientPolicy, PolicyInput,
+    PolicyKind, PredictivePolicy, RandomPolicy, StalenessWeightedPolicy, Verdict,
 };
 pub use ring::{RingCache, RingSnapshot};
 
 use fgnn_graph::NodeId;
 use fgnn_tensor::Matrix;
+use std::cell::Cell;
 
 /// Aggregated cache statistics across layers.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -31,6 +36,16 @@ pub struct CacheStats {
     pub stale_evictions: u64,
     /// Ring-header overwrites.
     pub overwrites: u64,
+    /// Live-entry hits declined by the policy's refresh schedule
+    /// ([`CachePolicy::refresh_due`]) so the node recomputes and refreshes
+    /// the entry in place. Always 0 under the baseline policy.
+    pub scheduled_refreshes: u64,
+    /// Cache reads scaled by a staleness weight ≠ 1.0. Always 0 under the
+    /// baseline policy.
+    pub weighted_reads: u64,
+    /// Cache reads extrapolated along the entry's update history. Always 0
+    /// under the baseline policy.
+    pub predicted_reads: u64,
 }
 
 impl CacheStats {
@@ -59,6 +74,19 @@ pub struct HistoricalCache {
     misses: u64,
     admits: u64,
     keeps: u64,
+    /// Hits declined by the policy's refresh schedule (policy telemetry;
+    /// not checkpointed — restarts on resume like the ring telemetry,
+    /// and is always 0 under the baseline policy).
+    scheduled_refreshes: u64,
+    /// Reads scaled by a staleness weight (`Cell`: the read path holds
+    /// `&self` inside the forward closure, like the static-cache hit
+    /// counters). Not checkpointed; 0 under the baseline policy.
+    weighted_reads: Cell<u64>,
+    /// Reads extrapolated along update history (`Cell`, as above).
+    predicted_reads: Cell<u64>,
+    /// Whether update-delta history is enabled on the rings (re-applied
+    /// after `restore`, since snapshots never carry history).
+    history: bool,
     /// Transient degraded-mode switch (never checkpointed): while set,
     /// every lookup misses silently and admissions are dropped, so the
     /// trainer fetches raw features instead of trusting stale entries.
@@ -105,8 +133,28 @@ impl HistoricalCache {
             misses: 0,
             admits: 0,
             keeps: 0,
+            scheduled_refreshes: 0,
+            weighted_reads: Cell::new(0),
+            predicted_reads: Cell::new(0),
+            history: false,
             bypass: false,
         }
+    }
+
+    /// Enable per-entry update-delta history on every cached level (needed
+    /// by policies whose [`CachePolicy::wants_history`] is true). Idempotent;
+    /// re-applied automatically after [`HistoricalCache::restore`] and
+    /// [`HistoricalCache::clear`].
+    pub fn enable_history(&mut self) {
+        self.history = true;
+        for c in self.levels.iter_mut().flatten() {
+            c.enable_history();
+        }
+    }
+
+    /// Whether update-delta history is enabled.
+    pub fn history_enabled(&self) -> bool {
+        self.history
     }
 
     /// Engage or release degraded-mode bypass: while engaged, lookups miss
@@ -133,21 +181,49 @@ impl HistoricalCache {
         self.t_stale
     }
 
-    /// Look up `node` at `level` for iteration `now`.
+    /// Look up `node` at `level` for iteration `now` under the baseline
+    /// refresh schedule (none) — see [`HistoricalCache::lookup_with`].
     pub fn lookup(&mut self, level: usize, node: NodeId, now: u32) -> Option<u32> {
+        self.lookup_with(level, node, now, &GradientPolicy)
+    }
+
+    /// Policy-aware lookup: like [`HistoricalCache::lookup`], but a live,
+    /// in-bound entry whose age the policy's [`CachePolicy::refresh_due`]
+    /// schedule flags is *declined* — the lookup reports a miss **without
+    /// evicting the entry**, so the caller recomputes the node and, if it
+    /// is still stable, re-admits it over the live entry: a refresh in
+    /// place, which also records the update delta feeding
+    /// [`CachePolicy::wants_history`] extrapolation. Under the baseline
+    /// (no schedule) this is exactly [`HistoricalCache::lookup`].
+    pub fn lookup_with(
+        &mut self,
+        level: usize,
+        node: NodeId,
+        now: u32,
+        policy: &dyn CachePolicy,
+    ) -> Option<u32> {
         if self.bypass {
             return None;
         }
         let t_stale = self.t_stale;
-        let res = self.levels[level - 1]
-            .as_mut()
-            .and_then(|c| c.lookup(node, now, t_stale));
-        if self.levels[level - 1].is_some() {
-            if res.is_some() {
-                self.hits += 1;
-            } else {
+        let c = self.levels[level - 1].as_mut()?;
+        if let Some(stamp) = c.stamp_of(node) {
+            let age = now.saturating_sub(stamp);
+            if age <= t_stale && policy.refresh_due(age, t_stale) {
+                // Declined hit: counts as a ring lookup and a cache miss
+                // (the caller will recompute), but the entry stays live so
+                // the recompute's admit refreshes it in place.
+                c.lookups += 1;
                 self.misses += 1;
+                self.scheduled_refreshes += 1;
+                return None;
             }
+        }
+        let res = c.lookup(node, now, t_stale);
+        if res.is_some() {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
         }
         res
     }
@@ -158,9 +234,43 @@ impl HistoricalCache {
         dst.copy_from_slice(cache.fetch(slot));
     }
 
-    /// Apply the gradient policy's verdicts for one level: admit fresh rows
-    /// out of `h` (the level's representation matrix), evict unstable
-    /// cached entries, refresh stamps of kept entries.
+    /// Policy-aware read: copy slot `slot` into `dst`, then let `policy`
+    /// post-process the stale entry — extrapolate it along its update
+    /// history ([`CachePolicy::wants_history`]) and/or scale it by a
+    /// staleness weight ([`CachePolicy::read_weight`]). `now` is the
+    /// current iteration; `slot` must come from a successful
+    /// [`HistoricalCache::lookup`] at the same `now`, so the entry's age
+    /// is within `t_stale` by construction. Under the baseline policy this
+    /// is byte-identical to [`HistoricalCache::fetch_into`].
+    pub fn read_into(
+        &self,
+        level: usize,
+        slot: u32,
+        now: u32,
+        policy: &dyn CachePolicy,
+        dst: &mut [f32],
+    ) {
+        let cache = self.levels[level - 1].as_ref().expect("level not cached");
+        dst.copy_from_slice(cache.fetch(slot));
+        let age = cache.age_of(slot, now);
+        if age > 0 && policy.wants_history() && cache.extrapolate_into(slot, age, dst) {
+            self.predicted_reads.set(self.predicted_reads.get() + 1);
+        }
+        let w = policy.read_weight(age, self.t_stale);
+        if w != 1.0 {
+            for x in dst.iter_mut() {
+                *x *= w;
+            }
+            self.weighted_reads.set(self.weighted_reads.get() + 1);
+        }
+    }
+
+    /// Apply a policy's verdicts for one level: admit fresh rows out of
+    /// `h` (the level's representation matrix), evict unstable cached
+    /// entries, refresh stamps of kept entries. An admit over a still-live
+    /// entry (the [`HistoricalCache::lookup_with`] refresh-schedule path)
+    /// refreshes it in place, recording the update delta when history is
+    /// enabled.
     pub fn apply_verdicts(
         &mut self,
         level: usize,
@@ -197,6 +307,9 @@ impl HistoricalCache {
             misses: self.misses,
             admits: self.admits,
             keeps: self.keeps,
+            scheduled_refreshes: self.scheduled_refreshes,
+            weighted_reads: self.weighted_reads.get(),
+            predicted_reads: self.predicted_reads.get(),
             ..Default::default()
         };
         for c in self.levels.iter().flatten() {
@@ -296,6 +409,16 @@ impl HistoricalCache {
         self.misses = snapshot.misses;
         self.admits = snapshot.admits;
         self.keeps = snapshot.keeps;
+        // Snapshots never carry history or policy telemetry: restart both
+        // (the same restart-on-resume contract as the ring lookup counters).
+        self.scheduled_refreshes = 0;
+        self.weighted_reads.set(0);
+        self.predicted_reads.set(0);
+        if self.history {
+            for c in self.levels.iter_mut().flatten() {
+                c.enable_history();
+            }
+        }
         Ok(())
     }
 
@@ -318,11 +441,17 @@ impl HistoricalCache {
     pub fn clear(&mut self) {
         for c in self.levels.iter_mut().flatten() {
             *c = RingCache::new(c.num_nodes(), c.capacity(), c.dim());
+            if self.history {
+                c.enable_history();
+            }
         }
         self.hits = 0;
         self.misses = 0;
         self.admits = 0;
         self.keeps = 0;
+        self.scheduled_refreshes = 0;
+        self.weighted_reads.set(0);
+        self.predicted_reads.set(0);
     }
 }
 
@@ -486,6 +615,75 @@ mod tests {
             assert!(c.lookup(level, 1, 4).is_some());
             assert!(c.lookup(level, 2, 4).is_none());
         }
+    }
+
+    #[test]
+    fn scheduled_refresh_declines_hit_without_evicting() {
+        let mut c = cache(); // t_stale 50
+        c.enable_history();
+        let admit = |val: f32| {
+            (
+                Matrix::full(1, 4, val),
+                vec![(
+                    PolicyInput {
+                        node: 7,
+                        local: 0,
+                        grad_norm: 0.0,
+                        was_cached: false,
+                    },
+                    Verdict::Admit,
+                )],
+            )
+        };
+        let (h, v) = admit(1.0);
+        c.apply_verdicts(1, &v, &h, 0);
+        let policy = CoarseRefreshPolicy { period: 10 };
+        // Under the period: served normally.
+        assert!(c.lookup_with(1, 7, 5, &policy).is_some());
+        // At the period: declined, counted as a miss + scheduled refresh,
+        // but the entry stays live (the baseline still sees it).
+        assert!(c.lookup_with(1, 7, 10, &policy).is_none());
+        let s = c.stats();
+        assert_eq!(s.scheduled_refreshes, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 1);
+        assert_eq!(c.lookups(), s.hits + s.misses, "obs invariant holds");
+        assert!(c.lookup(1, 7, 10).is_some(), "entry not evicted");
+        // The forced recompute re-admits in place, recording the update
+        // delta and restarting the entry's age.
+        let (h2, v2) = admit(3.0);
+        c.apply_verdicts(1, &v2, &h2, 10);
+        let slot = c.lookup_with(1, 7, 12, &policy).expect("refreshed entry");
+        let mut row = [0.0f32; 4];
+        c.fetch_into(1, slot, &mut row);
+        assert_eq!(row, [3.0; 4]);
+        // History recorded: a predictive read at age 2 extrapolates along
+        // the (3.0 - 1.0)/10 per-iteration delta.
+        let mut pred = [0.0f32; 4];
+        c.read_into(1, slot, 12, &PredictivePolicy::for_t_stale(50), &mut pred);
+        assert!(pred[0] > 3.0, "extrapolated forward, got {}", pred[0]);
+        assert_eq!(c.stats().predicted_reads, 1);
+    }
+
+    #[test]
+    fn baseline_lookup_never_schedules_refreshes() {
+        let mut c = cache();
+        let h = Matrix::full(1, 4, 1.0);
+        let v = vec![(
+            PolicyInput {
+                node: 3,
+                local: 0,
+                grad_norm: 0.0,
+                was_cached: false,
+            },
+            Verdict::Admit,
+        )];
+        c.apply_verdicts(1, &v, &h, 0);
+        for now in 1..=50 {
+            assert!(c.lookup(1, 3, now).is_some(), "in-bound hit at {now}");
+        }
+        assert_eq!(c.stats().scheduled_refreshes, 0);
+        assert!(c.lookup(1, 3, 51).is_none(), "t_stale bound still evicts");
     }
 
     #[test]

@@ -1,16 +1,39 @@
-//! The gradient-based admission/eviction criterion (§4.1, Fig 6).
+//! The pluggable cache-policy family (§4.1, Fig 6, plus the
+//! staleness-control successors from PAPERS.md).
 //!
-//! After backward propagation, every node present at layer `l` of the
-//! mini-batch has an embedding-gradient norm `‖∇_{h_v^{(l)}} L‖`. The
-//! bottom `p_grad` fraction (smallest norms — most stable) are *admitted*
-//! (computed nodes) or *kept* (cache-read nodes); the top `1 − p_grad`
-//! fraction are *not admitted* / *evicted*.
+//! FreshGNN's own criterion: after backward propagation, every node
+//! present at layer `l` of the mini-batch has an embedding-gradient norm
+//! `‖∇_{h_v^{(l)}} L‖`. The bottom `p_grad` fraction (smallest norms —
+//! most stable) are *admitted* (computed nodes) or *kept* (cache-read
+//! nodes); the top `1 − p_grad` fraction are *not admitted* / *evicted*.
+//!
+//! The [`CachePolicy`] trait generalizes that rule into a single
+//! admission/keep/read decision surface with three hooks:
+//!
+//! * [`CachePolicy::verdicts`] — who enters/leaves the cache (the
+//!   quantile machinery above, on a policy-chosen stability score);
+//! * [`CachePolicy::read_weight`] / [`CachePolicy::wants_history`] — what
+//!   a stale read-back is worth: VISAGNN-style staleness weighting scales
+//!   the embedding down with age instead of trusting it outright, and the
+//!   online dynamic-embedding *prediction* approach (arXiv:2308.13466)
+//!   extrapolates the entry from its recorded update delta;
+//! * [`CachePolicy::refresh_due`] — when a *live* cached entry should be
+//!   refreshed ahead of expiry: the lookup declines the hit (without
+//!   evicting) so the node is recomputed and re-admitted in place. The
+//!   baseline never schedules one (entries refresh only at the `t_stale`
+//!   expiry); a periodic schedule is coarser than per-iteration streaming
+//!   updates ("Haste Makes Waste") but finer than expiry-only, trading
+//!   admit traffic for freshness.
+//!
+//! Every policy is deterministic given its RNG: the only randomness is
+//! the explicit `rng` argument, consumed solely by [`RandomPolicy`].
 
 use fgnn_graph::NodeId;
 use fgnn_tensor::Rng;
 
-/// Which stability criterion drives admission/eviction (the gradient
-/// criterion is FreshGNN's; the others exist for the ablation study).
+/// Which admission/read/refresh policy drives the cache. The gradient
+/// criterion is FreshGNN's; the rest are the ablation criteria plus the
+/// staleness-control successors (see module docs).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PolicyKind {
     /// The paper's criterion: smallest gradient norms are stable.
@@ -21,6 +44,87 @@ pub enum PolicyKind {
     /// least stable embeddings) — isolates how much the criterion's
     /// direction matters.
     InverseGradient,
+    /// Serving-time criterion: the score is a request count and the
+    /// *hottest* fraction is admitted (stability surrogate at inference
+    /// time, where no gradients exist).
+    Frequency,
+    /// VISAGNN-style: gradient admission, but read-back embeddings are
+    /// down-weighted linearly with their age instead of trusted outright.
+    StalenessWeighted,
+    /// Dynamic-embedding prediction: gradient admission, but a stale read
+    /// is extrapolated from the entry's recorded update delta (entries
+    /// refresh in place mid-window so the delta history exists).
+    Predictive,
+    /// Coarse refresh schedule: gradient admission, but a live entry is
+    /// recomputed and rewritten in place once per refresh period instead
+    /// of only at `t_stale` expiry.
+    CoarseRefresh,
+}
+
+impl PolicyKind {
+    /// Every variant, in declaration order — the single source of truth
+    /// for CLI sweeps and the parse/display round-trip test.
+    pub const ALL: [PolicyKind; 7] = [
+        PolicyKind::Gradient,
+        PolicyKind::Random,
+        PolicyKind::InverseGradient,
+        PolicyKind::Frequency,
+        PolicyKind::StalenessWeighted,
+        PolicyKind::Predictive,
+        PolicyKind::CoarseRefresh,
+    ];
+
+    /// Stable CLI/export name (round-trips through [`std::str::FromStr`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Gradient => "gradient",
+            PolicyKind::Random => "random",
+            PolicyKind::InverseGradient => "inverse-gradient",
+            PolicyKind::Frequency => "frequency",
+            PolicyKind::StalenessWeighted => "staleness-weighted",
+            PolicyKind::Predictive => "predictive",
+            PolicyKind::CoarseRefresh => "coarse-refresh",
+        }
+    }
+
+    /// Instantiate the policy behind this kind. `t_stale` parameterizes
+    /// the staleness-dependent policies (weighting decay, refresh period);
+    /// the admission-only kinds ignore it.
+    pub fn build(self, t_stale: u32) -> Box<dyn CachePolicy> {
+        match self {
+            PolicyKind::Gradient => Box::new(GradientPolicy),
+            PolicyKind::Random => Box::new(RandomPolicy),
+            PolicyKind::InverseGradient => Box::new(InverseGradientPolicy),
+            PolicyKind::Frequency => Box::new(FrequencyPolicy),
+            PolicyKind::StalenessWeighted => Box::new(StalenessWeightedPolicy::default()),
+            PolicyKind::Predictive => Box::new(PredictivePolicy::for_t_stale(t_stale)),
+            PolicyKind::CoarseRefresh => Box::new(CoarseRefreshPolicy::for_t_stale(t_stale)),
+        }
+    }
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for PolicyKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        PolicyKind::ALL
+            .iter()
+            .copied()
+            .find(|k| k.name() == s)
+            .ok_or_else(|| {
+                let names: Vec<&str> = PolicyKind::ALL.iter().map(|k| k.name()).collect();
+                format!(
+                    "unknown policy '{s}' (expected one of: {})",
+                    names.join(", ")
+                )
+            })
+    }
 }
 
 /// One node's policy input for a layer.
@@ -30,7 +134,8 @@ pub struct PolicyInput {
     pub node: NodeId,
     /// Row index of this node in the layer's representation matrix.
     pub local: u32,
-    /// `‖∇_{h_v} L‖` harvested from backward.
+    /// The stability score: `‖∇_{h_v} L‖` harvested from backward in
+    /// training, the observed request count in serving.
     pub grad_norm: f32,
     /// Whether this iteration *read* the node from the cache (true) or
     /// computed it fresh (false).
@@ -48,6 +153,230 @@ pub enum Verdict {
     Evict,
     /// Fresh embedding, unstable: do not admit.
     Skip,
+}
+
+/// A cache policy: the single admission/keep/read/refresh decision
+/// surface shared by both trainer families, the serving embedding store
+/// and the benches. Implementations are stateless (all hooks take
+/// `&self`); any randomness flows through the explicit `rng`.
+pub trait CachePolicy: Send + Sync {
+    /// Which [`PolicyKind`] this policy implements.
+    fn kind(&self) -> PolicyKind;
+
+    /// Stable display/export name.
+    fn name(&self) -> &'static str {
+        self.kind().name()
+    }
+
+    /// Admission/keep verdicts for one layer's nodes. `p` is the stable
+    /// fraction; `rng` is consumed only by randomized policies, so
+    /// deterministic policies leave the caller's stream untouched.
+    fn verdicts(
+        &self,
+        inputs: &[PolicyInput],
+        p: f32,
+        rng: &mut Rng,
+    ) -> Vec<(PolicyInput, Verdict)> {
+        let _ = rng;
+        gradient_policy(inputs, p)
+    }
+
+    /// Multiplicative weight applied to a read-back embedding of the
+    /// given `age` (iterations since admission) under staleness bound
+    /// `t_stale`. The baseline trusts every in-bound entry fully (1.0).
+    fn read_weight(&self, age: u32, t_stale: u32) -> f32 {
+        let _ = (age, t_stale);
+        1.0
+    }
+
+    /// Whether the ring should record per-entry update deltas so stale
+    /// reads can be extrapolated ([`crate::cache::RingCache`] history).
+    fn wants_history(&self) -> bool {
+        false
+    }
+
+    /// Whether a *live* cached entry of the given `age` (< the `t_stale`
+    /// bound) is due for a scheduled refresh. When true, the lookup
+    /// declines the hit **without evicting**: the node is recomputed this
+    /// iteration and, if still stable, re-admitted over the live entry —
+    /// a refresh-in-place that also records the update delta feeding
+    /// [`CachePolicy::wants_history`] extrapolation. The baseline never
+    /// schedules one: entries refresh only at expiry.
+    fn refresh_due(&self, age: u32, t_stale: u32) -> bool {
+        let _ = (age, t_stale);
+        false
+    }
+}
+
+/// The paper baseline: bottom-`p_grad` gradient norms are stable, every
+/// in-bound read is trusted fully, every admit rewrites.
+pub struct GradientPolicy;
+
+impl CachePolicy for GradientPolicy {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Gradient
+    }
+}
+
+/// Ablation: a uniformly random `p` fraction is stable.
+pub struct RandomPolicy;
+
+impl CachePolicy for RandomPolicy {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Random
+    }
+
+    fn verdicts(
+        &self,
+        inputs: &[PolicyInput],
+        p: f32,
+        rng: &mut Rng,
+    ) -> Vec<(PolicyInput, Verdict)> {
+        randomized_policy(inputs, p, rng)
+    }
+}
+
+/// Adversarial ablation: the *largest* scores are stable.
+pub struct InverseGradientPolicy;
+
+impl CachePolicy for InverseGradientPolicy {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::InverseGradient
+    }
+
+    fn verdicts(
+        &self,
+        inputs: &[PolicyInput],
+        p: f32,
+        rng: &mut Rng,
+    ) -> Vec<(PolicyInput, Verdict)> {
+        let _ = rng;
+        inverted_gradient_policy(inputs, p)
+    }
+}
+
+/// Serving-time admission: keep the most *requested* embeddings instead
+/// of the most *stable* ones.
+///
+/// Training admits by gradient norm because stability predicts reuse
+/// value; at inference time there are no gradients, so request frequency
+/// is the surrogate stability score — a hot node's embedding amortizes
+/// its recompute over many requests exactly as a stable node's amortizes
+/// over many iterations. `grad_norm` carries the observed request count
+/// and the *top* `p_hot` fraction is admitted/kept.
+pub struct FrequencyPolicy;
+
+impl CachePolicy for FrequencyPolicy {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Frequency
+    }
+
+    fn verdicts(
+        &self,
+        inputs: &[PolicyInput],
+        p: f32,
+        rng: &mut Rng,
+    ) -> Vec<(PolicyInput, Verdict)> {
+        let _ = rng;
+        inverted_gradient_policy(inputs, p)
+    }
+}
+
+/// VISAGNN-style staleness-aware weighting: gradient admission, but a
+/// read-back embedding is scaled by a weight that decays linearly from
+/// 1.0 at age 0 to `floor` at age `t_stale`, so older history counts for
+/// less instead of being trusted outright until the hard bound evicts it.
+pub struct StalenessWeightedPolicy {
+    /// Weight at the staleness bound (age = `t_stale`); fresher entries
+    /// interpolate linearly toward 1.0.
+    pub floor: f32,
+}
+
+impl Default for StalenessWeightedPolicy {
+    fn default() -> Self {
+        StalenessWeightedPolicy { floor: 0.5 }
+    }
+}
+
+impl CachePolicy for StalenessWeightedPolicy {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::StalenessWeighted
+    }
+
+    fn read_weight(&self, age: u32, t_stale: u32) -> f32 {
+        if age == 0 {
+            return 1.0;
+        }
+        let frac = age as f32 / t_stale.max(1) as f32;
+        (1.0 - (1.0 - self.floor) * frac).clamp(self.floor.min(1.0), 1.0)
+    }
+}
+
+/// Online dynamic-embedding prediction (arXiv:2308.13466): gradient
+/// admission, but the ring records each entry's update deltas and an aged
+/// read is extrapolated forward along the last one instead of served
+/// as-is. A mid-window refresh schedule (`refresh_age`, half the
+/// staleness bound) forces the in-place rewrites that *produce* those
+/// deltas — without it the baseline only ever writes an entry once per
+/// staleness window and there is no trajectory to extrapolate.
+pub struct PredictivePolicy {
+    /// Age at which a live entry is refreshed in place to record a delta.
+    pub refresh_age: u32,
+}
+
+impl PredictivePolicy {
+    /// Refresh at half the staleness bound (at least 1): one delta
+    /// observation per window, leaving the second half to extrapolate.
+    pub fn for_t_stale(t_stale: u32) -> Self {
+        PredictivePolicy {
+            refresh_age: (t_stale / 2).max(1),
+        }
+    }
+}
+
+impl CachePolicy for PredictivePolicy {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Predictive
+    }
+
+    fn wants_history(&self) -> bool {
+        true
+    }
+
+    fn refresh_due(&self, age: u32, _t_stale: u32) -> bool {
+        age >= self.refresh_age
+    }
+}
+
+/// Coarse refresh schedule: gradient admission, but a live entry is
+/// recomputed and rewritten in place once its age reaches `period` —
+/// coarser than per-iteration streaming updates ("Haste Makes Waste"),
+/// finer than the baseline's expiry-only refresh. Caps the worst-case
+/// served age at `period` instead of `t_stale`, buying freshness with
+/// extra recompute/admit traffic.
+pub struct CoarseRefreshPolicy {
+    /// Age at which a live entry's hit is declined so it refreshes.
+    pub period: u32,
+}
+
+impl CoarseRefreshPolicy {
+    /// A quarter of the staleness bound (at least 1): entries refresh a
+    /// few times per staleness window instead of once at expiry.
+    pub fn for_t_stale(t_stale: u32) -> Self {
+        CoarseRefreshPolicy {
+            period: (t_stale / 4).max(1),
+        }
+    }
+}
+
+impl CachePolicy for CoarseRefreshPolicy {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::CoarseRefresh
+    }
+
+    fn refresh_due(&self, age: u32, _t_stale: u32) -> bool {
+        age >= self.period
+    }
 }
 
 /// Apply the `p_grad` criterion to one layer's nodes.
@@ -83,19 +412,15 @@ pub fn gradient_policy(inputs: &[PolicyInput], p_grad: f32) -> Vec<(PolicyInput,
     out
 }
 
-/// Serving-time admission: keep the most *requested* embeddings instead
-/// of the most *stable* ones.
+/// The shared inverted-score combinator: run [`gradient_policy`] with the
+/// score negated — "smallest norm is most stable" becomes "largest score
+/// is most stable" — and un-negate the reported score on the way out, so
+/// callers see their own values. Ties break by node ID either way.
 ///
-/// Training admits by gradient norm because stability predicts reuse
-/// value; at inference time there are no gradients, so request frequency
-/// is the surrogate stability score — a hot node's embedding amortizes
-/// its recompute over many requests exactly as a stable node's amortizes
-/// over many iterations. `grad_norm` carries the observed request count
-/// and the *top* `p_hot` fraction is admitted/kept (ties broken by node
-/// ID, so verdicts are deterministic for equal-frequency nodes).
-pub fn frequency_policy(inputs: &[PolicyInput], p_hot: f32) -> Vec<(PolicyInput, Verdict)> {
-    // Reuse the gradient machinery with the score negated: "smallest
-    // norm is most stable" becomes "largest frequency is most stable".
+/// This is the one place the negate-then-rank trick lives;
+/// [`frequency_policy`], [`InverseGradientPolicy`] and
+/// [`FrequencyPolicy`] are all this combinator.
+pub fn inverted_gradient_policy(inputs: &[PolicyInput], p: f32) -> Vec<(PolicyInput, Verdict)> {
     let flipped: Vec<PolicyInput> = inputs
         .iter()
         .map(|x| PolicyInput {
@@ -103,7 +428,7 @@ pub fn frequency_policy(inputs: &[PolicyInput], p_hot: f32) -> Vec<(PolicyInput,
             ..*x
         })
         .collect();
-    gradient_policy(&flipped, p_hot)
+    gradient_policy(&flipped, p)
         .into_iter()
         .map(|(x, v)| {
             (
@@ -117,7 +442,30 @@ pub fn frequency_policy(inputs: &[PolicyInput], p_hot: f32) -> Vec<(PolicyInput,
         .collect()
 }
 
-/// Apply the chosen criterion. `rng` is only consumed by
+/// Serving-time admission by request frequency — see [`FrequencyPolicy`].
+/// `grad_norm` carries the observed request count and the *top* `p_hot`
+/// fraction is admitted/kept.
+pub fn frequency_policy(inputs: &[PolicyInput], p_hot: f32) -> Vec<(PolicyInput, Verdict)> {
+    inverted_gradient_policy(inputs, p_hot)
+}
+
+/// The random criterion: replace every score with a uniform draw, then
+/// rank. The returned `grad_norm` is the surrogate score (verdict
+/// application only consumes `node`/`local`/`was_cached`).
+fn randomized_policy(inputs: &[PolicyInput], p: f32, rng: &mut Rng) -> Vec<(PolicyInput, Verdict)> {
+    let randomized: Vec<PolicyInput> = inputs
+        .iter()
+        .map(|x| PolicyInput {
+            grad_norm: rng.uniform(),
+            ..*x
+        })
+        .collect();
+    gradient_policy(&randomized, p)
+}
+
+/// Apply the chosen kind's *admission* rule (compat shim over the
+/// [`CachePolicy`] trait — the trait adds the read/refresh hooks on top
+/// of exactly these verdicts). `rng` is only consumed by
 /// [`PolicyKind::Random`].
 pub fn apply_policy(
     kind: PolicyKind,
@@ -126,31 +474,12 @@ pub fn apply_policy(
     rng: &mut Rng,
 ) -> Vec<(PolicyInput, Verdict)> {
     match kind {
-        PolicyKind::Gradient => gradient_policy(inputs, p),
-        // For the ablation variants the returned `grad_norm` is the
-        // surrogate stability score (negated / randomized); verdict
-        // application only consumes `node`/`local`/`was_cached`, which the
-        // quantile machinery carries through unchanged.
-        PolicyKind::InverseGradient => {
-            let flipped: Vec<PolicyInput> = inputs
-                .iter()
-                .map(|x| PolicyInput {
-                    grad_norm: -x.grad_norm,
-                    ..*x
-                })
-                .collect();
-            gradient_policy(&flipped, p)
-        }
-        PolicyKind::Random => {
-            let randomized: Vec<PolicyInput> = inputs
-                .iter()
-                .map(|x| PolicyInput {
-                    grad_norm: rng.uniform(),
-                    ..*x
-                })
-                .collect();
-            gradient_policy(&randomized, p)
-        }
+        PolicyKind::Gradient
+        | PolicyKind::StalenessWeighted
+        | PolicyKind::Predictive
+        | PolicyKind::CoarseRefresh => gradient_policy(inputs, p),
+        PolicyKind::InverseGradient | PolicyKind::Frequency => inverted_gradient_policy(inputs, p),
+        PolicyKind::Random => randomized_policy(inputs, p, rng),
     }
 }
 
@@ -293,5 +622,108 @@ mod tests {
             assert_eq!(a.node, b.node);
             assert_eq!(va, vb);
         }
+    }
+
+    #[test]
+    fn inverse_policy_reports_unflipped_scores() {
+        // The shared combinator un-negates on the way out for every user.
+        let inputs = vec![input(0, 0.1, false), input(1, 9.0, false)];
+        let out = inverted_gradient_policy(&inputs, 0.5);
+        assert!(out.iter().all(|(x, _)| x.grad_norm >= 0.0));
+    }
+
+    #[test]
+    fn kind_name_round_trips_exhaustively() {
+        for kind in PolicyKind::ALL {
+            let parsed: PolicyKind = kind.name().parse().expect("name parses back");
+            assert_eq!(parsed, kind);
+            assert_eq!(format!("{kind}"), kind.name());
+            // Exhaustive match: adding a PolicyKind variant without a name,
+            // a builder and an ALL entry fails to compile here.
+            match kind {
+                PolicyKind::Gradient
+                | PolicyKind::Random
+                | PolicyKind::InverseGradient
+                | PolicyKind::Frequency
+                | PolicyKind::StalenessWeighted
+                | PolicyKind::Predictive
+                | PolicyKind::CoarseRefresh => {}
+            }
+            assert_eq!(kind.build(20).kind(), kind, "builder returns its kind");
+        }
+        assert!("no-such-policy".parse::<PolicyKind>().is_err());
+    }
+
+    #[test]
+    fn trait_verdicts_match_apply_policy_for_every_kind() {
+        let inputs: Vec<PolicyInput> = (0..40)
+            .map(|i| input(i, (i * 7 % 13) as f32, i % 3 == 0))
+            .collect();
+        for kind in PolicyKind::ALL {
+            let policy = kind.build(20);
+            let mut rng_a = Rng::new(11);
+            let mut rng_b = Rng::new(11);
+            let via_trait = policy.verdicts(&inputs, 0.6, &mut rng_a);
+            let via_shim = apply_policy(kind, &inputs, 0.6, &mut rng_b);
+            assert_eq!(via_trait.len(), via_shim.len());
+            for ((a, va), (b, vb)) in via_trait.iter().zip(&via_shim) {
+                assert_eq!(a.node, b.node, "{kind}");
+                assert_eq!(va, vb, "{kind}");
+            }
+            assert_eq!(
+                rng_a.state(),
+                rng_b.state(),
+                "{kind}: trait and shim must consume the rng identically"
+            );
+        }
+    }
+
+    #[test]
+    fn staleness_weight_decays_linearly_to_floor() {
+        let p = StalenessWeightedPolicy { floor: 0.5 };
+        assert_eq!(p.read_weight(0, 20), 1.0);
+        assert!((p.read_weight(10, 20) - 0.75).abs() < 1e-6);
+        assert!((p.read_weight(20, 20) - 0.5).abs() < 1e-6);
+        // Past the bound (only reachable if a caller bypasses lookup's
+        // eviction) the weight clamps at the floor.
+        assert_eq!(p.read_weight(40, 20), 0.5);
+        // t_stale = 0 must not divide by zero.
+        assert!(p.read_weight(1, 0) >= 0.5);
+    }
+
+    #[test]
+    fn coarse_refresh_fires_at_period() {
+        let p = CoarseRefreshPolicy::for_t_stale(20); // period 5
+        assert_eq!(p.period, 5);
+        assert!(!p.refresh_due(0, 20), "fresh entry not due");
+        assert!(!p.refresh_due(4, 20), "under the period");
+        assert!(p.refresh_due(5, 20), "boundary is due");
+        assert!(p.refresh_due(19, 20));
+        // Degenerate t_stale: period clamps to 1, so any aged entry is due
+        // but a same-iteration re-read is not.
+        let p = CoarseRefreshPolicy::for_t_stale(0);
+        assert_eq!(p.period, 1);
+        assert!(p.refresh_due(1, 0));
+        assert!(!p.refresh_due(0, 0), "same-iteration hit served");
+    }
+
+    #[test]
+    fn predictive_refreshes_mid_window_and_wants_history() {
+        let p = PredictivePolicy::for_t_stale(30); // refresh_age 15
+        assert_eq!(p.refresh_age, 15);
+        assert!(p.wants_history());
+        assert!(!p.refresh_due(14, 30));
+        assert!(p.refresh_due(15, 30), "mid-window refresh is due");
+        // Degenerate t_stale still clamps to 1.
+        assert_eq!(PredictivePolicy::for_t_stale(1).refresh_age, 1);
+    }
+
+    #[test]
+    fn baseline_hooks_are_identity() {
+        let p = GradientPolicy;
+        assert_eq!(p.read_weight(19, 20), 1.0);
+        assert!(!p.wants_history());
+        assert!(!p.refresh_due(19, 20), "baseline never schedules");
+        assert_eq!(p.name(), "gradient");
     }
 }

@@ -21,6 +21,23 @@ use fgnn_tensor::Matrix;
 
 const INVALID: u32 = u32::MAX;
 
+/// Extrapolation is clamped to this many multiples of the recorded update
+/// delta — a short observed gap must not launch a long-stale entry
+/// arbitrarily far along its last direction.
+const MAX_EXTRAPOLATION: f32 = 4.0;
+
+/// Optional per-slot update history for the predictive policy: the last
+/// refresh's embedding delta and the iteration gap it was observed over.
+/// Telemetry-like — never part of [`RingSnapshot`] (a resumed run
+/// restarts with empty history exactly as the hit counters restart).
+struct RingHistory {
+    /// `capacity x dim`: row `s` holds `new - old` of slot `s`'s last
+    /// in-place refresh.
+    delta: Matrix,
+    /// Iterations the delta was observed over (0 = no usable history).
+    gap: Vec<u32>,
+}
+
 /// Per-layer ring-buffer cache of node embeddings.
 pub struct RingCache {
     /// Embedding table, `capacity x dim`.
@@ -51,6 +68,9 @@ pub struct RingCache {
     /// Age (iterations since admission) of every served hit (observability
     /// only; not checkpointed).
     hit_age: Histogram,
+    /// Update-delta history, enabled only by policies that extrapolate
+    /// stale reads ([`RingCache::enable_history`]); not checkpointed.
+    history: Option<RingHistory>,
 }
 
 impl RingCache {
@@ -71,6 +91,82 @@ impl RingCache {
             lookups: 0,
             hits: 0,
             hit_age: Histogram::new(&AGE_BUCKETS),
+            history: None,
+        }
+    }
+
+    /// Start recording per-slot update deltas (idempotent). Enabled by
+    /// history-wanting policies ([`crate::cache::policy::CachePolicy::wants_history`]);
+    /// costs one extra `capacity x dim` matrix.
+    pub fn enable_history(&mut self) {
+        if self.history.is_none() {
+            self.history = Some(RingHistory {
+                delta: Matrix::zeros(self.capacity(), self.dim),
+                gap: vec![0; self.capacity()],
+            });
+        }
+    }
+
+    /// Whether update-delta history is being recorded.
+    pub fn history_enabled(&self) -> bool {
+        self.history.is_some()
+    }
+
+    /// Admission stamp of `node`'s live entry (`None` when absent or
+    /// dangling). Lets refresh scheduling ask "how old is the copy I would
+    /// overwrite?" without touching the lookup counters.
+    pub fn stamp_of(&self, node: NodeId) -> Option<u32> {
+        let slot = self.slot_of[node as usize];
+        if slot == INVALID || self.node_of[slot as usize] != node {
+            return None;
+        }
+        Some(self.stamp[slot as usize])
+    }
+
+    /// Extrapolate `dst` (a copy of `slot`'s row) forward by `age`
+    /// iterations along the slot's recorded update delta:
+    /// `dst += delta * min(age / gap, MAX_EXTRAPOLATION)`. Returns whether
+    /// any prediction was applied (history disabled or no recorded
+    /// refresh ⇒ `false`, `dst` untouched).
+    pub fn extrapolate_into(&self, slot: u32, age: u32, dst: &mut [f32]) -> bool {
+        let Some(hist) = &self.history else {
+            return false;
+        };
+        let s = slot as usize;
+        let gap = hist.gap[s];
+        if gap == 0 || age == 0 {
+            return false;
+        }
+        let k = (age as f32 / gap as f32).min(MAX_EXTRAPOLATION);
+        for (x, &d) in dst.iter_mut().zip(hist.delta.row(s)) {
+            *x += k * d;
+        }
+        true
+    }
+
+    /// Record the delta of an in-place refresh of `slot` (call *before*
+    /// overwriting the row).
+    fn record_refresh_history(&mut self, slot: usize, row: &[f32], now: u32) {
+        let Some(hist) = self.history.as_mut() else {
+            return;
+        };
+        let gap = now.saturating_sub(self.stamp[slot]);
+        if gap == 0 {
+            // Same-iteration rewrite carries no velocity signal.
+            return;
+        }
+        let old = self.table.row(slot);
+        for (d, (&new, &prev)) in hist.delta.row_mut(slot).iter_mut().zip(row.iter().zip(old)) {
+            *d = new - prev;
+        }
+        hist.gap[slot] = gap;
+    }
+
+    /// Clear `slot`'s history (a fresh occupant has no observed delta).
+    fn reset_history(&mut self, slot: usize) {
+        if let Some(hist) = self.history.as_mut() {
+            hist.delta.row_mut(slot).iter_mut().for_each(|x| *x = 0.0);
+            hist.gap[slot] = 0;
         }
     }
 
@@ -157,6 +253,7 @@ impl RingCache {
         // Refresh in place if already cached.
         let existing = self.slot_of[node as usize];
         if existing != INVALID && self.node_of[existing as usize] == node {
+            self.record_refresh_history(existing as usize, row, now);
             self.table.set_row(existing as usize, row);
             self.stamp[existing as usize] = now;
             return;
@@ -180,6 +277,7 @@ impl RingCache {
             }
             self.overwrites += 1;
         }
+        self.reset_history(h);
         self.table.set_row(h, row);
         self.node_of[h] = node;
         self.stamp[h] = now;
@@ -196,6 +294,7 @@ impl RingCache {
         debug_assert_eq!(row.len(), self.dim);
         let existing = self.slot_of[node as usize];
         if existing != INVALID && self.node_of[existing as usize] == node {
+            self.record_refresh_history(existing as usize, row, now);
             self.table.set_row(existing as usize, row);
             self.stamp[existing as usize] = now;
             return;
@@ -208,6 +307,7 @@ impl RingCache {
             }
             self.overwrites += 1;
         }
+        self.reset_history(h);
         self.table.set_row(h, row);
         self.node_of[h] = node;
         self.stamp[h] = now;
@@ -262,13 +362,24 @@ impl RingCache {
         self.table = table;
         self.node_of.resize(new_cap, INVALID);
         self.stamp.resize(new_cap, 0);
+        if let Some(hist) = &mut self.history {
+            let mut delta = Matrix::zeros(new_cap, self.dim);
+            delta.as_mut_slice()[..old_cap * self.dim].copy_from_slice(hist.delta.as_slice());
+            hist.delta = delta;
+            hist.gap.resize(new_cap, 0);
+        }
         // Continue writing into the newly added free region.
         self.head = old_cap;
     }
 
-    /// Resident bytes of the table plus the mapping array.
+    /// Resident bytes of the table plus the mapping array (and the
+    /// update-delta history, when enabled).
     pub fn bytes(&self) -> usize {
-        self.table.as_slice().len() * 4 + self.slot_of.len() * 4 + self.node_of.len() * 8
+        let hist = self
+            .history
+            .as_ref()
+            .map_or(0, |h| h.delta.as_slice().len() * 4 + h.gap.len() * 4);
+        self.table.as_slice().len() * 4 + self.slot_of.len() * 4 + self.node_of.len() * 8 + hist
     }
 
     /// Full serializable state (for checkpointing).
@@ -327,10 +438,12 @@ impl RingCache {
             stale_evictions: s.stale_evictions,
             grad_evictions: s.grad_evictions,
             overwrites: s.overwrites,
-            // Telemetry restarts on resume (not part of the snapshot).
+            // Telemetry restarts on resume (not part of the snapshot);
+            // so does update-delta history (re-enabled by the owner).
             lookups: 0,
             hits: 0,
             hit_age: Histogram::new(&AGE_BUCKETS),
+            history: None,
         })
     }
 }
@@ -660,6 +773,88 @@ mod tests {
         }
         // Idempotent once the future entries are gone.
         assert_eq!(c.evict_newer_than(3), 0);
+    }
+
+    #[test]
+    fn history_records_refresh_delta_and_extrapolates() {
+        let mut c = RingCache::new(10, 4, 2);
+        c.enable_history();
+        assert!(c.history_enabled());
+        c.admit(1, &[1.0, 2.0], 0, 100);
+        // A fresh admit has no delta: extrapolation is a no-op.
+        let slot = c.lookup(1, 2, 100).unwrap();
+        let mut row = [0.0f32; 2];
+        row.copy_from_slice(c.fetch(slot));
+        assert!(!c.extrapolate_into(slot, 2, &mut row));
+        assert_eq!(row, [1.0, 2.0]);
+        // Refresh after 2 iterations: delta (+0.4, -0.2) over gap 2.
+        c.admit(1, &[1.4, 1.8], 2, 100);
+        let slot = c.lookup(1, 6, 100).unwrap();
+        row.copy_from_slice(c.fetch(slot));
+        // age 4 = 2x the observed gap: extrapolate two deltas forward.
+        assert!(c.extrapolate_into(slot, 4, &mut row));
+        assert!((row[0] - 2.2).abs() < 1e-6, "{row:?}");
+        assert!((row[1] - 1.4).abs() < 1e-6, "{row:?}");
+    }
+
+    #[test]
+    fn history_extrapolation_is_clamped() {
+        let mut c = RingCache::new(10, 4, 1);
+        c.enable_history();
+        c.admit(3, &[0.0], 0, 1000);
+        c.admit(3, &[1.0], 1, 1000); // delta +1 over gap 1
+        let slot = c.lookup(3, 100, 1000).unwrap();
+        let mut row = [0.0f32];
+        row.copy_from_slice(c.fetch(slot));
+        c.extrapolate_into(slot, 99, &mut row);
+        // min(99/1, 4) = 4 deltas, not 99.
+        assert!((row[0] - 5.0).abs() < 1e-6, "{row:?}");
+    }
+
+    #[test]
+    fn history_resets_when_slot_is_recycled() {
+        let mut c = RingCache::new(10, 2, 1);
+        c.enable_history();
+        c.admit(1, &[1.0], 0, 1);
+        c.admit(1, &[3.0], 1, 1); // delta +2 over gap 1
+                                  // Ring the slot away to a new node (old entries stale at now=10).
+        c.admit(2, &[7.0], 10, 1);
+        c.admit(3, &[8.0], 10, 1);
+        let slot = c.lookup(2, 10, 1).or_else(|| c.lookup(3, 10, 1)).unwrap();
+        let mut row = [0.0f32];
+        row.copy_from_slice(c.fetch(slot));
+        assert!(
+            !c.extrapolate_into(slot, 1, &mut row),
+            "fresh occupant must not inherit the old delta"
+        );
+    }
+
+    #[test]
+    fn stamp_of_reports_live_entries_only() {
+        let mut c = RingCache::new(10, 4, 1);
+        assert_eq!(c.stamp_of(1), None);
+        c.admit(1, &[1.0], 7, 100);
+        assert_eq!(c.stamp_of(1), Some(7));
+        c.evict(1);
+        assert_eq!(c.stamp_of(1), None, "evicted entry has no stamp");
+        // stamp_of never moves the lookup telemetry.
+        assert_eq!(c.lookups, 0);
+    }
+
+    #[test]
+    fn history_survives_growth() {
+        let mut c = RingCache::new(10, 2, 1);
+        c.enable_history();
+        c.admit(1, &[0.0], 0, 100);
+        c.admit(1, &[2.0], 2, 100); // delta +2 over gap 2
+        c.admit(2, &[5.0], 2, 100);
+        c.admit(3, &[6.0], 2, 100); // forces growth (occupants fresh)
+        assert!(c.capacity() > 2);
+        let slot = c.lookup(1, 4, 100).unwrap();
+        let mut row = [0.0f32];
+        row.copy_from_slice(c.fetch(slot));
+        assert!(c.extrapolate_into(slot, 2, &mut row));
+        assert!((row[0] - 4.0).abs() < 1e-6, "{row:?}");
     }
 
     #[test]

@@ -38,9 +38,11 @@ pub struct FreshGnnConfig {
     /// every layer's cache; interior reuse only ever reads layers
     /// `1..L-1`, so this defaults to false.
     pub cache_top_layer: bool,
-    /// Admission criterion — [`crate::cache::PolicyKind::Gradient`] is the
-    /// paper's; the others exist for the ablation study
-    /// (`exp_ablation_policy`).
+    /// Cache policy — [`crate::cache::PolicyKind::Gradient`] is the
+    /// paper's admission criterion; the others cover the ablation study
+    /// (`exp_ablation_policy`) and the staleness-control literature swept
+    /// by `exp_ext_policy_frontier` (DESIGN.md §11). Instantiated once per
+    /// trainer via [`FreshGnnConfig::build_policy`].
     pub policy: crate::cache::PolicyKind,
     /// How many times an async sampler worker re-samples a batch whose
     /// sampling panicked before the epoch errors out (same `(seed, batch)`
@@ -75,6 +77,13 @@ impl FreshGnnConfig {
     /// Number of GNN layers implied by the fanouts.
     pub fn num_layers(&self) -> usize {
         self.fanouts.len()
+    }
+
+    /// Instantiate the configured [`crate::cache::CachePolicy`]
+    /// (policy-specific knobs — e.g. the coarse-refresh period — derive
+    /// from `t_stale`).
+    pub fn build_policy(&self) -> Box<dyn crate::cache::CachePolicy> {
+        self.policy.build(self.t_stale)
     }
 
     /// A configuration equivalent to vanilla neighbor sampling (the

@@ -13,7 +13,7 @@
 //! too would be a straightforward extension; the paper's experiment only
 //! needs the target type, where gradient feedback exists every iteration.)
 
-use crate::cache::{gradient_policy, HistoricalCache, PolicyInput};
+use crate::cache::{CachePolicy, HistoricalCache, PolicyInput};
 use crate::checkpoint::{Checkpoint, CheckpointError};
 use crate::config::FreshGnnConfig;
 use crate::obs::Obs;
@@ -40,6 +40,13 @@ pub struct HeteroTrainer {
     pub model: RSageModel,
     /// Historical cache on the target type's levels.
     pub cache: HistoricalCache,
+    /// Cache policy built from `cfg.policy` (DESIGN.md §11).
+    policy: Box<dyn CachePolicy>,
+    /// Dedicated side-stream RNG for randomized policies. Deliberately
+    /// *not* forked from the main RNG: the historical hetero trainer never
+    /// consumed randomness in its cache update, and forking per batch
+    /// would shift the batch schedule pinned by the equivalence goldens.
+    policy_rng: Rng,
     /// Hyper-parameters (fanouts/batch size/p_grad/t_stale reused).
     pub cfg: FreshGnnConfig,
     /// Traffic ledger.
@@ -84,7 +91,8 @@ impl HeteroTrainer {
         }
         dims.push(ds.num_classes);
         let model = RSageModel::new(&ds.graph, ds.target_type, &dims, &mut rng);
-        let cache = HistoricalCache::new(
+        let policy = cfg.build_policy();
+        let mut cache = HistoricalCache::new(
             ds.graph.node_counts[ds.target_type],
             &dims[1..],
             cfg.t_stale,
@@ -92,9 +100,14 @@ impl HeteroTrainer {
             cfg.cache_top_layer,
             cfg.cache_enabled(),
         );
+        if policy.wants_history() {
+            cache.enable_history();
+        }
         HeteroTrainer {
             model,
             cache,
+            policy,
+            policy_rng: Rng::new(seed ^ 0x0000_504F_4C49_4359), // "POLICY" side stream
             counters: TrafficCounters::new(),
             timings: StageTimings::new(),
             obs: Obs::new(),
@@ -238,6 +251,8 @@ impl HeteroTrainer {
         let mut stages = HeteroStages {
             model: &mut self.model,
             cache: &mut self.cache,
+            policy: &*self.policy,
+            policy_rng: &mut self.policy_rng,
             sampler: &mut self.sampler,
             rng: &mut self.rng,
             iter: &mut self.iter,
@@ -350,6 +365,8 @@ impl HeteroTrainer {
         let mut stages = HeteroStages {
             model: &mut self.model,
             cache: &mut self.cache,
+            policy: &*self.policy,
+            policy_rng: &mut self.policy_rng,
             sampler: &mut self.sampler,
             rng: &mut self.rng,
             iter: &mut self.iter,
@@ -409,6 +426,8 @@ impl HeteroTrainer {
 struct HeteroStages<'s, 'd> {
     model: &'s mut RSageModel,
     cache: &'s mut HistoricalCache,
+    policy: &'s dyn CachePolicy,
+    policy_rng: &'s mut Rng,
     sampler: &'s mut HeteroSampler,
     rng: &'s mut Rng,
     iter: &'s mut u32,
@@ -444,7 +463,14 @@ impl<'t> HeteroStages<'_, '_> {
 
         // Cache-aware typed pruning (top-down reachability).
         let outcome = ctx.stage(StageKind::Prune, counters, |_engine, _c| {
-            prune_hetero(&mut mb, self.rel_types, self.cache, target, now)
+            prune_hetero_with(
+                &mut mb,
+                self.rel_types,
+                self.cache,
+                target,
+                now,
+                self.policy,
+            )
         });
 
         // Load per-type input features for surviving src nodes.
@@ -474,15 +500,23 @@ impl<'t> HeteroStages<'_, '_> {
             h0
         });
 
-        // Forward with cache overrides on the target type.
+        // Forward with cache overrides on the target type (the policy
+        // post-processes each read; plain copy under the baseline).
         let trace = ctx.stage(StageKind::Forward, counters, |_engine, _c| {
             let cache = &*self.cache;
+            let policy = self.policy;
             let cached = &outcome.cached;
             self.model.forward_with(&mb, h0, |level, h| {
                 let b = level - 1;
                 if b < cached.len() {
                     for &(local, slot) in &cached[b] {
-                        cache.fetch_into(level, slot, h[target].row_mut(local as usize));
+                        cache.read_into(
+                            level,
+                            slot,
+                            now,
+                            policy,
+                            h[target].row_mut(local as usize),
+                        );
                     }
                 }
             })
@@ -538,7 +572,9 @@ impl<'t> HeteroStages<'_, '_> {
                 if policy_inputs[level].is_empty() {
                     continue;
                 }
-                let verdicts = gradient_policy(&policy_inputs[level], self.cfg.p_grad);
+                let verdicts =
+                    self.policy
+                        .verdicts(&policy_inputs[level], self.cfg.p_grad, self.policy_rng);
                 self.cache
                     .apply_verdicts(level, &verdicts, &trace.h[level][target], now);
             }
@@ -579,15 +615,37 @@ pub struct HeteroPruneOutcome {
     pub needed_input: Vec<Vec<bool>>,
 }
 
-/// Top-down typed reachability pruning — the heterogeneous analogue of
-/// [`crate::prune::prune_with_cache`]. `rel_types[r]` gives relation `r`'s
-/// `(src_type, dst_type)`.
+/// Top-down typed reachability pruning under the baseline policy (no
+/// refresh schedule) — see [`prune_hetero_with`].
 pub fn prune_hetero(
     mb: &mut HeteroMiniBatch,
     rel_types: &[(usize, usize)],
     cache: &mut HistoricalCache,
     target: usize,
     now: u32,
+) -> HeteroPruneOutcome {
+    prune_hetero_with(
+        mb,
+        rel_types,
+        cache,
+        target,
+        now,
+        &crate::cache::GradientPolicy,
+    )
+}
+
+/// Top-down typed reachability pruning — the heterogeneous analogue of
+/// [`crate::prune::prune_with_cache_policy`]. `rel_types[r]` gives
+/// relation `r`'s `(src_type, dst_type)`. Cache probes route through
+/// `policy` ([`HistoricalCache::lookup_with`]), so a refresh schedule can
+/// decline live hits and force in-place refreshes.
+pub fn prune_hetero_with(
+    mb: &mut HeteroMiniBatch,
+    rel_types: &[(usize, usize)],
+    cache: &mut HistoricalCache,
+    target: usize,
+    now: u32,
+    policy: &dyn CachePolicy,
 ) -> HeteroPruneOutcome {
     let num_blocks = mb.blocks.len();
     let n_types = mb.blocks[0].dst.len();
@@ -619,7 +677,7 @@ pub fn prune_hetero(
             }
             let node = mb.blocks[b].dst[target][v];
             if !is_top {
-                if let Some(slot) = cache.lookup(level, node, now) {
+                if let Some(slot) = cache.lookup_with(level, node, now, policy) {
                     cached[b].push((v as u32, slot));
                     is_cached[v] = true;
                     continue;

@@ -9,7 +9,7 @@
 //! effect is why the paper's I/O saving exceeds the raw cache hit rate
 //! (§7.4).
 
-use crate::cache::HistoricalCache;
+use crate::cache::{CachePolicy, GradientPolicy, HistoricalCache};
 use fgnn_graph::block::MiniBatch;
 
 /// What the pruner decided for one mini-batch.
@@ -36,11 +36,27 @@ impl PruneOutcome {
     }
 }
 
-/// Prune `mb` in place against `cache` at iteration `now`.
+/// Prune `mb` in place against `cache` at iteration `now` under the
+/// baseline policy (no refresh schedule) — see
+/// [`prune_with_cache_policy`].
+pub fn prune_with_cache(mb: &mut MiniBatch, cache: &mut HistoricalCache, now: u32) -> PruneOutcome {
+    prune_with_cache_policy(mb, cache, now, &GradientPolicy)
+}
+
+/// Prune `mb` in place against `cache` at iteration `now`, routing every
+/// cache probe through `policy` ([`HistoricalCache::lookup_with`]): a live
+/// entry the policy's refresh schedule flags is declined — the node is
+/// recomputed this iteration so its re-admission refreshes the entry in
+/// place.
 ///
 /// With a disabled cache this degenerates gracefully: everything is
 /// computed, nothing is pruned — plain neighbor sampling.
-pub fn prune_with_cache(mb: &mut MiniBatch, cache: &mut HistoricalCache, now: u32) -> PruneOutcome {
+pub fn prune_with_cache_policy(
+    mb: &mut MiniBatch,
+    cache: &mut HistoricalCache,
+    now: u32,
+    policy: &dyn CachePolicy,
+) -> PruneOutcome {
     let num_blocks = mb.blocks.len();
     let mut cached: Vec<Vec<(u32, u32)>> = vec![Vec::new(); num_blocks];
     let mut computed: Vec<Vec<bool>> = Vec::with_capacity(num_blocks);
@@ -68,7 +84,7 @@ pub fn prune_with_cache(mb: &mut MiniBatch, cache: &mut HistoricalCache, now: u3
             }
             let node = mb.blocks[b].dst_global[v];
             if !is_top {
-                if let Some(slot) = cache.lookup(level, node, now) {
+                if let Some(slot) = cache.lookup_with(level, node, now, policy) {
                     pruned_edges += mb.blocks[b].adj.prune(v);
                     pruned_nodes += 1;
                     cached[b].push((v as u32, slot));

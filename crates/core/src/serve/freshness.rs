@@ -19,9 +19,10 @@
 //!   the invariant is that the counter stays zero.
 
 use super::trace::Request;
-use crate::cache::policy::{frequency_policy, PolicyInput, Verdict};
+use crate::cache::policy::{CachePolicy, FrequencyPolicy, PolicyInput, Verdict};
 use crate::cache::ring::RingCache;
 use fgnn_graph::NodeId;
+use fgnn_tensor::Rng;
 
 /// Freshness-SLA knobs.
 #[derive(Clone, Debug)]
@@ -49,6 +50,13 @@ impl Default for FreshnessConfig {
 pub struct EmbedStore {
     cache: RingCache,
     cfg: FreshnessConfig,
+    /// Admission policy. The default ([`FrequencyPolicy`]) scores by
+    /// request frequency; any [`CachePolicy`] can be swapped in at
+    /// construction via [`EmbedStore::with_policy`].
+    policy: Box<dyn CachePolicy>,
+    /// Fixed-seed side stream consumed only by randomized policies, so the
+    /// default store stays byte-identical to the pre-trait one.
+    policy_rng: Rng,
     /// Cumulative request count per node (the admission score).
     freq: Vec<u64>,
     /// Served embeddings older than their request's budget. Must stay 0 —
@@ -59,15 +67,35 @@ pub struct EmbedStore {
 }
 
 impl EmbedStore {
-    /// A store over `num_nodes` nodes with `dim`-wide embeddings.
+    /// A store over `num_nodes` nodes with `dim`-wide embeddings, admitting
+    /// by request frequency (the serving default).
     pub fn new(num_nodes: usize, dim: usize, cfg: FreshnessConfig) -> Self {
+        Self::with_policy(num_nodes, dim, cfg, Box::new(FrequencyPolicy))
+    }
+
+    /// A store with an explicit admission [`CachePolicy`] — frequency
+    /// admission is just the default instance. The policy scores each miss
+    /// batch over `PolicyInput.grad_norm = request frequency`.
+    pub fn with_policy(
+        num_nodes: usize,
+        dim: usize,
+        cfg: FreshnessConfig,
+        policy: Box<dyn CachePolicy>,
+    ) -> Self {
         EmbedStore {
             cache: RingCache::new(num_nodes, cfg.cache_capacity, dim),
+            policy,
+            policy_rng: Rng::new(0x0053_4552_5645), // "SERVE": fixed side stream
             freq: vec![0; num_nodes],
             cfg,
             sla_violations: 0,
             degraded_hits: 0,
         }
+    }
+
+    /// Display name of the admission policy in effect.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
     }
 
     /// The underlying ring cache (hit/eviction counters, age histogram).
@@ -125,7 +153,10 @@ impl EmbedStore {
             })
             .collect();
         let mut admitted = 0u64;
-        for (x, verdict) in frequency_policy(&inputs, self.cfg.admit_top_frac) {
+        let verdicts = self
+            .policy
+            .verdicts(&inputs, self.cfg.admit_top_frac, &mut self.policy_rng);
+        for (x, verdict) in verdicts {
             if verdict == Verdict::Admit {
                 // Fixed-size admission: serving prefers overwriting the
                 // oldest slot to growing, so "cache size" stays a real
@@ -202,6 +233,34 @@ mod tests {
         // Age 80 > budget 60: still a miss — the budget is a hard wall.
         assert_eq!(s.try_hit(&req(2, 60), 80, true), None);
         assert_eq!(s.sla_violations, 0);
+    }
+
+    #[test]
+    fn with_policy_swaps_the_admission_criterion() {
+        use crate::cache::policy::GradientPolicy;
+        // GradientPolicy admits the *bottom* of the score distribution, so
+        // over frequency scores it keeps the cold half — the mirror image
+        // of the default store's behavior below.
+        let mut s = EmbedStore::with_policy(
+            16,
+            2,
+            FreshnessConfig {
+                cache_capacity: 8,
+                t_sla_ms: 100,
+                admit_top_frac: 0.5,
+            },
+            Box::new(GradientPolicy),
+        );
+        assert_eq!(s.policy_name(), "gradient");
+        for _ in 0..10 {
+            s.note_request(3);
+        }
+        s.note_request(5);
+        let rows = [[1.0f32, 1.0], [2.0, 2.0]];
+        let admitted = s.admit_fresh(&[3, 5], |i| &rows[i], 0);
+        assert_eq!(admitted, 1);
+        assert_eq!(s.try_hit(&req(5, 100), 0, false), Some(0), "cold admitted");
+        assert_eq!(s.try_hit(&req(3, 100), 0, false), None, "hot dropped");
     }
 
     #[test]

@@ -18,13 +18,13 @@
 //! 6. **update the cache**: bottom-`p_grad` gradient norms are admitted /
 //!    kept, the rest skipped / evicted; stale entries age out via the ring.
 
-use crate::cache::{apply_policy, HistoricalCache, PolicyInput, StaticFeatureCache};
+use crate::cache::{CachePolicy, HistoricalCache, PolicyInput, StaticFeatureCache};
 use crate::checkpoint::{Checkpoint, CheckpointError};
 use crate::config::FreshGnnConfig;
 use crate::loader::FeatureLoader;
 use crate::obs::{MetricClass, Obs};
 use crate::pipeline::{BatchOutput, Engine, EvalHarness, PipelineCtx, StallPolicy};
-use crate::prune::{prune_with_cache, PruneOutcome};
+use crate::prune::{prune_with_cache_policy, PruneOutcome};
 use crate::resilience::{HealthState, NumericFault, NumericGuard, Supervisor};
 use crate::sampler::{FaultHook, HedgePolicy, SampleError, SamplerObsReport};
 use fgnn_graph::block::MiniBatch;
@@ -53,6 +53,9 @@ pub struct Trainer {
     pub cfg: FreshGnnConfig,
     /// The historical embedding cache.
     pub cache: HistoricalCache,
+    /// The admission/read/refresh policy governing the cache, built from
+    /// `cfg.policy` at construction (DESIGN.md §11).
+    policy: Box<dyn CachePolicy>,
     /// Cumulative traffic/time ledger.
     pub counters: TrafficCounters,
     /// Simulated machine.
@@ -106,7 +109,8 @@ impl Trainer {
         dims.push(ds.spec.num_classes);
         let model = Model::new(arch, &dims, &mut rng);
 
-        let cache = HistoricalCache::new(
+        let policy = cfg.build_policy();
+        let mut cache = HistoricalCache::new(
             ds.num_nodes(),
             &dims[1..],
             cfg.t_stale,
@@ -114,6 +118,9 @@ impl Trainer {
             cfg.cache_top_layer,
             cfg.cache_enabled(),
         );
+        if policy.wants_history() {
+            cache.enable_history();
+        }
         let static_cache = if cfg.feature_cache_rows > 0 {
             StaticFeatureCache::by_degree(&ds.graph, cfg.feature_cache_rows)
         } else {
@@ -122,6 +129,7 @@ impl Trainer {
         Trainer {
             model,
             cache,
+            policy,
             counters: TrafficCounters::new(),
             machine,
             timings: StageTimings::new(),
@@ -328,6 +336,7 @@ impl Trainer {
         let mut stages = FreshGnnStages {
             model: &mut self.model,
             cache: &mut self.cache,
+            policy: &*self.policy,
             sampler: &mut self.sampler,
             rng: &mut self.rng,
             iter: &mut self.iter,
@@ -462,6 +471,7 @@ impl Trainer {
         let mut stages = FreshGnnStages {
             model: &mut self.model,
             cache: &mut self.cache,
+            policy: &*self.policy,
             sampler: &mut self.sampler,
             rng: &mut self.rng,
             iter: &mut self.iter,
@@ -531,6 +541,13 @@ impl Trainer {
         m.counter_set("cache.hist.grad_evictions", e, stats.grad_evictions);
         m.counter_set("cache.hist.stale_evictions", e, stats.stale_evictions);
         m.counter_set("cache.hist.overwrites", e, stats.overwrites);
+        m.counter_set(
+            "cache.policy.scheduled_refreshes",
+            e,
+            stats.scheduled_refreshes,
+        );
+        m.counter_set("cache.policy.weighted_reads", e, stats.weighted_reads);
+        m.counter_set("cache.policy.predicted_reads", e, stats.predicted_reads);
         m.hist_set(
             "cache.hist.hit_age_iters",
             e,
@@ -646,6 +663,7 @@ impl Trainer {
         let mut stages = FreshGnnStages {
             model: &mut self.model,
             cache: &mut self.cache,
+            policy: &*self.policy,
             sampler: &mut self.sampler,
             rng: &mut self.rng,
             iter: &mut self.iter,
@@ -703,7 +721,8 @@ impl Trainer {
         // Prune a clone to learn the cache-served set; keep `mb` un-pruned
         // so the exact pass aggregates fully.
         let mut pruned = mb.clone();
-        let outcome = prune_with_cache(&mut pruned, &mut self.cache, self.iter);
+        let outcome =
+            prune_with_cache_policy(&mut pruned, &mut self.cache, self.iter, &*self.policy);
         let ids: Vec<usize> = mb.input_nodes().iter().map(|&g| g as usize).collect();
         let h0 = ds.features.gather_rows(&ids);
         crate::probes::estimation_error(&self.model, &mb, &h0, &self.cache, &outcome.cached)
@@ -716,6 +735,7 @@ impl Trainer {
 struct FreshGnnStages<'s, 'd> {
     model: &'s mut Model,
     cache: &'s mut HistoricalCache,
+    policy: &'s dyn CachePolicy,
     sampler: &'s mut NeighborSampler,
     rng: &'s mut Rng,
     iter: &'s mut u32,
@@ -765,9 +785,11 @@ impl<'t> FreshGnnStages<'_, '_> {
         let degraded = ctx.breaker_open();
         self.cache.set_bypass(degraded);
 
-        // 2. Prune against the cache (measured).
+        // 2. Prune against the cache (measured). The policy's refresh
+        // schedule acts here: a live entry it flags is declined so the
+        // node recomputes and refreshes the entry in place.
         let outcome = ctx.stage(StageKind::Prune, counters, |_, _| {
-            prune_with_cache(&mut mb, self.cache, now)
+            prune_with_cache_policy(&mut mb, self.cache, now, self.policy)
         });
 
         // 3. Load surviving raw features (simulated transfer).
@@ -788,15 +810,18 @@ impl<'t> FreshGnnStages<'_, '_> {
             h0
         });
 
-        // 4. Forward, overriding cached rows between layers.
+        // 4. Forward, overriding cached rows between layers. The policy
+        // post-processes each read (staleness weighting / history
+        // extrapolation); under the baseline it is a plain copy.
         let trace = ctx.stage(StageKind::Forward, counters, |_, _| {
             let cache = &*self.cache;
+            let policy = self.policy;
             let cached = &outcome.cached;
             self.model.forward_with(&mb, h0, |level, h| {
                 let b = level - 1;
                 if b < cached.len() {
                     for &(local, slot) in &cached[b] {
-                        cache.fetch_into(level, slot, h.row_mut(local as usize));
+                        cache.read_into(level, slot, now, policy, h.row_mut(local as usize));
                     }
                 }
             })
@@ -849,19 +874,18 @@ impl<'t> FreshGnnStages<'_, '_> {
             (loss, policy_inputs)
         });
 
-        // 6. Cache update (Algorithm 1 line 20).
+        // 6. Cache update (Algorithm 1 line 20). The fork happens
+        // unconditionally so the main RNG stream is independent of how
+        // many levels had inputs (bit-for-bit schedule stability).
         ctx.stage(StageKind::CacheUpdate, counters, |_, _| {
             let mut policy_rng = self.rng.fork();
             for level in 1..=num_levels {
                 if policy_inputs[level].is_empty() {
                     continue;
                 }
-                let verdicts = apply_policy(
-                    self.cfg.policy,
-                    &policy_inputs[level],
-                    self.cfg.p_grad,
-                    &mut policy_rng,
-                );
+                let verdicts =
+                    self.policy
+                        .verdicts(&policy_inputs[level], self.cfg.p_grad, &mut policy_rng);
                 self.cache
                     .apply_verdicts(level, &verdicts, &trace.h[level], now);
             }

@@ -1,16 +1,19 @@
 #!/usr/bin/env bash
 # Performance trajectory: run the serving sweep and the training epoch-time
-# experiment at fixed seeds and write BENCH_serve.json at the repo root.
+# experiment at fixed seeds and write BENCH_serve.json at the repo root,
+# then the policy-frontier sweep, written as BENCH_policy.json.
 #
-# The serving numbers (p50/p95/p99, throughput, shed fraction) are exact
+# The serving numbers (p50/p95/p99, throughput, shed fraction) and the
+# policy-frontier rows (accuracy, traffic, policy counters) are exact
 # simulated quantities — byte-identical across machines — so the committed
-# baseline is a real regression reference; the wall-clock seconds of the
-# two runs are recorded alongside as machine-dependent context only.
+# baselines are real regression references; the wall-clock seconds of the
+# runs are recorded alongside as machine-dependent context only.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SEED="${SEED:-42}"
 OUT="BENCH_serve.json"
+POLICY_OUT="BENCH_policy.json"
 
 cargo build --release -p fgnn-bench
 
@@ -34,4 +37,12 @@ fig10_wall=$((SECONDS - start))
 } > "$OUT"
 rm -f "$serve_json"
 
+# Policy frontier: the fgnn-policy-v1 document is the exporter's own output
+# verbatim (no wall-clock wrapper), so the committed file is bit-for-bit
+# reproducible from the same seed.
+start=$SECONDS
+./target/release/exp_ext_policy_frontier --seed "$SEED" --bench-json "$POLICY_OUT" > /dev/null
+policy_wall=$((SECONDS - start))
+
 echo "wrote $OUT (seed $SEED; exp_serve ${serve_wall}s, exp_fig10 ${fig10_wall}s)"
+echo "wrote $POLICY_OUT (seed $SEED; exp_ext_policy_frontier ${policy_wall}s)"

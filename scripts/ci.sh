@@ -23,6 +23,12 @@ cargo test -q --workspace
 FGNN_PROP_CASES=256 cargo test -q --test property_tests --test obs_invariants
 grep -q '"schemaVersion":"fgnn-obs-v1"' tests/golden/sync_trainer_2epoch.trace.json
 
+# The committed policy-frontier baseline (scripts/bench_trajectory.sh) must
+# carry the current policy export schema, and the policy-equivalence suite
+# pins the trait refactor to the pre-trait behavior.
+grep -q '"schemaVersion":"fgnn-policy-v1"' BENCH_policy.json
+FGNN_PROP_CASES=256 cargo test -q --test policy_equivalence
+
 # Chaos suite at an elevated seed matrix: seeded fault storms, straggler
 # hedging and NaN-rollback across trainer families, byte-identical reruns.
 FGNN_PROP_CASES=256 cargo test -q --test chaos

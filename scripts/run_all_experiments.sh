@@ -33,6 +33,7 @@ run exp_fig16_hetero ${QUICK:+--papers 6000 --epochs 9}
 run exp_fig17_training_curves ${QUICK:+--epochs 24}
 run exp_appendixB_sgc_convergence
 run exp_ablation_policy ${QUICK:+--epochs 30}
+run exp_ext_policy_frontier ${QUICK:+--epochs 5}
 run exp_ext_sampling_families ${QUICK:+--epochs 30}
 run exp_ext_stability_hypothesis
 

@@ -11,11 +11,13 @@
 mod common;
 
 use common::for_cases;
-use freshgnn_repro::core::cache::{gradient_policy, PolicyInput, RingCache, Verdict};
+use freshgnn_repro::core::cache::{gradient_policy, PolicyInput, PolicyKind, RingCache, Verdict};
+use freshgnn_repro::core::HistoricalCache;
 use freshgnn_repro::graph::sample::{split_batches, NeighborSampler};
 use freshgnn_repro::graph::{Csr, Csr2};
 use freshgnn_repro::memsim::alltoall::{multi_round_alltoall, naive_alltoall, one_sided_alltoall};
 use freshgnn_repro::memsim::{Node, Topology};
+use freshgnn_repro::tensor::Matrix;
 use freshgnn_repro::tensor::{stats, Rng};
 
 fn random_edges(rng: &mut Rng, num_nodes: u32, max_edges: usize) -> Vec<(u32, u32)> {
@@ -119,6 +121,134 @@ fn gradient_policy_partitions_by_quantile() {
                 Verdict::Keep | Verdict::Evict => assert!(x.was_cached),
             }
         }
+    });
+}
+
+/// Every policy in the family is deterministic (same seed, same verdicts),
+/// partitions exactly the requested quantile — including the `p = 0` and
+/// `p = 1` edges — and maps cached-ness onto the right verdict pair.
+#[test]
+fn policy_family_is_deterministic_and_quantile_exact() {
+    for_cases("policy_family_is_deterministic_and_quantile_exact", |rng| {
+        let n = rng.below(64); // 0 included: empty input must be fine
+        let inputs: Vec<PolicyInput> = (0..n)
+            .map(|i| PolicyInput {
+                node: i as u32,
+                local: i as u32,
+                grad_norm: rng.uniform_range(0.0, 100.0),
+                was_cached: rng.below(2) == 1,
+            })
+            .collect();
+        let p = rng.uniform();
+        let seed = rng.below(1 << 30) as u64;
+        for kind in PolicyKind::ALL {
+            let policy = kind.build(20);
+            let a = policy.verdicts(&inputs, p, &mut Rng::new(seed));
+            let b = policy.verdicts(&inputs, p, &mut Rng::new(seed));
+            assert_eq!(a.len(), inputs.len(), "{kind}: total function");
+            for ((xa, va), (xb, vb)) in a.iter().zip(&b) {
+                assert_eq!(xa.node, xb.node, "{kind}: same-seed determinism");
+                assert_eq!(va, vb, "{kind}: same-seed determinism");
+            }
+            for (p_edge, want_stable) in [(0.0f32, 0), (1.0, n)] {
+                let out = policy.verdicts(&inputs, p_edge, &mut Rng::new(seed));
+                let stable = out
+                    .iter()
+                    .filter(|(_, v)| matches!(v, Verdict::Admit | Verdict::Keep))
+                    .count();
+                assert_eq!(stable, want_stable, "{kind}: p = {p_edge} edge");
+            }
+            let stable = a
+                .iter()
+                .filter(|(_, v)| matches!(v, Verdict::Admit | Verdict::Keep))
+                .count();
+            assert_eq!(
+                stable,
+                ((n as f64) * p as f64).round() as usize,
+                "{kind}: quantile exact at p = {p}"
+            );
+            for (x, v) in &a {
+                match v {
+                    Verdict::Admit | Verdict::Skip => assert!(!x.was_cached, "{kind}"),
+                    Verdict::Keep | Verdict::Evict => assert!(x.was_cached, "{kind}"),
+                }
+            }
+        }
+    });
+}
+
+/// Read weights are the identity at age zero and stay in (0, 1] at any
+/// age, for every policy — down-weighting may shrink an embedding but
+/// never flips its sign or zeroes it out.
+#[test]
+fn read_weights_are_bounded() {
+    for_cases("read_weights_are_bounded", |rng| {
+        let t_stale = rng.below(64) as u32;
+        let age = rng.below(128) as u32;
+        for kind in PolicyKind::ALL {
+            let policy = kind.build(t_stale.max(1));
+            assert_eq!(
+                policy.read_weight(0, t_stale),
+                1.0,
+                "{kind}: fresh reads untouched"
+            );
+            let w = policy.read_weight(age, t_stale);
+            assert!(w > 0.0 && w <= 1.0, "{kind}: weight {w} outside (0, 1]");
+        }
+    });
+}
+
+/// Under arbitrary admit/lookup interleavings with any policy in the
+/// family, the cache never serves an entry older than `t_stale` (the
+/// refresh schedule only tightens the served age, never loosens it),
+/// served rows stay finite under weighting/extrapolation, and the
+/// observability invariant `lookups == hits + misses` holds.
+#[test]
+fn policy_cache_respects_staleness_bound() {
+    for_cases("policy_cache_respects_staleness_bound", |rng| {
+        let t_stale = rng.below(16) as u32 + 1;
+        let kind = PolicyKind::ALL[rng.below(PolicyKind::ALL.len())];
+        let policy = kind.build(t_stale);
+        let mut cache = HistoricalCache::new(40, &[4, 4], t_stale, 8, false, true);
+        if policy.wants_history() {
+            cache.enable_history();
+        }
+        // Ground truth: last admission stamp per (level-1) node.
+        let mut truth: std::collections::HashMap<u32, u32> = Default::default();
+        let mut now = 0u32;
+        for _ in 0..rng.below(199) + 1 {
+            now += rng.below(3) as u32;
+            let node = rng.below(40) as u32;
+            if rng.below(2) == 0 {
+                let h = Matrix::full(1, 4, (node + now) as f32);
+                let v = [(
+                    PolicyInput {
+                        node,
+                        local: 0,
+                        grad_norm: 0.0,
+                        was_cached: false,
+                    },
+                    Verdict::Admit,
+                )];
+                cache.apply_verdicts(1, &v, &h, now);
+                truth.insert(node, now);
+            } else if let Some(slot) = cache.lookup_with(1, node, now, &*policy) {
+                let stamp = truth.get(&node).expect("hit for a node never admitted");
+                assert!(
+                    now - stamp <= t_stale,
+                    "{kind}: served age {} beyond bound {t_stale}",
+                    now - stamp
+                );
+                let mut dst = [0.0f32; 4];
+                cache.read_into(1, slot, now, &*policy, &mut dst);
+                assert!(
+                    dst.iter().all(|x| x.is_finite()),
+                    "{kind}: non-finite served row"
+                );
+            }
+        }
+        let s = cache.stats();
+        assert_eq!(cache.lookups(), s.hits + s.misses, "{kind}: obs invariant");
     });
 }
 
