@@ -22,57 +22,36 @@
 //! table. `--policy <name>` restricts the sweep; `--bench-json <path>`
 //! writes the `fgnn-policy-v1` document `scripts/bench_trajectory.sh`
 //! commits as `BENCH_policy.json` (exact counters only — bit-for-bit
-//! reproducible from the same `--seed`).
+//! reproducible from the same `--seed`). The sweep loop itself lives in
+//! [`fgnn_bench::trajectory`], shared with the `exp_report` gate.
 
+use fgnn_bench::trajectory::{policy_sweep, PolicySweepConfig};
 use fgnn_bench::{banner, fmt_bytes, row, Args};
-use fgnn_graph::datasets::{
-    friendster_spec, mag240m_spec, papers100m_spec, twitter_spec, DatasetSpec,
-};
-use fgnn_graph::Dataset;
-use fgnn_memsim::presets::Machine;
-use fgnn_nn::model::Arch;
-use fgnn_nn::Adam;
-use freshgnn::cache::{policy_bench_json, PolicyFrontierRow, PolicyKind};
-use freshgnn::{FreshGnnConfig, Trainer};
-
-/// The frontier sweep: baseline plus the three literature policies.
-const POLICIES: [PolicyKind; 4] = [
-    PolicyKind::Gradient,
-    PolicyKind::StalenessWeighted,
-    PolicyKind::Predictive,
-    PolicyKind::CoarseRefresh,
-];
-
-/// Fig 10 datasets at frontier scale: `(label, spec)` with per-dataset
-/// base scales chosen so each graph lands near ~5k nodes at `--scale 1`,
-/// and feature dims capped so the sweep stays minutes-fast.
-fn datasets(scale: f64) -> Vec<(&'static str, DatasetSpec)> {
-    vec![
-        ("papers100m", papers100m_spec(5.0e-5 * scale).with_dim(32)),
-        ("mag240m", mag240m_spec(2.0e-5 * scale).with_dim(32)),
-        ("twitter", twitter_spec(1.2e-4 * scale).with_dim(32)),
-        ("friendster", friendster_spec(8.0e-5 * scale).with_dim(32)),
-    ]
-}
+use freshgnn::cache::{policy_bench_json, PolicyKind};
 
 fn main() {
     let args = Args::parse();
-    let seed: u64 = args.get("seed", 42);
-    let scale: f64 = args.get("scale", 1.0);
-    let epochs: usize = args.get("epochs", 10);
-    let t_stale: u32 = args.get("t-stale", 30);
-    let p: f32 = args.get("p", 0.9);
-    let only: Option<PolicyKind> = args.get_opt::<String>("policy").map(|s| {
-        s.parse()
-            .unwrap_or_else(|e: String| panic!("--policy: {e}"))
-    });
+    let sw = PolicySweepConfig {
+        seed: args.get("seed", 42),
+        scale: args.get("scale", 1.0),
+        epochs: args.get("epochs", 10),
+        t_stale: args.get("t-stale", 30),
+        p: args.get("p", 0.9),
+        only: args.get_opt::<String>("policy").map(|s| {
+            s.parse::<PolicyKind>()
+                .unwrap_or_else(|e: String| panic!("--policy: {e}"))
+        }),
+    };
     let bench_out: Option<String> = args.get_opt("bench-json");
 
     banner(
         "PolicyFrontier",
         "Accuracy vs cache traffic across the staleness policy family",
     );
-    println!("p = {p}, t_stale = {t_stale}, {epochs} epochs, seed {seed}\n");
+    println!(
+        "p = {}, t_stale = {}, {} epochs, seed {}\n",
+        sw.p, sw.t_stale, sw.epochs, sw.seed
+    );
 
     let w = [12usize, 19, 10, 10, 9, 9, 8, 8, 8];
     row(
@@ -83,64 +62,28 @@ fn main() {
         &w,
     );
 
-    let sweep: Vec<PolicyKind> = match only {
-        Some(kind) => vec![kind],
-        None => POLICIES.to_vec(),
-    };
-    let mut rows = Vec::new();
-    for (label, spec) in datasets(scale) {
-        let ds = Dataset::materialize(spec, seed);
-        for &kind in &sweep {
-            let cfg = FreshGnnConfig {
-                p_grad: p,
-                t_stale,
-                fanouts: vec![4, 4],
-                batch_size: 32,
-                policy: kind,
-                ..Default::default()
-            };
-            let mut t = Trainer::new(&ds, Arch::Sage, 32, Machine::single_a100(), cfg, seed);
-            let mut opt = Adam::new(0.003);
-            for _ in 0..epochs {
-                t.train_epoch(&ds, &mut opt);
-            }
-            let eval = &ds.test_nodes[..ds.test_nodes.len().min(500)];
-            let acc = t.evaluate(&ds, eval, 256);
-            let stats = t.cache.stats();
-            let r = PolicyFrontierRow {
-                policy: kind.name().to_string(),
-                dataset: label.to_string(),
-                accuracy: acc,
-                h2d_bytes: t.counters.host_to_gpu_bytes,
-                io_saving: t.counters.io_saving(),
-                hit_rate: stats.hit_rate(),
-                scheduled_refreshes: stats.scheduled_refreshes,
-                predicted_reads: stats.predicted_reads,
-                weighted_reads: stats.weighted_reads,
-            };
-            row(
-                &[
-                    &r.dataset,
-                    &r.policy,
-                    &format!("{:.4}", r.accuracy),
-                    &fmt_bytes(r.h2d_bytes),
-                    &format!("{:.1}", r.io_saving * 100.0),
-                    &format!("{:.1}", r.hit_rate * 100.0),
-                    &r.scheduled_refreshes,
-                    &r.predicted_reads,
-                    &r.weighted_reads,
-                ],
-                &w,
-            );
-            rows.push(r);
-        }
-    }
+    let rows = policy_sweep(&sw, |r| {
+        row(
+            &[
+                &r.dataset,
+                &r.policy,
+                &format!("{:.4}", r.accuracy),
+                &fmt_bytes(r.h2d_bytes),
+                &format!("{:.1}", r.io_saving * 100.0),
+                &format!("{:.1}", r.hit_rate * 100.0),
+                &r.scheduled_refreshes,
+                &r.predicted_reads,
+                &r.weighted_reads,
+            ],
+            &w,
+        );
+    });
 
     println!("\nfrontier reading: at equal traffic the staleness treatments should");
     println!("hold (or improve) accuracy; the refresh schedules trade extra");
     println!("recompute/admit traffic for a lower worst-case served age.");
     if let Some(path) = bench_out {
-        std::fs::write(&path, policy_bench_json(seed, &rows)).expect("write --bench-json");
+        std::fs::write(&path, policy_bench_json(sw.seed, &rows)).expect("write --bench-json");
         eprintln!("wrote policy bench JSON to {path}");
     }
 }

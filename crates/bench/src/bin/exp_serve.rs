@@ -9,35 +9,42 @@
 //! forced open — degraded serving entirely from the warmed cache).
 //! Everything is seeded: two runs with the same `--seed` print identical
 //! tables and export byte-identical `fgnn-serve-v1` JSONL
-//! (`--serve-out <path>`). `--bench-json <path>` writes the compact
-//! trajectory summary `scripts/bench_trajectory.sh` commits.
+//! (`--serve-out <path>`) and `fgnn-serve-trace-v1` request-trace JSONL
+//! (`--trace-out <path>`: exemplar span trees + SLO alert edges).
+//! `--bench-json <path>` writes the compact trajectory summary
+//! `scripts/bench_trajectory.sh` commits (the sweep itself lives in
+//! [`fgnn_bench::trajectory`], shared with the `exp_report` gate).
 
+use fgnn_bench::trajectory::{serve_dataset, serve_sweep, ServeSweepConfig};
 use fgnn_bench::{banner, row, Args};
-use fgnn_graph::datasets::arxiv_spec;
-use fgnn_graph::{Dataset, NodeId};
-use fgnn_memsim::fault::{FaultPlan, RetryPolicy};
-use fgnn_memsim::presets::Machine;
-use freshgnn::serve::{bench_json, generate_trace, serve_jsonl, ServeConfig, ServeEngine};
+use freshgnn::serve::bench_json;
 
 fn main() {
     let args = Args::parse();
-    let seed: u64 = args.get("seed", 42);
-    let scale: f64 = args.get("scale", 0.002);
-    let requests: usize = args.get("requests", 2000);
-    let base_rate: f64 = args.get("rate", 4000.0);
-    let fail: f64 = args.get("fail", 0.3);
     let serve_out: Option<String> = args.get_opt("serve-out");
+    let trace_out: Option<String> = args.get_opt("trace-out");
     let bench_out: Option<String> = args.get_opt("bench-json");
+    let sw = ServeSweepConfig {
+        seed: args.get("seed", 42),
+        scale: args.get("scale", 0.002),
+        requests: args.get("requests", 2000),
+        base_rate: args.get("rate", 4000.0),
+        fail: args.get("fail", 0.3),
+        exemplar_every: args.get("exemplar-every", ServeSweepConfig::default().exemplar_every),
+        render_exports: serve_out.is_some() || trace_out.is_some(),
+    };
 
     banner(
         "Serve",
         "Overload-robust online inference: load x cache x faults",
     );
-    let ds = Dataset::materialize(arxiv_spec(scale).with_dim(32), seed);
+    let ds = serve_dataset(&sw);
     println!(
-        "dataset: {} nodes, {} edges; contract {base_rate} rps; {requests} requests/cell\n",
+        "dataset: {} nodes, {} edges; contract {} rps; {} requests/cell\n",
         ds.num_nodes(),
         ds.graph.num_edges(),
+        sw.base_rate,
+        sw.requests,
     );
 
     let widths = [24usize, 8, 8, 8, 8, 8, 9, 10, 7, 7];
@@ -49,85 +56,44 @@ fn main() {
         &widths,
     );
 
-    let mut jsonl = String::new();
-    let mut reports = Vec::new();
-    for &load in &[1.0f64, 2.0] {
-        for &cache in &[16usize, 256] {
-            for fault in ["none", "lossy", "breaker"] {
-                let mut cfg = ServeConfig {
-                    seed,
-                    ..ServeConfig::default()
-                };
-                cfg.trace.num_requests = requests;
-                cfg.trace.num_nodes = cfg.trace.num_nodes.min(ds.num_nodes());
-                cfg.trace.rate_rps = base_rate * load;
-                cfg.admission.rate_rps = base_rate;
-                cfg.freshness.cache_capacity = cache;
-                let trace = generate_trace(&cfg.trace, seed);
-                let num_trace_nodes = cfg.trace.num_nodes;
-
-                let mut eng = ServeEngine::new(&ds, 32, Machine::single_a100(), cfg)
-                    .expect("valid sweep config");
-                match fault {
-                    "lossy" => eng.inject_faults(
-                        FaultPlan::new(seed ^ 0x5E17).with_fail_prob(fail),
-                        RetryPolicy {
-                            max_retries: 2,
-                            ..Default::default()
-                        },
-                    ),
-                    "breaker" => {
-                        // Degraded drill: warm every servable node, then
-                        // force the breaker open so reads must come from
-                        // cache under each request's own staleness budget.
-                        let nodes: Vec<NodeId> = (0..num_trace_nodes as NodeId).collect();
-                        eng.warm(&nodes);
-                        eng.inject_faults(
-                            FaultPlan::new(seed ^ 0x5E17).with_fail_prob(fail),
-                            RetryPolicy::default(),
-                        );
-                        eng.trip_breaker();
-                    }
-                    _ => {}
-                }
-
-                let report = eng.run(&trace).expect("sweep run serves something");
-                let label = format!("load={load}x cap={cache} {fault}");
-                let hit_pct = if report.served > 0 {
-                    100.0 * report.cache_hits as f64 / report.served as f64
-                } else {
-                    0.0
-                };
-                row(
-                    &[
-                        &label,
-                        &report.served,
-                        &format!("{:.1}", report.shed_fraction * 100.0),
-                        &format!("{hit_pct:.1}"),
-                        &format!("{:.2}", report.p50_ms),
-                        &format!("{:.2}", report.p95_ms),
-                        &format!("{:.2}", report.p99_ms),
-                        &format!("{:.0}", report.throughput_rps),
-                        &report.degraded_served,
-                        &report.sla_violations,
-                    ],
-                    &widths,
-                );
-                jsonl.push_str(&serve_jsonl(&label, &report, &eng.obs));
-                reports.push((label, report));
-            }
-        }
-    }
+    let cells = serve_sweep(&ds, &sw, |cell| {
+        let report = &cell.report;
+        let hit_pct = if report.served > 0 {
+            100.0 * report.cache_hits as f64 / report.served as f64
+        } else {
+            0.0
+        };
+        row(
+            &[
+                &cell.label,
+                &report.served,
+                &format!("{:.1}", report.shed_fraction * 100.0),
+                &format!("{hit_pct:.1}"),
+                &format!("{:.2}", report.p50_ms),
+                &format!("{:.2}", report.p95_ms),
+                &format!("{:.2}", report.p99_ms),
+                &format!("{:.0}", report.throughput_rps),
+                &report.degraded_served,
+                &report.sla_violations,
+            ],
+            &widths,
+        );
+    });
 
     println!("\nshed breakdown is exported per cell; sla violations must be 0 in every mode");
     if let Some(path) = serve_out {
-        let doc = jsonl;
+        let doc: String = cells.iter().map(|c| c.serve_jsonl.as_str()).collect();
         std::fs::write(&path, doc).expect("write --serve-out");
         eprintln!("wrote serve JSONL to {path}");
     }
+    if let Some(path) = trace_out {
+        let doc: String = cells.iter().map(|c| c.trace_jsonl.as_str()).collect();
+        std::fs::write(&path, doc).expect("write --trace-out");
+        eprintln!("wrote request-trace JSONL to {path}");
+    }
     if let Some(path) = bench_out {
         let refs: Vec<(String, &freshgnn::ServeReport)> =
-            reports.iter().map(|(l, r)| (l.clone(), r)).collect();
+            cells.iter().map(|c| (c.label.clone(), &c.report)).collect();
         std::fs::write(&path, bench_json(&refs)).expect("write --bench-json");
         eprintln!("wrote bench JSON to {path}");
     }

@@ -174,3 +174,4 @@ mod tests {
 }
 
 pub mod runners;
+pub mod trajectory;

@@ -10,8 +10,9 @@
 use crate::obs::export::{json_escape, json_f64};
 
 /// Schema tag stamped into the export (and grepped by `scripts/ci.sh`
-/// against the committed `BENCH_policy.json`).
-pub const POLICY_SCHEMA_VERSION: &str = "fgnn-policy-v1";
+/// against the committed `BENCH_policy.json`). Alias of
+/// [`crate::obs::schema::POLICY_V1`].
+pub const POLICY_SCHEMA_VERSION: &str = crate::obs::schema::POLICY_V1;
 
 /// One point on the accuracy-vs-cache-traffic frontier: a (policy,
 /// dataset) cell of the sweep.

@@ -155,6 +155,28 @@ pub enum Verdict {
     Skip,
 }
 
+impl Verdict {
+    /// Stable numeric code for span attributes and metric export.
+    pub fn code(self) -> u64 {
+        match self {
+            Verdict::Admit => 0,
+            Verdict::Keep => 1,
+            Verdict::Evict => 2,
+            Verdict::Skip => 3,
+        }
+    }
+
+    /// Stable lowercase name for logs and exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Verdict::Admit => "admit",
+            Verdict::Keep => "keep",
+            Verdict::Evict => "evict",
+            Verdict::Skip => "skip",
+        }
+    }
+}
+
 /// A cache policy: the single admission/keep/read/refresh decision
 /// surface shared by both trainer families, the serving embedding store
 /// and the benches. Implementations are stateless (all hooks take

@@ -6,11 +6,12 @@
 //! formatted without any float round-trip.
 
 use super::metrics::{MetricClass, MetricValue, Metrics};
-use super::span::Tracer;
+use super::span::{Span, Tracer};
 
 /// Schema tag stamped into every export (and grepped by `scripts/ci.sh`
-/// against the committed golden trace).
-pub const SCHEMA_VERSION: &str = "fgnn-obs-v1";
+/// against the committed golden trace). Alias of
+/// [`crate::obs::schema::OBS_V1`] — the tag literals live in one module.
+pub const SCHEMA_VERSION: &str = super::schema::OBS_V1;
 
 /// Escape a string for inclusion in a JSON string literal.
 pub(crate) fn json_escape(s: &str) -> String {
@@ -90,14 +91,42 @@ pub fn metrics_jsonl(section: &str, m: &Metrics, include_measured: bool) -> Stri
     out
 }
 
+/// One span as a `kind:"span"` JSONL line (the serving trace stream's
+/// span shape; DESIGN.md §12).
+pub fn span_jsonl_line(section: &str, span: &Span) -> String {
+    let mut args = String::new();
+    for (i, (k, v)) in span.args.iter().enumerate() {
+        if i > 0 {
+            args.push(',');
+        }
+        args.push_str(&format!("\"{k}\":{v}"));
+    }
+    format!(
+        "{{\"section\":\"{}\",\"kind\":\"span\",\"name\":\"{}\",\"cat\":\"{}\",\"startNs\":{},\"durNs\":{},\"depth\":{},\"args\":{{{args}}}}}\n",
+        json_escape(section),
+        json_escape(&span.name),
+        span.cat,
+        span.start_ns,
+        span.dur_ns,
+        span.depth,
+    )
+}
+
 /// Render one or more tracers as a single Chrome-trace JSON document
 /// (`chrome://tracing` / Perfetto). Each `(label, tracer)` section becomes
 /// its own thread (`tid`), named by a metadata event; spans become `ph:"X"`
-/// complete events with microsecond timestamps off the sim clock.
+/// complete events with microsecond timestamps off the sim clock. Stamped
+/// with the default [`SCHEMA_VERSION`].
 pub fn chrome_trace(sections: &[(&str, &Tracer)]) -> String {
+    chrome_trace_tagged(SCHEMA_VERSION, sections)
+}
+
+/// [`chrome_trace`] under an explicit schema tag (the serving trace export
+/// stamps [`crate::obs::schema::SERVE_TRACE_V1`]).
+pub fn chrome_trace_tagged(schema: &str, sections: &[(&str, &Tracer)]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{{\"schemaVersion\":\"{SCHEMA_VERSION}\",\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+        "{{\"schemaVersion\":\"{schema}\",\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
     ));
     let mut first = true;
     let mut push = |line: String, first: &mut bool| {
@@ -173,6 +202,26 @@ mod tests {
         for line in all.lines() {
             assert!(line.starts_with('{') && line.ends_with('}'));
         }
+    }
+
+    #[test]
+    fn span_jsonl_line_is_object_shaped() {
+        let mut t = Tracer::new();
+        t.begin("request", "serve_req", 100);
+        t.end_with(250, vec![("id", 7), ("hit", 1)]);
+        let line = span_jsonl_line("serve", &t.spans()[0]);
+        assert!(line.starts_with('{') && line.ends_with("}\n"));
+        assert!(line.contains("\"kind\":\"span\""));
+        assert!(line.contains("\"name\":\"request\""));
+        assert!(line.contains("\"startNs\":100,\"durNs\":150"));
+        assert!(line.contains("\"args\":{\"id\":7,\"hit\":1}"));
+    }
+
+    #[test]
+    fn chrome_trace_tagged_stamps_the_given_schema() {
+        let t = Tracer::new();
+        let doc = chrome_trace_tagged(crate::obs::schema::SERVE_TRACE_V1, &[("s", &t)]);
+        assert!(doc.starts_with("{\"schemaVersion\":\"fgnn-serve-trace-v1\""));
     }
 
     #[test]

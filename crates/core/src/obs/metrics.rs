@@ -334,6 +334,36 @@ mod tests {
     }
 
     #[test]
+    fn percentile_edge_cases() {
+        // Empty histogram: every quantile is None, including the extremes.
+        let empty = Histogram::new(&[1.0, 2.0]);
+        assert_eq!(empty.percentile(0.0), None);
+        assert_eq!(empty.percentile(1.0), None);
+
+        // q = 0.0: the target clamps up to the first observation, so the
+        // lowest occupied bucket's edge comes back (never a panic or an
+        // out-of-range index).
+        let mut h = Histogram::new(&[1.0, 2.0, 4.0]);
+        h.observe(1.5);
+        h.observe(3.0);
+        assert_eq!(h.percentile(0.0), Some(2.0));
+
+        // q = 1.0: exactly the last observation's bucket — not overflow.
+        assert_eq!(h.percentile(1.0), Some(4.0));
+
+        // Single-bucket saturation: all mass in one bucket means every
+        // quantile answers with that bucket's edge.
+        let mut sat = Histogram::new(&[8.0, 16.0]);
+        for _ in 0..1000 {
+            sat.observe(10.0);
+        }
+        assert_eq!(sat.percentile(0.0), Some(16.0));
+        assert_eq!(sat.percentile(0.5), Some(16.0));
+        assert_eq!(sat.percentile(0.999), Some(16.0));
+        assert_eq!(sat.percentile(1.0), Some(16.0));
+    }
+
+    #[test]
     fn percentile_extrapolates_overflow_bucket() {
         let mut h = Histogram::new(&[1.0, 2.0]);
         h.observe(50.0);

@@ -32,6 +32,15 @@ impl ShedReason {
             ShedReason::DeadlineExpired => "deadline_expired",
         }
     }
+
+    /// Stable numeric code for span attributes (`0`/`1`/`2`).
+    pub fn code(self) -> u64 {
+        match self {
+            ShedReason::RateLimited => 0,
+            ShedReason::QueueFull => 1,
+            ShedReason::DeadlineExpired => 2,
+        }
+    }
 }
 
 /// Admission-control knobs.

@@ -25,8 +25,10 @@ use super::batcher::Batcher;
 use super::freshness::EmbedStore;
 use super::trace::Request;
 use super::{ServeConfig, SERVE_AGE_BUCKETS_MS, SERVE_LATENCY_BUCKETS_NS, SERVE_QUEUE_BUCKETS};
+use crate::cache::policy::Verdict;
 use crate::error::FgnnError;
-use crate::obs::{MetricClass, Obs};
+use crate::obs::window::{AlertEvent, SloMonitor};
+use crate::obs::{MetricClass, Obs, Tracer};
 use crate::resilience::HealthState;
 use fgnn_graph::sample::NeighborSampler;
 use fgnn_graph::{Dataset, NodeId};
@@ -36,10 +38,43 @@ use fgnn_memsim::transfer::SYNC_LATENCY;
 use fgnn_memsim::{Node, TrafficCounters, TransferEngine};
 use fgnn_nn::model::{Arch, Model};
 use fgnn_tensor::Rng;
+use std::collections::VecDeque;
 
 /// Fixed per-request serving overhead (seconds): response framing and
 /// cache-row readout, charged even on an all-hit batch.
 const PER_REQUEST_OVERHEAD: f64 = 2e-6;
+
+/// Hash constant mixed into the exemplar-sampling stream so it can never
+/// collide with the miss-path sampling streams (which key off the batch
+/// index, not the request id).
+const EXEMPLAR_STREAM: u64 = 0x0E8E_3F4A_52C3_D94B;
+
+/// Cost breakdown of one served batch: the exact simulated seconds of
+/// each pipeline stage, the wire bytes it charged, and per-request
+/// hit/verdict details — everything the request tracer needs to lay span
+/// boundaries without touching the service-time accumulation itself.
+struct BatchOutcome {
+    /// Total service seconds (the pre-existing accumulation, untouched).
+    service_secs: f64,
+    /// Served cache hits in the batch.
+    hits: u64,
+    /// Served cache misses in the batch.
+    misses: u64,
+    /// Batch-assembly sync cost (`SYNC_LATENCY`).
+    assembly_secs: f64,
+    /// Per-request readout/framing cost (`len × PER_REQUEST_OVERHEAD`).
+    lookup_secs: f64,
+    /// Miss-path feature movement: transfer plus retry/backoff seconds.
+    fetch_secs: f64,
+    /// Miss-path model recompute seconds.
+    compute_secs: f64,
+    /// Host-to-GPU bytes charged to the ledger by this batch.
+    wire_bytes: u64,
+    /// Per request, batch order: `Some(age_ms)` on a cache hit.
+    ages: Vec<Option<u32>>,
+    /// Admission verdicts for the batch's miss nodes (policy order).
+    verdicts: Vec<(fgnn_graph::NodeId, Verdict)>,
+}
 
 /// Outcome summary of one serving run. All fields are exact (simulated)
 /// quantities: equal seeds produce equal reports.
@@ -106,6 +141,16 @@ pub struct ServeEngine<'a> {
     health: HealthState,
     /// Observability state (sim clock, per-batch spans, `Exact` metrics).
     pub obs: Obs,
+    /// Exemplar request-span stream (separate from `obs.tracer`, which
+    /// carries the complete per-batch spans): each traced request is a
+    /// contiguous `admission → queue_wait → batch_assembly →
+    /// embed_lookup → recompute → respond` tree under a `request` parent.
+    req_tracer: Tracer,
+    /// The multi-window SLO burn-rate monitor, fed every completion and
+    /// shed decision in sim-time order.
+    slo: SloMonitor,
+    /// Requests whose span trees were emitted (exemplar count).
+    exemplars: u64,
 }
 
 impl<'a> ServeEngine<'a> {
@@ -135,6 +180,7 @@ impl<'a> ServeEngine<'a> {
         dims.push(ds.spec.num_classes);
         let model = Model::new(Arch::Sage, &dims, &mut rng);
         let store = EmbedStore::new(ds.num_nodes(), ds.spec.num_classes, cfg.freshness.clone());
+        let slo = SloMonitor::new(cfg.telemetry.slo.clone(), &SERVE_LATENCY_BUCKETS_NS);
         Ok(ServeEngine {
             ds,
             model,
@@ -144,7 +190,43 @@ impl<'a> ServeEngine<'a> {
             faults: FaultState::none(),
             health: HealthState::Healthy,
             obs: Obs::new(),
+            req_tracer: Tracer::new(),
+            slo,
+            exemplars: 0,
         })
+    }
+
+    /// The exemplar request-span stream (`fgnn-serve-trace-v1` payload).
+    pub fn request_tracer(&self) -> &Tracer {
+        &self.req_tracer
+    }
+
+    /// The SLO monitor: windowed latency sketch and burn-rate state.
+    pub fn slo(&self) -> &SloMonitor {
+        &self.slo
+    }
+
+    /// Alert fire/resolve edges emitted so far, in sim-time order.
+    pub fn alerts(&self) -> &[AlertEvent] {
+        &self.slo.alerts
+    }
+
+    /// Whether request `id` is traced as an exemplar: a deterministic
+    /// hash of `(seed, id)`, so the sampled set is identical on every
+    /// rerun and independent of every other RNG stream in the engine.
+    fn is_exemplar(&self, id: u64) -> bool {
+        match self.cfg.telemetry.exemplar_every {
+            0 => false,
+            1 => true,
+            n => Rng::new(
+                self.cfg
+                    .seed
+                    .wrapping_add(EXEMPLAR_STREAM)
+                    .wrapping_add(id.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            )
+            .next_u64()
+            .is_multiple_of(n),
+        }
     }
 
     /// The model behind the serving engine (e.g. to import trained
@@ -255,6 +337,14 @@ impl<'a> ServeEngine<'a> {
         let mut cache_hits = 0u64;
         let mut cache_misses = 0u64;
         let mut deadline_misses = 0u64;
+        // Completions not yet fed to the SLO monitor: the loop cursor can
+        // revisit sim times earlier than the last batch's completion, so
+        // completions are buffered and drained in time order (the monitor
+        // requires a nondecreasing event stream). Batch completions are
+        // themselves monotone (the server is serial), so a deque suffices.
+        let mut pending_served: VecDeque<(u64, u64, bool)> = VecDeque::new();
+        // Shed-ledger entries already mirrored into telemetry.
+        let mut shed_seen = 0usize;
 
         loop {
             let dispatch = batcher.dispatch_at(&adm.queue, server_free_ns, cursor_ns);
@@ -264,7 +354,9 @@ impl<'a> ServeEngine<'a> {
                 // still picks up the freshest co-arriving request.
                 (Some(a), d) if d.is_none_or(|d| a <= d) => {
                     cursor_ns = a;
+                    self.drain_served(&mut pending_served, cursor_ns);
                     adm.offer(trace[i], cursor_ns);
+                    self.note_sheds(&adm, &mut shed_seen, cursor_ns);
                     self.obs.metrics.hist_observe(
                         "serve.queue.depth",
                         MetricClass::Exact,
@@ -275,16 +367,18 @@ impl<'a> ServeEngine<'a> {
                 }
                 (_, Some(d)) => {
                     cursor_ns = d;
+                    self.drain_served(&mut pending_served, cursor_ns);
                     // Lookahead shed: drop work that cannot finish before
                     // its deadline given the worst batch seen so far.
                     adm.shed_expired(cursor_ns + est_service_ns);
+                    self.note_sheds(&adm, &mut shed_seen, cursor_ns);
                     let batch = batcher.take(&mut adm.queue);
                     if batch.is_empty() {
                         continue;
                     }
                     let start_ns = cursor_ns;
                     let degraded = transfer.breaker_open() || self.health.is_degraded();
-                    let (service_secs, hits, misses) = self.serve_batch(
+                    let out = self.serve_batch(
                         &batch,
                         start_ns,
                         degraded,
@@ -292,19 +386,32 @@ impl<'a> ServeEngine<'a> {
                         &mut counters,
                         batch_idx,
                     );
-                    let service_ns = (service_secs * 1e9).round() as u64;
+                    let service_ns = (out.service_secs * 1e9).round() as u64;
                     let completion_ns = start_ns + service_ns;
                     est_service_ns = est_service_ns.max(service_ns);
                     server_free_ns = completion_ns;
                     end_ns = end_ns.max(completion_ns);
-                    cache_hits += hits;
-                    cache_misses += misses;
+                    cache_hits += out.hits;
+                    cache_misses += out.misses;
                     served += batch.len() as u64;
                     if degraded {
                         degraded_served += batch.len() as u64;
                         degraded_batches += 1;
                     }
-                    for r in &batch {
+                    // Interior span boundaries: monotone cumulative rounds
+                    // of the stage costs, clamped into the batch interval,
+                    // with the final boundary pinned to `completion_ns` —
+                    // so each request's children tile [arrival, completion]
+                    // exactly and the `respond` span absorbs rounding slack.
+                    let round_ns = |secs: f64| (secs * 1e9).round() as u64;
+                    let cum_lookup = out.assembly_secs + out.lookup_secs;
+                    let cum_recompute = cum_lookup + out.fetch_secs + out.compute_secs;
+                    let b1 = (start_ns + round_ns(out.assembly_secs)).min(completion_ns);
+                    let b2 = (start_ns + round_ns(cum_lookup)).clamp(b1, completion_ns);
+                    let b3 = (start_ns + round_ns(cum_recompute)).clamp(b2, completion_ns);
+                    let vmap: std::collections::BTreeMap<NodeId, Verdict> =
+                        out.verdicts.iter().copied().collect();
+                    for (j, r) in batch.iter().enumerate() {
                         let latency = completion_ns - r.arrival_ns;
                         latencies_ns.push(latency);
                         self.obs.metrics.hist_observe(
@@ -313,8 +420,26 @@ impl<'a> ServeEngine<'a> {
                             &SERVE_LATENCY_BUCKETS_NS,
                             latency as f64,
                         );
-                        if completion_ns > r.deadline_ns {
+                        let late = completion_ns > r.deadline_ns;
+                        if late {
                             deadline_misses += 1;
+                        }
+                        pending_served.push_back((completion_ns, latency, late));
+                        if self.is_exemplar(r.id) {
+                            self.exemplars += 1;
+                            let age = out.ages[j];
+                            let verdict = match age {
+                                Some(_) => None,
+                                None => vmap.get(&r.node).copied(),
+                            };
+                            self.emit_request_spans(
+                                r,
+                                (start_ns, b1, b2, b3, completion_ns),
+                                degraded,
+                                age,
+                                verdict,
+                                &out,
+                            );
                         }
                     }
                     self.obs.tracer.begin("batch", "serve", start_ns);
@@ -322,8 +447,9 @@ impl<'a> ServeEngine<'a> {
                         completion_ns,
                         vec![
                             ("size", batch.len() as u64),
-                            ("misses", misses),
+                            ("misses", out.misses),
                             ("degraded", degraded as u64),
+                            ("wire_bytes", out.wire_bytes),
                         ],
                     );
                     batch_idx += 1;
@@ -332,6 +458,7 @@ impl<'a> ServeEngine<'a> {
                 (Some(_), None) => unreachable!("arrivals left but no dispatch candidate"),
             }
         }
+        self.drain_served(&mut pending_served, u64::MAX);
 
         // Thread fault state back out (plan RNG stream + breaker trips
         // persist across runs, as in the training engine).
@@ -408,8 +535,13 @@ impl<'a> ServeEngine<'a> {
         m.counter_set("serve.sla.violations", e, report.sla_violations);
         m.counter_set("serve.transfer.failed", e, counters.failed_transfers);
         m.counter_set("serve.transfer.retries", e, counters.retries);
+        m.counter_set("serve.transfer.h2d_bytes", e, counters.host_to_gpu_bytes);
         m.gauge_set("serve.transfer.seconds", e, counters.transfer_seconds);
         m.gauge_set("serve.transfer.retry_seconds", e, counters.retry_seconds);
+        m.counter_set("serve.slo.alerts", e, self.slo.alerts.len() as u64);
+        m.gauge_set("serve.slo.firing", e, self.slo.active_count() as f64);
+        m.counter_set("serve.trace.exemplars", e, self.exemplars);
+        m.counter_set("serve.trace.spans", e, self.req_tracer.spans().len() as u64);
         if let Some(b) = &self.faults.breaker {
             m.counter_set("serve.breaker.trips", e, b.trips);
             m.counter_set("serve.breaker.fast_fails", e, b.fast_fails);
@@ -421,7 +553,10 @@ impl<'a> ServeEngine<'a> {
 
     /// Serve one batch at `start_ns`: cache hits read the store, misses
     /// recompute through the model with feature movement charged to the
-    /// simulated interconnect. Returns `(service seconds, hits, misses)`.
+    /// simulated interconnect. The per-stage seconds in the returned
+    /// [`BatchOutcome`] are the *same* terms the service accumulation
+    /// adds, bound to temporaries — the floating-point evaluation order
+    /// is unchanged, so reports stay byte-identical with tracing on.
     fn serve_batch(
         &mut self,
         batch: &[Request],
@@ -430,18 +565,20 @@ impl<'a> ServeEngine<'a> {
         transfer: &mut TransferEngine<'_>,
         counters: &mut TrafficCounters,
         batch_idx: u64,
-    ) -> (f64, u64, u64) {
+    ) -> BatchOutcome {
         let now_ms = (start_ns / 1_000_000) as u32;
         for r in batch {
             self.store.note_request(r.node);
         }
         let mut hits = 0u64;
+        let mut ages: Vec<Option<u32>> = Vec::with_capacity(batch.len());
         let mut miss_nodes: Vec<NodeId> = Vec::new();
         let mut seen_miss = std::collections::BTreeSet::new();
         for r in batch {
             match self.store.try_hit(r, now_ms, degraded) {
                 Some(age) => {
                     hits += 1;
+                    ages.push(Some(age));
                     self.obs.metrics.hist_observe(
                         "serve.served_age_ms",
                         MetricClass::Exact,
@@ -450,6 +587,7 @@ impl<'a> ServeEngine<'a> {
                     );
                 }
                 None => {
+                    ages.push(None);
                     if seen_miss.insert(r.node) {
                         miss_nodes.push(r.node);
                     }
@@ -459,6 +597,10 @@ impl<'a> ServeEngine<'a> {
         let misses = (batch.len() as u64) - hits;
 
         let mut service = SYNC_LATENCY + batch.len() as f64 * PER_REQUEST_OVERHEAD;
+        let mut fetch_secs = 0.0;
+        let mut compute_secs = 0.0;
+        let mut wire_bytes = 0u64;
+        let mut verdicts = Vec::new();
         if !miss_nodes.is_empty() {
             let mut sampler = NeighborSampler::new(self.ds.num_nodes());
             let mut rng = Rng::new(self.cfg.seed ^ batch_idx.wrapping_mul(0x9E37_79B9_7F4A_7C15));
@@ -469,16 +611,23 @@ impl<'a> ServeEngine<'a> {
             // The requester blocks through retries and backoff, so fault
             // losses (`retry_seconds`) are service time here, unlike the
             // trainer's separate loss ledger.
+            let h2d_before = counters.host_to_gpu_bytes;
             let retry_before = counters.retry_seconds;
-            service += transfer.one_sided_read(Node::Host, Node::Gpu(0), bytes, counters);
-            service += counters.retry_seconds - retry_before;
+            let t_read = transfer.one_sided_read(Node::Host, Node::Gpu(0), bytes, counters);
+            service += t_read;
+            let t_retry = counters.retry_seconds - retry_before;
+            service += t_retry;
+            fetch_secs = t_read + t_retry;
+            wire_bytes = counters.host_to_gpu_bytes - h2d_before;
             let trace = self.model.forward(&mb, h0);
             let flops = dense_flops(
                 ids.len(),
                 self.ds.spec.feature_dim,
                 self.ds.spec.num_classes,
             ) * self.cfg.fanouts.len() as f64;
-            service += self.machine.gpu.compute_seconds(flops);
+            let t_compute = self.machine.gpu.compute_seconds(flops);
+            service += t_compute;
+            compute_secs = t_compute;
             let out = trace.h.last().expect("model has layers");
             // Freshly computed embeddings are served at age 0; the hot
             // fraction is admitted for future hits.
@@ -491,7 +640,97 @@ impl<'a> ServeEngine<'a> {
                 );
             }
             self.store.admit_fresh(&miss_nodes, |i| out.row(i), now_ms);
+            verdicts = self.store.last_verdicts.clone();
         }
-        (service, hits, misses)
+        BatchOutcome {
+            service_secs: service,
+            hits,
+            misses,
+            assembly_secs: SYNC_LATENCY,
+            lookup_secs: batch.len() as f64 * PER_REQUEST_OVERHEAD,
+            fetch_secs,
+            compute_secs,
+            wire_bytes,
+            ages,
+            verdicts,
+        }
+    }
+
+    /// Drain buffered completion events with timestamp `<= upto_ns` into
+    /// the SLO monitor, preserving its nondecreasing-time contract.
+    fn drain_served(&mut self, pending: &mut VecDeque<(u64, u64, bool)>, upto_ns: u64) {
+        while pending.front().is_some_and(|&(t, _, _)| t <= upto_ns) {
+            let (t, latency_ns, bad) = pending.pop_front().expect("peeked above");
+            self.slo.record_served(t, latency_ns, bad);
+        }
+    }
+
+    /// Mirror new shed-ledger entries into telemetry: each shed counts
+    /// against the SLO error budget, and exemplar-sampled sheds emit a
+    /// zero-duration `shed` span carrying the request id and reason.
+    fn note_sheds(&mut self, adm: &AdmissionController, shed_seen: &mut usize, cursor_ns: u64) {
+        while *shed_seen < adm.shed_log.len() {
+            let (id, reason) = adm.shed_log[*shed_seen];
+            *shed_seen += 1;
+            self.slo.record_shed(cursor_ns);
+            if self.is_exemplar(id) {
+                self.exemplars += 1;
+                self.req_tracer.begin("shed", "serve_req", cursor_ns);
+                self.req_tracer
+                    .end_with(cursor_ns, vec![("id", id), ("reason", reason.code())]);
+            }
+        }
+    }
+
+    /// Emit one exemplar request's span tree. `bounds` is the monotone
+    /// boundary tuple `(start, b1, b2, b3, completion)` laid down by the
+    /// run loop; together with the zero-duration `admission` marker and
+    /// the `queue_wait` span from `arrival_ns` to `start`, the six
+    /// children tile `[arrival_ns, completion]` exactly — their durations
+    /// sum to the request's latency in integer nanoseconds.
+    fn emit_request_spans(
+        &mut self,
+        r: &Request,
+        bounds: (u64, u64, u64, u64, u64),
+        degraded: bool,
+        age: Option<u32>,
+        verdict: Option<Verdict>,
+        out: &BatchOutcome,
+    ) {
+        let (start_ns, b1, b2, b3, completion_ns) = bounds;
+        let t = &mut self.req_tracer;
+        t.begin("request", "serve_req", r.arrival_ns);
+        t.begin("admission", "serve_req", r.arrival_ns);
+        t.end(r.arrival_ns);
+        t.begin("queue_wait", "serve_req", r.arrival_ns);
+        t.end(start_ns);
+        t.begin("batch_assembly", "serve_req", start_ns);
+        t.end_with(b1, vec![("size", out.ages.len() as u64)]);
+        t.begin("embed_lookup", "serve_req", b1);
+        let mut lookup_args = vec![("hit", age.is_some() as u64)];
+        match (age, verdict) {
+            (Some(a), _) => lookup_args.push(("age_ms", a as u64)),
+            (None, Some(v)) => lookup_args.push(("verdict", v.code())),
+            (None, None) => {}
+        }
+        t.end_with(b2, lookup_args);
+        t.begin("recompute", "serve_req", b2);
+        t.end_with(
+            b3,
+            vec![("wire_bytes", out.wire_bytes), ("batch_misses", out.misses)],
+        );
+        t.begin("respond", "serve_req", b3);
+        t.end(completion_ns);
+        t.end_with(
+            completion_ns,
+            vec![
+                ("id", r.id),
+                ("node", r.node as u64),
+                ("priority", r.priority.code()),
+                ("degraded", degraded as u64),
+                ("hit", age.is_some() as u64),
+                ("latency_ns", completion_ns - r.arrival_ns),
+            ],
+        );
     }
 }

@@ -8,11 +8,62 @@
 //! out of a live `exp_serve` run.
 
 use super::engine::ServeReport;
-use crate::obs::export::{json_escape, json_f64, metrics_jsonl};
-use crate::obs::Obs;
+use crate::obs::export::{
+    chrome_trace_tagged, json_escape, json_f64, metrics_jsonl, span_jsonl_line,
+};
+use crate::obs::window::AlertEvent;
+use crate::obs::{Obs, Tracer};
 
 /// Schema tag stamped on every serving export line.
-pub const SERVE_SCHEMA_VERSION: &str = "fgnn-serve-v1";
+pub const SERVE_SCHEMA_VERSION: &str = crate::obs::schema::SERVE_V1;
+
+/// Schema tag stamped on the request-trace export (span trees + alerts).
+pub const SERVE_TRACE_SCHEMA_VERSION: &str = crate::obs::schema::SERVE_TRACE_V1;
+
+/// Render the request-level trace of one serving run as a JSONL document:
+///
+/// 1. a header line carrying the `fgnn-serve-trace-v1` schema tag;
+/// 2. one `span` line per closed request-tracer span, in close order
+///    (children before parents — each exemplar request's `admission →
+///    queue_wait → batch_assembly → embed_lookup → recompute → respond`
+///    children immediately precede their `request` parent);
+/// 3. one `alert` line per SLO fire/resolve edge, in sim-time order.
+///
+/// Everything is `Exact`-class, so same-seed runs export byte-identical
+/// documents.
+pub fn serve_trace_jsonl(section: &str, req_tracer: &Tracer, alerts: &[AlertEvent]) -> String {
+    let sec = json_escape(section);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"schemaVersion\":\"{SERVE_TRACE_SCHEMA_VERSION}\",\"kind\":\"serve_trace\",\"section\":\"{sec}\"}}\n"
+    ));
+    for span in req_tracer.spans() {
+        out.push_str(&span_jsonl_line(section, span));
+    }
+    for a in alerts {
+        out.push_str(&format!(
+            concat!(
+                "{{\"section\":\"{sec}\",\"kind\":\"alert\",\"rule\":\"{rule}\"",
+                ",\"fired\":{fired},\"atNs\":{at},\"burnLong\":{bl},\"burnShort\":{bs}",
+                ",\"windowedP99Ns\":{p99}}}\n"
+            ),
+            sec = sec,
+            rule = json_escape(a.rule),
+            fired = a.fired,
+            at = a.at_ns,
+            bl = json_f64(a.burn_long),
+            bs = json_f64(a.burn_short),
+            p99 = a.windowed_p99_ns,
+        ));
+    }
+    out
+}
+
+/// Render request-span sections as a Chrome-trace document tagged with
+/// the serve-trace schema (loadable in `chrome://tracing` / Perfetto).
+pub fn serve_chrome_trace(sections: &[(&str, &Tracer)]) -> String {
+    chrome_trace_tagged(SERVE_TRACE_SCHEMA_VERSION, sections)
+}
 
 /// Render one serving run as a JSONL document:
 ///
@@ -146,6 +197,46 @@ mod tests {
         assert!(doc.contains("\"p99Ms\":4.25"));
         assert!(doc.contains("\"reason\":\"rate_limited\""));
         assert!(doc.contains("\"reason\":\"deadline_expired\""));
+    }
+
+    #[test]
+    fn trace_jsonl_carries_spans_then_alerts() {
+        let mut t = Tracer::new();
+        t.begin("request", "serve_req", 100);
+        t.begin("queue_wait", "serve_req", 100);
+        t.end(250);
+        t.end_with(400, vec![("id", 7)]);
+        let alerts = vec![AlertEvent {
+            at_ns: 500,
+            rule: "fast-burn",
+            fired: true,
+            burn_long: 8.5,
+            burn_short: 12.0,
+            windowed_p99_ns: 300_000,
+        }];
+        let doc = serve_trace_jsonl("serve", &t, &alerts);
+        let lines: Vec<&str> = doc.lines().collect();
+        assert!(lines[0].contains("\"schemaVersion\":\"fgnn-serve-trace-v1\""));
+        assert!(lines[0].contains("\"kind\":\"serve_trace\""));
+        assert!(lines[1].contains("\"name\":\"queue_wait\""));
+        assert!(lines[2].contains("\"name\":\"request\""));
+        assert!(lines[2].contains("\"id\":7"));
+        assert!(lines[3].contains("\"kind\":\"alert\""));
+        assert!(lines[3].contains("\"rule\":\"fast-burn\""));
+        assert!(lines[3].contains("\"fired\":true"));
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn serve_chrome_trace_stamps_the_trace_schema() {
+        let mut t = Tracer::new();
+        t.begin("request", "serve_req", 0);
+        t.end(10);
+        let doc = serve_chrome_trace(&[("serve", &t)]);
+        assert!(doc.contains("fgnn-serve-trace-v1"));
+        assert!(doc.contains("\"name\":\"request\""));
     }
 
     #[test]

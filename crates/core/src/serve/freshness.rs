@@ -64,6 +64,10 @@ pub struct EmbedStore {
     pub sla_violations: u64,
     /// Cache reads served under the relaxed degraded bound.
     pub degraded_hits: u64,
+    /// The policy verdicts of the most recent [`EmbedStore::admit_fresh`]
+    /// call, in verdict order — surfaced so the request tracer can attach
+    /// each miss's admission verdict as a span attribute.
+    pub last_verdicts: Vec<(NodeId, Verdict)>,
 }
 
 impl EmbedStore {
@@ -90,6 +94,7 @@ impl EmbedStore {
             cfg,
             sla_violations: 0,
             degraded_hits: 0,
+            last_verdicts: Vec::new(),
         }
     }
 
@@ -139,6 +144,7 @@ impl EmbedStore {
         mut rows: impl FnMut(usize) -> &'r [f32],
         now_ms: u32,
     ) -> u64 {
+        self.last_verdicts.clear();
         if nodes.is_empty() {
             return 0;
         }
@@ -157,6 +163,7 @@ impl EmbedStore {
             .policy
             .verdicts(&inputs, self.cfg.admit_top_frac, &mut self.policy_rng);
         for (x, verdict) in verdicts {
+            self.last_verdicts.push((x.node, verdict));
             if verdict == Verdict::Admit {
                 // Fixed-size admission: serving prefers overwriting the
                 // oldest slot to growing, so "cache size" stays a real

@@ -47,11 +47,15 @@ pub mod trace;
 pub use admission::{AdmissionConfig, AdmissionController, ShedReason, TokenBucket};
 pub use batcher::{Batcher, BatcherConfig};
 pub use engine::{ServeEngine, ServeReport};
-pub use export::{bench_json, serve_jsonl, SERVE_SCHEMA_VERSION};
+pub use export::{
+    bench_json, serve_chrome_trace, serve_jsonl, serve_trace_jsonl, SERVE_SCHEMA_VERSION,
+    SERVE_TRACE_SCHEMA_VERSION,
+};
 pub use freshness::{EmbedStore, FreshnessConfig};
 pub use trace::{generate_trace, Priority, Request, TraceConfig};
 
 use crate::error::FgnnError;
+use crate::obs::window::SloConfig;
 
 /// Bucket edges (nanoseconds) for the serving-latency histogram. Latency
 /// observations are integer nanoseconds off the sim clock, so the
@@ -65,6 +69,30 @@ pub const SERVE_AGE_BUCKETS_MS: [f64; 9] =
 /// Bucket edges (requests) for the admission-queue depth histogram.
 pub const SERVE_QUEUE_BUCKETS: [f64; 7] = [0.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
 
+/// Per-request observability knobs (DESIGN.md §12): exemplar-sampled
+/// request tracing plus the windowed SLO monitor. Both are pure functions
+/// of the seed, so telemetry never perturbs the served numbers.
+#[derive(Clone, Debug)]
+pub struct TelemetryConfig {
+    /// Trace every ~Nth request as a full span-tree exemplar. `0`
+    /// disables request tracing, `1` traces every request; for `N > 1`
+    /// the choice is a deterministic hash of `(seed, request id)`, so the
+    /// same requests are exemplars on every rerun (every request is still
+    /// *counted*; only span emission is sampled).
+    pub exemplar_every: u64,
+    /// Multi-window SLO burn-rate monitor settings.
+    pub slo: SloConfig,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            exemplar_every: 16,
+            slo: SloConfig::default(),
+        }
+    }
+}
+
 /// Full configuration of one serving run: trace shape, admission knobs,
 /// batching knobs, freshness SLA, model fanouts and the run seed.
 #[derive(Clone, Debug)]
@@ -77,6 +105,8 @@ pub struct ServeConfig {
     pub batcher: BatcherConfig,
     /// Freshness-SLA read-path settings.
     pub freshness: FreshnessConfig,
+    /// Request-tracing and SLO-monitoring settings.
+    pub telemetry: TelemetryConfig,
     /// Neighbor-sampling fanouts used when a miss recomputes an embedding
     /// (input→output order, as in training).
     pub fanouts: Vec<usize>,
@@ -91,6 +121,7 @@ impl Default for ServeConfig {
             admission: AdmissionConfig::default(),
             batcher: BatcherConfig::default(),
             freshness: FreshnessConfig::default(),
+            telemetry: TelemetryConfig::default(),
             fanouts: vec![5, 5],
             seed: 42,
         }
@@ -154,6 +185,12 @@ impl ServeConfig {
         }
         if self.fanouts.is_empty() {
             return bad("at least one fanout layer is required".into());
+        }
+        let budget = self.telemetry.slo.error_budget;
+        if !(budget > 0.0 && budget <= 1.0) {
+            return bad(format!(
+                "telemetry.slo.error_budget must be in (0, 1], got {budget}"
+            ));
         }
         Ok(())
     }

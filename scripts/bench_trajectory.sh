@@ -1,7 +1,16 @@
 #!/usr/bin/env bash
-# Performance trajectory: run the serving sweep and the training epoch-time
-# experiment at fixed seeds and write BENCH_serve.json at the repo root,
-# then the policy-frontier sweep, written as BENCH_policy.json.
+# Performance trajectory.
+#
+# Default (check) mode: re-run the serving and policy-frontier sweeps at
+# the committed baseline seeds through `exp_report --check` and fail on
+# any per-metric regression — a clean tree reproduces the baselines bit
+# for bit.
+#
+# `--bless` mode: regenerate the baselines — run the serving sweep and
+# the training epoch-time experiment at fixed seeds, write
+# BENCH_serve.json at the repo root, then the policy-frontier sweep,
+# written as BENCH_policy.json. Use after an intentional performance
+# change, and commit the refreshed baselines with it.
 #
 # The serving numbers (p50/p95/p99, throughput, shed fraction) and the
 # policy-frontier rows (accuracy, traffic, policy counters) are exact
@@ -16,6 +25,12 @@ OUT="BENCH_serve.json"
 POLICY_OUT="BENCH_policy.json"
 
 cargo build --release -p fgnn-bench
+
+if [[ "${1:-}" != "--bless" ]]; then
+    ./target/release/exp_report --check
+    echo "trajectory check passed (rerun with --bless to regenerate baselines)"
+    exit 0
+fi
 
 serve_json="$(mktemp)"
 start=$SECONDS

@@ -34,14 +34,28 @@ FGNN_PROP_CASES=256 cargo test -q --test policy_equivalence
 FGNN_PROP_CASES=256 cargo test -q --test chaos
 
 # Serving acceptance + property suite at the elevated case count, and a
-# live exp_serve export must carry the fgnn-serve-v1 schema tag.
+# live exp_serve export must carry the fgnn-serve-v1 schema tag plus the
+# fgnn-serve-trace-v1 request-trace stream (exemplar spans + SLO alerts).
 FGNN_PROP_CASES=256 cargo test -q --test serve
 serve_out="$(mktemp)"
+trace_out="$(mktemp)"
 cargo run -q --release -p fgnn-bench --bin exp_serve -- \
-    --requests 600 --serve-out "$serve_out" > /dev/null
+    --requests 600 --serve-out "$serve_out" --trace-out "$trace_out" > /dev/null
 grep -q '"schemaVersion":"fgnn-serve-v1"' "$serve_out"
 grep -q '"kind":"serve"' "$serve_out"
-rm -f "$serve_out"
+grep -q '"schemaVersion":"fgnn-serve-trace-v1"' "$trace_out"
+grep -q '"kind":"alert"' "$trace_out"
+rm -f "$serve_out" "$trace_out"
+
+# Performance-trajectory gate: the committed BENCH_serve.json /
+# BENCH_policy.json baselines must reproduce from their recorded seeds,
+# and an injected 10% regression must trip the gate (nonzero exit).
+cargo run -q --release -p fgnn-bench --bin exp_report -- --check > /dev/null
+if cargo run -q --release -p fgnn-bench --bin exp_report -- \
+    --check --inject-regression 0.10 > /dev/null 2>&1; then
+    echo "ci: injected regression did not trip the exp_report gate" >&2
+    exit 1
+fi
 
 # Resilience transition exports must carry the obs schema tag.
 resilience_out="$(mktemp)"

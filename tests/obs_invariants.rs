@@ -22,6 +22,10 @@ mod common;
 
 use common::for_cases;
 use freshgnn_repro::core::baselines::{ClusterGcnTrainer, GasConfig, GasTrainer};
+use freshgnn_repro::core::obs::Span;
+use freshgnn_repro::core::serve::{
+    generate_trace, serve_trace_jsonl, ServeConfig, ServeEngine, ServeReport,
+};
 use freshgnn_repro::core::{FreshGnnConfig, Obs, Trainer};
 use freshgnn_repro::graph::datasets::arxiv_spec;
 use freshgnn_repro::graph::Dataset;
@@ -274,4 +278,189 @@ fn telemetry_is_deterministic_across_reruns() {
         "Exact metrics must be bit-reproducible"
     );
     assert!(trace_a.contains(export::SCHEMA_VERSION));
+}
+
+// --- serving request-trace invariants (DESIGN.md §12) ---
+
+/// An overloaded serving run with request tracing at `exemplar_every`;
+/// returns whatever `f` extracts (the engine borrows the dataset, so
+/// results must be computed inside).
+fn with_serve_run<T>(
+    seed: u64,
+    exemplar_every: u64,
+    f: impl FnOnce(&ServeEngine<'_>, &ServeReport) -> T,
+) -> T {
+    let ds = Dataset::materialize(arxiv_spec(0.0).with_dim(16), 42); // 256 nodes
+    let mut cfg = ServeConfig {
+        seed,
+        fanouts: vec![3, 3],
+        ..ServeConfig::default()
+    };
+    cfg.trace.num_nodes = 256;
+    cfg.trace.num_requests = 600;
+    cfg.trace.rate_rps = 6000.0; // 2x the admission contract: sheds happen
+    cfg.admission.rate_rps = 3000.0;
+    cfg.telemetry.exemplar_every = exemplar_every;
+    let trace = generate_trace(&cfg.trace, seed);
+    let mut eng = ServeEngine::new(&ds, 16, Machine::single_a100(), cfg).expect("valid config");
+    let report = eng.run(&trace).expect("overloaded run still serves");
+    f(&eng, &report)
+}
+
+/// Child stages a traced request passes through, in span-emission order.
+const REQUEST_STAGES: [&str; 6] = [
+    "admission",
+    "queue_wait",
+    "batch_assembly",
+    "embed_lookup",
+    "recompute",
+    "respond",
+];
+
+/// With every request traced, each request's child spans tile
+/// `[arrival, completion]` exactly: the depth-1 durations sum to the
+/// parent `request` span's duration, which equals its `latency_ns`
+/// attribute — in integer nanoseconds, no slack anywhere.
+#[test]
+fn serve_request_spans_tile_latency_exactly() {
+    with_serve_run(3, 1, |eng, report| {
+        let t = eng.request_tracer();
+        assert!(t.is_balanced(), "request tracer left spans open");
+        let mut requests = 0u64;
+        let mut sheds = 0u64;
+        let mut children: Vec<&Span> = Vec::new();
+        for span in t.spans() {
+            match (span.depth, span.name.as_ref()) {
+                (1, _) => children.push(span),
+                (0, "request") => {
+                    requests += 1;
+                    let names: Vec<&str> = children.iter().map(|s| s.name.as_ref()).collect();
+                    assert_eq!(names, REQUEST_STAGES, "stage order per request");
+                    let tiled: u64 = children.iter().map(|s| s.dur_ns).sum();
+                    assert_eq!(tiled, span.dur_ns, "children must tile the request");
+                    let latency = span
+                        .args
+                        .iter()
+                        .find(|(k, _)| *k == "latency_ns")
+                        .expect("request span carries latency_ns")
+                        .1;
+                    assert_eq!(span.dur_ns, latency, "span duration is the latency");
+                    // Children are contiguous: each starts where the
+                    // previous ended, from arrival to completion.
+                    assert_eq!(children[0].start_ns, span.start_ns);
+                    for w in children.windows(2) {
+                        assert_eq!(w[0].start_ns + w[0].dur_ns, w[1].start_ns);
+                    }
+                    let last = children.last().unwrap();
+                    assert_eq!(last.start_ns + last.dur_ns, span.start_ns + span.dur_ns);
+                    children.clear();
+                }
+                (0, "shed") => {
+                    sheds += 1;
+                    assert!(children.is_empty(), "shed spans have no children");
+                    assert_eq!(span.dur_ns, 0, "shed spans are zero-duration markers");
+                    assert!(span.args.iter().any(|(k, _)| *k == "reason"));
+                }
+                _ => panic!("unexpected request-tracer span {:?}", span.name),
+            }
+        }
+        assert_eq!(requests, report.served, "every served request is traced");
+        assert_eq!(sheds, report.shed_total(), "every shed is traced");
+        assert_eq!(
+            eng.obs.metrics.counter("serve.trace.exemplars"),
+            Some(requests + sheds)
+        );
+        assert_eq!(
+            eng.obs.metrics.counter("serve.trace.spans"),
+            Some(t.spans().len() as u64)
+        );
+    });
+}
+
+/// Sampled exemplars (`exemplar_every = 16`) are a strict subset with the
+/// same per-request structure, chosen deterministically.
+#[test]
+fn serve_exemplar_sampling_is_a_deterministic_subset() {
+    let all_ids = |every| {
+        with_serve_run(3, every, |eng, _| {
+            eng.request_tracer()
+                .spans()
+                .iter()
+                .filter(|s| s.depth == 0)
+                .filter_map(|s| s.args.iter().find(|(k, _)| *k == "id").map(|&(_, v)| v))
+                .collect::<Vec<u64>>()
+        })
+    };
+    let sampled = all_ids(16);
+    let sampled_again = all_ids(16);
+    let full = all_ids(1);
+    assert_eq!(sampled, sampled_again, "sampling is seed-deterministic");
+    assert!(!sampled.is_empty(), "some exemplars at the default rate");
+    assert!(sampled.len() < full.len(), "sampling actually samples");
+    assert!(
+        sampled.iter().all(|id| full.contains(id)),
+        "exemplars are a subset of the full request set"
+    );
+    with_serve_run(3, 0, |eng, _| {
+        assert!(
+            eng.request_tracer().spans().is_empty(),
+            "0 disables tracing"
+        );
+    });
+}
+
+/// Per-batch `wire_bytes` span attributes reconcile with the memsim
+/// traffic ledger: their sum equals the run's `serve.transfer.h2d_bytes`
+/// counter (every byte a batch charged is attributed to exactly one span).
+#[test]
+fn serve_batch_span_wire_bytes_reconcile_with_ledger() {
+    with_serve_run(5, 1, |eng, report| {
+        let span_bytes: u64 = eng
+            .obs
+            .tracer
+            .spans()
+            .iter()
+            .filter(|s| s.name == "batch")
+            .map(|s| {
+                s.args
+                    .iter()
+                    .find(|(k, _)| *k == "wire_bytes")
+                    .expect("batch spans carry wire_bytes")
+                    .1
+            })
+            .sum();
+        let ledger = eng
+            .obs
+            .metrics
+            .counter("serve.transfer.h2d_bytes")
+            .expect("h2d ledger metric");
+        assert!(report.cache_misses > 0, "run must exercise the miss path");
+        assert!(ledger > 0, "misses must move bytes");
+        assert_eq!(span_bytes, ledger, "span attribution covers the ledger");
+    });
+}
+
+/// Same seed ⇒ byte-identical `fgnn-serve-trace-v1` documents (spans and
+/// SLO alert edges both), and the overloaded run actually alerts.
+#[test]
+fn serve_trace_export_is_deterministic_and_alerts_under_overload() {
+    let run = || {
+        with_serve_run(7, 4, |eng, _| {
+            (
+                serve_trace_jsonl("serve", eng.request_tracer(), eng.alerts()),
+                eng.alerts().to_vec(),
+            )
+        })
+    };
+    let (doc_a, alerts_a) = run();
+    let (doc_b, alerts_b) = run();
+    assert_eq!(doc_a, doc_b, "trace export must be byte-identical");
+    assert_eq!(alerts_a, alerts_b, "alert stream must be identical");
+    assert!(
+        !alerts_a.is_empty(),
+        "a 2x overload must trip the burn-rate monitor"
+    );
+    assert!(doc_a.contains("\"schemaVersion\":\"fgnn-serve-trace-v1\""));
+    assert!(doc_a.contains("\"kind\":\"alert\""));
+    assert!(doc_a.contains("\"name\":\"request\""));
 }

@@ -88,10 +88,14 @@ fn arxiv16() -> Dataset {
 /// counter delta — attribution is complete, nothing is double-charged.
 ///
 /// Integer fields must agree exactly. The simulated-seconds comparison
-/// allows 2 ULP: `StageTimings::total()` re-sums per-stage deltas in stage
-/// order while the epoch counter accumulated the same charges in
-/// chronological order, and trainers that charge the interconnect from two
-/// stages (GAS: Load + Forward) reorder those float additions.
+/// allows a small ULP band: `StageTimings::total()` re-sums per-stage
+/// deltas in stage order while the epoch counter accumulated the same
+/// charges in chronological order, trainers that charge the interconnect
+/// from two stages (GAS: Load + Forward) reorder those float additions,
+/// and in the async pipeline the chronological order itself depends on
+/// worker scheduling — observed reassociation gaps reach ~10 ULP. 64 ULP
+/// (~1.4e-14 relative) still fails on any real attribution bug, which is
+/// off by whole nanoseconds.
 fn assert_attribution_complete(stats: &EpochStats) {
     let ulp_gap = stats
         .timings
@@ -99,8 +103,8 @@ fn assert_attribution_complete(stats: &EpochStats) {
         .to_bits()
         .abs_diff(stats.counters.sim_seconds().to_bits());
     assert!(
-        ulp_gap <= 2,
-        "per-stage deltas must sum to the epoch ledger (within 2 ULP), gap = {ulp_gap}"
+        ulp_gap <= 64,
+        "per-stage deltas must sum to the epoch ledger (within 64 ULP), gap = {ulp_gap}"
     );
     let total = stats.timings.total();
     assert_eq!(total.wire_bytes(), stats.counters.wire_bytes());

@@ -7,6 +7,7 @@
 
 mod common;
 
+use freshgnn_repro::core::obs::{parse_json, JsonValue};
 use freshgnn_repro::core::serve::{generate_trace, serve_jsonl, ServeConfig, ServeEngine};
 use freshgnn_repro::graph::datasets::arxiv_spec;
 use freshgnn_repro::graph::{Dataset, NodeId};
@@ -159,6 +160,102 @@ fn breaker_open_degraded_serving_completes_from_cache_within_sla() {
     assert_eq!(m.counter("serve.degraded.served"), Some(report.served));
     assert!(m.counter("serve.degraded.hits").unwrap() > 0);
     assert_eq!(m.counter("serve.sla.violations"), Some(0));
+}
+
+/// The `fgnn-serve-v1` export round-trips: parsing the JSONL back with
+/// the in-tree parser recovers the report field for field (latency floats
+/// to the bit) and every `Exact` counter line matches the live registry.
+#[test]
+fn serve_jsonl_round_trips_field_for_field() {
+    let ds = tiny();
+    let cfg = base_cfg(17);
+    let trace = generate_trace(&cfg.trace, cfg.seed);
+    let mut eng = engine(&ds, &cfg);
+    let report = eng.run(&trace).expect("run serves");
+    let doc = serve_jsonl("serve", &report, &eng.obs);
+    let lines: Vec<JsonValue> = doc
+        .lines()
+        .map(|l| parse_json(l).expect("every line parses"))
+        .collect();
+
+    let kind = |l: &JsonValue| l.get("kind").and_then(|v| v.as_str()).map(str::to_string);
+    assert_eq!(
+        lines[0].get("schemaVersion").and_then(|v| v.as_str()),
+        Some("fgnn-serve-v1")
+    );
+
+    let summary = lines
+        .iter()
+        .find(|l| kind(l).as_deref() == Some("summary"))
+        .expect("summary line");
+    let u = |k: &str| {
+        summary
+            .get(k)
+            .and_then(|v| v.as_u64())
+            .unwrap_or_else(|| panic!("summary lacks {k}"))
+    };
+    let f = |k: &str| {
+        summary
+            .get(k)
+            .and_then(|v| v.as_f64())
+            .unwrap_or_else(|| panic!("summary lacks {k}"))
+    };
+    assert_eq!(u("offered"), report.offered);
+    assert_eq!(u("admitted"), report.admitted);
+    assert_eq!(u("served"), report.served);
+    assert_eq!(u("shedRateLimited"), report.shed_rate_limited);
+    assert_eq!(u("shedQueueFull"), report.shed_queue_full);
+    assert_eq!(u("shedDeadline"), report.shed_deadline);
+    assert_eq!(u("degradedServed"), report.degraded_served);
+    assert_eq!(u("cacheHits"), report.cache_hits);
+    assert_eq!(u("cacheMisses"), report.cache_misses);
+    assert_eq!(u("slaViolations"), report.sla_violations);
+    assert_eq!(u("deadlineMisses"), report.deadline_misses);
+    assert_eq!(u("maxQueueDepth"), report.max_queue_depth as u64);
+    // Shortest-roundtrip formatting + exact parsing: floats come back
+    // bit-identical, not merely close.
+    assert_eq!(f("p50Ms").to_bits(), report.p50_ms.to_bits());
+    assert_eq!(f("p95Ms").to_bits(), report.p95_ms.to_bits());
+    assert_eq!(f("p99Ms").to_bits(), report.p99_ms.to_bits());
+    assert_eq!(f("durationSecs").to_bits(), report.duration_secs.to_bits());
+    assert_eq!(
+        f("throughputRps").to_bits(),
+        report.throughput_rps.to_bits()
+    );
+    assert_eq!(f("shedFraction").to_bits(), report.shed_fraction.to_bits());
+
+    let shed = lines
+        .iter()
+        .find(|l| kind(l).as_deref() == Some("shed_log"))
+        .expect("shed_log line");
+    let decisions = shed
+        .get("decisions")
+        .and_then(|v| v.as_array())
+        .expect("decisions array");
+    assert_eq!(decisions.len(), report.shed_log.len());
+    for (d, (id, reason)) in decisions.iter().zip(&report.shed_log) {
+        assert_eq!(d.get("id").and_then(|v| v.as_u64()), Some(*id));
+        assert_eq!(
+            d.get("reason").and_then(|v| v.as_str()),
+            Some(reason.name())
+        );
+    }
+
+    // Every exported counter line equals the live registry value.
+    let mut counters = 0usize;
+    for l in &lines {
+        if l.get("type").and_then(|v| v.as_str()) == Some("counter") {
+            let name = l.get("name").and_then(|v| v.as_str()).expect("name");
+            let value = l.get("value").and_then(|v| v.as_u64()).expect("value");
+            assert_eq!(
+                eng.obs.metrics.counter(name),
+                Some(value),
+                "counter {name} drifted through the export"
+            );
+            counters += 1;
+        }
+    }
+    assert!(counters > 10, "the serve export carries the Exact counters");
 }
 
 /// Property: over random trace/admission/batcher/freshness knobs, the
