@@ -1,27 +1,39 @@
 //! The performance-trajectory regression gate.
 //!
-//! Parses the committed `BENCH_serve.json` / `BENCH_policy.json`
-//! baselines (hand-rolled parser — zero registry dependencies), re-runs
-//! the *same* sweeps through [`fgnn_bench::trajectory`] at the baseline
-//! seed, and compares per metric with tolerances: latency percentiles,
-//! throughput, shed fraction, H2D traffic and I/O saving. Because every
-//! gated quantity is an exact simulated value, a clean tree reproduces
-//! the baselines bit for bit; the tolerance band (default ±5%) exists so
-//! a deliberate ≥10% regression always trips while genuine FP noise —
-//! there should be none — never does.
+//! Parses the committed `BENCH_serve.json` / `BENCH_policy.json` /
+//! `BENCH_train.json` baselines (hand-rolled parser — zero registry
+//! dependencies), re-runs the *same* sweeps through
+//! [`fgnn_bench::trajectory`] at the baseline seed, and compares per
+//! metric with tolerances: latency percentiles, throughput, shed
+//! fraction, H2D traffic, I/O saving, loss and simulated GPU-stream
+//! seconds. Because every gated quantity is an exact simulated value, a
+//! clean tree reproduces the baselines bit for bit; the tolerance band
+//! (default ±5%) exists so a deliberate ≥10% regression always trips
+//! while genuine FP noise — there should be none — never does.
+//!
+//! The training baseline adds two structural gates on top of the drift
+//! comparison: every (dataset, worker-count) cell must reproduce the
+//! single-worker exact metrics *bit for bit* (the work-stealing runtime's
+//! determinism contract, zero tolerance), and — only on machines with ≥4
+//! usable cores — measured epoch wall time must not grow as workers are
+//! added 1→4 (printed as "skipped (N cores)" elsewhere, since wall time
+//! on a starved machine says nothing about the runtime).
 //!
 //! Flags:
-//! * `--serve-baseline <path>` / `--policy-baseline <path>` — baseline
-//!   documents (defaults: repo-root `BENCH_serve.json`, `BENCH_policy.json`);
+//! * `--serve-baseline <path>` / `--policy-baseline <path>` /
+//!   `--train-baseline <path>` — baseline documents (defaults: repo-root
+//!   `BENCH_serve.json`, `BENCH_policy.json`, `BENCH_train.json`);
 //! * `--tolerance <frac>` — relative drift band (default 0.05);
 //! * `--check` — exit 2 when any metric regressed (the CI gate);
-//! * `--inject-regression <frac>` — scale fresh p99 latency and H2D
-//!   traffic up by `frac` before comparing: proves the gate trips
-//!   (`scripts/ci.sh` runs it at 0.10 and requires a nonzero exit).
+//! * `--inject-regression <frac>` — scale fresh p99 latency, H2D
+//!   traffic and train sim-seconds up by `frac` before comparing: proves
+//!   the gate trips (`scripts/ci.sh` runs it at 0.10 and requires a
+//!   nonzero exit).
 
 use fgnn_bench::trajectory::{
-    compare_policy, compare_serve, policy_sweep, serve_dataset, serve_sweep, MetricCheck,
-    PolicySweepConfig, ServeSweepConfig, DEFAULT_TOLERANCE,
+    compare_policy, compare_serve, compare_train, policy_sweep, serve_dataset, serve_sweep,
+    train_sweep, wall_monotonicity_checks, worker_invariance_checks, MetricCheck,
+    PolicySweepConfig, ServeSweepConfig, TrainSweepConfig, DEFAULT_TOLERANCE,
 };
 use fgnn_bench::{banner, row, Args};
 use freshgnn::obs::{parse_json, JsonValue};
@@ -39,6 +51,15 @@ const SERVE_METRICS: [&str; 7] = [
 
 /// Metrics gated per policy-frontier row, in table order.
 const POLICY_METRICS: [&str; 4] = ["accuracy", "h2dBytes", "ioSaving", "hitRate"];
+
+/// Metrics gated per train-scaling row, in table order (`wallSeconds` and
+/// `steals` are in the document but measured, so never gated on drift).
+const TRAIN_METRICS: [&str; 3] = ["meanLoss", "h2dBytes", "simSeconds"];
+
+/// Allowed relative wall-time growth per worker-count step before the
+/// monotonicity gate trips; generous because wall time is measured, while
+/// a scheduler that stops scaling blows well past it.
+const WALL_SLACK: f64 = 0.25;
 
 fn load(path: &str) -> JsonValue {
     let text = std::fs::read_to_string(path)
@@ -125,6 +146,41 @@ fn policy_baseline_rows(doc: &JsonValue) -> (u64, BaselineRows) {
     (seed, out)
 }
 
+/// Extract `(dataset/w{N}, metric → value)` rows from the train baseline
+/// document.
+fn train_baseline_rows(doc: &JsonValue) -> (u64, BaselineRows) {
+    let schema = doc.get("schemaVersion").and_then(|v| v.as_str());
+    assert_eq!(
+        schema,
+        Some(freshgnn::obs::schema::TRAIN_V1),
+        "train baseline schema mismatch"
+    );
+    let seed = doc
+        .get("seed")
+        .and_then(|v| v.as_u64())
+        .expect("train baseline carries a seed");
+    let rows = doc
+        .get("rows")
+        .and_then(|v| v.as_array())
+        .expect("train baseline carries rows[]");
+    let out = rows
+        .iter()
+        .map(|r| {
+            let key = format!(
+                "{}/w{}",
+                r.get("dataset").and_then(|v| v.as_str()).expect("dataset"),
+                r.get("workers").and_then(|v| v.as_u64()).expect("workers"),
+            );
+            let metrics = TRAIN_METRICS
+                .iter()
+                .map(|&m| (m, metric_f64(r, m, &key)))
+                .collect();
+            (key, metrics)
+        })
+        .collect();
+    (seed, out)
+}
+
 fn status(checks: &[&MetricCheck]) -> String {
     if checks.iter().any(|c| c.regressed()) {
         "REGRESSED".to_string()
@@ -184,6 +240,7 @@ fn main() {
     let args = Args::parse();
     let serve_path: String = args.get("serve-baseline", "BENCH_serve.json".to_string());
     let policy_path: String = args.get("policy-baseline", "BENCH_policy.json".to_string());
+    let train_path: String = args.get("train-baseline", "BENCH_train.json".to_string());
     let tolerance: f64 = args.get("tolerance", DEFAULT_TOLERANCE);
     let check = args.flag("check");
     let inject: f64 = args.get("inject-regression", 0.0);
@@ -195,10 +252,12 @@ fn main() {
 
     let (serve_seed, serve_base) = serve_baseline_rows(&load(&serve_path));
     let (policy_seed, policy_base) = policy_baseline_rows(&load(&policy_path));
+    let (train_seed, train_base) = train_baseline_rows(&load(&train_path));
     println!(
-        "baselines: {serve_path} (seed {serve_seed}, {} cells), {policy_path} (seed {policy_seed}, {} rows)",
+        "baselines: {serve_path} (seed {serve_seed}, {} cells), {policy_path} (seed {policy_seed}, {} rows), {train_path} (seed {train_seed}, {} cells)",
         serve_base.len(),
-        policy_base.len()
+        policy_base.len(),
+        train_base.len()
     );
     println!("tolerance ±{:.0}%; re-running sweeps...", tolerance * 100.0);
 
@@ -215,10 +274,17 @@ fn main() {
         },
         |_| {},
     );
+    let mut train_rows = train_sweep(
+        &TrainSweepConfig {
+            seed: train_seed,
+            ..TrainSweepConfig::default()
+        },
+        |_| {},
+    );
 
     if inject > 0.0 {
         println!(
-            "injecting a synthetic {:.0}% regression into fresh p99 latency and H2D traffic",
+            "injecting a synthetic {:.0}% regression into fresh p99 latency, H2D traffic and train sim-seconds",
             inject * 100.0
         );
         for c in &mut cells {
@@ -227,10 +293,22 @@ fn main() {
         for r in &mut rows {
             r.h2d_bytes = ((r.h2d_bytes as f64) * (1.0 + inject)) as u64;
         }
+        for r in &mut train_rows {
+            r.sim_seconds *= 1.0 + inject;
+        }
     }
 
     let serve_checks = compare_serve(&serve_base, &cells, tolerance);
     let policy_checks = compare_policy(&policy_base, &rows, tolerance);
+    let mut train_checks = compare_train(&train_base, &train_rows, tolerance);
+    train_checks.extend(worker_invariance_checks(&train_rows));
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let wall_checks = if cores >= 4 {
+        wall_monotonicity_checks(&train_rows, cores, WALL_SLACK)
+    } else {
+        Vec::new()
+    };
+    train_checks.extend(wall_checks);
 
     print_trajectory(
         "serving trajectory (BENCH_serve.json)",
@@ -242,8 +320,20 @@ fn main() {
         &policy_checks,
         &["h2dBytes", "ioSaving"],
     );
+    print_trajectory(
+        "train scaling trajectory (BENCH_train.json)",
+        &train_checks,
+        &["simSeconds", "wallSeconds"],
+    );
+    if cores < 4 {
+        println!("wall-time monotonicity: skipped ({cores} cores)");
+    }
 
-    let all: Vec<&MetricCheck> = serve_checks.iter().chain(policy_checks.iter()).collect();
+    let all: Vec<&MetricCheck> = serve_checks
+        .iter()
+        .chain(policy_checks.iter())
+        .chain(train_checks.iter())
+        .collect();
     let bit = all.iter().filter(|c| c.bit_identical()).count();
     let regressed: Vec<&&MetricCheck> = all.iter().filter(|c| c.regressed()).collect();
     println!(

@@ -10,10 +10,19 @@
 //! the committed baselines bit for bit and any drift is a real behavior
 //! change, not harness skew.
 //!
-//! The comparison itself ([`compare_serve`], [`compare_policy`]) applies
-//! per-metric tolerances: exact simulated quantities get a tight relative
-//! band (they should be *equal*; the band exists so a deliberate
-//! regression of ≥10% always trips while FP-noise never does).
+//! The comparison itself ([`compare_serve`], [`compare_policy`],
+//! [`compare_train`]) applies per-metric tolerances: exact simulated
+//! quantities get a tight relative band (they should be *equal*; the band
+//! exists so a deliberate regression of ≥10% always trips while FP-noise
+//! never does).
+//!
+//! [`train_sweep`] covers the third baseline, `BENCH_train.json`: the
+//! fig 10 datasets trained through the work-stealing runtime at 1/2/4/8
+//! workers. Its gate is stricter — [`worker_invariance_checks`] demands
+//! the exact metrics reproduce the single-worker row *bit for bit* at
+//! every worker count, and [`wall_monotonicity_checks`] asserts the
+//! measured wall time actually shrinks as workers are added (on machines
+//! with real parallelism).
 
 use fgnn_graph::datasets::{
     arxiv_spec, friendster_spec, mag240m_spec, papers100m_spec, twitter_spec, DatasetSpec,
@@ -24,6 +33,7 @@ use fgnn_memsim::presets::Machine;
 use fgnn_nn::model::Arch;
 use fgnn_nn::Adam;
 use freshgnn::cache::{PolicyFrontierRow, PolicyKind};
+use freshgnn::runtime::TrainScalingRow;
 use freshgnn::serve::{
     generate_trace, serve_jsonl, serve_trace_jsonl, ServeConfig, ServeEngine, ServeReport,
 };
@@ -259,6 +269,82 @@ pub fn policy_sweep(
     rows
 }
 
+/// Knobs of the training worker-scaling sweep (`exp_train_scaling`
+/// defaults). The sweep runs [`Trainer::train_epoch_async`] — the
+/// work-stealing runtime under the async sampler — over the fig 10
+/// datasets at each worker count, proving the gated metrics are
+/// worker-count invariant while wall time shrinks.
+#[derive(Clone, Debug)]
+pub struct TrainSweepConfig {
+    /// Master seed (dataset materialization, model init, batch shuffles).
+    pub seed: u64,
+    /// Dataset scale factor over the per-dataset base scales.
+    pub scale: f64,
+    /// Training epochs per cell.
+    pub epochs: usize,
+    /// Runtime worker counts to sweep.
+    pub workers: Vec<usize>,
+    /// Sampler prefetch queue capacity.
+    pub queue_capacity: usize,
+}
+
+impl Default for TrainSweepConfig {
+    fn default() -> Self {
+        TrainSweepConfig {
+            seed: 42,
+            scale: 1.0,
+            epochs: 2,
+            workers: vec![1, 2, 4, 8],
+            queue_capacity: 8,
+        }
+    }
+}
+
+/// Run the dataset × worker-count training sweep. `on_row` fires after
+/// each cell (the binary prints its table incrementally from it).
+pub fn train_sweep(
+    sw: &TrainSweepConfig,
+    mut on_row: impl FnMut(&TrainScalingRow),
+) -> Vec<TrainScalingRow> {
+    let mut rows = Vec::new();
+    for (label, spec) in policy_datasets(sw.scale) {
+        let ds = Dataset::materialize(spec, sw.seed);
+        for &workers in &sw.workers {
+            let cfg = FreshGnnConfig {
+                fanouts: vec![4, 4],
+                batch_size: 32,
+                ..Default::default()
+            };
+            let mut t = Trainer::new(&ds, Arch::Sage, 32, Machine::single_a100(), cfg, sw.seed);
+            let mut opt = Adam::new(0.003);
+            let start = std::time::Instant::now();
+            let mut mean_loss = 0.0;
+            for _ in 0..sw.epochs {
+                let stats = t
+                    .train_epoch_async(&ds, &mut opt, workers, sw.queue_capacity)
+                    .expect("fault-free sweep epoch");
+                mean_loss = stats.mean_loss;
+            }
+            let wall_seconds = start.elapsed().as_secs_f64();
+            let c = &t.counters;
+            let r = TrainScalingRow {
+                dataset: label.to_string(),
+                workers,
+                mean_loss,
+                h2d_bytes: c.host_to_gpu_bytes,
+                // Exact GPU-stream time only: the measured sample/prune
+                // wall components would vary with the schedule.
+                sim_seconds: c.transfer_seconds + c.retry_seconds + c.compute_seconds,
+                wall_seconds,
+                steals: t.obs.metrics.counter("sampler.steals").unwrap_or(0),
+            };
+            on_row(&r);
+            rows.push(r);
+        }
+    }
+    rows
+}
+
 /// One metric comparison inside the regression gate.
 #[derive(Clone, Debug)]
 pub struct MetricCheck {
@@ -400,6 +486,123 @@ pub fn compare_policy(
     checks
 }
 
+/// Compare a fresh training worker-scaling sweep against baseline rows
+/// parsed from `BENCH_train.json`, keyed by `dataset/w{N}`. Only the
+/// exact metrics are gated (`meanLoss`, `h2dBytes`, `simSeconds`);
+/// `wallSeconds` and `steals` are measured schedule artifacts and never
+/// enter the gate.
+pub fn compare_train(
+    baseline: &[(String, Vec<(&'static str, f64)>)],
+    fresh: &[TrainScalingRow],
+    tolerance: f64,
+) -> Vec<MetricCheck> {
+    let mut checks = Vec::new();
+    for (key, base_metrics) in baseline {
+        let found = fresh
+            .iter()
+            .find(|r| format!("{}/w{}", r.dataset, r.workers) == *key);
+        let Some(r) = found else {
+            checks.push(MetricCheck {
+                label: key.clone(),
+                metric: "present",
+                baseline: 1.0,
+                fresh: 0.0,
+                tolerance,
+                higher_is_worse: false,
+            });
+            continue;
+        };
+        for &(metric, base) in base_metrics {
+            let (fresh_v, higher_is_worse) = match metric {
+                "meanLoss" => (r.mean_loss, true),
+                "h2dBytes" => (r.h2d_bytes as f64, true),
+                "simSeconds" => (r.sim_seconds, true),
+                _ => continue,
+            };
+            checks.push(MetricCheck {
+                label: key.clone(),
+                metric,
+                baseline: base,
+                fresh: fresh_v,
+                tolerance,
+                higher_is_worse,
+            });
+        }
+    }
+    checks
+}
+
+/// Cross-worker invariance checks over a fresh training sweep: for each
+/// dataset, every gated metric at every worker count must reproduce the
+/// lowest-worker-count row bit for bit (the runtime's determinism
+/// contract). Each check stores the two values min/max-ordered with a
+/// zero tolerance, so *any* difference — either direction, even one ULP —
+/// trips [`MetricCheck::regressed`], and equality shows as `bit=`.
+pub fn worker_invariance_checks(fresh: &[TrainScalingRow]) -> Vec<MetricCheck> {
+    let mut checks = Vec::new();
+    let mut datasets: Vec<&str> = fresh.iter().map(|r| r.dataset.as_str()).collect();
+    datasets.dedup();
+    for dataset in datasets {
+        let mut of_ds: Vec<&TrainScalingRow> =
+            fresh.iter().filter(|r| r.dataset == dataset).collect();
+        of_ds.sort_by_key(|r| r.workers);
+        let Some((reference, rest)) = of_ds.split_first() else {
+            continue;
+        };
+        for r in rest {
+            for (metric, base, fresh_v) in [
+                ("meanLoss", reference.mean_loss, r.mean_loss),
+                ("h2dBytes", reference.h2d_bytes as f64, r.h2d_bytes as f64),
+                ("simSeconds", reference.sim_seconds, r.sim_seconds),
+            ] {
+                checks.push(MetricCheck {
+                    label: format!("{}/w{}=w{}", dataset, reference.workers, r.workers),
+                    metric,
+                    baseline: base.min(fresh_v),
+                    fresh: base.max(fresh_v),
+                    tolerance: 0.0,
+                    higher_is_worse: true,
+                });
+            }
+        }
+    }
+    checks
+}
+
+/// Wall-time monotonicity checks over a fresh training sweep: for each
+/// dataset, each step up in worker count (up to `max_workers`, the
+/// machine's usable parallelism) must not make the measured cell wall time
+/// worse than `slack` over the previous count. Callers should skip this
+/// entirely on machines without real parallelism — wall time is a
+/// measured quantity and only the multi-core claim is meaningful.
+pub fn wall_monotonicity_checks(
+    fresh: &[TrainScalingRow],
+    max_workers: usize,
+    slack: f64,
+) -> Vec<MetricCheck> {
+    let mut checks = Vec::new();
+    let mut datasets: Vec<&str> = fresh.iter().map(|r| r.dataset.as_str()).collect();
+    datasets.dedup();
+    for dataset in datasets {
+        let mut of_ds: Vec<&TrainScalingRow> = fresh
+            .iter()
+            .filter(|r| r.dataset == dataset && r.workers <= max_workers)
+            .collect();
+        of_ds.sort_by_key(|r| r.workers);
+        for pair in of_ds.windows(2) {
+            checks.push(MetricCheck {
+                label: format!("{}/w{}->w{}", dataset, pair[0].workers, pair[1].workers),
+                metric: "wallSeconds",
+                baseline: pair[0].wall_seconds,
+                fresh: pair[1].wall_seconds,
+                tolerance: slack,
+                higher_is_worse: true,
+            });
+        }
+    }
+    checks
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -448,5 +651,76 @@ mod tests {
         assert_eq!(checks.len(), 1);
         assert_eq!(checks[0].metric, "present");
         assert!(checks[0].regressed());
+    }
+
+    fn train_row(dataset: &str, workers: usize) -> TrainScalingRow {
+        TrainScalingRow {
+            dataset: dataset.into(),
+            workers,
+            mean_loss: 1.5,
+            h2d_bytes: 4096,
+            sim_seconds: 0.25,
+            wall_seconds: 1.0 / workers as f64,
+            steals: workers as u64,
+        }
+    }
+
+    #[test]
+    fn compare_train_keys_rows_by_dataset_and_workers() {
+        let baseline = vec![
+            (
+                "papers100m/w2".to_string(),
+                vec![
+                    ("meanLoss", 1.5),
+                    ("h2dBytes", 4096.0),
+                    ("simSeconds", 0.25),
+                ],
+            ),
+            ("papers100m/w16".to_string(), vec![("meanLoss", 1.5)]),
+        ];
+        let fresh = [train_row("papers100m", 1), train_row("papers100m", 2)];
+        let checks = compare_train(&baseline, &fresh, DEFAULT_TOLERANCE);
+        assert_eq!(checks.len(), 4);
+        assert!(checks[..3].iter().all(|c| c.bit_identical()));
+        assert_eq!(checks[3].metric, "present");
+        assert!(checks[3].regressed(), "missing worker count trips the gate");
+    }
+
+    #[test]
+    fn worker_invariance_trips_on_one_ulp_either_direction() {
+        let mut up = [train_row("twitter", 1), train_row("twitter", 4)];
+        assert!(worker_invariance_checks(&up)
+            .iter()
+            .all(|c| c.bit_identical() && !c.regressed()));
+        up[1].mean_loss = f64::from_bits(up[1].mean_loss.to_bits() + 1);
+        assert!(worker_invariance_checks(&up).iter().any(|c| c.regressed()));
+        let mut down = [train_row("twitter", 1), train_row("twitter", 4)];
+        down[1].sim_seconds = f64::from_bits(down[1].sim_seconds.to_bits() - 1);
+        assert!(
+            worker_invariance_checks(&down)
+                .iter()
+                .any(|c| c.regressed()),
+            "a *smaller* value is still an invariance break"
+        );
+    }
+
+    #[test]
+    fn wall_monotonicity_respects_the_core_cap_and_slack() {
+        let rows = [
+            train_row("mag240m", 1),
+            train_row("mag240m", 2),
+            train_row("mag240m", 4),
+            train_row("mag240m", 8),
+        ];
+        // wall = 1/workers: strictly improving, nothing trips.
+        let checks = wall_monotonicity_checks(&rows, 4, 0.10);
+        assert_eq!(checks.len(), 2, "w8 exceeds the 4-core cap");
+        assert!(checks.iter().all(|c| !c.regressed()));
+        // A 2x wall blow-up at w4 trips even with slack.
+        let mut bad = rows.clone();
+        bad[2].wall_seconds = bad[1].wall_seconds * 2.0;
+        assert!(wall_monotonicity_checks(&bad, 4, 0.10)
+            .iter()
+            .any(|c| c.regressed()));
     }
 }

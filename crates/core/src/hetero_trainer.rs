@@ -19,6 +19,8 @@ use crate::config::FreshGnnConfig;
 use crate::obs::Obs;
 use crate::pipeline::{BatchOutput, Engine, EpochStats, EvalHarness, PipelineCtx, StallPolicy};
 use crate::resilience::{HealthState, NumericFault, NumericGuard, Supervisor};
+use crate::runtime::RuntimeConfig;
+use crate::sampler::SampleError;
 use fgnn_graph::hetero::{HeteroDataset, HeteroMiniBatch, HeteroSampler};
 use fgnn_graph::sample::split_batches;
 use fgnn_graph::NodeId;
@@ -67,6 +69,9 @@ pub struct HeteroTrainer {
     faults: FaultState,
     /// Iterations whose reported loss is forced to NaN (chaos-test hook).
     nan_iters: BTreeSet<u32>,
+    /// Seeded adversarial scheduling on the async runtime (`None` in
+    /// production; the schedule-fuzzing suite turns it on).
+    runtime_chaos: Option<crate::runtime::ChaosPolicy>,
     /// Set by a degraded restore; consumed into the next epoch's stats.
     degraded_resume: bool,
 }
@@ -126,6 +131,7 @@ impl HeteroTrainer {
             rng,
             faults: FaultState::none(),
             nan_iters: BTreeSet::new(),
+            runtime_chaos: None,
             degraded_resume: false,
         }
     }
@@ -276,6 +282,94 @@ impl HeteroTrainer {
         self.timings.merge(&stats.timings);
         stats.cache_degraded = std::mem::take(&mut self.degraded_resume);
         stats
+    }
+
+    /// Enable (or disable with `None`) seeded adversarial scheduling on
+    /// [`HeteroTrainer::train_epoch_async`]'s runtime (same contract as
+    /// [`crate::Trainer::set_sampler_chaos`]: the schedule scrambles, the
+    /// numbers never do).
+    pub fn set_runtime_chaos(&mut self, chaos: Option<crate::runtime::ChaosPolicy>) {
+        self.runtime_chaos = chaos;
+    }
+
+    /// Train one epoch with **cross-batch prestage overlap**: typed
+    /// sampling for every mini-batch is scheduled on the in-tree
+    /// work-stealing runtime ([`Engine::run_epoch_overlapped`]) while this
+    /// thread prunes/loads/trains, so sampling for future batches runs
+    /// under the current batch's GPU stages. Only consumer queue stalls
+    /// are charged as `Sample` time.
+    ///
+    /// Deterministic: each batch's sampling RNG derives from
+    /// `(batch_seed, index)` alone and results commit in index order, so
+    /// losses, counters and every `Exact` metric are byte-identical at any
+    /// `num_threads` (note the stream differs from [`Self::train_epoch`],
+    /// which draws per-batch RNGs sequentially from the trainer stream).
+    ///
+    /// Errors mirror [`crate::Trainer::train_epoch_async`]: a batch whose
+    /// sampling task panicked on every attempt surfaces as
+    /// [`SampleError::BatchPanicked`], dead workers as
+    /// [`SampleError::WorkersLost`]; progress made before the failure is
+    /// kept.
+    pub fn train_epoch_async(
+        &mut self,
+        ds: &HeteroDataset,
+        opt: &mut dyn Optimizer,
+        num_threads: usize,
+        queue_capacity: usize,
+    ) -> Result<EpochStats, SampleError> {
+        let mut shuffle_rng = self.rng.fork();
+        let batches = split_batches(&ds.train_nodes, self.cfg.batch_size, Some(&mut shuffle_rng));
+        let batch_seed = self.rng.fork().next_u64();
+
+        let graph = std::sync::Arc::new(ds.graph.clone());
+        let runtime_cfg = RuntimeConfig {
+            workers: num_threads.max(1),
+            queue_capacity: queue_capacity.max(1),
+            max_retries: self.cfg.sampler_retries,
+            chaos: self.runtime_chaos,
+            ..RuntimeConfig::default()
+        };
+        let target = ds.target_type;
+        let fanouts = self.cfg.fanouts.clone();
+        let topo = self.machine.topology.clone();
+        let mut stages = HeteroStages {
+            model: &mut self.model,
+            cache: &mut self.cache,
+            policy: &*self.policy,
+            policy_rng: &mut self.policy_rng,
+            sampler: &mut self.sampler,
+            rng: &mut self.rng,
+            iter: &mut self.iter,
+            cfg: &self.cfg,
+            rel_types: &self.rel_types,
+            dims: &self.dims,
+            machine: &self.machine,
+            ds,
+        };
+        let init_graph = std::sync::Arc::clone(&graph);
+        let result = Engine::run_epoch_overlapped::<_, _, _, SampleError>(
+            &topo,
+            &mut self.faults,
+            &mut self.counters,
+            &mut self.obs,
+            &runtime_cfg,
+            batches,
+            move || HeteroSampler::new(&init_graph),
+            move |sampler: &mut HeteroSampler, i, seeds: &Vec<NodeId>, _attempt| {
+                // Per-batch RNG, recreated per attempt => schedule- and
+                // retry-independent output (same discipline as
+                // `AsyncSampler`).
+                let mut rng = Rng::new(batch_seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
+                let mb = sampler.sample(&graph, target, seeds, &fanouts, &mut rng);
+                (seeds.clone(), mb)
+            },
+            |ctx, counters, (seeds, mb)| Some(stages.train_sampled(ctx, counters, &seeds, mb, opt)),
+        );
+        let mut stats = result?;
+        self.epoch += 1;
+        self.timings.merge(&stats.timings);
+        stats.cache_degraded = std::mem::take(&mut self.degraded_resume);
+        Ok(stats)
     }
 
     /// Train one epoch under the health supervisor — the heterogeneous
@@ -448,18 +542,34 @@ impl<'t> HeteroStages<'_, '_> {
     ) -> BatchOutput {
         let ds = self.ds;
         let target = ds.target_type;
+        let mb = ctx.stage(StageKind::Sample, counters, |_engine, _c| {
+            let mut sample_rng = self.rng.fork();
+            self.sampler
+                .sample(&ds.graph, target, seeds, &self.cfg.fanouts, &mut sample_rng)
+        });
+        self.train_sampled(ctx, counters, seeds, mb, opt)
+    }
+
+    /// Run a pre-sampled batch through prune → load → forward → backward →
+    /// cache-update → optim-step. The async path prestages the `Sample`
+    /// stage on the work-stealing runtime and enters here; the sync path
+    /// samples inline first.
+    fn train_sampled(
+        &mut self,
+        ctx: &mut PipelineCtx<'t>,
+        counters: &mut TrafficCounters,
+        seeds: &[NodeId],
+        mut mb: HeteroMiniBatch,
+        opt: &mut dyn Optimizer,
+    ) -> BatchOutput {
+        let ds = self.ds;
+        let target = ds.target_type;
         let now = *self.iter;
 
         // Degraded mode: breaker open — bypass the ring cache for this
         // batch (see `FreshGnnStages::train_sampled`).
         let degraded = ctx.breaker_open();
         self.cache.set_bypass(degraded);
-
-        let mut mb = ctx.stage(StageKind::Sample, counters, |_engine, _c| {
-            let mut sample_rng = self.rng.fork();
-            self.sampler
-                .sample(&ds.graph, target, seeds, &self.cfg.fanouts, &mut sample_rng)
-        });
 
         // Cache-aware typed pruning (top-down reachability).
         let outcome = ctx.stage(StageKind::Prune, counters, |_engine, _c| {
@@ -775,6 +885,44 @@ mod tests {
             cached.counters.host_to_gpu_bytes,
             plain.counters.host_to_gpu_bytes
         );
+    }
+
+    #[test]
+    fn hetero_async_epochs_are_worker_count_invariant() {
+        let ds = tiny();
+        let run = |workers: usize, chaos: Option<crate::runtime::ChaosPolicy>| {
+            let mut t = HeteroTrainer::new(&ds, 16, Machine::single_a100(), config(0.9, 50), 3);
+            t.set_runtime_chaos(chaos);
+            let mut opt = Adam::new(0.01);
+            let mut losses = Vec::new();
+            for _ in 0..3 {
+                let stats = t.train_epoch_async(&ds, &mut opt, workers, 4).unwrap();
+                losses.push(stats.mean_loss.to_bits());
+            }
+            (losses, t.counters.host_to_gpu_bytes, t.cache.stats().hits)
+        };
+        let reference = run(1, None);
+        for workers in [2, 4, 8] {
+            assert_eq!(run(workers, None), reference, "workers={workers}");
+        }
+        // Adversarial schedules scramble who samples what when — never
+        // the committed stream.
+        let chaos = crate::runtime::ChaosPolicy::aggressive(11);
+        assert_eq!(run(4, Some(chaos)), reference, "chaos");
+    }
+
+    #[test]
+    fn hetero_async_training_reduces_loss() {
+        let ds = tiny();
+        let mut t = HeteroTrainer::new(&ds, 16, Machine::single_a100(), config(0.9, 50), 1);
+        let mut opt = Adam::new(0.01);
+        let first = t.train_epoch_async(&ds, &mut opt, 2, 4).unwrap().mean_loss;
+        let mut last = first;
+        for _ in 0..6 {
+            last = t.train_epoch_async(&ds, &mut opt, 2, 4).unwrap().mean_loss;
+        }
+        assert!(last < first, "loss {first} -> {last}");
+        assert_eq!(t.epochs(), 7);
     }
 
     #[test]

@@ -12,8 +12,13 @@
 //!   gradient-based admission/eviction criterion (`p_grad`) and a staleness
 //!   bound (`t_stale`), backfilled with a raw-feature cache of high-degree
 //!   nodes;
+//! * [`runtime`] — the in-tree work-stealing task runtime (per-worker
+//!   LIFO deques, global injector, token parkers) that executes sampling
+//!   and prestage work for different batches in parallel while the
+//!   in-order first-wins commit keeps every `Exact` output byte-identical
+//!   at any worker count;
 //! * [`sampler`] — asynchronous multi-threaded CPU graph sampling with a
-//!   bounded task queue (§5);
+//!   bounded task queue (§5), scheduled on the [`runtime`];
 //! * [`prune`] — cache-aware subgraph pruning over CSR2 blocks: a cached
 //!   destination's aggregation is removed in O(1) and its multi-hop
 //!   subtree never gets computed or loaded (§5);
@@ -61,6 +66,7 @@ pub mod pipeline;
 pub mod probes;
 pub mod prune;
 pub mod resilience;
+pub mod runtime;
 pub mod sampler;
 pub mod serve;
 pub mod sgc;
@@ -73,6 +79,7 @@ pub use error::FgnnError;
 pub use obs::Obs;
 pub use pipeline::{BatchOutput, Engine, EpochStats, EvalHarness, PipelineCtx, StallPolicy};
 pub use resilience::{HealthState, Supervisor, SupervisorConfig};
+pub use runtime::{ChaosPolicy, OrderedCommit, Pool, RuntimeConfig};
 pub use sampler::SampleError;
 pub use serve::{ServeConfig, ServeEngine, ServeReport};
 pub use trainer::Trainer;

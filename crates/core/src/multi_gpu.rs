@@ -352,8 +352,18 @@ mod tests {
             3,
         );
         assert_eq!(curve.len(), 3);
+        assert_eq!(
+            curve.iter().map(|p| p.gpus).collect::<Vec<_>>(),
+            vec![1, 2, 4]
+        );
         assert!(curve.iter().all(|p| p.iters_per_sec > 0.0));
-        assert!(curve[2].iters_per_sec >= curve[0].iters_per_sec);
+        // Monotonicity is deliberately NOT asserted here: this curve is
+        // projected from a *measured* profile whose `sample_s` is host
+        // wall time, and on a toy model the all-reduce term can outweigh
+        // the tiny per-iter traffic — whether the flat sampler cap masks
+        // that dip depends on how fast the test machine samples.
+        // `freshgnn_scales_nearly_linearly` pins the scaling shape on a
+        // deterministic synthetic profile instead.
     }
 }
 

@@ -22,8 +22,12 @@ pub const SERVE_TRACE_V1: &str = "fgnn-serve-trace-v1";
 /// DESIGN.md §11).
 pub const POLICY_V1: &str = "fgnn-policy-v1";
 
+/// Training worker-scaling benchmark document (`BENCH_train.json`,
+/// DESIGN.md §13).
+pub const TRAIN_V1: &str = "fgnn-train-v1";
+
 /// Every known schema tag, for exhaustiveness checks.
-pub const ALL: [&str; 4] = [OBS_V1, SERVE_V1, SERVE_TRACE_V1, POLICY_V1];
+pub const ALL: [&str; 5] = [OBS_V1, SERVE_V1, SERVE_TRACE_V1, POLICY_V1, TRAIN_V1];
 
 #[cfg(test)]
 mod tests {

@@ -38,6 +38,7 @@ pub mod eval;
 pub use eval::EvalHarness;
 
 use crate::obs::{MetricClass, Obs};
+use crate::runtime::{OrderedCommit, Pool, RuntimeConfig, RuntimeObsReport, TaskError};
 use fgnn_memsim::fault::FaultState;
 use fgnn_memsim::stage::{StageKind, StageTimings, NUM_STAGES};
 use fgnn_memsim::topology::Topology;
@@ -155,6 +156,7 @@ impl<'t> PipelineCtx<'t> {
         let mut delta = counters.clone();
         delta.subtract(&before);
         self.timings.record(kind, wall, &delta);
+        self.timings.extend_span(&before, counters);
         let exact = delta.transfer_seconds + delta.retry_seconds + delta.compute_seconds;
         self.obs
             .tracer
@@ -240,10 +242,12 @@ impl Engine {
             if stall_policy == StallPolicy::ChargeSample {
                 // Only the consumer's queue stall counts as sampling time.
                 let stall = t0.elapsed().as_secs_f64();
-                let mut delta = TrafficCounters::new();
-                delta.sample_seconds = stall;
+                let stall_before = counters.clone();
                 counters.sample_seconds += stall;
+                let mut delta = counters.clone();
+                delta.subtract(&stall_before);
                 ctx.timings.record(StageKind::Sample, stall, &delta);
+                ctx.timings.extend_span(&stall_before, counters);
                 // Measured time never advances the sim clock: the stall
                 // leaves a zero-duration sample span under the epoch.
                 let now = ctx.obs.clock.now_ns();
@@ -390,6 +394,123 @@ impl Engine {
             degraded_batches,
         })
     }
+
+    /// Run one epoch with **cross-batch stage overlap**: the prestage work
+    /// for every unit — whatever `produce` does: sampling, pruning,
+    /// feature preparation — is scheduled on the in-tree work-stealing
+    /// [`Pool`] while this thread trains, so prestage for *future* batches
+    /// runs while the current batch is in its GPU stages. Results flow
+    /// through an [`OrderedCommit`] reorder buffer and are consumed
+    /// strictly in index order under [`StallPolicy::ChargeSample`], so the
+    /// committed unit stream — and with it every loss, `Exact` counter and
+    /// span — is byte-identical at any worker count and under any steal
+    /// schedule.
+    ///
+    /// The determinism contract is the caller's to uphold inside
+    /// `produce`: derive all randomness from the task index alone (fork a
+    /// fresh RNG from `(seed, index)`), never from worker identity or
+    /// shared mutable state. `init` builds per-worker scratch, rebuilt
+    /// after a panic; a unit that panics on every attempt surfaces as
+    /// `E::from(TaskError::Panicked)`, dead workers as
+    /// `E::from(TaskError::Lost)` — either aborts the epoch through the
+    /// normal [`Engine::run_epoch`] error path, keeping progress made.
+    ///
+    /// Scheduler telemetry (steals, parks, task latency, reorder-buffer
+    /// depth) is flushed into `obs` under `runtime.*` — `Measured`, never
+    /// `Exact`, because it genuinely varies run to run.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_epoch_overlapped<'t, T, S, P, E>(
+        topo: &'t Topology,
+        faults: &mut FaultState,
+        counters: &mut TrafficCounters,
+        obs: &mut Obs,
+        cfg: &RuntimeConfig,
+        tasks: Vec<T>,
+        init: impl Fn() -> S + Send + Sync + 'static,
+        produce: impl Fn(&mut S, usize, &T, u32) -> P + Send + Sync + 'static,
+        step: impl FnMut(&mut PipelineCtx<'t>, &mut TrafficCounters, P) -> Option<BatchOutput>,
+    ) -> Result<EpochStats, E>
+    where
+        T: Send + Sync + 'static,
+        P: Send + 'static,
+        E: From<TaskError>,
+    {
+        let pool: Pool<P> = Pool::spawn(cfg, tasks, init, produce);
+        let mut ordered: OrderedCommit<Result<P, TaskError>> = OrderedCommit::new(pool.total());
+        let units = std::iter::from_fn(|| loop {
+            if let Some((_, r)) = ordered.try_commit() {
+                return Some(r.map_err(E::from));
+            }
+            if ordered.is_done() {
+                return None;
+            }
+            match pool.recv() {
+                Ok((i, r)) => ordered.offer(i, r),
+                Err(_) => {
+                    // Workers died with results outstanding; abort the
+                    // stream so the epoch errors instead of hanging.
+                    let lost = TaskError::Lost {
+                        produced: ordered.committed(),
+                        total: ordered.total(),
+                    };
+                    ordered.abort();
+                    return Some(Err(E::from(lost)));
+                }
+            }
+        });
+        let result = Engine::run_epoch(
+            topo,
+            faults,
+            counters,
+            obs,
+            StallPolicy::ChargeSample,
+            units,
+            step,
+        );
+        Self::flush_runtime_obs(obs, &pool.obs_report(), ordered.queue_depth());
+        result
+    }
+
+    /// Flush one pool run's scheduling counters into the metrics registry
+    /// under `runtime.*`. Retries are `Exact` (a panic is a property of
+    /// the task, not the schedule — the same contract
+    /// `sampler.resample_retries` already exports under); everything else
+    /// is a genuine schedule artifact and stays `Measured`.
+    fn flush_runtime_obs(obs: &mut Obs, r: &RuntimeObsReport, depth: &crate::obs::Histogram) {
+        let m = &mut obs.metrics;
+        m.counter_add("runtime.retries", MetricClass::Exact, r.retries);
+        m.counter_add("runtime.steals", MetricClass::Measured, r.steals);
+        m.counter_add(
+            "runtime.stolen_tasks",
+            MetricClass::Measured,
+            r.stolen_tasks,
+        );
+        m.counter_add("runtime.parks", MetricClass::Measured, r.parks);
+        for (w, (&t, &n)) in r.worker_tasks.iter().zip(&r.worker_task_nanos).enumerate() {
+            m.counter_add(
+                &format!("runtime.worker.{w}.tasks"),
+                MetricClass::Measured,
+                t,
+            );
+            m.counter_add(
+                &format!("runtime.worker.{w}.task_ns"),
+                MetricClass::Measured,
+                n,
+            );
+        }
+        let mut task_secs = m
+            .histogram("runtime.task_seconds")
+            .cloned()
+            .unwrap_or_default();
+        task_secs.merge(&r.task_seconds);
+        m.hist_set("runtime.task_seconds", MetricClass::Measured, task_secs);
+        let mut commit_depth = m
+            .histogram("runtime.commit_depth")
+            .cloned()
+            .unwrap_or_default();
+        commit_depth.merge(depth);
+        m.hist_set("runtime.commit_depth", MetricClass::Measured, commit_depth);
+    }
 }
 
 #[cfg(test)]
@@ -509,5 +630,95 @@ mod tests {
         )
         .unwrap();
         assert!(faults.plan.is_some(), "plan must survive the epoch");
+    }
+
+    #[test]
+    fn overlapped_epoch_is_invariant_across_worker_counts() {
+        let topo = topo();
+        let run = |workers: usize| {
+            let mut counters = TrafficCounters::new();
+            let mut faults = FaultState::none();
+            let cfg = RuntimeConfig {
+                workers,
+                queue_capacity: 4,
+                ..RuntimeConfig::default()
+            };
+            Engine::run_epoch_overlapped::<u64, (), u64, TaskError>(
+                &topo,
+                &mut faults,
+                &mut counters,
+                &mut Obs::new(),
+                &cfg,
+                (0..16u64).collect(),
+                || (),
+                |_, i, t, _| t * 10 + i as u64, // index-derived, worker-free
+                |ctx, counters, unit| {
+                    ctx.stage(StageKind::Load, counters, |eng, c| {
+                        eng.one_sided_read(Node::Host, Node::Gpu(0), 64 * (unit + 1), c);
+                    });
+                    Some(BatchOutput::loss_only(unit as f32))
+                },
+            )
+            .unwrap()
+        };
+        let reference = run(1);
+        for workers in [2, 4, 8] {
+            let stats = run(workers);
+            assert_eq!(
+                stats.mean_loss.to_bits(),
+                reference.mean_loss.to_bits(),
+                "workers={workers}"
+            );
+            assert_eq!(stats.batches, reference.batches);
+            assert_eq!(
+                stats.counters.host_to_gpu_bytes,
+                reference.counters.host_to_gpu_bytes
+            );
+            assert_eq!(
+                stats.counters.transfer_seconds.to_bits(),
+                reference.counters.transfer_seconds.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn overlapped_epoch_surfaces_persistent_prestage_panics() {
+        let topo = topo();
+        let mut counters = TrafficCounters::new();
+        let mut faults = FaultState::none();
+        let cfg = RuntimeConfig {
+            workers: 2,
+            max_retries: 1,
+            ..RuntimeConfig::default()
+        };
+        let mut stepped = 0usize;
+        let err = Engine::run_epoch_overlapped::<(), (), usize, TaskError>(
+            &topo,
+            &mut faults,
+            &mut counters,
+            &mut Obs::new(),
+            &cfg,
+            vec![(); 6],
+            || (),
+            |_, i, _, _| {
+                if i == 3 {
+                    panic!("poisoned unit");
+                }
+                i
+            },
+            |_, _, _| {
+                stepped += 1;
+                Some(BatchOutput::loss_only(0.0))
+            },
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            TaskError::Panicked {
+                index: 3,
+                attempts: 2
+            }
+        );
+        assert_eq!(stepped, 3, "units before the failure trained; none after");
     }
 }

@@ -1,0 +1,148 @@
+//! Seeded schedule perturbation for the work-stealing runtime.
+//!
+//! The determinism claim of this runtime is *schedule independence*: the
+//! committed batch stream, Exact metrics and span trees are byte-identical
+//! no matter which worker runs which task in which order. A claim like
+//! that is only worth anything if tests can drive the scheduler through
+//! genuinely adversarial schedules, so [`ChaosPolicy`] injects three kinds
+//! of seeded misbehaviour *into the scheduling decisions only*:
+//!
+//! * **forced steals** — a worker steals from a victim even though its own
+//!   deque is non-empty, scrambling locality;
+//! * **delayed pops** — a worker sleeps briefly before taking its next
+//!   task, perturbing the race between owners and thieves;
+//! * **worker stalls** — a worker sleeps mid-loop, simulating an OS-level
+//!   preemption or a straggling core (the thing hedging exists for).
+//!
+//! Task *results* are never touched: chaos changes who computes a batch
+//! and when, never what the batch contains. Each worker decides from its
+//! own `Rng::new(seed ^ worker)` stream, so a chaos schedule is itself
+//! reproducible for debugging, while still differing across workers.
+
+use fgnn_tensor::Rng;
+use std::time::Duration;
+
+/// Tunable probabilities for adversarial scheduling. All probabilities
+/// are evaluated once per scheduling decision.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosPolicy {
+    /// Seed for the per-worker decision streams (worker `w` draws from
+    /// `Rng::new(seed ^ w)`).
+    pub seed: u64,
+    /// Probability that a worker steals from a victim before looking at
+    /// its own deque.
+    pub forced_steal_prob: f32,
+    /// Probability that a pop is preceded by a short random sleep.
+    pub delayed_pop_prob: f32,
+    /// Probability that a worker stalls (sleeps `max_delay_micros`)
+    /// before its next scheduling decision.
+    pub stall_prob: f32,
+    /// Upper bound on injected sleeps, in microseconds.
+    pub max_delay_micros: u64,
+}
+
+impl ChaosPolicy {
+    /// An aggressive preset for the schedule-fuzzing suite: frequent
+    /// forced steals and delays, occasional full stalls, sleeps short
+    /// enough to keep 256-case property runs fast.
+    pub fn aggressive(seed: u64) -> Self {
+        ChaosPolicy {
+            seed,
+            forced_steal_prob: 0.5,
+            delayed_pop_prob: 0.3,
+            stall_prob: 0.1,
+            max_delay_micros: 200,
+        }
+    }
+}
+
+/// Per-worker chaos decision stream. Lives on the worker thread.
+#[derive(Debug)]
+pub(crate) struct ChaosRng {
+    rng: Rng,
+    policy: ChaosPolicy,
+}
+
+impl ChaosRng {
+    pub(crate) fn new(policy: ChaosPolicy, worker: u64) -> Self {
+        ChaosRng {
+            rng: Rng::new(policy.seed ^ worker),
+            policy,
+        }
+    }
+
+    /// Should this scheduling decision steal before popping locally?
+    pub(crate) fn force_steal(&mut self) -> bool {
+        self.policy.forced_steal_prob > 0.0 && self.rng.bernoulli(self.policy.forced_steal_prob)
+    }
+
+    /// Sleep to inject before the next pop, if any.
+    pub(crate) fn pop_delay(&mut self) -> Option<Duration> {
+        if self.policy.delayed_pop_prob > 0.0 && self.rng.bernoulli(self.policy.delayed_pop_prob) {
+            let us = self.rng.below(self.policy.max_delay_micros.max(1) as usize) as u64;
+            Some(Duration::from_micros(us))
+        } else {
+            None
+        }
+    }
+
+    /// Full-loop stall to inject, if any.
+    pub(crate) fn stall(&mut self) -> Option<Duration> {
+        if self.policy.stall_prob > 0.0 && self.rng.bernoulli(self.policy.stall_prob) {
+            Some(Duration::from_micros(self.policy.max_delay_micros.max(1)))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_streams_are_reproducible_per_worker() {
+        let policy = ChaosPolicy::aggressive(99);
+        let decisions = |worker: u64| {
+            let mut c = ChaosRng::new(policy, worker);
+            (0..64)
+                .map(|_| {
+                    (
+                        c.force_steal(),
+                        c.pop_delay().is_some(),
+                        c.stall().is_some(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(decisions(0), decisions(0), "same worker → same stream");
+        assert_ne!(decisions(0), decisions(1), "workers draw distinct streams");
+    }
+
+    #[test]
+    fn zero_probabilities_are_silent() {
+        let policy = ChaosPolicy {
+            seed: 1,
+            forced_steal_prob: 0.0,
+            delayed_pop_prob: 0.0,
+            stall_prob: 0.0,
+            max_delay_micros: 100,
+        };
+        let mut c = ChaosRng::new(policy, 0);
+        for _ in 0..32 {
+            assert!(!c.force_steal());
+            assert!(c.pop_delay().is_none());
+            assert!(c.stall().is_none());
+        }
+    }
+
+    #[test]
+    fn delays_respect_the_bound() {
+        let mut c = ChaosRng::new(ChaosPolicy::aggressive(7), 3);
+        for _ in 0..256 {
+            if let Some(d) = c.pop_delay() {
+                assert!(d <= Duration::from_micros(200));
+            }
+        }
+    }
+}

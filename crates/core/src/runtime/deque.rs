@@ -1,0 +1,119 @@
+//! Per-worker task deque for the work-stealing runtime.
+//!
+//! The owner treats the **back** of the `VecDeque` as the "bottom": it
+//! pushes and pops there (LIFO for the owner). Thieves take from the
+//! **front** ("top") and always take *half* of what they see
+//! (`steal_half`), which amortises lock traffic and keeps victims busy.
+//!
+//! Seeding discipline: callers load a chunk of ascending batch indexes in
+//! *reverse* order (largest first), so the owner's `pop_bottom` yields the
+//! *smallest* outstanding index first — exactly what the in-order commit
+//! stage downstream wants — while thieves walk away with the largest
+//! (far-future) indexes, whose results the consumer will not block on for
+//! a while. A `Mutex<VecDeque>` is deliberately boring: the offline tier-1
+//! gate forbids registry crates, batches are coarse-grained (a sampling
+//! task is ~10⁵ RNG draws), and a boring lock is trivially correct under
+//! the schedule-fuzzing suite.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A single worker's deque of task indexes.
+#[derive(Debug, Default)]
+pub struct WorkerDeque {
+    inner: Mutex<VecDeque<usize>>,
+}
+
+impl WorkerDeque {
+    /// Create an empty deque.
+    pub fn new() -> Self {
+        WorkerDeque {
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Owner-side push onto the bottom (back).
+    pub fn push_bottom(&self, task: usize) {
+        self.inner.lock().expect("deque poisoned").push_back(task);
+    }
+
+    /// Owner-side pop from the bottom (back).
+    pub fn pop_bottom(&self) -> Option<usize> {
+        self.inner.lock().expect("deque poisoned").pop_back()
+    }
+
+    /// Thief-side steal: drain the top (front) half — `ceil(len / 2)`
+    /// tasks — in top-to-bottom order. Empty vec when there was nothing
+    /// to steal.
+    pub fn steal_half(&self) -> Vec<usize> {
+        let mut q = self.inner.lock().expect("deque poisoned");
+        let take = q.len().div_ceil(2);
+        q.drain(..take).collect()
+    }
+
+    /// Number of queued tasks (snapshot; racy by nature).
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("deque poisoned").len()
+    }
+
+    /// Whether the deque is currently empty (snapshot; racy by nature).
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().expect("deque poisoned").is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_pops_lifo_from_bottom() {
+        let d = WorkerDeque::new();
+        // Reverse-seeded chunk: push 3,2,1,0 → owner pops ascending.
+        for t in (0..4).rev() {
+            d.push_bottom(t);
+        }
+        assert_eq!(d.pop_bottom(), Some(0));
+        assert_eq!(d.pop_bottom(), Some(1));
+        d.push_bottom(9);
+        assert_eq!(d.pop_bottom(), Some(9), "owner is LIFO over its own pushes");
+        assert_eq!(d.pop_bottom(), Some(2));
+        assert_eq!(d.pop_bottom(), Some(3));
+        assert_eq!(d.pop_bottom(), None);
+    }
+
+    #[test]
+    fn thief_steals_top_half() {
+        let d = WorkerDeque::new();
+        for t in (0..5).rev() {
+            d.push_bottom(t); // front→back = [4,3,2,1,0]
+        }
+        let got = d.steal_half();
+        assert_eq!(
+            got,
+            vec![4, 3, 2],
+            "ceil(5/2)=3 from the top, far-future first"
+        );
+        assert_eq!(d.len(), 2);
+        assert_eq!(
+            d.pop_bottom(),
+            Some(0),
+            "owner still sees the nearest index"
+        );
+    }
+
+    #[test]
+    fn steal_from_empty_is_empty() {
+        let d = WorkerDeque::new();
+        assert!(d.steal_half().is_empty());
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn steal_of_one_takes_it_all() {
+        let d = WorkerDeque::new();
+        d.push_bottom(7);
+        assert_eq!(d.steal_half(), vec![7]);
+        assert!(d.is_empty());
+    }
+}

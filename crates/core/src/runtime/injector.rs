@@ -1,0 +1,79 @@
+//! Global FIFO injector queue for the work-stealing runtime.
+//!
+//! All tasks enter here at spawn time in index order. Workers refill their
+//! local deques from the injector in *chunks* (`pop_chunk`), which keeps
+//! injector lock traffic at `O(total / chunk)` and hands every worker a
+//! contiguous ascending run of batch indexes — the shape the reorder
+//! buffer downstream digests with minimal depth.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Global FIFO of not-yet-claimed task indexes.
+#[derive(Debug, Default)]
+pub struct Injector {
+    inner: Mutex<VecDeque<usize>>,
+}
+
+impl Injector {
+    /// Create an empty injector.
+    pub fn new() -> Self {
+        Injector {
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Enqueue `task` at the tail.
+    pub fn push(&self, task: usize) {
+        self.inner
+            .lock()
+            .expect("injector poisoned")
+            .push_back(task);
+    }
+
+    /// Dequeue up to `n` tasks from the head, in FIFO (ascending) order.
+    pub fn pop_chunk(&self, n: usize) -> Vec<usize> {
+        let mut q = self.inner.lock().expect("injector poisoned");
+        let take = n.min(q.len());
+        q.drain(..take).collect()
+    }
+
+    /// Number of queued tasks (snapshot; racy by nature).
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("injector poisoned").len()
+    }
+
+    /// Whether the injector is currently empty (snapshot; racy by nature).
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().expect("injector poisoned").is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_pop_fifo_in_order() {
+        let inj = Injector::new();
+        for t in 0..7 {
+            inj.push(t);
+        }
+        assert_eq!(inj.pop_chunk(3), vec![0, 1, 2]);
+        assert_eq!(inj.pop_chunk(3), vec![3, 4, 5]);
+        assert_eq!(inj.pop_chunk(3), vec![6], "short final chunk");
+        assert!(inj.pop_chunk(3).is_empty());
+        assert!(inj.is_empty());
+    }
+
+    #[test]
+    fn len_tracks_pushes_and_pops() {
+        let inj = Injector::new();
+        assert_eq!(inj.len(), 0);
+        inj.push(1);
+        inj.push(2);
+        assert_eq!(inj.len(), 2);
+        inj.pop_chunk(1);
+        assert_eq!(inj.len(), 1);
+    }
+}

@@ -1,0 +1,213 @@
+//! In-order first-wins commit: the determinism half of the runtime.
+//!
+//! Workers complete tasks in whatever order stealing, chaos and the OS
+//! produce. [`OrderedCommit`] is the reorder buffer that turns that
+//! free-for-all back into the canonical stream: results are `offer`ed by
+//! task index, buffered in a min-heap, and released strictly in index
+//! order by `try_commit`. The *first* result to arrive for an index wins;
+//! any later duplicate (a straggler whose batch was hedged inline, or a
+//! chaos-delayed copy) is counted and dropped. First-wins is structural:
+//! every offer carries an arrival stamp and ties on index resolve to the
+//! earliest offer, so the guarantee holds even for copies buffered before
+//! their index commits. In the runtime a duplicate is additionally
+//! bitwise-identical to the winner — same `(seed, index)` RNG — so
+//! resolution can never change the committed stream, only the `discards`
+//! counter (a `Measured` quantity).
+//!
+//! The observed reorder-buffer depth is folded into a queue-depth
+//! histogram at every commit, giving `obs` the backpressure signal the
+//! paper's bounded task queue is about.
+
+use crate::obs::{Histogram, QUEUE_DEPTH_BUCKETS};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Reorder buffer releasing results in ascending index order, first-wins.
+#[derive(Debug)]
+pub struct OrderedCommit<R> {
+    heap: BinaryHeap<Slot<R>>,
+    next: usize,
+    total: usize,
+    /// Arrival stamp: ties on index resolve to the earliest offer, making
+    /// "first wins" hold even between copies buffered before their index
+    /// commits (a bare `BinaryHeap` leaves equal-key pop order
+    /// unspecified).
+    seq: u64,
+    discards: u64,
+    queue_depth: Histogram,
+}
+
+struct Slot<R>(Reverse<(usize, u64)>, R);
+
+impl<R> PartialEq for Slot<R> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+impl<R> Eq for Slot<R> {}
+impl<R> PartialOrd for Slot<R> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<R> Ord for Slot<R> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.cmp(&other.0)
+    }
+}
+
+impl<R> std::fmt::Debug for Slot<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Slot({})", self.0 .0 .0)
+    }
+}
+
+impl<R> OrderedCommit<R> {
+    /// A buffer expecting indexes `0..total`.
+    pub fn new(total: usize) -> Self {
+        OrderedCommit {
+            heap: BinaryHeap::new(),
+            next: 0,
+            total,
+            seq: 0,
+            discards: 0,
+            queue_depth: Histogram::new(&QUEUE_DEPTH_BUCKETS),
+        }
+    }
+
+    /// Offer a completed result. A result for an already-committed index
+    /// is discarded on the spot (first wins).
+    pub fn offer(&mut self, index: usize, result: R) {
+        if index < self.next {
+            self.discards += 1;
+            return;
+        }
+        self.heap.push(Slot(Reverse((index, self.seq)), result));
+        self.seq += 1;
+    }
+
+    /// Release the next in-order result, if it has arrived. Duplicate
+    /// buffered copies of an index that just committed are skimmed off
+    /// and counted here.
+    pub fn try_commit(&mut self) -> Option<(usize, R)> {
+        while let Some(Slot(Reverse((i, _)), _)) = self.heap.peek() {
+            if *i < self.next {
+                self.heap.pop();
+                self.discards += 1;
+                continue;
+            }
+            if *i > self.next {
+                return None;
+            }
+            let Slot(Reverse((i, _)), r) = self.heap.pop().expect("peeked");
+            self.next += 1;
+            self.queue_depth.observe(self.heap.len() as f64);
+            return Some((i, r));
+        }
+        None
+    }
+
+    /// Number of results committed so far (also the next expected index).
+    pub fn committed(&self) -> usize {
+        self.next
+    }
+
+    /// Total results this buffer expects.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Whether every expected index has been committed.
+    pub fn is_done(&self) -> bool {
+        self.next >= self.total
+    }
+
+    /// Abandon outstanding indexes (used when producers die): the buffer
+    /// reports done and further offers are discarded.
+    pub fn abort(&mut self) {
+        self.next = self.total;
+        self.heap.clear();
+    }
+
+    /// Duplicates dropped by first-wins resolution. `Measured`.
+    pub fn discards(&self) -> u64 {
+        self.discards
+    }
+
+    /// Reorder-buffer depth observed at each commit. `Measured`.
+    pub fn queue_depth(&self) -> &Histogram {
+        &self.queue_depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgnn_tensor::Rng;
+
+    #[test]
+    fn commits_in_index_order_regardless_of_arrival_order() {
+        let mut oc = OrderedCommit::new(5);
+        for i in [3, 0, 4, 2, 1] {
+            oc.offer(i, i * 10);
+        }
+        let mut got = Vec::new();
+        while let Some((i, v)) = oc.try_commit() {
+            got.push((i, v));
+        }
+        assert_eq!(got, vec![(0, 0), (1, 10), (2, 20), (3, 30), (4, 40)]);
+        assert!(oc.is_done());
+        assert_eq!(oc.queue_depth().count(), 5, "depth observed per commit");
+    }
+
+    #[test]
+    fn first_wins_discards_late_duplicates() {
+        let mut oc = OrderedCommit::new(2);
+        oc.offer(0, "winner");
+        assert_eq!(oc.try_commit(), Some((0, "winner")));
+        oc.offer(0, "late copy");
+        assert_eq!(oc.try_commit(), None, "late copy never surfaces");
+        assert_eq!(oc.discards(), 1);
+        // A buffered duplicate (offered before the index committed) is
+        // skimmed off by try_commit instead.
+        oc.offer(1, "a");
+        oc.offer(1, "b");
+        assert_eq!(oc.try_commit(), Some((1, "a")));
+        assert_eq!(oc.try_commit(), None);
+        assert_eq!(oc.discards(), 2);
+        assert!(oc.is_done());
+    }
+
+    #[test]
+    fn random_arrival_permutations_commit_identically() {
+        let mut rng = Rng::new(42);
+        for _ in 0..32 {
+            let n = 1 + rng.below(20);
+            let mut order: Vec<usize> = (0..n).collect();
+            rng.shuffle(&mut order);
+            let mut oc = OrderedCommit::new(n);
+            let mut got = Vec::new();
+            for &i in &order {
+                oc.offer(i, i);
+                while let Some((j, v)) = oc.try_commit() {
+                    assert_eq!(j, v);
+                    got.push(j);
+                }
+            }
+            assert_eq!(got, (0..n).collect::<Vec<_>>());
+            assert!(oc.is_done());
+        }
+    }
+
+    #[test]
+    fn abort_discards_the_outstanding_tail() {
+        let mut oc = OrderedCommit::new(4);
+        oc.offer(0, 0);
+        assert_eq!(oc.try_commit(), Some((0, 0)));
+        oc.abort();
+        assert!(oc.is_done());
+        oc.offer(2, 2);
+        assert_eq!(oc.try_commit(), None);
+        assert_eq!(oc.discards(), 1, "post-abort offers are discarded");
+    }
+}

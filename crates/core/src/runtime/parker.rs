@@ -1,0 +1,127 @@
+//! Token-based parker for idle runtime workers.
+//!
+//! Semantics mirror `crossbeam_utils::sync::Parker` (reimplemented on
+//! `std::sync::{Mutex, Condvar}` — no registry deps): each worker owns one
+//! boolean token. `unpark` sets the token and wakes the owner; `park`
+//! blocks until the token is set, then consumes it. A token set *before*
+//! `park` makes that `park` return immediately, which is what closes the
+//! classic lost-wakeup race:
+//!
+//! 1. worker checks all queues → empty;
+//! 2. another thread makes work visible, then unparks **everyone**;
+//! 3. worker parks — and consumes the token from step 2 instead of
+//!    sleeping, loops, and re-checks the queues.
+//!
+//! Because every "work became visible" edge in the pool is followed by an
+//! unpark of *all* workers (see `runtime::Pool`), a worker can only block
+//! in `park` while no unconsumed visibility edge exists for it — i.e. when
+//! there really is nothing to do. The shrunk-model exhaustive-interleaving
+//! test in `tests/runtime.rs` checks exactly this protocol.
+
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// One worker's parking spot. `park` is called only by the owning worker;
+/// `unpark` may be called by anyone.
+#[derive(Debug, Default)]
+pub struct Parker {
+    token: Mutex<bool>,
+    cvar: Condvar,
+}
+
+impl Parker {
+    /// Create a parker with no pending token.
+    pub fn new() -> Self {
+        Parker {
+            token: Mutex::new(false),
+            cvar: Condvar::new(),
+        }
+    }
+
+    /// Block until the token is set (possibly already), then consume it.
+    pub fn park(&self) {
+        let mut tok = self.token.lock().expect("parker poisoned");
+        while !*tok {
+            tok = self.cvar.wait(tok).expect("parker poisoned");
+        }
+        *tok = false;
+    }
+
+    /// [`Parker::park`] with a deadline. Returns `true` if a token was
+    /// consumed, `false` on timeout.
+    pub fn park_timeout(&self, dur: Duration) -> bool {
+        let deadline = std::time::Instant::now() + dur;
+        let mut tok = self.token.lock().expect("parker poisoned");
+        while !*tok {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self
+                .cvar
+                .wait_timeout(tok, deadline - now)
+                .expect("parker poisoned");
+            tok = guard;
+        }
+        *tok = false;
+        true
+    }
+
+    /// Set the token and wake the owner if it is parked. Idempotent:
+    /// multiple unparks coalesce into one token.
+    pub fn unpark(&self) {
+        let mut tok = self.token.lock().expect("parker poisoned");
+        *tok = true;
+        drop(tok);
+        self.cvar.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn unpark_before_park_returns_immediately() {
+        let p = Parker::new();
+        p.unpark();
+        p.park(); // must not block
+        assert!(
+            !p.park_timeout(Duration::from_millis(10)),
+            "token was consumed by the first park"
+        );
+    }
+
+    #[test]
+    fn unparks_coalesce_into_one_token() {
+        let p = Parker::new();
+        p.unpark();
+        p.unpark();
+        p.unpark();
+        assert!(p.park_timeout(Duration::from_millis(10)));
+        assert!(!p.park_timeout(Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn park_blocks_until_unparked_cross_thread() {
+        let p = Arc::new(Parker::new());
+        let p2 = Arc::clone(&p);
+        let h = thread::spawn(move || {
+            p2.park();
+            42
+        });
+        thread::sleep(Duration::from_millis(20));
+        p.unpark();
+        assert_eq!(h.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn park_timeout_expires_without_token() {
+        let p = Parker::new();
+        let t0 = std::time::Instant::now();
+        assert!(!p.park_timeout(Duration::from_millis(15)));
+        assert!(t0.elapsed() >= Duration::from_millis(10));
+    }
+}

@@ -5,7 +5,10 @@
 //! sampling half: a pool of worker threads produces un-pruned mini-batches
 //! into a **bounded task queue** ("to control the production of subgraphs
 //! and avoid overflowing the limited GPU memory"), using multithreading
-//! rather than DGL/PyG-style multiprocessing.
+//! rather than DGL/PyG-style multiprocessing. Workers are scheduled by
+//! the in-tree work-stealing [`crate::runtime`] (per-worker LIFO deques,
+//! global injector, token parkers); this module is the sampling-specific
+//! policy on top: per-batch RNG, hedging, and the in-order commit.
 //!
 //! Determinism: each mini-batch is sampled with an RNG seeded by
 //! `(seed, batch_index)`, and the consumer reorders completions by batch
@@ -32,17 +35,14 @@
 //! straggler's late copy is discarded by index on arrival. Hedge counts are
 //! wall-clock artifacts and are exported `Measured`, never `Exact`.
 
-use crate::chan::{bounded, Receiver, RecvTimeoutError, Sender};
-use crate::obs::{Histogram, LATENCY_BUCKETS, QUEUE_DEPTH_BUCKETS};
+use crate::chan::RecvTimeoutError;
+use crate::obs::Histogram;
+use crate::runtime::{OrderedCommit, Pool, RuntimeConfig, TaskError};
 use fgnn_graph::block::MiniBatch;
 use fgnn_graph::sample::NeighborSampler;
 use fgnn_graph::{Csr, NodeId};
 use fgnn_tensor::Rng;
-use std::collections::BinaryHeap;
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// Default number of *re*-sample attempts after a worker panic.
@@ -108,48 +108,22 @@ impl std::fmt::Display for SampleError {
 
 impl std::error::Error for SampleError {}
 
+impl From<TaskError> for SampleError {
+    fn from(e: TaskError) -> Self {
+        match e {
+            TaskError::Panicked { index, attempts } => SampleError::BatchPanicked {
+                batch_index: index,
+                attempts,
+            },
+            TaskError::Lost { produced, total } => SampleError::WorkersLost { produced, total },
+        }
+    }
+}
+
 /// Test/fault-injection hook: called as `(batch_index, attempt)` before
 /// each sampling attempt, *inside* the panic guard — a panicking hook
 /// exercises the recovery path deterministically.
 pub type FaultHook = Arc<dyn Fn(usize, u32) + Send + Sync>;
-
-/// Worker-side observability counters shared across the pool, updated
-/// lock-free. Timings are wall-clock (scheduling-dependent → exported as
-/// `Measured`); the retry count is deterministic for a seeded fault hook.
-struct WorkerObs {
-    /// Successful sampling tasks per worker.
-    tasks: Vec<AtomicU64>,
-    /// Wall-clock nanoseconds spent inside sampling attempts, per worker.
-    task_nanos: Vec<AtomicU64>,
-    /// Per-attempt latency bucket counts over [`LATENCY_BUCKETS`] plus an
-    /// overflow bucket.
-    latency_counts: Vec<AtomicU64>,
-    /// Extra sampling attempts spent recovering from worker panics.
-    retries: AtomicU64,
-}
-
-impl WorkerObs {
-    fn new(num_threads: usize) -> Self {
-        WorkerObs {
-            tasks: (0..num_threads).map(|_| AtomicU64::new(0)).collect(),
-            task_nanos: (0..num_threads).map(|_| AtomicU64::new(0)).collect(),
-            latency_counts: (0..=LATENCY_BUCKETS.len())
-                .map(|_| AtomicU64::new(0))
-                .collect(),
-            retries: AtomicU64::new(0),
-        }
-    }
-
-    fn record_attempt(&self, worker: usize, nanos: u64) {
-        self.task_nanos[worker].fetch_add(nanos, Ordering::Relaxed);
-        let secs = nanos as f64 * 1e-9;
-        let b = LATENCY_BUCKETS
-            .iter()
-            .position(|&edge| secs <= edge)
-            .unwrap_or(LATENCY_BUCKETS.len());
-        self.latency_counts[b].fetch_add(1, Ordering::Relaxed);
-    }
-}
 
 /// Observability snapshot of one async sampling job (schema in DESIGN.md
 /// §8). Batch/retry counts are deterministic; the timing fields are
@@ -173,50 +147,30 @@ pub struct SamplerObsReport {
     pub hedges: u64,
     /// Late straggler duplicates discarded after their hedge won.
     pub hedge_discards: u64,
-}
-
-struct Indexed(usize, Result<MiniBatch, SampleError>);
-
-impl PartialEq for Indexed {
-    fn eq(&self, other: &Self) -> bool {
-        self.0 == other.0
-    }
-}
-impl Eq for Indexed {}
-impl PartialOrd for Indexed {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Indexed {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Min-heap by batch index.
-        other.0.cmp(&self.0)
-    }
+    /// Successful steal operations in the work-stealing pool (`Measured`).
+    pub steals: u64,
+    /// Tasks moved between workers by steals (`Measured`).
+    pub stolen_tasks: u64,
+    /// Idle episodes in which a pool worker parked (`Measured`).
+    pub parks: u64,
 }
 
 /// Handle to a running asynchronous sampling job. Iterate to drain the
 /// mini-batches in order; each item is a `Result` so batch-level failures
 /// surface instead of shortening the epoch.
+///
+/// Execution runs on the work-stealing [`Pool`]; this handle owns the
+/// consumer half: the in-order first-wins [`OrderedCommit`] and the
+/// straggler-hedging policy. Dropping the handle shuts the pool down
+/// promptly (workers stop claiming batches and bail out of retry loops).
 pub struct AsyncSampler {
-    /// `Some` while running; taken in `Drop` so blocked producers see a
-    /// disconnected channel and exit instead of deadlocking the join.
-    rx: Option<Receiver<Indexed>>,
-    reorder: BinaryHeap<Indexed>,
-    next: usize,
-    total: usize,
-    handles: Vec<JoinHandle<()>>,
-    obs: Arc<WorkerObs>,
-    /// Reorder-queue depth observed at each in-order delivery.
-    queue_depth: Histogram,
-    /// Raised by `Drop`: workers check it before claiming a batch and
-    /// between retry attempts, so a mid-epoch drop joins promptly instead
-    /// of waiting out whole retry budgets.
-    shutdown: Arc<AtomicBool>,
+    pool: Pool<MiniBatch>,
+    /// In-order first-wins reorder buffer — the determinism half: the
+    /// committed stream is identical at any worker count and schedule.
+    ordered: OrderedCommit<Result<MiniBatch, SampleError>>,
     /// Straggler hedging, off by default (see [`AsyncSampler::with_hedging`]).
     hedge: Option<HedgePolicy>,
     hedges: u64,
-    hedge_discards: u64,
     /// When the consumer started waiting for a given in-order index. The
     /// straggler clock keeps ticking across out-of-order arrivals —
     /// otherwise a healthy worker's steady stream would mask the straggler
@@ -269,95 +223,55 @@ impl AsyncSampler {
         max_retries: u32,
         hook: Option<FaultHook>,
     ) -> AsyncSampler {
-        let num_threads = num_threads.max(1);
+        let cfg = RuntimeConfig {
+            workers: num_threads.max(1),
+            queue_capacity: queue_capacity.max(1),
+            max_retries,
+            ..RuntimeConfig::default()
+        };
+        Self::spawn_with_config(graph, batches, fanouts, &cfg, seed, hook)
+    }
+
+    /// [`AsyncSampler::spawn_with_recovery`] with a full
+    /// [`RuntimeConfig`], including the seeded adversarial-scheduling
+    /// knob ([`crate::runtime::ChaosPolicy`]) the fuzzing suite drives.
+    /// Chaos perturbs *which worker samples which batch when*; the
+    /// committed stream is invariant to it.
+    pub fn spawn_with_config(
+        graph: Arc<Csr>,
+        batches: Vec<Vec<NodeId>>,
+        fanouts: Vec<usize>,
+        cfg: &RuntimeConfig,
+        seed: u64,
+        hook: Option<FaultHook>,
+    ) -> AsyncSampler {
         let total = batches.len();
-        let (tx, rx): (Sender<Indexed>, Receiver<Indexed>) = bounded(queue_capacity.max(1));
-        let work = Arc::new(AtomicUsize::new(0));
         let batches = Arc::new(batches);
         let fanouts = Arc::new(fanouts);
-        let obs = Arc::new(WorkerObs::new(num_threads));
-        let shutdown = Arc::new(AtomicBool::new(false));
-
-        let handles = (0..num_threads)
-            .map(|w| {
-                let tx = tx.clone();
-                let work = Arc::clone(&work);
-                let batches = Arc::clone(&batches);
-                let fanouts = Arc::clone(&fanouts);
-                let graph = Arc::clone(&graph);
-                let hook = hook.clone();
-                let obs = Arc::clone(&obs);
-                let shutdown = Arc::clone(&shutdown);
-                std::thread::spawn(move || {
-                    let mut sampler = NeighborSampler::new(graph.num_nodes());
-                    loop {
-                        if shutdown.load(Ordering::Relaxed) {
-                            break;
-                        }
-                        let i = work.fetch_add(1, Ordering::Relaxed);
-                        if i >= batches.len() {
-                            break;
-                        }
-                        let mut produced = None;
-                        let mut attempts = 0;
-                        while attempts <= max_retries {
-                            if shutdown.load(Ordering::Relaxed) {
-                                return; // consumer gone mid-retry-loop
-                            }
-                            attempts += 1;
-                            let attempt = attempts - 1;
-                            let t0 = std::time::Instant::now();
-                            let out = catch_unwind(AssertUnwindSafe(|| {
-                                if let Some(h) = &hook {
-                                    h(i, attempt);
-                                }
-                                // Per-batch RNG, recreated per attempt =>
-                                // schedule- and retry-independent output.
-                                let mut rng = Rng::new(seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
-                                sampler.sample(&graph, &batches[i], &fanouts, &mut rng)
-                            }));
-                            obs.record_attempt(w, t0.elapsed().as_nanos() as u64);
-                            match out {
-                                Ok(mb) => {
-                                    obs.tasks[w].fetch_add(1, Ordering::Relaxed);
-                                    produced = Some(mb);
-                                    break;
-                                }
-                                Err(_) => {
-                                    obs.retries.fetch_add(1, Ordering::Relaxed);
-                                    // The panic may have left the sampler's
-                                    // scratch arrays inconsistent; rebuild.
-                                    sampler = NeighborSampler::new(graph.num_nodes());
-                                }
-                            }
-                        }
-                        let msg = match produced {
-                            Some(mb) => Ok(mb),
-                            None => Err(SampleError::BatchPanicked {
-                                batch_index: i,
-                                attempts,
-                            }),
-                        };
-                        if tx.send(Indexed(i, msg)).is_err() {
-                            break; // consumer dropped
-                        }
-                    }
-                })
-            })
-            .collect();
-        drop(tx);
+        let init = {
+            let graph = Arc::clone(&graph);
+            move || NeighborSampler::new(graph.num_nodes())
+        };
+        let exec = {
+            let graph = Arc::clone(&graph);
+            let batches = Arc::clone(&batches);
+            let fanouts = Arc::clone(&fanouts);
+            move |sampler: &mut NeighborSampler, i: usize, _t: &(), attempt: u32| {
+                if let Some(h) = &hook {
+                    h(i, attempt);
+                }
+                // Per-batch RNG, recreated per attempt => schedule- and
+                // retry-independent output.
+                let mut rng = Rng::new(seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
+                sampler.sample(&graph, &batches[i], &fanouts, &mut rng)
+            }
+        };
+        let pool = Pool::spawn(cfg, vec![(); total], init, exec);
         AsyncSampler {
-            rx: Some(rx),
-            reorder: BinaryHeap::new(),
-            next: 0,
-            total,
-            handles,
-            obs,
-            queue_depth: Histogram::new(&QUEUE_DEPTH_BUCKETS),
-            shutdown,
+            pool,
+            ordered: OrderedCommit::new(total),
             hedge: None,
             hedges: 0,
-            hedge_discards: 0,
             wait_start: None,
             graph,
             batches,
@@ -378,19 +292,13 @@ impl AsyncSampler {
 
     /// Number of batches this job will produce in total.
     pub fn total(&self) -> usize {
-        self.total
+        self.pool.total()
     }
 
     /// Current straggler deadline: `max(min_deadline, p95 × multiplier)`
     /// over the task-latency histogram observed so far.
     fn hedge_deadline(&self, policy: &HedgePolicy) -> Duration {
-        let counts: Vec<u64> = self
-            .obs
-            .latency_counts
-            .iter()
-            .map(|a| a.load(Ordering::Relaxed))
-            .collect();
-        let hist = Histogram::from_parts(&LATENCY_BUCKETS, &counts, 0.0);
+        let hist: Histogram = self.pool.obs_report().task_seconds;
         let mut secs = policy.min_deadline;
         if let Some(p95) = hist.percentile(0.95) {
             secs = secs.max(p95 * policy.multiplier);
@@ -398,49 +306,35 @@ impl AsyncSampler {
         Duration::from_secs_f64(secs)
     }
 
-    /// Duplicate-dispatch the straggling batch `self.next` on this thread.
-    /// Same `(seed, index)` RNG as the worker ⇒ bitwise-identical output.
+    /// Duplicate-dispatch the straggling next-in-order batch on this
+    /// thread. Same `(seed, index)` RNG as the worker ⇒ bitwise-identical
+    /// output, so first-wins resolution cannot change the stream.
     fn hedge_batch(&mut self) {
-        let i = self.next;
+        let i = self.ordered.committed();
         let mut sampler = NeighborSampler::new(self.graph.num_nodes());
         let mut rng = Rng::new(self.seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
         let mb = sampler.sample(&self.graph, &self.batches[i], &self.fanouts, &mut rng);
         self.hedges += 1;
-        self.reorder.push(Indexed(i, Ok(mb)));
+        self.ordered.offer(i, Ok(mb));
     }
 
     /// Snapshot the job's observability counters (callable while workers
     /// are still running; mid-flight values are momentarily stale but each
     /// individual counter is consistent).
     pub fn obs_report(&self) -> SamplerObsReport {
-        let worker_tasks: Vec<u64> = self
-            .obs
-            .tasks
-            .iter()
-            .map(|a| a.load(Ordering::Relaxed))
-            .collect();
-        let worker_task_nanos: Vec<u64> = self
-            .obs
-            .task_nanos
-            .iter()
-            .map(|a| a.load(Ordering::Relaxed))
-            .collect();
-        let latency_counts: Vec<u64> = self
-            .obs
-            .latency_counts
-            .iter()
-            .map(|a| a.load(Ordering::Relaxed))
-            .collect();
-        let total_secs = worker_task_nanos.iter().sum::<u64>() as f64 * 1e-9;
+        let rt = self.pool.obs_report();
         SamplerObsReport {
-            batches: self.next.min(self.total) as u64,
-            resample_retries: self.obs.retries.load(Ordering::Relaxed),
-            worker_tasks,
-            worker_task_nanos,
-            task_seconds: Histogram::from_parts(&LATENCY_BUCKETS, &latency_counts, total_secs),
-            queue_depth: self.queue_depth.clone(),
+            batches: self.ordered.committed().min(self.pool.total()) as u64,
+            resample_retries: rt.retries,
+            worker_tasks: rt.worker_tasks,
+            worker_task_nanos: rt.worker_task_nanos,
+            task_seconds: rt.task_seconds,
+            queue_depth: self.ordered.queue_depth().clone(),
             hedges: self.hedges,
-            hedge_discards: self.hedge_discards,
+            hedge_discards: self.ordered.discards(),
+            steals: rt.steals,
+            stolen_tasks: rt.stolen_tasks,
+            parks: rt.parks,
         }
     }
 }
@@ -449,51 +343,38 @@ impl Iterator for AsyncSampler {
     type Item = Result<MiniBatch, SampleError>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        if self.next >= self.total {
-            return None;
-        }
         loop {
-            while let Some(Indexed(i, _)) = self.reorder.peek() {
-                if *i < self.next {
-                    // A straggler's late copy whose hedge already won.
-                    self.reorder.pop();
-                    self.hedge_discards += 1;
-                    continue;
-                }
-                if *i == self.next {
-                    let Indexed(_, item) = self.reorder.pop().unwrap();
-                    self.next += 1;
-                    self.wait_start = None;
-                    // Completed-but-undelivered batches still queued: the
-                    // headroom the bounded queue is buying us.
-                    self.queue_depth.observe(self.reorder.len() as f64);
-                    return Some(item);
-                }
-                break;
+            if let Some((_, item)) = self.ordered.try_commit() {
+                self.wait_start = None;
+                return Some(item);
             }
-            let rx = self.rx.as_ref().expect("sampler running");
+            if self.ordered.is_done() {
+                return None;
+            }
             let received = match self.hedge {
-                None => rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
+                None => self.pool.recv().map_err(|_| RecvTimeoutError::Disconnected),
                 Some(policy) => {
                     // Anchor the deadline to when we *started* waiting for
                     // this index, not to the last arrival.
+                    let awaiting = self.ordered.committed();
                     let start = match self.wait_start {
-                        Some((i, t)) if i == self.next => t,
+                        Some((i, t)) if i == awaiting => t,
                         _ => {
                             let t = std::time::Instant::now();
-                            self.wait_start = Some((self.next, t));
+                            self.wait_start = Some((awaiting, t));
                             t
                         }
                     };
                     let deadline = self.hedge_deadline(&policy);
                     match deadline.checked_sub(start.elapsed()) {
-                        Some(remaining) => rx.recv_timeout(remaining),
+                        Some(remaining) => self.pool.recv_timeout(remaining),
                         None => Err(RecvTimeoutError::Timeout), // already overdue
                     }
                 }
             };
             match received {
-                Ok(ix) => self.reorder.push(ix),
+                Ok((i, Ok(mb))) => self.ordered.offer(i, Ok(mb)),
+                Ok((i, Err(e))) => self.ordered.offer(i, Err(e.into())),
                 Err(RecvTimeoutError::Timeout) => {
                     // The next in-order batch is straggling: duplicate-
                     // dispatch it inline; first-wins is trivially safe
@@ -504,29 +385,12 @@ impl Iterator for AsyncSampler {
                 Err(RecvTimeoutError::Disconnected) => {
                     // Workers died without delivering everything: surface
                     // the shortfall as an error exactly once, then end.
-                    let produced = self.next;
-                    self.next = self.total;
-                    return Some(Err(SampleError::WorkersLost {
-                        produced,
-                        total: self.total,
-                    }));
+                    let produced = self.ordered.committed();
+                    let total = self.ordered.total();
+                    self.ordered.abort();
+                    return Some(Err(SampleError::WorkersLost { produced, total }));
                 }
             }
-        }
-    }
-}
-
-impl Drop for AsyncSampler {
-    fn drop(&mut self) {
-        // Tell workers to stop claiming work (and to bail out of retry
-        // loops), then disconnect the channel so producers blocked in
-        // `send` error out, then join. Order matters: the flag alone
-        // cannot wake a blocked sender, and the disconnect alone would let
-        // a worker mid-retry-loop burn its whole retry budget first.
-        self.shutdown.store(true, Ordering::Relaxed);
-        drop(self.rx.take());
-        for h in self.handles.drain(..) {
-            let _ = h.join();
         }
     }
 }
@@ -555,7 +419,7 @@ mod tests {
     use super::*;
     use fgnn_graph::generate::{generate, GraphConfig};
     use fgnn_graph::sample::split_batches;
-    use std::sync::atomic::AtomicU32;
+    use std::sync::atomic::{AtomicU32, Ordering};
 
     fn test_graph() -> Arc<Csr> {
         let cfg = GraphConfig {

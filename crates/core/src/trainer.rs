@@ -83,6 +83,9 @@ pub struct Trainer {
     nan_iters: BTreeSet<u32>,
     /// Straggler-hedging policy for the async sampler (off by default).
     hedge: Option<HedgePolicy>,
+    /// Seeded adversarial scheduling on the async sampler's runtime
+    /// (`None` in production; the schedule-fuzzing suite turns it on).
+    sampler_chaos: Option<crate::runtime::ChaosPolicy>,
     /// Set by a degraded restore; consumed into the next epoch's stats.
     degraded_resume: bool,
 }
@@ -145,6 +148,7 @@ impl Trainer {
             sampler_fault_hook: None,
             nan_iters: BTreeSet::new(),
             hedge: None,
+            sampler_chaos: None,
             degraded_resume: false,
         }
     }
@@ -184,6 +188,16 @@ impl Trainer {
     /// the delivered stream — only its latency.
     pub fn set_hedge(&mut self, policy: Option<HedgePolicy>) {
         self.hedge = policy;
+    }
+
+    /// Enable (or disable with `None`) seeded adversarial scheduling on
+    /// the async sampler's work-stealing runtime: forced steals, delayed
+    /// pops and worker stalls, all drawn from the policy's seed. Chaos
+    /// perturbs only *where and when* batches are sampled — the committed
+    /// stream, losses and every `Exact` metric are invariant to it (the
+    /// schedule-fuzzing suite pins this).
+    pub fn set_sampler_chaos(&mut self, chaos: Option<crate::runtime::ChaosPolicy>) {
+        self.sampler_chaos = chaos;
     }
 
     /// State of the interconnect circuit breaker, if one is armed.
@@ -583,6 +597,15 @@ impl Trainer {
             MetricClass::Measured,
             r.hedge_discards,
         );
+        // Work-stealing schedule artifacts: real, but never Exact — the
+        // same epoch steals differently every run.
+        m.counter_add("sampler.steals", MetricClass::Measured, r.steals);
+        m.counter_add(
+            "sampler.stolen_tasks",
+            MetricClass::Measured,
+            r.stolen_tasks,
+        );
+        m.counter_add("sampler.parks", MetricClass::Measured, r.parks);
         for (w, (&t, &n)) in r.worker_tasks.iter().zip(&r.worker_task_nanos).enumerate() {
             m.counter_add(
                 &format!("sampler.worker.{w}.tasks"),
@@ -639,14 +662,19 @@ impl Trainer {
         let batch_seed = self.rng.fork().next_u64();
 
         let graph = std::sync::Arc::new(ds.graph.clone());
-        let mut stream = AsyncSampler::spawn_with_recovery(
+        let runtime_cfg = crate::runtime::RuntimeConfig {
+            workers: num_threads.max(1),
+            queue_capacity: queue_capacity.max(1),
+            max_retries: self.cfg.sampler_retries,
+            chaos: self.sampler_chaos,
+            ..crate::runtime::RuntimeConfig::default()
+        };
+        let mut stream = AsyncSampler::spawn_with_config(
             graph,
             batches.clone(),
             self.cfg.fanouts.clone(),
-            num_threads,
-            queue_capacity,
+            &runtime_cfg,
             batch_seed,
-            self.cfg.sampler_retries,
             self.sampler_fault_hook.clone(),
         );
         if let Some(policy) = self.hedge {

@@ -107,6 +107,30 @@ impl std::fmt::Display for StageKind {
 pub struct StageTimings {
     counters: [TrafficCounters; NUM_STAGES],
     measured: [f64; NUM_STAGES],
+    /// Chronological replica: every recorded delta merged in *record*
+    /// order, regardless of which stage it belongs to. Floating-point
+    /// addition is not associative, so summing per-stage subtotals
+    /// (`total()`) associates differently than the epoch ledger, which
+    /// accumulates charges chronologically — that reassociation is what
+    /// forced the attribution ULP band out to 64 in PR 8. The replica
+    /// restores the ledger's exact association order, so
+    /// [`StageTimings::sim_seconds_total`] tracks the epoch counters to
+    /// within the delta-subtraction residual (≤ 2 ULP, pinned in
+    /// `tests/pipeline_equivalence.rs`).
+    chrono: TrafficCounters,
+    /// Epoch ledger span: snapshots of the *cumulative* ledger at the
+    /// first recorded stage's start and the latest stage's end, maintained
+    /// by [`StageTimings::extend_span`]. The engine derives the epoch's
+    /// counter delta as `end − start` with one subtraction per field;
+    /// reproducing that exact computation here (instead of re-summing
+    /// per-stage deltas, each itself rounded by `after − before`) makes
+    /// [`StageTimings::sim_seconds_total`] bit-identical to the epoch
+    /// delta's [`TrafficCounters::sim_seconds`] — the chronological
+    /// replica alone still drifts a few ULP on long async epochs because
+    /// its accumulator runs at a different magnitude than the cumulative
+    /// ledger. Spans are per-epoch: [`StageTimings::merge`] drops them and
+    /// cumulative totals fall back to the replica.
+    span: Option<(TrafficCounters, TrafficCounters)>,
 }
 
 impl StageTimings {
@@ -121,6 +145,20 @@ impl StageTimings {
         let i = kind.index();
         self.measured[i] += wall_seconds;
         self.counters[i].merge(delta);
+        // Stage scopes run (and record) in commit order on the consumer,
+        // so record order *is* the order the epoch ledger accumulated in.
+        self.chrono.merge(delta);
+    }
+
+    /// Extend the epoch ledger span covered by this timings object:
+    /// `before`/`after` are snapshots of the cumulative ledger around the
+    /// stage just recorded. The first call pins the span start; every call
+    /// advances the span end.
+    pub fn extend_span(&mut self, before: &TrafficCounters, after: &TrafficCounters) {
+        match &mut self.span {
+            Some((_, end)) => *end = after.clone(),
+            None => self.span = Some((before.clone(), after.clone())),
+        }
     }
 
     /// The cumulative ledger delta attributed to `kind`.
@@ -155,11 +193,23 @@ impl StageTimings {
         out
     }
 
-    /// Total simulated epoch time, [`TrafficCounters::sim_seconds`]
-    /// applied to the merged per-stage ledgers — bit-identical to calling
-    /// `sim_seconds()` on the epoch's counter delta.
+    /// Total simulated epoch time. When the engine maintained a ledger
+    /// span ([`StageTimings::extend_span`]) this is
+    /// [`TrafficCounters::sim_seconds`] of `span end − span start` — the
+    /// *same* single-subtraction computation that produces the epoch's
+    /// counter delta, so the two are bit-identical. Without a span
+    /// (hand-recorded ledgers, merged cumulative ledgers) it falls back to
+    /// the chronological replica, which tracks a ledger accumulated in
+    /// record order to within the delta-subtraction residual (≤ 2 ULP).
     pub fn sim_seconds_total(&self) -> f64 {
-        self.total().sim_seconds()
+        match &self.span {
+            Some((start, end)) => {
+                let mut delta = end.clone();
+                delta.subtract(start);
+                delta.sim_seconds()
+            }
+            None => self.chrono.sim_seconds(),
+        }
     }
 
     /// Merge another per-stage ledger into this one (epoch → cumulative).
@@ -168,6 +218,12 @@ impl StageTimings {
             self.counters[i].merge(&other.counters[i]);
             self.measured[i] += other.measured[i];
         }
+        // Epochs are recorded (and merged) in chronological order too.
+        self.chrono.merge(&other.chrono);
+        // Ledger spans are per-epoch; a cumulative ledger may have other
+        // charges (evaluation traffic) between its epochs' spans, so the
+        // merged total falls back to the chronological replica.
+        self.span = None;
     }
 }
 
@@ -252,6 +308,72 @@ mod tests {
             reference.sim_seconds().to_bits()
         );
         assert!((t.sim_seconds_total() - 5.0).abs() < 1e-12);
+    }
+
+    /// Regression for the PR 8 ULP-band blowout: `sim_seconds_total` must
+    /// associate charges in *record* (chronological) order, exactly like
+    /// the epoch ledger, not in stage order. The triple (0.1, 0.3, 1.1)
+    /// is chosen so the two association orders differ by 1 ULP.
+    #[test]
+    fn sim_total_uses_chronological_association() {
+        let mut t = StageTimings::new();
+        t.record(StageKind::Load, 0.0, &delta(0, 0.1, 0.0));
+        t.record(StageKind::Forward, 0.0, &delta(0, 0.3, 0.0));
+        t.record(StageKind::Load, 0.0, &delta(0, 1.1, 0.0));
+        let chronological = (0.1f64 + 0.3) + 1.1;
+        let stage_order = (0.1f64 + 1.1) + 0.3;
+        assert_ne!(
+            chronological.to_bits(),
+            stage_order.to_bits(),
+            "triple must actually demonstrate reassociation"
+        );
+        assert_eq!(t.sim_seconds_total().to_bits(), chronological.to_bits());
+        // total() still reports the per-stage breakdown (stage order).
+        assert_eq!(t.total().sim_seconds().to_bits(), stage_order.to_bits());
+        // Cross-epoch merge keeps the chronological stream going.
+        let mut cum = StageTimings::new();
+        cum.merge(&t);
+        cum.record(StageKind::Backward, 0.0, &delta(0, 0.2, 0.0));
+        assert_eq!(
+            cum.sim_seconds_total().to_bits(),
+            (chronological + 0.2).to_bits()
+        );
+    }
+
+    /// The ledger-span path must reproduce the epoch's counter delta
+    /// bit-for-bit even when the cumulative ledger is large (so each
+    /// stage's `after − before` delta is rounded) — the situation that
+    /// left the chronological replica a few ULP off on async epochs.
+    #[test]
+    fn spanned_total_reproduces_the_ledger_delta_exactly() {
+        let mut ledger = TrafficCounters::new();
+        ledger.transfer_seconds = 1.0; // prior-epoch charges
+        let epoch_start = ledger.clone();
+        let mut t = StageTimings::new();
+        for i in 0..64 {
+            let before = ledger.clone();
+            ledger.transfer_seconds += 0.1 + i as f64 * 1e-3;
+            let mut d = ledger.clone();
+            d.subtract(&before);
+            t.record(StageKind::Load, 0.0, &d);
+            t.extend_span(&before, &ledger);
+        }
+        let mut epoch_delta = ledger.clone();
+        epoch_delta.subtract(&epoch_start);
+        assert_eq!(
+            t.sim_seconds_total().to_bits(),
+            epoch_delta.sim_seconds().to_bits(),
+            "spanned total must equal the epoch delta bit-for-bit"
+        );
+        // Merging drops the span (it only covers one epoch); the fallback
+        // replica stays within the delta-subtraction residual.
+        let mut cum = StageTimings::new();
+        cum.merge(&t);
+        let gap = cum
+            .sim_seconds_total()
+            .to_bits()
+            .abs_diff(epoch_delta.sim_seconds().to_bits());
+        assert!(gap <= 2, "replica fallback drifted by {gap} ULP");
     }
 
     #[test]

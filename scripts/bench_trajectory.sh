@@ -9,7 +9,8 @@
 # `--bless` mode: regenerate the baselines — run the serving sweep and
 # the training epoch-time experiment at fixed seeds, write
 # BENCH_serve.json at the repo root, then the policy-frontier sweep,
-# written as BENCH_policy.json. Use after an intentional performance
+# written as BENCH_policy.json, then the runtime worker-scaling sweep,
+# written as BENCH_train.json. Use after an intentional performance
 # change, and commit the refreshed baselines with it.
 #
 # The serving numbers (p50/p95/p99, throughput, shed fraction) and the
@@ -23,6 +24,7 @@ cd "$(dirname "$0")/.."
 SEED="${SEED:-42}"
 OUT="BENCH_serve.json"
 POLICY_OUT="BENCH_policy.json"
+TRAIN_OUT="BENCH_train.json"
 
 cargo build --release -p fgnn-bench
 
@@ -59,5 +61,14 @@ start=$SECONDS
 ./target/release/exp_ext_policy_frontier --seed "$SEED" --bench-json "$POLICY_OUT" > /dev/null
 policy_wall=$((SECONDS - start))
 
+# Train worker-scaling: the fgnn-train-v1 document is also the exporter's
+# own output verbatim. Its gated fields (meanLoss/h2dBytes/simSeconds) are
+# exact and worker-count invariant; wallSeconds/steals inside it are
+# measured context that exp_report never gates on.
+start=$SECONDS
+./target/release/exp_train_scaling --seed "$SEED" --bench-json "$TRAIN_OUT" > /dev/null
+train_wall=$((SECONDS - start))
+
 echo "wrote $OUT (seed $SEED; exp_serve ${serve_wall}s, exp_fig10 ${fig10_wall}s)"
 echo "wrote $POLICY_OUT (seed $SEED; exp_ext_policy_frontier ${policy_wall}s)"
+echo "wrote $TRAIN_OUT (seed $SEED; exp_train_scaling ${train_wall}s)"

@@ -33,6 +33,13 @@ FGNN_PROP_CASES=256 cargo test -q --test policy_equivalence
 # hedging and NaN-rollback across trainer families, byte-identical reruns.
 FGNN_PROP_CASES=256 cargo test -q --test chaos
 
+# Work-stealing runtime determinism suite at the elevated case count:
+# seeded adversarial schedules (forced steals, delayed pops, stalls) must
+# leave every Exact output byte-identical at any worker count, and the
+# committed worker-scaling baseline must carry the train export schema.
+FGNN_PROP_CASES=256 cargo test -q --test runtime
+grep -q '"schemaVersion":"fgnn-train-v1"' BENCH_train.json
+
 # Serving acceptance + property suite at the elevated case count, and a
 # live exp_serve export must carry the fgnn-serve-v1 schema tag plus the
 # fgnn-serve-trace-v1 request-trace stream (exemplar spans + SLO alerts).
@@ -48,8 +55,10 @@ grep -q '"kind":"alert"' "$trace_out"
 rm -f "$serve_out" "$trace_out"
 
 # Performance-trajectory gate: the committed BENCH_serve.json /
-# BENCH_policy.json baselines must reproduce from their recorded seeds,
-# and an injected 10% regression must trip the gate (nonzero exit).
+# BENCH_policy.json / BENCH_train.json baselines must reproduce from
+# their recorded seeds (the train baseline additionally bit-identically
+# across worker counts), and an injected 10% regression must trip the
+# gate (nonzero exit).
 cargo run -q --release -p fgnn-bench --bin exp_report -- --check > /dev/null
 if cargo run -q --release -p fgnn-bench --bin exp_report -- \
     --check --inject-regression 0.10 > /dev/null 2>&1; then
