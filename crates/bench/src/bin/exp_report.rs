@@ -1,8 +1,8 @@
 //! The performance-trajectory regression gate.
 //!
 //! Parses the committed `BENCH_serve.json` / `BENCH_policy.json` /
-//! `BENCH_train.json` baselines (hand-rolled parser — zero registry
-//! dependencies), re-runs the *same* sweeps through
+//! `BENCH_train.json` / `BENCH_cluster.json` baselines (hand-rolled
+//! parser — zero registry dependencies), re-runs the *same* sweeps through
 //! [`fgnn_bench::trajectory`] at the baseline seed, and compares per
 //! metric with tolerances: latency percentiles, throughput, shed
 //! fraction, H2D traffic, I/O saving, loss and simulated GPU-stream
@@ -19,20 +19,27 @@
 //! added 1→4 (printed as "skipped (N cores)" elsewhere, since wall time
 //! on a starved machine says nothing about the runtime).
 //!
+//! The cluster baseline adds its own structural gate: for every
+//! (dataset, host-count) pair, the committed training quantities of the
+//! `crash` schedule must reproduce the `none` schedule *bit for bit* —
+//! the deterministic-shard-recovery contract (zero tolerance).
+//!
 //! Flags:
 //! * `--serve-baseline <path>` / `--policy-baseline <path>` /
-//!   `--train-baseline <path>` — baseline documents (defaults: repo-root
-//!   `BENCH_serve.json`, `BENCH_policy.json`, `BENCH_train.json`);
+//!   `--train-baseline <path>` / `--cluster-baseline <path>` — baseline
+//!   documents (defaults: repo-root `BENCH_serve.json`,
+//!   `BENCH_policy.json`, `BENCH_train.json`, `BENCH_cluster.json`);
 //! * `--tolerance <frac>` — relative drift band (default 0.05);
 //! * `--check` — exit 2 when any metric regressed (the CI gate);
 //! * `--inject-regression <frac>` — scale fresh p99 latency, H2D
-//!   traffic and train sim-seconds up by `frac` before comparing: proves
-//!   the gate trips (`scripts/ci.sh` runs it at 0.10 and requires a
-//!   nonzero exit).
+//!   traffic, train sim-seconds and cluster NIC traffic up by `frac`
+//!   before comparing: proves the gate trips (`scripts/ci.sh` runs it at
+//!   0.10 and requires a nonzero exit).
 
 use fgnn_bench::trajectory::{
-    compare_policy, compare_serve, compare_train, policy_sweep, serve_dataset, serve_sweep,
-    train_sweep, wall_monotonicity_checks, worker_invariance_checks, MetricCheck,
+    cluster_sweep, compare_cluster, compare_policy, compare_serve, compare_train,
+    fault_invariance_checks, policy_sweep, serve_dataset, serve_sweep, train_sweep,
+    wall_monotonicity_checks, worker_invariance_checks, ClusterSweepConfig, MetricCheck,
     PolicySweepConfig, ServeSweepConfig, TrainSweepConfig, DEFAULT_TOLERANCE,
 };
 use fgnn_bench::{banner, row, Args};
@@ -55,6 +62,17 @@ const POLICY_METRICS: [&str; 4] = ["accuracy", "h2dBytes", "ioSaving", "hitRate"
 /// Metrics gated per train-scaling row, in table order (`wallSeconds` and
 /// `steals` are in the document but measured, so never gated on drift).
 const TRAIN_METRICS: [&str; 3] = ["meanLoss", "h2dBytes", "simSeconds"];
+
+/// Metrics gated per cluster-sweep row, in table order (`wallSeconds` is
+/// in the document but measured, so never gated).
+const CLUSTER_METRICS: [&str; 6] = [
+    "meanLoss",
+    "h2dBytes",
+    "nicBytes",
+    "simSeconds",
+    "degradedReads",
+    "maxStaleness",
+];
 
 /// Allowed relative wall-time growth per worker-count step before the
 /// monotonicity gate trips; generous because wall time is measured, while
@@ -181,6 +199,44 @@ fn train_baseline_rows(doc: &JsonValue) -> (u64, BaselineRows) {
     (seed, out)
 }
 
+/// Extract `(dataset/h{N}/{schedule}, metric → value)` rows from the
+/// cluster baseline document.
+fn cluster_baseline_rows(doc: &JsonValue) -> (u64, BaselineRows) {
+    let schema = doc.get("schemaVersion").and_then(|v| v.as_str());
+    assert_eq!(
+        schema,
+        Some(freshgnn::obs::schema::CLUSTER_V1),
+        "cluster baseline schema mismatch"
+    );
+    let seed = doc
+        .get("seed")
+        .and_then(|v| v.as_u64())
+        .expect("cluster baseline carries a seed");
+    let rows = doc
+        .get("rows")
+        .and_then(|v| v.as_array())
+        .expect("cluster baseline carries rows[]");
+    let out = rows
+        .iter()
+        .map(|r| {
+            let key = format!(
+                "{}/h{}/{}",
+                r.get("dataset").and_then(|v| v.as_str()).expect("dataset"),
+                r.get("hosts").and_then(|v| v.as_u64()).expect("hosts"),
+                r.get("schedule")
+                    .and_then(|v| v.as_str())
+                    .expect("schedule"),
+            );
+            let metrics = CLUSTER_METRICS
+                .iter()
+                .map(|&m| (m, metric_f64(r, m, &key)))
+                .collect();
+            (key, metrics)
+        })
+        .collect();
+    (seed, out)
+}
+
 fn status(checks: &[&MetricCheck]) -> String {
     if checks.iter().any(|c| c.regressed()) {
         "REGRESSED".to_string()
@@ -241,6 +297,7 @@ fn main() {
     let serve_path: String = args.get("serve-baseline", "BENCH_serve.json".to_string());
     let policy_path: String = args.get("policy-baseline", "BENCH_policy.json".to_string());
     let train_path: String = args.get("train-baseline", "BENCH_train.json".to_string());
+    let cluster_path: String = args.get("cluster-baseline", "BENCH_cluster.json".to_string());
     let tolerance: f64 = args.get("tolerance", DEFAULT_TOLERANCE);
     let check = args.flag("check");
     let inject: f64 = args.get("inject-regression", 0.0);
@@ -253,11 +310,13 @@ fn main() {
     let (serve_seed, serve_base) = serve_baseline_rows(&load(&serve_path));
     let (policy_seed, policy_base) = policy_baseline_rows(&load(&policy_path));
     let (train_seed, train_base) = train_baseline_rows(&load(&train_path));
+    let (cluster_seed, cluster_base) = cluster_baseline_rows(&load(&cluster_path));
     println!(
-        "baselines: {serve_path} (seed {serve_seed}, {} cells), {policy_path} (seed {policy_seed}, {} rows), {train_path} (seed {train_seed}, {} cells)",
+        "baselines: {serve_path} (seed {serve_seed}, {} cells), {policy_path} (seed {policy_seed}, {} rows), {train_path} (seed {train_seed}, {} cells), {cluster_path} (seed {cluster_seed}, {} cells)",
         serve_base.len(),
         policy_base.len(),
-        train_base.len()
+        train_base.len(),
+        cluster_base.len()
     );
     println!("tolerance ±{:.0}%; re-running sweeps...", tolerance * 100.0);
 
@@ -281,10 +340,17 @@ fn main() {
         },
         |_| {},
     );
+    let mut cluster_rows = cluster_sweep(
+        &ClusterSweepConfig {
+            seed: cluster_seed,
+            ..ClusterSweepConfig::default()
+        },
+        |_| {},
+    );
 
     if inject > 0.0 {
         println!(
-            "injecting a synthetic {:.0}% regression into fresh p99 latency, H2D traffic and train sim-seconds",
+            "injecting a synthetic {:.0}% regression into fresh p99 latency, H2D traffic, train sim-seconds and cluster NIC traffic",
             inject * 100.0
         );
         for c in &mut cells {
@@ -295,6 +361,9 @@ fn main() {
         }
         for r in &mut train_rows {
             r.sim_seconds *= 1.0 + inject;
+        }
+        for r in &mut cluster_rows {
+            r.nic_bytes = ((r.nic_bytes as f64) * (1.0 + inject)) as u64;
         }
     }
 
@@ -309,6 +378,8 @@ fn main() {
         Vec::new()
     };
     train_checks.extend(wall_checks);
+    let mut cluster_checks = compare_cluster(&cluster_base, &cluster_rows, tolerance);
+    cluster_checks.extend(fault_invariance_checks(&cluster_rows));
 
     print_trajectory(
         "serving trajectory (BENCH_serve.json)",
@@ -328,11 +399,17 @@ fn main() {
     if cores < 4 {
         println!("wall-time monotonicity: skipped ({cores} cores)");
     }
+    print_trajectory(
+        "cluster trajectory (BENCH_cluster.json)",
+        &cluster_checks,
+        &["nicBytes", "maxStaleness"],
+    );
 
     let all: Vec<&MetricCheck> = serve_checks
         .iter()
         .chain(policy_checks.iter())
         .chain(train_checks.iter())
+        .chain(cluster_checks.iter())
         .collect();
     let bit = all.iter().filter(|c| c.bit_identical()).count();
     let regressed: Vec<&&MetricCheck> = all.iter().filter(|c| c.regressed()).collect();

@@ -30,14 +30,16 @@ use fgnn_graph::datasets::{
 use fgnn_graph::{Dataset, NodeId};
 use fgnn_memsim::fault::{FaultPlan, RetryPolicy};
 use fgnn_memsim::presets::Machine;
+use fgnn_memsim::ClusterFaultPlan;
 use fgnn_nn::model::Arch;
 use fgnn_nn::Adam;
 use freshgnn::cache::{PolicyFrontierRow, PolicyKind};
+use freshgnn::cluster::ClusterBenchRow;
 use freshgnn::runtime::TrainScalingRow;
 use freshgnn::serve::{
     generate_trace, serve_jsonl, serve_trace_jsonl, ServeConfig, ServeEngine, ServeReport,
 };
-use freshgnn::{FreshGnnConfig, Trainer};
+use freshgnn::{ClusterConfig, ClusterTrainer, FreshGnnConfig, Trainer};
 
 /// Knobs of the serving sweep (`exp_serve` defaults).
 #[derive(Clone, Debug)]
@@ -345,6 +347,104 @@ pub fn train_sweep(
     rows
 }
 
+/// Knobs of the multi-host cluster sweep (`exp_cluster` defaults). Each
+/// cell partitions a fig 10 dataset across `hosts` failure domains and
+/// trains it through [`ClusterTrainer`] under one of the named fault
+/// `schedules`; the gated columns are exact simulated quantities, and the
+/// crash schedule must reproduce the fault-free committed metrics bit for
+/// bit (the shard-recovery contract).
+#[derive(Clone, Debug)]
+pub struct ClusterSweepConfig {
+    /// Master seed (dataset materialization, per-host trainer seeds).
+    pub seed: u64,
+    /// Dataset scale factor over the per-dataset base scales.
+    pub scale: f64,
+    /// Training epochs per cell.
+    pub epochs: u32,
+    /// Host counts (= shards = failure domains) to sweep.
+    pub hosts: Vec<usize>,
+    /// Fault-schedule labels to sweep (see [`cluster_fault_plan`]).
+    pub schedules: Vec<String>,
+}
+
+impl Default for ClusterSweepConfig {
+    fn default() -> Self {
+        ClusterSweepConfig {
+            seed: 42,
+            scale: 1.0,
+            epochs: 2,
+            hosts: vec![1, 2, 4],
+            schedules: vec!["none".to_string(), "crash".to_string()],
+        }
+    }
+}
+
+/// The named fault schedules of the cluster sweep. `"none"` is fault-free;
+/// `"crash"` kills the last host at round 2 and restarts it at round 6 —
+/// early enough that every epoch of the sweep exercises detection,
+/// degraded peer serving and checkpoint recovery.
+pub fn cluster_fault_plan(schedule: &str, hosts: usize) -> ClusterFaultPlan {
+    match schedule {
+        "none" => ClusterFaultPlan::none(),
+        "crash" => {
+            let victim = hosts - 1;
+            ClusterFaultPlan::none()
+                .with_crash(2, victim)
+                .with_restart(6, victim)
+        }
+        other => panic!("unknown cluster fault schedule '{other}' (expected none|crash)"),
+    }
+}
+
+/// Run the dataset × host-count × fault-schedule cluster sweep. `on_row`
+/// fires after each cell (the binary prints its table incrementally from
+/// it).
+pub fn cluster_sweep(
+    sw: &ClusterSweepConfig,
+    mut on_row: impl FnMut(&ClusterBenchRow),
+) -> Vec<ClusterBenchRow> {
+    let mut rows = Vec::new();
+    for (label, spec) in policy_datasets(sw.scale) {
+        let ds = Dataset::materialize(spec, sw.seed);
+        for &hosts in &sw.hosts {
+            for schedule in &sw.schedules {
+                let cfg = ClusterConfig {
+                    num_hosts: hosts,
+                    train: FreshGnnConfig {
+                        fanouts: vec![4, 4],
+                        batch_size: 32,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                };
+                let mut ct = ClusterTrainer::new(&ds, cfg, sw.seed).expect("valid sweep cluster");
+                ct.inject_cluster_faults(cluster_fault_plan(schedule, hosts))
+                    .expect("valid sweep fault schedule");
+                let start = std::time::Instant::now();
+                let report = ct.train(sw.epochs).expect("fault schedules recover");
+                let r = ClusterBenchRow {
+                    dataset: label.to_string(),
+                    hosts,
+                    schedule: schedule.clone(),
+                    mean_loss: *report
+                        .epoch_losses
+                        .last()
+                        .expect("sweep trains at least one epoch"),
+                    h2d_bytes: report.h2d_bytes,
+                    nic_bytes: report.comms.nic_bytes,
+                    sim_seconds: report.sim_seconds,
+                    degraded_reads: report.ledger.degraded_reads,
+                    max_staleness: report.ledger.max_staleness,
+                    wall_seconds: start.elapsed().as_secs_f64(),
+                };
+                on_row(&r);
+                rows.push(r);
+            }
+        }
+    }
+    rows
+}
+
 /// One metric comparison inside the regression gate.
 #[derive(Clone, Debug)]
 pub struct MetricCheck {
@@ -532,6 +632,88 @@ pub fn compare_train(
     checks
 }
 
+/// Compare a fresh cluster sweep against baseline rows parsed from
+/// `BENCH_cluster.json`, keyed by `dataset/h{N}/{schedule}`. Every gated
+/// metric is an exact simulated quantity and every one regresses upward:
+/// higher loss, more traffic, more simulated time, more degraded reads or
+/// worse staleness all mean the cluster got less efficient or less
+/// healthy under the same schedule. `wallSeconds` is measured and never
+/// gated.
+pub fn compare_cluster(
+    baseline: &[(String, Vec<(&'static str, f64)>)],
+    fresh: &[ClusterBenchRow],
+    tolerance: f64,
+) -> Vec<MetricCheck> {
+    let mut checks = Vec::new();
+    for (key, base_metrics) in baseline {
+        let found = fresh
+            .iter()
+            .find(|r| format!("{}/h{}/{}", r.dataset, r.hosts, r.schedule) == *key);
+        let Some(r) = found else {
+            checks.push(MetricCheck {
+                label: key.clone(),
+                metric: "present",
+                baseline: 1.0,
+                fresh: 0.0,
+                tolerance,
+                higher_is_worse: false,
+            });
+            continue;
+        };
+        for &(metric, base) in base_metrics {
+            let fresh_v = match metric {
+                "meanLoss" => r.mean_loss,
+                "h2dBytes" => r.h2d_bytes as f64,
+                "nicBytes" => r.nic_bytes as f64,
+                "simSeconds" => r.sim_seconds,
+                "degradedReads" => r.degraded_reads as f64,
+                "maxStaleness" => r.max_staleness as f64,
+                _ => continue,
+            };
+            checks.push(MetricCheck {
+                label: key.clone(),
+                metric,
+                baseline: base,
+                fresh: fresh_v,
+                tolerance,
+                higher_is_worse: true,
+            });
+        }
+    }
+    checks
+}
+
+/// Fault-invariance checks over a fresh cluster sweep: for each (dataset,
+/// host count), the committed training quantities of every fault schedule
+/// must reproduce the `"none"` schedule bit for bit — deterministic shard
+/// recovery replays crashed hosts back onto the fault-free trajectory.
+/// Zero tolerance: one ULP of loss or one byte of H2D drift trips the
+/// gate. NIC traffic and staleness legitimately differ (that is what the
+/// faults cost), so only loss and H2D bytes are pinned.
+pub fn fault_invariance_checks(fresh: &[ClusterBenchRow]) -> Vec<MetricCheck> {
+    let mut checks = Vec::new();
+    for reference in fresh.iter().filter(|r| r.schedule == "none") {
+        for r in fresh.iter().filter(|r| {
+            r.dataset == reference.dataset && r.hosts == reference.hosts && r.schedule != "none"
+        }) {
+            for (metric, base, fresh_v) in [
+                ("meanLoss", reference.mean_loss, r.mean_loss),
+                ("h2dBytes", reference.h2d_bytes as f64, r.h2d_bytes as f64),
+            ] {
+                checks.push(MetricCheck {
+                    label: format!("{}/h{}/none={}", r.dataset, r.hosts, r.schedule),
+                    metric,
+                    baseline: base.min(fresh_v),
+                    fresh: base.max(fresh_v),
+                    tolerance: 0.0,
+                    higher_is_worse: true,
+                });
+            }
+        }
+    }
+    checks
+}
+
 /// Cross-worker invariance checks over a fresh training sweep: for each
 /// dataset, every gated metric at every worker count must reproduce the
 /// lowest-worker-count row bit for bit (the runtime's determinism
@@ -701,6 +883,81 @@ mod tests {
                 .iter()
                 .any(|c| c.regressed()),
             "a *smaller* value is still an invariance break"
+        );
+    }
+
+    fn cluster_row(dataset: &str, hosts: usize, schedule: &str) -> ClusterBenchRow {
+        ClusterBenchRow {
+            dataset: dataset.into(),
+            hosts,
+            schedule: schedule.into(),
+            mean_loss: 1.25,
+            h2d_bytes: 8192,
+            nic_bytes: if schedule == "none" { 512 } else { 1024 },
+            sim_seconds: 0.5,
+            degraded_reads: if schedule == "none" { 0 } else { 7 },
+            max_staleness: if schedule == "none" { 0 } else { 3 },
+            wall_seconds: 0.25,
+        }
+    }
+
+    #[test]
+    fn compare_cluster_keys_rows_by_dataset_hosts_and_schedule() {
+        let baseline = vec![
+            (
+                "papers100m/h2/crash".to_string(),
+                vec![
+                    ("meanLoss", 1.25),
+                    ("nicBytes", 1024.0),
+                    ("degradedReads", 7.0),
+                    ("maxStaleness", 3.0),
+                ],
+            ),
+            ("papers100m/h8/none".to_string(), vec![("meanLoss", 1.25)]),
+        ];
+        let fresh = [
+            cluster_row("papers100m", 2, "none"),
+            cluster_row("papers100m", 2, "crash"),
+        ];
+        let checks = compare_cluster(&baseline, &fresh, DEFAULT_TOLERANCE);
+        assert_eq!(checks.len(), 5);
+        assert!(checks[..4].iter().all(|c| c.bit_identical()));
+        assert_eq!(checks[4].metric, "present");
+        assert!(checks[4].regressed(), "missing host count trips the gate");
+    }
+
+    #[test]
+    fn compare_cluster_trips_on_staleness_growth_only_upward() {
+        let baseline = vec![(
+            "twitter/h4/crash".to_string(),
+            vec![("maxStaleness", 3.0), ("nicBytes", 1024.0)],
+        )];
+        let mut fresh = [cluster_row("twitter", 4, "crash")];
+        fresh[0].max_staleness = 4; // +33%: budget erosion, must trip
+        fresh[0].nic_bytes = 512; // −50%: improvement, must not trip
+        let checks = compare_cluster(&baseline, &fresh, DEFAULT_TOLERANCE);
+        assert!(checks
+            .iter()
+            .any(|c| c.metric == "maxStaleness" && c.regressed()));
+        assert!(checks
+            .iter()
+            .all(|c| c.metric != "nicBytes" || !c.regressed()));
+    }
+
+    #[test]
+    fn fault_invariance_pins_crash_to_the_fault_free_row() {
+        let mut rows = [
+            cluster_row("mag240m", 2, "none"),
+            cluster_row("mag240m", 2, "crash"),
+            cluster_row("mag240m", 4, "none"),
+        ];
+        let checks = fault_invariance_checks(&rows);
+        assert_eq!(checks.len(), 2, "only the matching (dataset, hosts) pair");
+        assert!(checks.iter().all(|c| c.bit_identical() && !c.regressed()));
+        rows[1].mean_loss = f64::from_bits(rows[1].mean_loss.to_bits() - 1);
+        assert!(
+            fault_invariance_checks(&rows).iter().any(|c| c.regressed()),
+            "one ULP of loss drift in either direction breaks recovery invariance"
         );
     }
 

@@ -39,8 +39,9 @@ use std::path::Path;
 
 /// File magic.
 pub const MAGIC: [u8; 8] = *b"FGNNCKPT";
-/// Current format version.
-pub const VERSION: u32 = 1;
+/// Current format version. v2 added the NIC byte/time fields to the
+/// traffic-counter segment (cluster simulation).
+pub const VERSION: u32 = 2;
 
 /// Why a checkpoint failed to save or load.
 #[derive(Debug)]
@@ -379,6 +380,8 @@ fn encode_counters(w: &mut Writer, c: &TrafficCounters) {
     w.u64(c.retries);
     w.f64(c.retry_seconds);
     w.u64(c.failed_transfers);
+    w.u64(c.nic_bytes);
+    w.f64(c.nic_seconds);
 }
 
 fn decode_counters(r: &mut Reader<'_>) -> Result<TrafficCounters, CheckpointError> {
@@ -395,6 +398,8 @@ fn decode_counters(r: &mut Reader<'_>) -> Result<TrafficCounters, CheckpointErro
         retries: r.u64()?,
         retry_seconds: r.f64()?,
         failed_transfers: r.u64()?,
+        nic_bytes: r.u64()?,
+        nic_seconds: r.f64()?,
     })
 }
 

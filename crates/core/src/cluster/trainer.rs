@@ -1,0 +1,932 @@
+//! The partitioned BSP cluster trainer (DESIGN.md §14).
+//!
+//! Hosts advance in lock-step **rounds**; every round each live host
+//! fetches the remote halo of its next mini-batch (one batched active
+//! message per destination), trains that one batch, and feeds the loss to
+//! its numeric guard. Fault events ([`ClusterFaultPlan`]) fire at absolute
+//! rounds *before* the round's work; the heartbeat detector ticks right
+//! after, so routing always uses the view the schedule deterministically
+//! produces.
+//!
+//! **Recovery invariant:** a restarted host restores its epoch-start
+//! baseline checkpoint (rewinding RNG/model/optimizer and evicting cache
+//! entries newer than the recovery point) and re-executes its epoch one
+//! batch per round. A NaN-guard trip rolls back the same baseline but
+//! replays the already-completed prefix *inside* the round without
+//! re-charging comms (the halo bytes were already paid for). Either way
+//! the committed training quantities — losses, parameters, H2D bytes,
+//! cache hit counters — end bit-identical to the fault-free run; only the
+//! cluster comms/retry ledger records what the faults cost.
+
+use std::collections::BTreeSet;
+
+use super::membership::{FailureDetector, HostStatus, MembershipTransition, MembershipView};
+use super::ClusterConfig;
+use crate::checkpoint::Checkpoint;
+use crate::error::FgnnError;
+use crate::obs::{MetricClass, Obs};
+use crate::resilience::{GuardConfig, HealthState, NumericFault, Supervisor, SupervisorConfig};
+use crate::trainer::Trainer;
+use fgnn_graph::datasets::Dataset;
+use fgnn_graph::partition::{induced_subgraph, partition_ldg};
+use fgnn_graph::NodeId;
+use fgnn_memsim::cluster::{AmBatcher, AmTransfer, ClusterEventKind, ClusterTopology};
+use fgnn_memsim::fault::LinkHealth;
+use fgnn_memsim::presets::{GpuSpec, Machine};
+use fgnn_memsim::transfer::FALLBACK_PENALTY;
+use fgnn_memsim::{ClusterFaultPlan, RetryPolicy, TrafficCounters};
+use fgnn_nn::Adam;
+use fgnn_tensor::Rng;
+
+/// Golden-ratio host salt: host 0 keeps the user seed bit-for-bit so a
+/// 1-host cluster matches the single-host [`Trainer`] exactly.
+fn host_seed(seed: u64, host: usize) -> u64 {
+    seed ^ (host as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// How each host executes its one batch per round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RoundEngine {
+    /// Synchronous sampling + pipeline ([`Trainer::train_on_batches`]).
+    Sync,
+    /// Work-stealing async sampler ([`Trainer::train_on_batches_async`]).
+    Async {
+        /// Sampler worker threads per host.
+        workers: usize,
+        /// Bounded prefetch queue depth.
+        queue_capacity: usize,
+    },
+}
+
+/// Ledger of how remote reads were served, and how stale the degraded
+/// ones were allowed to get.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StalenessLedger {
+    /// Staleness budget (rounds) for degraded serving = `t_stale`.
+    pub budget: u64,
+    /// Halo entries served by their live owner host.
+    pub remote_reads: u64,
+    /// Halo entries served stale by a surviving peer for a dead owner.
+    pub degraded_reads: u64,
+    /// Halo entries past the staleness budget, re-fetched as raw
+    /// features at [`FALLBACK_PENALTY`].
+    pub fallback_reads: u64,
+    /// Retry attempts burned on crashed-but-not-yet-declared hosts.
+    pub retries: u64,
+    /// Worst staleness (rounds) any degraded read was served at.
+    pub max_staleness: u64,
+}
+
+/// One host: its shard, its trainer replica, and its round-loop state.
+struct HostShard {
+    ds: Dataset,
+    /// Local → global node ID map for the shard.
+    global_ids: Vec<NodeId>,
+    trainer: Trainer,
+    opt: Adam,
+    sup: Supervisor,
+    /// Current epoch's batch schedule (local IDs).
+    batches: Vec<Vec<NodeId>>,
+    /// Next batch index within `batches`.
+    cursor: usize,
+    /// Per-batch losses of the current epoch, in execution order.
+    losses: Vec<f64>,
+    /// Mean loss of every completed epoch, in order.
+    epoch_means: Vec<f64>,
+    /// 1-based epoch this plan belongs to (0 = not yet begun).
+    epoch_id: u32,
+    /// Ground truth — the fault plan flips this; the *view* may lag.
+    alive: bool,
+    /// This host's NIC health (Down exactly while crashed).
+    nic: LinkHealth,
+    /// Epoch-start checkpoint; restore target for crash and NaN recovery.
+    baseline: Option<Checkpoint>,
+    /// Round the baseline was taken — staleness zero-point for peers
+    /// serving this host's shard while it is dead.
+    baseline_round: u64,
+    /// Rounds whose observed loss is forced to NaN (chaos hook).
+    nan_rounds: BTreeSet<u64>,
+}
+
+/// Outcome of a whole cluster run ([`ClusterTrainer::train`]).
+#[derive(Clone, Debug)]
+pub struct ClusterReport {
+    /// Epochs trained.
+    pub epochs: u32,
+    /// Lock-step rounds the cluster executed.
+    pub rounds: u64,
+    /// Per-epoch cluster loss: unweighted mean over hosts of each host's
+    /// epoch-mean loss (host order, so bit-stable).
+    pub epoch_losses: Vec<f64>,
+    /// Per-host per-epoch mean losses.
+    pub per_host_losses: Vec<Vec<f64>>,
+    /// Total host-to-GPU feature bytes across hosts (committed quantity —
+    /// equals the fault-free run).
+    pub h2d_bytes: u64,
+    /// Cluster comms ledger: NIC bytes/seconds, retries, failed
+    /// transfers. Differs from the fault-free run under faults, but is
+    /// byte-identical across same-seed reruns.
+    pub comms: TrafficCounters,
+    /// How remote reads were served.
+    pub ledger: StalenessLedger,
+    /// Host crashes applied.
+    pub crashes: u64,
+    /// Host restarts applied.
+    pub restarts: u64,
+    /// Final membership-view version (= total status transitions).
+    pub membership_version: u64,
+    /// Simulated seconds the AM batcher saved vs. one message per halo
+    /// entry (latency amortization).
+    pub am_saving_seconds: f64,
+    /// Exact simulated seconds: slowest host's deterministic pipeline
+    /// stream plus the cluster's NIC and retry time.
+    pub sim_seconds: f64,
+}
+
+/// Partitioned multi-host BSP trainer with failure domains.
+pub struct ClusterTrainer {
+    cfg: ClusterConfig,
+    topo: ClusterTopology,
+    /// Full-graph adjacency for halo discovery (in a real deployment this
+    /// is the immutable partition book every host holds).
+    full: Dataset,
+    /// Global node → owning host.
+    assignment: Vec<u32>,
+    shards: Vec<HostShard>,
+    detector: FailureDetector,
+    plan: ClusterFaultPlan,
+    next_event: usize,
+    retry: RetryPolicy,
+    engine: RoundEngine,
+    round: u64,
+    comms: TrafficCounters,
+    ledger: StalenessLedger,
+    batcher: AmBatcher,
+    am_saving_seconds: f64,
+    crashes: u64,
+    restarts: u64,
+    epochs_done: u32,
+    obs: Obs,
+}
+
+impl ClusterTrainer {
+    /// Build a cluster over `ds` on the default A100 topology.
+    pub fn new(ds: &Dataset, cfg: ClusterConfig, seed: u64) -> Result<Self, FgnnError> {
+        let topo = ClusterTopology::a100_cluster(cfg.num_hosts.max(1), cfg.gpus_per_host.max(1));
+        Self::with_topology(ds, cfg, topo, seed)
+    }
+
+    /// Build a cluster with an explicit [`ClusterTopology`].
+    pub fn with_topology(
+        ds: &Dataset,
+        cfg: ClusterConfig,
+        topo: ClusterTopology,
+        seed: u64,
+    ) -> Result<Self, FgnnError> {
+        cfg.validate().map_err(FgnnError::Config)?;
+        if topo.num_hosts != cfg.num_hosts {
+            return Err(FgnnError::Config(format!(
+                "topology has {} hosts but config wants {}",
+                topo.num_hosts, cfg.num_hosts
+            )));
+        }
+        let h = cfg.num_hosts;
+        let n = ds.num_nodes();
+        let (assignment, host_nodes): (Vec<u32>, Vec<Vec<NodeId>>) = if h == 1 {
+            (vec![0; n], vec![(0..n as NodeId).collect()])
+        } else {
+            let mut prng = Rng::new(cfg.partition_seed);
+            let p = partition_ldg(&ds.graph, h, &mut prng);
+            let clusters = p.clusters();
+            (p.assignment, clusters)
+        };
+
+        let mut shards = Vec::with_capacity(h);
+        for (host, nodes) in host_nodes.iter().enumerate() {
+            let (shard_ds, global_ids) = if h == 1 {
+                (ds.clone(), nodes.clone())
+            } else {
+                (shard_dataset(ds, nodes), nodes.clone())
+            };
+            let machine = Machine {
+                name: "cluster-host",
+                gpu: GpuSpec::a100_40gb(),
+                topology: topo.host.clone(),
+            };
+            let trainer = Trainer::new(
+                &shard_ds,
+                cfg.arch,
+                cfg.hidden,
+                machine,
+                cfg.train.clone(),
+                host_seed(seed, host),
+            );
+            let sup = Supervisor::new(SupervisorConfig {
+                max_rollbacks: cfg.max_rollbacks,
+                guard: GuardConfig::default(),
+            });
+            shards.push(HostShard {
+                ds: shard_ds,
+                global_ids,
+                trainer,
+                opt: Adam::new(cfg.lr),
+                sup,
+                batches: Vec::new(),
+                cursor: 0,
+                losses: Vec::new(),
+                epoch_means: Vec::new(),
+                epoch_id: 0,
+                alive: true,
+                nic: LinkHealth::Up,
+                baseline: None,
+                baseline_round: 0,
+                nan_rounds: BTreeSet::new(),
+            });
+        }
+        let detector =
+            FailureDetector::new(h, cfg.heartbeat_every, cfg.suspect_after, cfg.dead_after);
+        let ledger = StalenessLedger {
+            budget: cfg.train.t_stale as u64,
+            ..StalenessLedger::default()
+        };
+        Ok(ClusterTrainer {
+            cfg,
+            topo,
+            full: ds.clone(),
+            assignment,
+            batcher: AmBatcher::new(h),
+            shards,
+            detector,
+            plan: ClusterFaultPlan::none(),
+            next_event: 0,
+            retry: RetryPolicy::default(),
+            engine: RoundEngine::Sync,
+            round: 0,
+            comms: TrafficCounters::new(),
+            ledger,
+            am_saving_seconds: 0.0,
+            crashes: 0,
+            restarts: 0,
+            epochs_done: 0,
+            obs: Obs::new(),
+        })
+    }
+
+    /// Arm a validated cluster fault schedule. Must be called before
+    /// [`ClusterTrainer::train`]; events at rounds already executed are
+    /// rejected.
+    pub fn inject_cluster_faults(&mut self, plan: ClusterFaultPlan) -> Result<(), FgnnError> {
+        plan.validate(self.cfg.num_hosts)
+            .map_err(|e| FgnnError::Config(e.to_string()))?;
+        if let Some(ev) = plan.events().first() {
+            // Any event still fires on a fresh cluster (the loop starts
+            // at round 1 and applies events `<= round`).
+            if self.round > 0 && ev.round <= self.round {
+                return Err(FgnnError::Config(format!(
+                    "fault plan starts at round {} but the cluster is already at round {}",
+                    ev.round, self.round
+                )));
+            }
+        }
+        self.plan = plan;
+        self.next_event = 0;
+        Ok(())
+    }
+
+    /// Force `host`'s observed loss to NaN at the given absolute rounds
+    /// (chaos hook for the numeric-recovery path).
+    pub fn inject_nan_at(&mut self, host: usize, rounds: impl IntoIterator<Item = u64>) {
+        self.shards[host].nan_rounds.extend(rounds);
+    }
+
+    /// Choose the per-round execution engine (default [`RoundEngine::Sync`]).
+    pub fn set_round_engine(&mut self, engine: RoundEngine) {
+        self.engine = engine;
+    }
+
+    /// Override the retry policy used against crashed-but-undetected hosts.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// Borrow host `h`'s trainer (tests compare against single-host runs).
+    pub fn trainer(&self, h: usize) -> &Trainer {
+        &self.shards[h].trainer
+    }
+
+    /// Mutably borrow host `h`'s trainer (per-host fault injection).
+    pub fn trainer_mut(&mut self, h: usize) -> &mut Trainer {
+        &mut self.shards[h].trainer
+    }
+
+    /// Checkpoint host `h`'s trainer + optimizer state (tests compare
+    /// final cluster states against fault-free references with this).
+    pub fn checkpoint_host(&mut self, h: usize) -> Checkpoint {
+        let s = &mut self.shards[h];
+        s.trainer.checkpoint(&s.opt)
+    }
+
+    /// Host `h`'s shard dataset.
+    pub fn shard_dataset(&self, h: usize) -> &Dataset {
+        &self.shards[h].ds
+    }
+
+    /// The detector's current membership view.
+    pub fn membership(&self) -> &MembershipView {
+        self.detector.view()
+    }
+
+    /// Every membership transition so far, in round order.
+    pub fn membership_log(&self) -> &[MembershipTransition] {
+        self.detector.log()
+    }
+
+    /// The remote-read staleness ledger.
+    pub fn ledger(&self) -> &StalenessLedger {
+        &self.ledger
+    }
+
+    /// The cluster comms ledger (NIC traffic, retries).
+    pub fn comms(&self) -> &TrafficCounters {
+        &self.comms
+    }
+
+    /// Rounds executed so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Cluster-level observability (spans + Exact metrics).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Train `epochs` epochs across the cluster and report.
+    ///
+    /// Every host must finish every epoch: a crashed host freezes at its
+    /// cursor and the loop keeps spinning rounds (survivors idle once
+    /// done) until its scheduled restart lets it recover and catch up.
+    /// Errors if the schedule wedges the cluster (a host is down with no
+    /// restart left in the plan — [`ClusterFaultPlan::validate`] makes
+    /// that unreachable for validated plans).
+    pub fn train(&mut self, epochs: u32) -> Result<ClusterReport, FgnnError> {
+        if epochs == 0 {
+            return Ok(self.report());
+        }
+        let target = self.epochs_done + epochs;
+        let now = self.obs.clock.now_ns();
+        self.obs.tracer.begin("cluster-train", "cluster", now);
+
+        for h in 0..self.shards.len() {
+            if self.shards[h].epoch_id == 0 {
+                self.begin_host_epoch(h);
+            }
+        }
+
+        let max_batches = self
+            .shards
+            .iter()
+            .map(|s| s.batches.len().max(1))
+            .max()
+            .unwrap_or(1) as u64;
+        let last_event = self.plan.events().last().map_or(0, |e| e.round);
+        // Worst case: every epoch fully re-executed once per rollback,
+        // plus the tail of the fault schedule, plus slack.
+        let round_cap = self.round
+            + (target as u64) * max_batches * (2 + self.cfg.max_rollbacks as u64)
+            + last_event
+            + 64;
+
+        while !self.all_done(target) {
+            self.round += 1;
+            if self.round > round_cap {
+                return Err(FgnnError::Config(format!(
+                    "cluster wedged: round cap {round_cap} exceeded (a host cannot finish \
+                     epoch {target} under the injected schedule)"
+                )));
+            }
+            self.apply_fault_events()?;
+            let alive: Vec<bool> = self.shards.iter().map(|s| s.alive).collect();
+            self.detector.tick(self.round, &alive);
+            let nic_before = self.comms.nic_seconds + self.comms.retry_seconds;
+            for h in 0..self.shards.len() {
+                self.step_host(h, target)?;
+            }
+            let nic_after = self.comms.nic_seconds + self.comms.retry_seconds;
+            self.obs.clock.advance_secs(nic_after - nic_before);
+        }
+        self.epochs_done = target;
+        for h in 0..self.shards.len() {
+            self.complete_host_epoch(h);
+        }
+
+        let end = self.obs.clock.now_ns();
+        self.obs.tracer.end_with(
+            end,
+            vec![
+                ("rounds", self.round),
+                ("crashes", self.crashes),
+                ("restarts", self.restarts),
+                ("view_version", self.detector.view().version),
+            ],
+        );
+        self.sync_obs_metrics();
+        Ok(self.report())
+    }
+
+    fn all_done(&self, target: u32) -> bool {
+        self.shards
+            .iter()
+            .all(|s| s.alive && s.epoch_id >= target && s.cursor >= s.batches.len())
+    }
+
+    /// Fire every scheduled fault event at or before the current round.
+    fn apply_fault_events(&mut self) -> Result<(), FgnnError> {
+        while self.next_event < self.plan.events().len() {
+            let ev = self.plan.events()[self.next_event];
+            if ev.round > self.round {
+                break;
+            }
+            self.next_event += 1;
+            let s = &mut self.shards[ev.host];
+            match ev.kind {
+                ClusterEventKind::HostCrash => {
+                    if s.alive {
+                        s.alive = false;
+                        s.nic = LinkHealth::Down;
+                        self.crashes += 1;
+                        self.obs
+                            .metrics
+                            .counter_add("cluster.crashes", MetricClass::Exact, 1);
+                    }
+                }
+                ClusterEventKind::HostRestart => {
+                    if !s.alive {
+                        s.alive = true;
+                        s.nic = LinkHealth::Up;
+                        self.restarts += 1;
+                        self.obs
+                            .metrics
+                            .counter_add("cluster.restarts", MetricClass::Exact, 1);
+                        self.restart_host(ev.host)?;
+                    }
+                }
+                ClusterEventKind::NicDegrade(factor) => {
+                    if s.alive {
+                        s.nic = LinkHealth::Degraded(factor);
+                    }
+                }
+                ClusterEventKind::NicRestore => {
+                    if s.alive {
+                        s.nic = LinkHealth::Up;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Shard recovery: restore the epoch-start baseline (rewinds RNG /
+    /// model / optimizer, evicts cache entries newer than the recovery
+    /// point) and restart the epoch plan from batch 0. Re-executed rounds
+    /// re-charge comms — recovery cost is visible in the NIC ledger while
+    /// the committed training quantities stay fault-free-identical.
+    fn restart_host(&mut self, h: usize) -> Result<(), FgnnError> {
+        let s = &mut self.shards[h];
+        let baseline = s
+            .baseline
+            .clone()
+            .expect("host restarted before its first epoch began");
+        s.trainer
+            .restore(&baseline, &mut s.opt)
+            .map_err(FgnnError::Checkpoint)?;
+        s.batches = s.trainer.plan_epoch_batches(&s.ds);
+        s.cursor = 0;
+        s.losses.clear();
+        s.sup.guard.reset();
+        let (iter, epoch) = (s.trainer.iterations(), s.epoch_id);
+        s.sup.transition(
+            HealthState::Recovering,
+            iter,
+            epoch,
+            "host-restart",
+            &mut s.trainer.obs,
+        );
+        Ok(())
+    }
+
+    /// One host's share of one round: catch up on epoch bookkeeping, then
+    /// fetch the halo and train exactly one batch.
+    fn step_host(&mut self, h: usize, target: u32) -> Result<(), FgnnError> {
+        if !self.shards[h].alive {
+            return Ok(());
+        }
+        if self.shards[h].cursor >= self.shards[h].batches.len() {
+            if self.shards[h].epoch_id >= target {
+                return Ok(()); // fully done; idling while others catch up
+            }
+            self.complete_host_epoch(h);
+            self.begin_host_epoch(h);
+        }
+        self.exchange_halo(h)?;
+        let idx = self.shards[h].cursor;
+        let stats_loss = self.run_host_batch(h, idx)?;
+        let observed = if self.shards[h].nan_rounds.remove(&self.round) {
+            f64::NAN
+        } else {
+            stats_loss
+        };
+        let fault = {
+            let s = &mut self.shards[h];
+            let iter = s.trainer.iterations();
+            s.sup.guard.observe(iter, observed as f32)
+        };
+        match fault {
+            Some(f) => self.numeric_rollback(h, f)?,
+            None => {
+                let s = &mut self.shards[h];
+                s.losses.push(stats_loss);
+                s.cursor += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Close out host `h`'s finished epoch plan. Idempotent per epoch —
+    /// the round loop flushes lazily (when the next epoch begins) and
+    /// [`ClusterTrainer::train`] sweeps the final epoch after the loop.
+    fn complete_host_epoch(&mut self, h: usize) {
+        let s = &mut self.shards[h];
+        if s.epoch_means.len() >= s.epoch_id as usize {
+            return; // already flushed
+        }
+        let mean = if s.losses.is_empty() {
+            0.0
+        } else {
+            s.losses.iter().sum::<f64>() / s.losses.len() as f64
+        };
+        s.epoch_means.push(mean);
+        if s.sup.state() != HealthState::Healthy {
+            let (iter, epoch) = (s.trainer.iterations(), s.epoch_id);
+            s.sup.transition(
+                HealthState::Healthy,
+                iter,
+                epoch,
+                "epoch-complete",
+                &mut s.trainer.obs,
+            );
+        }
+    }
+
+    /// Start host `h`'s next epoch: checkpoint the recovery baseline and
+    /// plan the batch schedule.
+    fn begin_host_epoch(&mut self, h: usize) {
+        let round = self.round;
+        let s = &mut self.shards[h];
+        s.epoch_id += 1;
+        let ckpt = s.trainer.checkpoint(&s.opt);
+        s.baseline = Some(ckpt);
+        s.baseline_round = round;
+        s.batches = s.trainer.plan_epoch_batches(&s.ds);
+        s.cursor = 0;
+        s.losses.clear();
+    }
+
+    /// NaN-guard recovery: roll back to the epoch baseline and replay the
+    /// completed prefix *plus* the faulted batch inside this round. The
+    /// replay is local — comms for those batches were already charged —
+    /// so only training compute is redone.
+    fn numeric_rollback(&mut self, h: usize, fault: NumericFault) -> Result<(), FgnnError> {
+        let round = self.round;
+        {
+            let s = &mut self.shards[h];
+            let (iter, epoch) = (s.trainer.iterations(), s.epoch_id);
+            s.sup.transition(
+                HealthState::Degraded,
+                iter,
+                epoch,
+                fault.cause(),
+                &mut s.trainer.obs,
+            );
+            if !s.sup.can_roll_back() {
+                return Err(FgnnError::Numeric(format!(
+                    "host {h} exhausted its rollback budget at round {round}: {}",
+                    fault.cause()
+                )));
+            }
+            let baseline = s
+                .baseline
+                .clone()
+                .expect("numeric fault before the first epoch began");
+            s.trainer
+                .restore(&baseline, &mut s.opt)
+                .map_err(FgnnError::Checkpoint)?;
+            s.sup.record_rollback(&mut s.trainer.obs);
+            s.batches = s.trainer.plan_epoch_batches(&s.ds);
+            s.losses.clear();
+            s.sup.guard.reset();
+            let iter = s.trainer.iterations();
+            s.sup.transition(
+                HealthState::Recovering,
+                iter,
+                epoch,
+                "numeric-rollback",
+                &mut s.trainer.obs,
+            );
+        }
+        let replay_through = self.shards[h].cursor;
+        for i in 0..=replay_through {
+            let loss = self.run_host_batch(h, i)?;
+            self.shards[h].losses.push(loss);
+        }
+        self.shards[h].cursor = replay_through + 1;
+        Ok(())
+    }
+
+    /// Train exactly `batches[idx]` on host `h`, returning its loss.
+    fn run_host_batch(&mut self, h: usize, idx: usize) -> Result<f64, FgnnError> {
+        let engine = self.engine;
+        let s = &mut self.shards[h];
+        let slice = &s.batches[idx..idx + 1];
+        let stats = match engine {
+            RoundEngine::Sync => s.trainer.train_on_batches(&s.ds, slice, &mut s.opt),
+            RoundEngine::Async {
+                workers,
+                queue_capacity,
+            } => s
+                .trainer
+                .train_on_batches_async(&s.ds, slice, &mut s.opt, workers, queue_capacity)
+                .map_err(FgnnError::Sample)?,
+        };
+        Ok(stats.mean_loss)
+    }
+
+    /// Fetch the remote halo of host `h`'s next batch: the deduplicated
+    /// out-of-shard 1-hop neighbors of the batch seeds in the full graph,
+    /// batched into one active message per owning host.
+    fn exchange_halo(&mut self, h: usize) -> Result<(), FgnnError> {
+        let embed_bytes = (self.cfg.hidden * 4) as u64;
+        let transfers: Vec<AmTransfer> = {
+            let s = &self.shards[h];
+            let batch = &s.batches[s.cursor];
+            let mut remote: BTreeSet<NodeId> = BTreeSet::new();
+            for &local in batch {
+                let g = s.global_ids[local as usize];
+                for &u in self.full.graph.neighbors(g) {
+                    if self.assignment[u as usize] as usize != h {
+                        remote.insert(u);
+                    }
+                }
+            }
+            if remote.is_empty() {
+                return Ok(());
+            }
+            for &u in &remote {
+                self.batcher
+                    .enqueue(self.assignment[u as usize] as usize, embed_bytes);
+            }
+            self.batcher.flush()
+        };
+        for t in transfers {
+            self.serve_remote_fetch(h, t)?;
+        }
+        Ok(())
+    }
+
+    /// Route one batched active message from reader `h` to owner `t.dst`.
+    fn serve_remote_fetch(&mut self, h: usize, t: AmTransfer) -> Result<(), FgnnError> {
+        let dst = t.dst;
+        let reader_nic = self.shards[h].nic;
+        if self.shards[dst].alive {
+            // Healthy path: one one-sided RDMA read per destination per
+            // round — the AM batcher amortizes the NIC latency over every
+            // halo entry headed there.
+            let health = combine_health(reader_nic, self.shards[dst].nic);
+            let batched = self
+                .topo
+                .one_sided_read_seconds(t.bytes, health)
+                .expect("alive host's NIC cannot be Down");
+            let naive = self
+                .topo
+                .naive_read_seconds(t.bytes, t.messages, health)
+                .expect("alive host's NIC cannot be Down");
+            self.am_saving_seconds += naive - batched;
+            self.comms.nic_bytes += t.bytes;
+            self.comms.nic_seconds += batched;
+            self.comms.num_transfers += 1;
+            self.ledger.remote_reads += t.messages;
+            return Ok(());
+        }
+        if self.detector.view().status[dst] != HostStatus::Dead {
+            // Crashed but not yet declared: burn the retry ladder first.
+            // Latency + exponential backoff per attempt, no jitter — the
+            // ladder must replay bit-identically.
+            let attempts = 1 + self.retry.max_retries;
+            let mut waste = 0.0;
+            for k in 0..attempts {
+                waste += self.topo.nic.latency
+                    + self.retry.base_backoff * self.retry.multiplier.powi(k as i32);
+            }
+            self.comms.retries += attempts as u64;
+            self.comms.retry_seconds += waste;
+            self.comms.failed_transfers += 1;
+            self.ledger.retries += attempts as u64;
+        }
+        self.degraded_serve(h, t)
+    }
+
+    /// Serve a dead owner's shard from a surviving peer: stale within the
+    /// `t_stale` budget, raw-feature fallback past it.
+    fn degraded_serve(&mut self, h: usize, t: AmTransfer) -> Result<(), FgnnError> {
+        let dst = t.dst;
+        let num_hosts = self.shards.len();
+        // The dead host's shard state is reconstructable from its
+        // epoch-start baseline, which every peer can re-derive — model the
+        // replica as the next live host in ring order.
+        let replica = (1..num_hosts)
+            .map(|d| (dst + d) % num_hosts)
+            .find(|&r| self.shards[r].alive)
+            .ok_or_else(|| {
+                FgnnError::Config(format!(
+                    "no live replica for host {dst}'s shard at round {}",
+                    self.round
+                ))
+            })?;
+        let staleness = self.round.saturating_sub(self.shards[dst].baseline_round);
+        let reader_nic = self.shards[h].nic;
+        if self.ledger.budget > 0 && staleness <= self.ledger.budget {
+            // Stale-within-budget: embeddings as of the dead host's
+            // baseline. t_stale still bounds what training consumes.
+            self.ledger.degraded_reads += t.messages;
+            self.ledger.max_staleness = self.ledger.max_staleness.max(staleness);
+            if replica != h {
+                let health = combine_health(reader_nic, self.shards[replica].nic);
+                let secs = self
+                    .topo
+                    .one_sided_read_seconds(t.bytes, health)
+                    .expect("live replica's NIC cannot be Down");
+                self.comms.nic_bytes += t.bytes;
+                self.comms.nic_seconds += secs;
+                self.comms.num_transfers += 1;
+            }
+        } else {
+            // Budget exceeded (or cache disabled): re-fetch raw features
+            // at the fallback penalty. Staleness served is zero, so the
+            // t_stale invariant holds by construction.
+            let raw_bytes = t.messages * self.full.spec.feature_row_bytes() as u64;
+            self.ledger.fallback_reads += t.messages;
+            if replica != h {
+                let health = combine_health(reader_nic, self.shards[replica].nic);
+                let secs = self
+                    .topo
+                    .one_sided_read_seconds(raw_bytes, health)
+                    .expect("live replica's NIC cannot be Down")
+                    * FALLBACK_PENALTY;
+                self.comms.nic_bytes += raw_bytes;
+                self.comms.nic_seconds += secs;
+                self.comms.num_transfers += 1;
+            }
+        }
+        Ok(())
+    }
+
+    fn sync_obs_metrics(&mut self) {
+        let m = &mut self.obs.metrics;
+        m.counter_set("cluster.rounds", MetricClass::Exact, self.round);
+        m.counter_set(
+            "cluster.nic.bytes",
+            MetricClass::Exact,
+            self.comms.nic_bytes,
+        );
+        m.counter_set("cluster.retries", MetricClass::Exact, self.comms.retries);
+        m.counter_set(
+            "cluster.reads.remote",
+            MetricClass::Exact,
+            self.ledger.remote_reads,
+        );
+        m.counter_set(
+            "cluster.reads.degraded",
+            MetricClass::Exact,
+            self.ledger.degraded_reads,
+        );
+        m.counter_set(
+            "cluster.reads.fallback",
+            MetricClass::Exact,
+            self.ledger.fallback_reads,
+        );
+        m.counter_set(
+            "cluster.staleness.max",
+            MetricClass::Exact,
+            self.ledger.max_staleness,
+        );
+        m.gauge_set(
+            "cluster.membership.version",
+            MetricClass::Exact,
+            self.detector.view().version as f64,
+        );
+    }
+
+    /// Snapshot the run into a [`ClusterReport`].
+    pub fn report(&self) -> ClusterReport {
+        let per_host_losses: Vec<Vec<f64>> =
+            self.shards.iter().map(|s| s.epoch_means.clone()).collect();
+        let epochs = per_host_losses.iter().map(|l| l.len()).min().unwrap_or(0);
+        let mut epoch_losses = Vec::with_capacity(epochs);
+        for e in 0..epochs {
+            let sum: f64 = per_host_losses.iter().map(|l| l[e]).sum();
+            epoch_losses.push(sum / per_host_losses.len() as f64);
+        }
+        let h2d_bytes = self
+            .shards
+            .iter()
+            .map(|s| s.trainer.counters.host_to_gpu_bytes)
+            .sum();
+        // Exact-only per-host stream (transfer + retry + compute): the
+        // measured sample/prune walls are excluded so the number is
+        // byte-stable across reruns.
+        let host_stream = self
+            .shards
+            .iter()
+            .map(|s| {
+                let c = &s.trainer.counters;
+                c.transfer_seconds + c.retry_seconds + c.compute_seconds
+            })
+            .fold(0.0_f64, f64::max);
+        ClusterReport {
+            epochs: self.epochs_done,
+            rounds: self.round,
+            epoch_losses,
+            per_host_losses,
+            h2d_bytes,
+            comms: self.comms.clone(),
+            ledger: self.ledger,
+            crashes: self.crashes,
+            restarts: self.restarts,
+            membership_version: self.detector.view().version,
+            am_saving_seconds: self.am_saving_seconds,
+            sim_seconds: host_stream + self.comms.nic_seconds + self.comms.retry_seconds,
+        }
+    }
+}
+
+/// Effective link health of a read crossing both endpoints' NICs:
+/// degradation factors compose multiplicatively; a Down endpoint wins.
+fn combine_health(a: LinkHealth, b: LinkHealth) -> LinkHealth {
+    match (a, b) {
+        (LinkHealth::Down, _) | (_, LinkHealth::Down) => LinkHealth::Down,
+        (LinkHealth::Degraded(x), LinkHealth::Degraded(y)) => LinkHealth::Degraded(x * y),
+        (LinkHealth::Degraded(x), LinkHealth::Up) | (LinkHealth::Up, LinkHealth::Degraded(x)) => {
+            LinkHealth::Degraded(x)
+        }
+        (LinkHealth::Up, LinkHealth::Up) => LinkHealth::Up,
+    }
+}
+
+/// Build host-local [`Dataset`] for the shard `nodes` (ascending global
+/// IDs): induced subgraph, gathered feature rows, remapped labels and
+/// splits.
+fn shard_dataset(ds: &Dataset, nodes: &[NodeId]) -> Dataset {
+    let (graph, global_ids) = induced_subgraph(&ds.graph, nodes);
+    let rows: Vec<usize> = global_ids.iter().map(|&g| g as usize).collect();
+    let features = ds.features.gather_rows(&rows);
+    let labels: Vec<u16> = rows.iter().map(|&g| ds.labels[g]).collect();
+
+    // Role map over global IDs → remapped local split lists. The local
+    // lists inherit the shard's ascending-ID order, which is fine: the
+    // per-epoch shuffle owns batch order.
+    const TRAIN: u8 = 1;
+    const VAL: u8 = 2;
+    const TEST: u8 = 3;
+    let mut role = vec![0u8; ds.num_nodes()];
+    for &v in &ds.train_nodes {
+        role[v as usize] = TRAIN;
+    }
+    for &v in &ds.val_nodes {
+        role[v as usize] = VAL;
+    }
+    for &v in &ds.test_nodes {
+        role[v as usize] = TEST;
+    }
+    let mut train_nodes = Vec::new();
+    let mut val_nodes = Vec::new();
+    let mut test_nodes = Vec::new();
+    for (local, &g) in global_ids.iter().enumerate() {
+        match role[g as usize] {
+            TRAIN => train_nodes.push(local as NodeId),
+            VAL => val_nodes.push(local as NodeId),
+            TEST => test_nodes.push(local as NodeId),
+            _ => {}
+        }
+    }
+    let mut spec = ds.spec.clone();
+    spec.num_nodes = global_ids.len();
+    Dataset {
+        spec,
+        graph,
+        features,
+        labels,
+        train_nodes,
+        val_nodes,
+        test_nodes,
+    }
+}

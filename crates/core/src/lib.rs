@@ -49,6 +49,11 @@
 //! * [`resilience`] — the self-healing layer: numeric-health guard,
 //!   `Healthy → Degraded → Recovering` supervisor state machine, and
 //!   rollback-on-divergence bookkeeping;
+//! * [`cluster`] — multi-host partitioned training with failure domains:
+//!   LDG graph shards, BSP lock-step rounds with batched active-message
+//!   halo reads, a deterministic heartbeat failure detector, and
+//!   checkpoint-based shard recovery under seeded crash/restart/NIC
+//!   fault schedules;
 //! * [`error`] — the unified [`FgnnError`] the runtime's fallible paths
 //!   funnel into.
 
@@ -56,6 +61,7 @@ pub mod baselines;
 pub mod cache;
 pub mod chan;
 pub mod checkpoint;
+pub mod cluster;
 pub mod config;
 pub mod error;
 pub mod hetero_trainer;
@@ -74,6 +80,7 @@ pub mod trainer;
 
 pub use cache::HistoricalCache;
 pub use checkpoint::{Checkpoint, CheckpointError};
+pub use cluster::{ClusterConfig, ClusterReport, ClusterTrainer, RoundEngine, StalenessLedger};
 pub use config::FreshGnnConfig;
 pub use error::FgnnError;
 pub use obs::Obs;

@@ -412,7 +412,11 @@ pub fn partitioned_feature_exchange(
     let mut demand = vec![vec![0u64; k]; k];
     let mut local_bytes = 0u64;
     for (g, seeds) in per_gpu_seeds.iter().enumerate() {
-        let mut rng = fgnn_tensor::Rng::new(seed ^ (g as u64) << 8);
+        // Content-derived batch RNG: the sampling stream follows the
+        // *batch* (FNV-1a over its seed nodes), not the GPU slot, so
+        // relabeling GPUs relabels demand rows without changing what any
+        // batch samples — total exchanged bytes are permutation-invariant.
+        let mut rng = fgnn_tensor::Rng::new(seed ^ batch_content_hash(seeds));
         let mb = sampler.sample(&ds.graph, seeds, fanouts, &mut rng);
         let (row, local) = loader.partition_demand(g, k, mb.input_nodes(), None);
         local_bytes += local;
@@ -429,6 +433,15 @@ pub fn partitioned_feature_exchange(
         multi_round_seconds,
         rounds,
     }
+}
+
+/// FNV-1a over a batch's seed node IDs, in order.
+fn batch_content_hash(seeds: &[fgnn_graph::NodeId]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &s in seeds {
+        h = (h ^ s as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 #[cfg(test)]
@@ -460,6 +473,93 @@ mod partitioned_tests {
         assert!(ex.remote_bytes > ex.local_bytes, "{ex:?}");
         assert!(ex.multi_round_seconds < ex.naive_seconds, "{ex:?}");
         assert!(ex.rounds >= 5, "{ex:?}");
+    }
+
+    /// Property cases, scaled by `FGNN_PROP_CASES` like the integration
+    /// property suites (default 16 here — each case samples real graphs).
+    fn prop_cases() -> u64 {
+        std::env::var("FGNN_PROP_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(16)
+    }
+
+    /// Random per-GPU seed sets: distinct training nodes per batch (the
+    /// sampler requires duplicate-free seed lists).
+    fn random_seed_sets(ds: &Dataset, k: usize, rng: &mut fgnn_tensor::Rng) -> Vec<Vec<u32>> {
+        (0..k)
+            .map(|_| {
+                let mut pool = ds.train_nodes.clone();
+                rng.shuffle(&mut pool);
+                let n = 4 + (rng.next_u64() % 13) as usize;
+                pool.truncate(n.min(pool.len()));
+                pool
+            })
+            .collect()
+    }
+
+    /// Property: bytes are conserved — every unique input node of every
+    /// GPU's sampled mini-batch is fetched exactly once, so
+    /// `local + remote == Σ_g row_bytes × |inputs_g|` (sends == receives:
+    /// the demand matrix rows are exactly what owners serve).
+    #[test]
+    fn partitioned_exchange_conserves_bytes() {
+        use fgnn_graph::sample::NeighborSampler;
+        let ds = tiny();
+        let topo = fgnn_memsim::Topology::pcie_tree(4, 2, 16e9);
+        let row_bytes = ds.spec.feature_row_bytes() as u64;
+        for case in 0..prop_cases() {
+            let mut rng = fgnn_tensor::Rng::new(0xB17E ^ case);
+            let seed = rng.next_u64();
+            let seeds = random_seed_sets(&ds, 4, &mut rng);
+            let ex = partitioned_feature_exchange(&ds, &[4, 4], &seeds, &topo, seed);
+
+            // Re-derive each batch's unique-input count with the same
+            // content-derived stream the exchange uses.
+            let mut sampler = NeighborSampler::new(ds.num_nodes());
+            let expected: u64 = seeds
+                .iter()
+                .map(|s| {
+                    let mut r = fgnn_tensor::Rng::new(seed ^ super::batch_content_hash(s));
+                    let mb = sampler.sample(&ds.graph, s, &[4, 4], &mut r);
+                    row_bytes * mb.input_nodes().len() as u64
+                })
+                .sum();
+            assert_eq!(
+                ex.local_bytes + ex.remote_bytes,
+                expected,
+                "case {case}: bytes lost or double-counted"
+            );
+        }
+    }
+
+    /// Property: permuting which GPU gets which batch (same seed) cannot
+    /// change the total bytes exchanged — the sampling stream follows the
+    /// batch content, so a relabeling only permutes demand rows.
+    #[test]
+    fn partitioned_exchange_total_is_permutation_invariant() {
+        let ds = tiny();
+        let topo = fgnn_memsim::Topology::pcie_tree(4, 2, 16e9);
+        for case in 0..prop_cases() {
+            let mut rng = fgnn_tensor::Rng::new(0x9E37 ^ case);
+            let seed = rng.next_u64();
+            let seeds = random_seed_sets(&ds, 4, &mut rng);
+            let ex = partitioned_feature_exchange(&ds, &[4, 4], &seeds, &topo, seed);
+
+            // Random permutation of the batch → GPU placement.
+            let mut perm: Vec<usize> = (0..seeds.len()).collect();
+            for i in (1..perm.len()).rev() {
+                perm.swap(i, (rng.next_u64() as usize) % (i + 1));
+            }
+            let permuted: Vec<Vec<u32>> = perm.iter().map(|&p| seeds[p].clone()).collect();
+            let px = partitioned_feature_exchange(&ds, &[4, 4], &permuted, &topo, seed);
+
+            assert_eq!(
+                ex.local_bytes + ex.remote_bytes,
+                px.local_bytes + px.remote_bytes,
+                "case {case}: total bytes changed under placement {perm:?}"
+            );
+        }
     }
 
     #[test]

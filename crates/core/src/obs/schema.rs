@@ -26,8 +26,19 @@ pub const POLICY_V1: &str = "fgnn-policy-v1";
 /// DESIGN.md §13).
 pub const TRAIN_V1: &str = "fgnn-train-v1";
 
+/// Multi-host cluster benchmark document (`BENCH_cluster.json`,
+/// DESIGN.md §14).
+pub const CLUSTER_V1: &str = "fgnn-cluster-v1";
+
 /// Every known schema tag, for exhaustiveness checks.
-pub const ALL: [&str; 5] = [OBS_V1, SERVE_V1, SERVE_TRACE_V1, POLICY_V1, TRAIN_V1];
+pub const ALL: [&str; 6] = [
+    OBS_V1,
+    SERVE_V1,
+    SERVE_TRACE_V1,
+    POLICY_V1,
+    TRAIN_V1,
+    CLUSTER_V1,
+];
 
 #[cfg(test)]
 mod tests {

@@ -321,11 +321,23 @@ impl Trainer {
         Ok(degraded)
     }
 
+    /// Plan one epoch's batch schedule: fork the shuffle RNG (advancing
+    /// the trainer's RNG stream exactly as [`Trainer::train_epoch`] does)
+    /// and split the training nodes into shuffled batches.
+    ///
+    /// `train_epoch` is exactly `plan_epoch_batches` +
+    /// [`Trainer::train_on_batches`] over the result — the cluster
+    /// trainer uses the split form to step one batch per BSP round while
+    /// staying bit-identical to a whole-epoch call.
+    pub fn plan_epoch_batches(&mut self, ds: &Dataset) -> Vec<Vec<NodeId>> {
+        let mut shuffle_rng = self.rng.fork();
+        split_batches(&ds.train_nodes, self.cfg.batch_size, Some(&mut shuffle_rng))
+    }
+
     /// Train one epoch: shuffle the training nodes, split into batches,
     /// run Algorithm 1 on each.
     pub fn train_epoch(&mut self, ds: &Dataset, opt: &mut dyn Optimizer) -> EpochStats {
-        let mut shuffle_rng = self.rng.fork();
-        let batches = split_batches(&ds.train_nodes, self.cfg.batch_size, Some(&mut shuffle_rng));
+        let batches = self.plan_epoch_batches(ds);
         self.train_on_batches(ds, &batches, opt)
     }
 
@@ -656,9 +668,26 @@ impl Trainer {
         num_threads: usize,
         queue_capacity: usize,
     ) -> Result<EpochStats, SampleError> {
+        let batches = self.plan_epoch_batches(ds);
+        self.train_on_batches_async(ds, &batches, opt, num_threads, queue_capacity)
+    }
+
+    /// Async-pipeline counterpart of [`Trainer::train_on_batches`]: run
+    /// the work-stealing sampler + pipeline over an explicit batch
+    /// schedule. `train_epoch_async` is [`Trainer::plan_epoch_batches`] +
+    /// this; the cluster trainer calls it one batch per BSP round.
+    ///
+    /// Each call forks the trainer RNG once for the per-task batch seed,
+    /// so the same sequence of calls replays the same sampled stream.
+    pub fn train_on_batches_async(
+        &mut self,
+        ds: &Dataset,
+        batches: &[Vec<NodeId>],
+        opt: &mut dyn Optimizer,
+        num_threads: usize,
+        queue_capacity: usize,
+    ) -> Result<EpochStats, SampleError> {
         use crate::sampler::AsyncSampler;
-        let mut shuffle_rng = self.rng.fork();
-        let batches = split_batches(&ds.train_nodes, self.cfg.batch_size, Some(&mut shuffle_rng));
         let batch_seed = self.rng.fork().next_u64();
 
         let graph = std::sync::Arc::new(ds.graph.clone());
@@ -671,7 +700,7 @@ impl Trainer {
         };
         let mut stream = AsyncSampler::spawn_with_config(
             graph,
-            batches.clone(),
+            batches.to_vec(),
             self.cfg.fanouts.clone(),
             &runtime_cfg,
             batch_seed,

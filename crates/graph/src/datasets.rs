@@ -163,6 +163,10 @@ fn scaled(original: usize, scale: f64) -> usize {
 }
 
 /// A fully materialized dataset.
+///
+/// `Clone` is cheap enough at benchmark scales and lets the cluster
+/// sharder hand each host an owned copy (H=1 keeps the full dataset).
+#[derive(Clone)]
 pub struct Dataset {
     /// The spec this dataset was built from.
     pub spec: DatasetSpec,

@@ -55,6 +55,14 @@ impl Partitioning {
 ///
 /// Nodes are streamed in a random order; each is placed in
 /// `argmax_p |N(v) ∩ p| * (1 - |p| / capacity)`.
+///
+/// Edge-case guarantees (the cluster sharder depends on them):
+/// * `k` may exceed the node count — surplus partitions come back empty;
+/// * empty graphs (`n == 0`), edgeless graphs and singleton clusters
+///   (`k == n`) never panic;
+/// * **every node is assigned exactly once** — total capacity
+///   `k * (ceil(n/k) + 1) > n` means the argmax always has an open
+///   partition to pick, which the post-loop assertion re-checks.
 pub fn partition_ldg(graph: &Csr, k: usize, rng: &mut Rng) -> Partitioning {
     assert!(k >= 1, "need at least one partition");
     let n = graph.num_nodes();
@@ -74,7 +82,7 @@ pub fn partition_ldg(graph: &Csr, k: usize, rng: &mut Rng) -> Partitioning {
                 neighbor_count[p as usize] += 1;
             }
         }
-        let mut best = 0usize;
+        let mut best = None;
         let mut best_score = f64::NEG_INFINITY;
         for p in 0..k {
             if sizes[p] >= capacity {
@@ -83,15 +91,22 @@ pub fn partition_ldg(graph: &Csr, k: usize, rng: &mut Rng) -> Partitioning {
             let balance = 1.0 - sizes[p] as f64 / capacity as f64;
             // +balance epsilon-term breaks ties toward emptier partitions.
             let score = neighbor_count[p] as f64 * balance + 1e-3 * balance;
-            if score > best_score {
+            if best.is_none() || score > best_score {
                 best_score = score;
-                best = p;
+                best = Some(p);
             }
         }
+        // Unreachable by the capacity argument above; a hard error beats
+        // silently overfilling partition 0 if the invariant ever breaks.
+        let best = best.expect("LDG invariant broken: every partition at capacity");
         assignment[v as usize] = best as u32;
         sizes[best] += 1;
     }
 
+    debug_assert!(
+        assignment.iter().all(|&p| (p as usize) < k),
+        "LDG left a node unassigned"
+    );
     Partitioning {
         assignment,
         num_parts: k,
@@ -193,6 +208,72 @@ mod tests {
             "locality {}",
             p.edge_locality(&g)
         );
+    }
+
+    /// Every node assigned to exactly one in-range partition, and cluster
+    /// sizes sum back to `n`.
+    fn assert_total_assignment(p: &Partitioning, n: usize, k: usize) {
+        assert_eq!(p.assignment.len(), n);
+        assert!(p.assignment.iter().all(|&q| (q as usize) < k));
+        let total: usize = p.clusters().iter().map(Vec::len).sum();
+        assert_eq!(total, n, "nodes lost or duplicated across clusters");
+    }
+
+    #[test]
+    fn ldg_k_larger_than_node_count() {
+        let g = two_cliques(); // 8 nodes
+        let mut rng = Rng::new(11);
+        let p = partition_ldg(&g, 20, &mut rng);
+        assert_total_assignment(&p, 8, 20);
+        // Surplus partitions are empty, none over capacity (ceil(8/20)+1 = 2).
+        assert!(p.clusters().iter().all(|c| c.len() <= 2));
+    }
+
+    #[test]
+    fn ldg_singleton_clusters() {
+        let g = two_cliques();
+        let mut rng = Rng::new(12);
+        let p = partition_ldg(&g, 8, &mut rng);
+        assert_total_assignment(&p, 8, 8);
+    }
+
+    #[test]
+    fn ldg_empty_graph() {
+        let g = Csr::from_directed_edges(0, &[]);
+        let mut rng = Rng::new(13);
+        let p = partition_ldg(&g, 4, &mut rng);
+        assert_total_assignment(&p, 0, 4);
+        assert!(p.clusters().iter().all(Vec::is_empty));
+        assert_eq!(p.edge_locality(&g), 1.0);
+    }
+
+    #[test]
+    fn ldg_edgeless_graph_stays_balanced() {
+        // Empty-frontier stream: no neighbor signal, only the balance term.
+        let g = Csr::from_directed_edges(12, &[]);
+        let mut rng = Rng::new(14);
+        let p = partition_ldg(&g, 3, &mut rng);
+        assert_total_assignment(&p, 12, 3);
+        let sizes: Vec<usize> = p.clusters().iter().map(Vec::len).collect();
+        assert!(sizes.iter().all(|&s| s == 4), "sizes {sizes:?}");
+    }
+
+    #[test]
+    fn ldg_single_node_single_partition() {
+        let g = Csr::from_directed_edges(1, &[]);
+        let mut rng = Rng::new(15);
+        let p = partition_ldg(&g, 1, &mut rng);
+        assert_total_assignment(&p, 1, 1);
+        let p = partition_ldg(&g, 5, &mut rng);
+        assert_total_assignment(&p, 1, 5);
+    }
+
+    #[test]
+    fn induced_subgraph_empty_node_set() {
+        let g = two_cliques();
+        let (sub, map) = induced_subgraph(&g, &[]);
+        assert_eq!(sub.num_nodes(), 0);
+        assert!(map.is_empty());
     }
 
     #[test]

@@ -36,6 +36,13 @@ pub struct TrafficCounters {
     /// Transfers that exhausted the retry budget and completed on the
     /// reliable fallback path.
     pub failed_transfers: u64,
+    /// Bytes moved across host NICs (remote one-sided embedding reads in
+    /// the cluster simulation). Zero in single-host runs.
+    pub nic_bytes: u64,
+    /// Simulated seconds spent on NIC transfers (latency + wire time of
+    /// batched active messages, plus cross-host retry waste). Zero in
+    /// single-host runs.
+    pub nic_seconds: f64,
 }
 
 impl TrafficCounters {
@@ -44,9 +51,10 @@ impl TrafficCounters {
         Self::default()
     }
 
-    /// Total bytes that actually crossed an interconnect.
+    /// Total bytes that actually crossed an interconnect (PCIe/NVLink
+    /// plus cross-host NIC traffic).
     pub fn wire_bytes(&self) -> u64 {
-        self.host_to_gpu_bytes + self.gpu_to_gpu_bytes + self.index_bytes
+        self.host_to_gpu_bytes + self.gpu_to_gpu_bytes + self.index_bytes + self.nic_bytes
     }
 
     /// Fraction of demanded feature bytes served without touching a wire —
@@ -65,8 +73,11 @@ impl TrafficCounters {
     /// when it is the bottleneck (max), while transfer+compute+prune are
     /// serial on the GPU stream.
     pub fn sim_seconds(&self) -> f64 {
-        let gpu_stream =
-            self.transfer_seconds + self.retry_seconds + self.compute_seconds + self.prune_seconds;
+        let gpu_stream = self.transfer_seconds
+            + self.retry_seconds
+            + self.compute_seconds
+            + self.prune_seconds
+            + self.nic_seconds;
         gpu_stream.max(self.sample_seconds)
     }
 
@@ -84,6 +95,8 @@ impl TrafficCounters {
         self.retries += other.retries;
         self.retry_seconds += other.retry_seconds;
         self.failed_transfers += other.failed_transfers;
+        self.nic_bytes += other.nic_bytes;
+        self.nic_seconds += other.nic_seconds;
     }
 
     /// Subtract an earlier snapshot of this ledger (for per-epoch deltas).
@@ -100,6 +113,8 @@ impl TrafficCounters {
         self.retries -= earlier.retries;
         self.retry_seconds -= earlier.retry_seconds;
         self.failed_transfers -= earlier.failed_transfers;
+        self.nic_bytes -= earlier.nic_bytes;
+        self.nic_seconds -= earlier.nic_seconds;
     }
 }
 
@@ -124,8 +139,12 @@ impl std::fmt::Display for TrafficCounters {
         )?;
         write!(
             f,
-            "faults: {} retries ({:.3}s lost), {} fallback transfers",
-            self.retries, self.retry_seconds, self.failed_transfers
+            "faults: {} retries ({:.3}s lost), {} fallback transfers; nic {:.1} MB ({:.3}s)",
+            self.retries,
+            self.retry_seconds,
+            self.failed_transfers,
+            self.nic_bytes as f64 / 1e6,
+            self.nic_seconds
         )
     }
 }
@@ -205,5 +224,25 @@ mod tests {
         c.transfer_seconds = 1.0;
         c.retry_seconds = 0.5;
         assert!((c.sim_seconds() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nic_traffic_counts_into_wire_and_sim_time() {
+        let mut c = TrafficCounters::new();
+        c.host_to_gpu_bytes = 100;
+        c.nic_bytes = 50;
+        c.nic_seconds = 0.25;
+        c.transfer_seconds = 1.0;
+        assert_eq!(c.wire_bytes(), 150);
+        assert!((c.sim_seconds() - 1.25).abs() < 1e-12);
+        let snapshot = c.clone();
+        let mut b = TrafficCounters::new();
+        b.nic_bytes = 7;
+        b.nic_seconds = 0.5;
+        c.merge(&b);
+        assert_eq!(c.nic_bytes, 57);
+        c.subtract(&snapshot);
+        assert_eq!(c.nic_bytes, b.nic_bytes);
+        assert!((c.nic_seconds - b.nic_seconds).abs() < 1e-12);
     }
 }

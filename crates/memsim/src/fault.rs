@@ -48,20 +48,62 @@ pub enum AttemptOutcome {
     Fail,
 }
 
+/// A rejected [`FaultPlan`] builder input. Every variant carries the
+/// offending value so callers can print a precise diagnostic instead of
+/// silently training against a nonsense fault schedule.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultPlanError {
+    /// A probability was outside `[0, 1]` (or NaN).
+    BadProbability {
+        /// Which probability knob was rejected (`"fail"` / `"stall"`).
+        knob: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A stall duration was negative (or NaN).
+    NegativeStall(f64),
+    /// A link-degradation factor was not a finite slowdown `>= 1`.
+    BadDegradationFactor(f64),
+}
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultPlanError::BadProbability { knob, value } => {
+                write!(f, "{knob} probability {value} outside [0, 1]")
+            }
+            FaultPlanError::NegativeStall(s) => {
+                write!(
+                    f,
+                    "negative stall of {s} seconds (stalls add time, they cannot remove it)"
+                )
+            }
+            FaultPlanError::BadDegradationFactor(x) => write!(
+                f,
+                "degradation factor {x} must be a finite slowdown >= 1 \
+                 (a link runs at 1/factor of nominal speed)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
 /// SplitMix64 — tiny deterministic PRNG. `fgnn-memsim` is dependency-free
 /// (it cannot use `fgnn_tensor::Rng`), and fault draws need nothing
-/// fancier.
+/// fancier. Crate-visible so the cluster fault scheduler
+/// ([`crate::cluster`]) can draw from the same generator family.
 #[derive(Clone, Debug)]
-struct SplitMix64 {
+pub(crate) struct SplitMix64 {
     x: u64,
 }
 
 impl SplitMix64 {
-    fn new(seed: u64) -> Self {
+    pub(crate) fn new(seed: u64) -> Self {
         SplitMix64 { x: seed }
     }
 
-    fn next_u64(&mut self) -> u64 {
+    pub(crate) fn next_u64(&mut self) -> u64 {
         self.x = self.x.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.x;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -70,7 +112,7 @@ impl SplitMix64 {
     }
 
     /// Uniform in `[0, 1)`.
-    fn uniform(&mut self) -> f64 {
+    pub(crate) fn uniform(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 }
@@ -111,33 +153,77 @@ impl FaultPlan {
     }
 
     /// Fail each transfer attempt independently with probability `p`.
-    pub fn with_fail_prob(mut self, p: f64) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&p),
-            "fail probability {p} outside [0, 1]"
-        );
+    ///
+    /// Panics on invalid input; use [`FaultPlan::try_with_fail_prob`] to
+    /// handle the error instead.
+    pub fn with_fail_prob(self, p: f64) -> Self {
+        self.try_with_fail_prob(p).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`FaultPlan::with_fail_prob`]: rejects `p`
+    /// outside `[0, 1]` (NaN included) with a [`FaultPlanError`].
+    pub fn try_with_fail_prob(mut self, p: f64) -> Result<Self, FaultPlanError> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(FaultPlanError::BadProbability {
+                knob: "fail",
+                value: p,
+            });
+        }
         self.fail_prob = p;
-        self
+        Ok(self)
     }
 
     /// Stall each (non-failed) attempt with probability `p` for `seconds`.
-    pub fn with_stalls(mut self, p: f64, seconds: f64) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&p),
-            "stall probability {p} outside [0, 1]"
-        );
-        assert!(seconds >= 0.0, "negative stall");
+    ///
+    /// Panics on invalid input; use [`FaultPlan::try_with_stalls`] to
+    /// handle the error instead.
+    pub fn with_stalls(self, p: f64, seconds: f64) -> Self {
+        self.try_with_stalls(p, seconds)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`FaultPlan::with_stalls`]: rejects a probability
+    /// outside `[0, 1]` or a negative/NaN stall duration with a
+    /// [`FaultPlanError`] instead of silently scheduling nonsense.
+    pub fn try_with_stalls(mut self, p: f64, seconds: f64) -> Result<Self, FaultPlanError> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(FaultPlanError::BadProbability {
+                knob: "stall",
+                value: p,
+            });
+        }
+        if seconds.is_nan() || seconds < 0.0 {
+            return Err(FaultPlanError::NegativeStall(seconds));
+        }
         self.stall_prob = p;
         self.stall_seconds = seconds;
-        self
+        Ok(self)
     }
 
     /// Degrade link `link` (index into `Topology::links()`) to `1/factor`
     /// of its nominal bandwidth (`factor >= 1.0`).
-    pub fn with_degraded_link(mut self, link: usize, factor: f64) -> Self {
-        assert!(factor >= 1.0, "degradation factor {factor} must be >= 1");
+    ///
+    /// Panics on invalid input; use [`FaultPlan::try_with_degraded_link`]
+    /// to handle the error instead.
+    pub fn with_degraded_link(self, link: usize, factor: f64) -> Self {
+        self.try_with_degraded_link(link, factor)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`FaultPlan::with_degraded_link`]: rejects a
+    /// factor that is not a finite slowdown `>= 1` (so `<= 0`, sub-unit
+    /// "speed-ups", NaN and infinities all fail) with a
+    /// [`FaultPlanError`].
+    pub fn try_with_degraded_link(
+        mut self,
+        link: usize,
+        factor: f64,
+    ) -> Result<Self, FaultPlanError> {
+        if !factor.is_finite() || factor < 1.0 {
+            return Err(FaultPlanError::BadDegradationFactor(factor));
+        }
         self.links.insert(link, LinkHealth::Degraded(factor));
-        self
+        Ok(self)
     }
 
     /// Take link `link` hard down: every attempt routed over it fails.
@@ -533,6 +619,48 @@ mod tests {
         b.record_failure();
         assert!(b.is_open());
         assert_eq!(b.trips, 2);
+    }
+
+    #[test]
+    fn try_builders_reject_invalid_inputs_with_clear_errors() {
+        let err = FaultPlan::new(1).try_with_fail_prob(1.5).unwrap_err();
+        assert_eq!(
+            err,
+            FaultPlanError::BadProbability {
+                knob: "fail",
+                value: 1.5
+            }
+        );
+        assert!(err.to_string().contains("outside [0, 1]"), "{err}");
+
+        let err = FaultPlan::new(1).try_with_stalls(-0.1, 1.0).unwrap_err();
+        assert!(err.to_string().contains("stall probability"), "{err}");
+        let err = FaultPlan::new(1).try_with_stalls(0.5, -1.0).unwrap_err();
+        assert_eq!(err, FaultPlanError::NegativeStall(-1.0));
+
+        for bad in [0.0, -2.0, 0.5, f64::NAN, f64::INFINITY] {
+            let err = FaultPlan::new(1)
+                .try_with_degraded_link(0, bad)
+                .unwrap_err();
+            assert!(err.to_string().contains("slowdown >= 1"), "{err}");
+        }
+        // NaN probabilities are rejected, never silently accepted.
+        assert!(FaultPlan::new(1).try_with_fail_prob(f64::NAN).is_err());
+        assert!(FaultPlan::new(1).try_with_stalls(f64::NAN, 0.0).is_err());
+        assert!(FaultPlan::new(1).try_with_stalls(0.1, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn try_builders_accept_valid_inputs() {
+        let plan = FaultPlan::new(7)
+            .try_with_fail_prob(0.25)
+            .unwrap()
+            .try_with_stalls(0.1, 2.0)
+            .unwrap()
+            .try_with_degraded_link(3, 4.0)
+            .unwrap();
+        assert!(plan.is_active());
+        assert_eq!(plan.link_health(3), LinkHealth::Degraded(4.0));
     }
 
     #[test]

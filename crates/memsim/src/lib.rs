@@ -15,6 +15,11 @@
 //!   paying index-shipping plus synchronization overheads (§6);
 //! * [`alltoall`] — naive concurrent all-to-all vs the paper's multi-round
 //!   schedule that serializes cross-switch pairs to avoid congestion;
+//! * [`cluster`] — multi-host scale-out: NIC links with RDMA-style
+//!   one-sided read costs, per-host failure domains with a validated
+//!   seeded crash/restart schedule ([`ClusterFaultPlan`]), and
+//!   active-message batching ([`AmBatcher`]) that amortizes per-transfer
+//!   latency over many small embedding fetches;
 //! * [`fault`] — deterministic seed-driven fault injection (degraded or
 //!   down links, transient failures, stalls) with a bounded
 //!   retry/backoff/timeout policy, so robustness experiments reproduce
@@ -30,6 +35,7 @@
 //! EXPERIMENTS.md reports both.
 
 pub mod alltoall;
+pub mod cluster;
 pub mod counters;
 pub mod fault;
 pub mod presets;
@@ -37,10 +43,14 @@ pub mod stage;
 pub mod topology;
 pub mod transfer;
 
+pub use cluster::{
+    AmBatcher, AmTransfer, ClusterEvent, ClusterEventKind, ClusterFaultError, ClusterFaultPlan,
+    ClusterTopology, NicSpec,
+};
 pub use counters::TrafficCounters;
 pub use fault::{
-    AttemptOutcome, BreakerPolicy, BreakerState, CircuitBreaker, FaultPlan, FaultState, LinkHealth,
-    RetryPolicy,
+    AttemptOutcome, BreakerPolicy, BreakerState, CircuitBreaker, FaultPlan, FaultPlanError,
+    FaultState, LinkHealth, RetryPolicy,
 };
 pub use stage::{StageKind, StageTimings};
 pub use topology::{Node, Topology};

@@ -10,7 +10,8 @@
 # the training epoch-time experiment at fixed seeds, write
 # BENCH_serve.json at the repo root, then the policy-frontier sweep,
 # written as BENCH_policy.json, then the runtime worker-scaling sweep,
-# written as BENCH_train.json. Use after an intentional performance
+# written as BENCH_train.json, then the multi-host cluster sweep,
+# written as BENCH_cluster.json. Use after an intentional performance
 # change, and commit the refreshed baselines with it.
 #
 # The serving numbers (p50/p95/p99, throughput, shed fraction) and the
@@ -25,6 +26,7 @@ SEED="${SEED:-42}"
 OUT="BENCH_serve.json"
 POLICY_OUT="BENCH_policy.json"
 TRAIN_OUT="BENCH_train.json"
+CLUSTER_OUT="BENCH_cluster.json"
 
 cargo build --release -p fgnn-bench
 
@@ -69,6 +71,16 @@ start=$SECONDS
 ./target/release/exp_train_scaling --seed "$SEED" --bench-json "$TRAIN_OUT" > /dev/null
 train_wall=$((SECONDS - start))
 
+# Multi-host cluster sweep: the fgnn-cluster-v1 document is the exporter's
+# own output verbatim. Its gated fields (meanLoss/h2dBytes/nicBytes/
+# simSeconds/degradedReads/maxStaleness) are exact, and the crash
+# schedule's committed metrics match the fault-free schedule bit for bit;
+# wallSeconds inside it is measured context that exp_report never gates on.
+start=$SECONDS
+./target/release/exp_cluster --seed "$SEED" --bench-json "$CLUSTER_OUT" > /dev/null
+cluster_wall=$((SECONDS - start))
+
 echo "wrote $OUT (seed $SEED; exp_serve ${serve_wall}s, exp_fig10 ${fig10_wall}s)"
 echo "wrote $POLICY_OUT (seed $SEED; exp_ext_policy_frontier ${policy_wall}s)"
 echo "wrote $TRAIN_OUT (seed $SEED; exp_train_scaling ${train_wall}s)"
+echo "wrote $CLUSTER_OUT (seed $SEED; exp_cluster ${cluster_wall}s)"

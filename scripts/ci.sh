@@ -33,6 +33,14 @@ FGNN_PROP_CASES=256 cargo test -q --test policy_equivalence
 # hedging and NaN-rollback across trainer families, byte-identical reruns.
 FGNN_PROP_CASES=256 cargo test -q --test chaos
 
+# Cluster chaos suite at the elevated case count: random crash/restart/NIC
+# schedules must leave the committed training quantities byte-identical to
+# the fault-free run (deterministic shard recovery), degraded reads must
+# respect the t_stale budget, and the committed cluster baseline must
+# carry the cluster export schema.
+FGNN_PROP_CASES=256 cargo test -q --test cluster
+grep -q '"schemaVersion":"fgnn-cluster-v1"' BENCH_cluster.json
+
 # Work-stealing runtime determinism suite at the elevated case count:
 # seeded adversarial schedules (forced steals, delayed pops, stalls) must
 # leave every Exact output byte-identical at any worker count, and the
@@ -55,10 +63,11 @@ grep -q '"kind":"alert"' "$trace_out"
 rm -f "$serve_out" "$trace_out"
 
 # Performance-trajectory gate: the committed BENCH_serve.json /
-# BENCH_policy.json / BENCH_train.json baselines must reproduce from
-# their recorded seeds (the train baseline additionally bit-identically
-# across worker counts), and an injected 10% regression must trip the
-# gate (nonzero exit).
+# BENCH_policy.json / BENCH_train.json / BENCH_cluster.json baselines
+# must reproduce from their recorded seeds (the train baseline
+# additionally bit-identically across worker counts, the cluster baseline
+# bit-identically between fault-free and crash schedules), and an
+# injected 10% regression must trip the gate (nonzero exit).
 cargo run -q --release -p fgnn-bench --bin exp_report -- --check > /dev/null
 if cargo run -q --release -p fgnn-bench --bin exp_report -- \
     --check --inject-regression 0.10 > /dev/null 2>&1; then
